@@ -1,0 +1,40 @@
+"""Ablation A2: classifier choice (META vs byte detector vs oracle).
+
+Section 3.2 of the paper discusses the trade-off between trusting the
+author's META declaration and running a byte-distribution detector, and
+§3's observation 3 notes mislabeled pages.  This ablation quantifies it:
+the detector recognises undeclared/mislabeled target-language pages that
+the charset/META classifiers miss, so a hard-focused crawl tunnels
+further and covers more.
+"""
+
+from repro.experiments.ablations import classifier_sweep
+from repro.experiments.report import render_table
+
+from conftest import emit
+
+
+def test_ablation_classifier_choice(benchmark, thai_bench, results_dir):
+    rows = benchmark.pedantic(lambda: classifier_sweep(thai_bench), rounds=1, iterations=1)
+
+    emit(
+        results_dir,
+        "ablation_classifier",
+        render_table(rows, title="Ablation A2: hard-focused crawl under each classifier"),
+    )
+
+    by_mode = {row["classifier"]: row for row in rows}
+
+    # META parsing reproduces the recorded declarations exactly.
+    assert by_mode["meta"]["pages_crawled"] == by_mode["charset"]["pages_crawled"]
+
+    # The byte detector sees through missing/mislabeled declarations and
+    # therefore reaches more of the web.
+    assert by_mode["detector"]["pages_crawled"] > by_mode["charset"]["pages_crawled"]
+    assert (
+        by_mode["detector"]["coverage_of_charset_set"]
+        >= by_mode["charset"]["coverage_of_charset_set"]
+    )
+
+    # Ground truth is the upper bound on reach.
+    assert by_mode["oracle"]["pages_crawled"] >= by_mode["detector"]["pages_crawled"] * 0.95

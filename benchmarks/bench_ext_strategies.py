@@ -1,0 +1,74 @@
+"""Extension E2: a wider range of crawling strategies (paper §6).
+
+"For the future works, we will conduct more simulations ... with a wider
+range of crawling strategies."  This benchmark runs that comparison on
+the Thai dataset:
+
+- **distilled-soft** — soft-focused completed with the focused-crawling
+  *distiller* the paper's first version omitted (§2.1): intermittent
+  relevance-weighted HITS raises queued priorities of hub neighbors;
+- **backlink-count** — the importance-driven ordering of the paper's
+  reference [3] (Cho et al.), as the strongest *language-blind* baseline.
+
+Expected shape: focused strategies (soft, distilled) dominate early
+harvest; backlink-count — despite being the classic "good" ordering for
+general crawling — is *worse than breadth-first* on a language-specific
+task, because global popularity concentrates in the non-target web.
+That contrast is the sharpest argument for language-specific focusing.
+"""
+
+from repro.core.strategies import (
+    BacklinkCountStrategy,
+    BreadthFirstStrategy,
+    DistilledSoftStrategy,
+    SimpleStrategy,
+)
+from repro.experiments.report import render_table
+from repro.experiments.runner import run_strategies
+
+from conftest import emit
+
+
+def test_ext_wider_strategy_range(benchmark, thai_bench, results_dir):
+    def compare():
+        return run_strategies(
+            thai_bench,
+            [
+                BreadthFirstStrategy(),
+                SimpleStrategy(mode="soft"),
+                DistilledSoftStrategy(),
+                BacklinkCountStrategy(),
+            ],
+        )
+
+    results = benchmark.pedantic(compare, rounds=1, iterations=1)
+
+    early = len(thai_bench.crawl_log) // 5
+    rows = []
+    for name, result in results.items():
+        rows.append(
+            {
+                "strategy": name,
+                "early_harvest": round(result.series.harvest_at(early), 3),
+                "final_coverage": round(result.final_coverage, 3),
+                "max_queue": result.summary.max_queue_size,
+            }
+        )
+    emit(
+        results_dir,
+        "ext_strategies",
+        render_table(rows, title="Extension E2: wider strategy range (Thai dataset)"),
+    )
+
+    early_of = {row["strategy"]: row["early_harvest"] for row in rows}
+    coverage_of = {row["strategy"]: row["final_coverage"] for row in rows}
+
+    # Focused strategies dominate early harvest.
+    assert early_of["soft-focused"] > 1.5 * early_of["breadth-first"]
+    assert early_of["distilled-soft"] > 1.5 * early_of["breadth-first"]
+    # The distiller must not hurt the focused crawl.
+    assert early_of["distilled-soft"] >= early_of["soft-focused"] - 0.03
+    # Language-blind importance ordering loses even to breadth-first.
+    assert early_of["backlink-count"] < early_of["breadth-first"]
+    # Everyone eventually covers the whole reachable set.
+    assert all(value > 0.999 for value in coverage_of.values())

@@ -1,0 +1,59 @@
+"""Extension E1: the timing model (paper §6 future work).
+
+"We also would like to enhance our crawling simulator by incorporating
+transfer delays and access intervals in the simulation."  This benchmark
+runs that enhancement: the same crawl with and without per-server
+politeness, reporting simulated wall-clock and asserting that access
+intervals — not transfer time — dominate crawl duration, for every
+strategy.  (Both breadth-first and focused crawls slow down by well over
+an order of magnitude at a 1-second per-site interval; which one suffers
+more depends on how bursty its per-host request pattern is, so no
+direction is asserted between them.)
+"""
+
+from repro.core.strategies import BreadthFirstStrategy, SimpleStrategy
+from repro.core.timing import TimingModel
+from repro.experiments.report import render_table
+from repro.experiments.runner import run_strategy
+
+from conftest import emit
+
+MAX_PAGES = 6000
+
+
+def _timed_run(dataset, strategy, politeness: float):
+    timing = TimingModel(politeness_interval_s=politeness, connections=32)
+    result = run_strategy(dataset, strategy, timing=timing, max_pages=MAX_PAGES)
+    return result.summary.simulated_seconds
+
+
+def test_ext_timing_model(benchmark, thai_bench, results_dir):
+    def sweep():
+        rows = []
+        for strategy_factory in (BreadthFirstStrategy, lambda: SimpleStrategy(mode="hard")):
+            strategy = strategy_factory()
+            fast = _timed_run(thai_bench, strategy, politeness=0.0)
+            polite = _timed_run(thai_bench, strategy_factory(), politeness=1.0)
+            rows.append(
+                {
+                    "strategy": strategy.name,
+                    "sim_seconds_no_politeness": round(fast, 1),
+                    "sim_seconds_polite_1s": round(polite, 1),
+                    "slowdown": round(polite / fast, 2),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    emit(
+        results_dir,
+        "ext_timing",
+        render_table(rows, title=f"Extension E1: simulated crawl time, first {MAX_PAGES} pages"),
+    )
+
+    for row in rows:
+        # Politeness can only slow a crawl down — and at a 1s per-site
+        # interval it dominates transfer time by a wide margin.
+        assert row["sim_seconds_polite_1s"] >= row["sim_seconds_no_politeness"]
+        assert row["slowdown"] > 5.0

@@ -1,0 +1,40 @@
+"""Figure 3: the simple strategy on the Thai dataset.
+
+Shape criteria (paper §5.2.1):
+
+- (a) harvest rate: hard- and soft-focused clearly beat breadth-first
+  over the early crawl (paper: ~60% during the first 2M of 14M pages);
+- (b) coverage: soft-focused reaches 100%; hard-focused stops early and
+  plateaus well below (paper: ~70%).
+"""
+
+from repro.experiments.figures import figure3
+from repro.experiments.report import render_ascii_chart, render_figure
+
+from conftest import emit
+
+
+def test_fig3_simple_strategy_thai(benchmark, thai_bench, results_dir):
+    figure = benchmark.pedantic(lambda: figure3(thai_bench), rounds=1, iterations=1)
+
+    text = render_figure(figure)
+    for metric in figure.panels:
+        text += "\n" + render_ascii_chart(figure, metric)
+    emit(results_dir, "fig3", text)
+
+    early = len(thai_bench.crawl_log) // 7  # ≈ the paper's "first 2M of 14M"
+    bfs = figure.results["breadth-first"]
+    hard = figure.results["hard-focused"]
+    soft = figure.results["soft-focused"]
+
+    # (a) focused strategies beat breadth-first early, by a wide margin.
+    assert hard.series.harvest_at(early) > 1.3 * bfs.series.harvest_at(early)
+    assert soft.series.harvest_at(early) > 1.3 * bfs.series.harvest_at(early)
+    # Hard and soft track each other early (paper: both ≈60%).
+    assert abs(hard.series.harvest_at(early) - soft.series.harvest_at(early)) < 0.1
+
+    # (b) coverage endpoints.
+    assert soft.final_coverage > 0.999  # "reach 100% coverage"
+    assert 0.5 < hard.final_coverage < 0.9  # "obtains only about 70%"
+    # Hard-focused stops crawling much earlier than soft.
+    assert hard.pages_crawled < 0.8 * soft.pages_crawled

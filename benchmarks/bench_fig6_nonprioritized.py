@@ -1,0 +1,39 @@
+"""Figure 6: the non-prioritized limited distance strategy, N = 1..4.
+
+Shape criteria (paper §5.2.2):
+
+- (a) the URL queue's size is controlled by N — larger N, larger queue;
+- (c) coverage also increases with N;
+- (b) but the harvest rate *decreases* as N grows — "setting too high
+  value of N is not beneficial to the crawl performance".
+"""
+
+from repro.experiments.figures import LIMITED_DISTANCE_NS, figure6
+from repro.experiments.report import render_ascii_chart, render_figure
+
+from conftest import emit
+
+
+def test_fig6_nonprioritized_limited_distance(benchmark, thai_bench, results_dir):
+    figure = benchmark.pedantic(lambda: figure6(thai_bench), rounds=1, iterations=1)
+
+    text = render_figure(figure)
+    for metric in figure.panels:
+        text += "\n" + render_ascii_chart(figure, metric)
+    emit(results_dir, "fig6", text)
+
+    results = list(figure.results.values())
+    assert len(results) == len(LIMITED_DISTANCE_NS)
+
+    queues = [result.summary.max_queue_size for result in results]
+    coverages = [result.final_coverage for result in results]
+    harvests = [result.final_harvest_rate for result in results]
+
+    # (a) queue size strictly increasing in N.
+    assert all(a < b for a, b in zip(queues, queues[1:]))
+    # (c) coverage non-decreasing in N, with a real spread.
+    assert all(a <= b + 1e-9 for a, b in zip(coverages, coverages[1:]))
+    assert coverages[-1] - coverages[0] > 0.02
+    # (b) harvest rate decreasing in N.
+    assert all(a >= b - 1e-9 for a, b in zip(harvests, harvests[1:]))
+    assert harvests[0] - harvests[-1] > 0.02

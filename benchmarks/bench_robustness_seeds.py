@@ -1,0 +1,41 @@
+"""Seed robustness: the headline shapes are not a one-universe accident.
+
+Re-runs the Figure 3/5 measurements on three independently seeded Thai
+universes and asserts the paper's orderings for *every* seed: focused
+beats breadth-first early, soft reaches full coverage while hard
+plateaus, and the soft queue dwarfs the hard queue.
+"""
+
+from repro.experiments.report import render_table
+from repro.experiments.robustness import seed_sweep, sweep_summary
+from repro.graphgen.profiles import thai_profile
+
+from conftest import BENCH_SCALE, emit
+
+SEEDS = (11, 23, 47)
+
+
+def test_seed_robustness(benchmark, results_dir):
+    profile = thai_profile().scaled(min(BENCH_SCALE, 0.12))
+    runs = benchmark.pedantic(lambda: seed_sweep(profile, seeds=SEEDS), rounds=1, iterations=1)
+
+    summary = sweep_summary(runs)
+    text = render_table(
+        [run.to_dict() for run in runs], title="Headline metrics per seed (Thai profile)"
+    )
+    text += "\n" + render_table(
+        [dict(metric=name, **values) for name, values in summary.items()],
+        title="Across-seed summary",
+    )
+    emit(results_dir, "robustness_seeds", text)
+
+    for run in runs:
+        assert run.early_harvest_hard > 1.3 * run.early_harvest_bfs, run.seed
+        assert run.coverage_soft > 0.999, run.seed
+        assert 0.4 < run.coverage_hard < 0.95, run.seed
+        assert run.queue_ratio_soft_over_hard > 2.0, run.seed
+        # The relevance ratio itself has wide seed variance at reduced
+        # scale (host sizes are heavy-tailed, so a handful of large
+        # foreign portals can swing the page mix); the point of this
+        # bench is that the strategy orderings above hold regardless.
+        assert 0.1 < run.relevance_ratio < 0.55, run.seed

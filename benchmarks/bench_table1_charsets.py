@@ -1,0 +1,50 @@
+"""Table 1: languages and their corresponding character encoding schemes.
+
+The table itself is static; the benchmark times what stands behind it —
+the composite detector classifying real encoded documents of every
+charset in the table — and asserts the detector agrees with the mapping.
+"""
+
+import numpy as np
+
+from repro.charset.detector import detect_charset
+from repro.charset.languages import PYTHON_CODECS, Language, language_of_charset
+from repro.experiments.report import render_table
+from repro.experiments.tables import table1
+from repro.graphgen.textgen import TextGenerator, flavor_for
+
+from conftest import emit
+
+#: One sample document per Table 1 charset.
+_TABLE1_CHARSETS = {
+    "EUC-JP": Language.JAPANESE,
+    "SHIFT_JIS": Language.JAPANESE,
+    "ISO-2022-JP": Language.JAPANESE,
+    "TIS-620": Language.THAI,
+    "WINDOWS-874": Language.THAI,
+}
+
+
+def _sample_documents() -> dict[str, bytes]:
+    documents = {}
+    for charset, language in _TABLE1_CHARSETS.items():
+        text = TextGenerator(flavor_for(language), np.random.default_rng(42)).paragraph(20)
+        documents[charset] = text.encode(PYTHON_CODECS[charset])
+    return documents
+
+
+def test_table1_charset_language_map(benchmark, results_dir):
+    documents = _sample_documents()
+
+    def detect_all():
+        return {charset: detect_charset(data) for charset, data in documents.items()}
+
+    results = benchmark(detect_all)
+
+    rows = table1()
+    emit(results_dir, "table1", render_table(rows, title="Table 1: Languages and charsets"))
+
+    for charset, expected_language in _TABLE1_CHARSETS.items():
+        detected = results[charset]
+        assert detected.language is expected_language, charset
+        assert language_of_charset(detected.charset) is expected_language

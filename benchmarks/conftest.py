@@ -1,0 +1,49 @@
+"""Shared benchmark fixtures.
+
+Benchmarks run the paper's experiments at ``REPRO_LSWC_SCALE`` (default
+0.25 → ~35k-URL Thai universe, ~27k Japanese).  Datasets are built once
+per session and cached on disk, so re-running the suite only pays the
+simulation cost, not generation.
+
+Every benchmark writes its rendered tables/series under
+``benchmarks/results/`` so the paper-shaped output survives the run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.datasets import load_or_build_dataset
+from repro.graphgen.profiles import japanese_profile, thai_profile
+
+BENCH_SCALE = float(os.environ.get("REPRO_LSWC_SCALE", "0.25"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def thai_bench():
+    """The Thai dataset at benchmark scale (cached)."""
+    return load_or_build_dataset(thai_profile().scaled(BENCH_SCALE))
+
+
+@pytest.fixture(scope="session")
+def japanese_bench():
+    """The Japanese dataset at benchmark scale (cached)."""
+    return load_or_build_dataset(japanese_profile().scaled(BENCH_SCALE))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: Path, name: str, text: str) -> None:
+    """Print a rendered report and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text)

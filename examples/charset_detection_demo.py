@@ -1,0 +1,79 @@
+"""Language identification demo: META declarations vs byte detection.
+
+Run:  python examples/charset_detection_demo.py
+
+Renders real HTML pages in every encoding of the paper's Table 1 (plus
+the mislabel cases §3 observes), then identifies each page's language
+two ways — parsing the META declaration, and running the composite
+byte-distribution detector — and prints the comparison.  The punchline
+is the paper's observation 3: META lies (or is absent) on a visible
+fraction of pages, and only the detector recovers those.
+"""
+
+from repro import HtmlSynthesizer, Language, PageRecord, detect_charset, parse_meta_charset
+from repro.charset.languages import language_of_charset
+from repro.experiments.report import render_table
+
+#: (description, declared charset, true content language)
+CASES = [
+    ("Japanese page declaring EUC-JP", "EUC-JP", Language.JAPANESE),
+    ("Japanese page declaring Shift_JIS", "SHIFT_JIS", Language.JAPANESE),
+    ("Japanese page declaring ISO-2022-JP", "ISO-2022-JP", Language.JAPANESE),
+    ("Thai page declaring TIS-620", "TIS-620", Language.THAI),
+    ("Thai page declaring WINDOWS-874", "WINDOWS-874", Language.THAI),
+    ("English page declaring ISO-8859-1", "ISO-8859-1", Language.OTHER),
+    # The paper's mislabel cases:
+    ("Thai page declaring UTF-8 (mislabeled)", "UTF-8", Language.THAI),
+    ("Thai page with NO declaration", None, Language.THAI),
+    ("Japanese page with NO declaration", None, Language.JAPANESE),
+]
+
+
+def main() -> None:
+    synthesizer = HtmlSynthesizer()
+    rows = []
+    meta_correct = 0
+    detector_correct = 0
+
+    for index, (description, charset, language) in enumerate(CASES):
+        record = PageRecord(
+            url=f"http://demo{index}.example/",
+            charset=charset,
+            true_language=language,
+            size=3000,
+        )
+        body = synthesizer(record)
+
+        meta_label = parse_meta_charset(body)
+        meta_language = language_of_charset(meta_label)
+        detection = detect_charset(body)
+
+        meta_ok = meta_language is language
+        detector_ok = detection.language is language
+        meta_correct += meta_ok
+        detector_correct += detector_ok
+
+        rows.append(
+            {
+                "page": description,
+                "META says": meta_label or "(none)",
+                "META language": f"{meta_language}{' ✓' if meta_ok else ' ✗'}",
+                "detector says": detection.charset,
+                "detector language": f"{detection.language}{' ✓' if detector_ok else ' ✗'}",
+            }
+        )
+
+    print(render_table(rows, title="Language identification: META declaration vs byte detector"))
+    print(f"META correct:     {meta_correct}/{len(CASES)}")
+    print(f"Detector correct: {detector_correct}/{len(CASES)}")
+    print(
+        "\nNote the two asymmetries the paper discusses (§3.2):\n"
+        " - pages with missing META can still be identified from bytes;\n"
+        " - a UTF-8 page is honestly UTF-8 at the byte level, so *neither*\n"
+        "   method recovers its language from the encoding alone — the\n"
+        "   inherent blind spot of charset-based classification."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Writing your own crawl strategy against the public API.
+
+Run:  python examples/custom_strategy.py
+
+The paper's future work calls for "a wider range of crawling strategies".
+The framework makes that a ~30-line exercise: subclass ``CrawlStrategy``,
+choose a frontier, and implement ``expand``.  Shown here: a *referrer-
+history* strategy that scores each URL by the fraction of relevant pages
+among everything crawled so far on its host — a simple learned prior the
+original simple strategy lacks — compared against the paper's built-ins.
+"""
+
+from collections import defaultdict
+from collections.abc import Iterable
+
+from repro import BreadthFirstStrategy, SimpleStrategy, build_dataset, thai_profile
+from repro.core.classifier import Judgment
+from repro.core.frontier import Candidate, Frontier, PriorityFrontier
+from repro.core.strategies.base import CrawlStrategy
+from repro.experiments.report import render_table
+from repro.experiments.runner import run_strategies
+from repro.urlkit import url_host
+from repro.webspace.virtualweb import FetchResponse
+
+
+class HostReputationStrategy(CrawlStrategy):
+    """Priority = observed relevance rate of the target URL's host.
+
+    Hosts start optimistic (prior of one relevant observation), so new
+    hosts are explored; hosts that keep yielding off-language pages sink
+    down the queue instead of being discarded outright.
+    """
+
+    name = "host-reputation"
+
+    #: priority bands: reputation quantised to 0..SCALE
+    SCALE = 10
+
+    def __init__(self) -> None:
+        self._relevant: dict[str, int] = defaultdict(lambda: 1)  # optimistic prior
+        self._seen: dict[str, int] = defaultdict(lambda: 1)
+
+    def make_frontier(self) -> Frontier:
+        return PriorityFrontier()
+
+    def max_priority(self) -> int:
+        return self.SCALE
+
+    def expand(
+        self,
+        parent: Candidate,
+        response: FetchResponse,
+        judgment: Judgment,
+        outlinks: Iterable[str],
+    ) -> list[Candidate]:
+        host = url_host(parent.url)
+        self._seen[host] += 1
+        if judgment.relevant:
+            self._relevant[host] += 1
+
+        children = []
+        for url in outlinks:
+            target_host = url_host(url)
+            reputation = self._relevant[target_host] / self._seen[target_host]
+            children.append(
+                Candidate(url=url, priority=int(reputation * self.SCALE), referrer=parent.url)
+            )
+        return children
+
+
+def main() -> None:
+    print("Building the Thai dataset (1/8 scale)...\n")
+    dataset = build_dataset(thai_profile().scaled(0.125))
+    early = len(dataset.crawl_log) // 5
+
+    results = run_strategies(
+        dataset,
+        [BreadthFirstStrategy(), SimpleStrategy(mode="soft"), HostReputationStrategy()],
+    )
+
+    rows = []
+    for name, result in results.items():
+        rows.append(
+            {
+                "strategy": name,
+                "early harvest": f"{result.series.harvest_at(early):.1%}",
+                "coverage": f"{result.final_coverage:.1%}",
+                "peak queue": result.summary.max_queue_size,
+            }
+        )
+    print(render_table(rows, title="Custom strategy vs the paper's built-ins"))
+    print(
+        "host-reputation keeps soft-focused's full coverage while using\n"
+        "per-host history instead of only the immediate referrer — one\n"
+        "of the 'wider range of strategies' the paper leaves as future work."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Scaling the archive out: partitioned crawling of a national web.
+
+Run:  python examples/distributed_archive.py
+
+When a national archive outgrows one crawler, the URL space is
+partitioned by host across machines.  This example sizes that decision
+on the Thai dataset: how much coverage does coordination-free
+("firewall") partitioning cost, and how much traffic does full
+coordination ("exchange") need — then slices the resulting archive by
+language using the crawl-log query API.
+"""
+
+from repro import BreadthFirstStrategy, Language, build_dataset, thai_profile
+from repro.core.classifier import Classifier
+from repro.core.parallel import ParallelCrawlSimulator
+from repro.experiments.report import render_table
+from repro.webspace.query import by_language, filter_log, ok_html
+
+
+def main() -> None:
+    print("Building the Thai dataset (1/8 scale)...\n")
+    dataset = build_dataset(thai_profile().scaled(0.125))
+
+    rows = []
+    for mode in ("firewall", "exchange"):
+        for partitions in (2, 4, 8):
+            result = ParallelCrawlSimulator(
+                web=dataset.web(),
+                strategy_factory=BreadthFirstStrategy,
+                classifier=Classifier(Language.THAI),
+                seed_urls=list(dataset.seed_urls),
+                partitions=partitions,
+                mode=mode,
+                relevant_urls=dataset.relevant_urls(),
+            ).run()
+            rows.append(
+                {
+                    "mode": mode,
+                    "crawlers": partitions,
+                    "coverage": f"{result.coverage:.0%}",
+                    "messages": result.messages_exchanged,
+                    "dropped links": result.dropped_foreign_links,
+                    "load balance": f"{result.balance:.2f}",
+                }
+            )
+    print(render_table(rows, title="Partitioned crawl of the Thai web"))
+
+    print(
+        "Reading the table: firewall crawlers never talk, but partitions\n"
+        "holding no seed stay empty and cross-partition-only pages are\n"
+        "lost; exchange keeps 100% coverage for a bounded message volume.\n"
+    )
+
+    # Post-crawl, the archive curator slices the collection:
+    thai_pages = filter_log(
+        dataset.crawl_log, lambda r: ok_html()(r) and by_language(Language.THAI)(r)
+    )
+    print(
+        f"Archive slice: {len(thai_pages)} Thai HTML pages of "
+        f"{len(dataset.crawl_log)} captured URLs "
+        f"({dataset.stats().relevance_ratio:.0%} relevance ratio)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Quickstart: build a dataset, crawl it two ways, compare.
+
+Run:  python examples/quickstart.py
+
+This builds a small synthetic Thai web space (the paper's Thai dataset
+at 1/10 scale), replays a breadth-first crawl and a soft-focused
+language-specific crawl over it, and prints the paper's three metrics
+for each: harvest rate, coverage, and peak URL-queue size.
+"""
+
+from repro import (
+    BreadthFirstStrategy,
+    SimpleStrategy,
+    build_dataset,
+    run_strategy,
+    thai_profile,
+)
+
+
+def main() -> None:
+    print("Building the Thai dataset at 1/10 scale (one-time cost)...")
+    dataset = build_dataset(thai_profile().scaled(0.1))
+    stats = dataset.stats()
+    print(
+        f"  {stats.total_urls} URLs captured, "
+        f"{stats.total_html_pages} OK HTML pages, "
+        f"{stats.relevant_html_pages} Thai "
+        f"(relevance ratio {stats.relevance_ratio:.0%})\n"
+    )
+
+    for strategy in (BreadthFirstStrategy(), SimpleStrategy(mode="soft")):
+        result = run_strategy(dataset, strategy)
+        early = len(dataset.crawl_log) // 5
+        print(f"{strategy.name}")
+        print(f"  pages crawled        {result.pages_crawled}")
+        print(f"  early harvest rate   {result.series.harvest_at(early):.0%} (first 20% of crawl)")
+        print(f"  final coverage       {result.final_coverage:.0%} of Thai pages found")
+        print(f"  peak URL queue       {result.summary.max_queue_size} URLs\n")
+
+    print(
+        "The focused crawl finds Thai pages several times faster than\n"
+        "breadth-first while reaching the same final coverage — the\n"
+        "paper's core result, on your laptop."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""National web-archiving scenario: choosing a crawl strategy for a
+Thai web archive.
+
+Run:  python examples/thai_archive_simulation.py
+
+The paper's motivating application is a national/language-specific web
+archive: an institution with bounded crawler memory wants the largest
+possible share of the national web, found as early as possible.  This
+example plays that decision out — it evaluates every strategy family of
+the paper on the Thai dataset and prints a recommendation table an
+archive operator could act on.
+"""
+
+from repro import (
+    BreadthFirstStrategy,
+    LimitedDistanceStrategy,
+    SimpleStrategy,
+    build_dataset,
+    thai_profile,
+)
+from repro.experiments.report import render_table
+from repro.experiments.runner import run_strategies
+
+
+def main() -> None:
+    print("Building the Thai web snapshot (1/8 scale)...\n")
+    dataset = build_dataset(thai_profile().scaled(0.125))
+    early = len(dataset.crawl_log) // 5
+
+    strategies = [
+        BreadthFirstStrategy(),
+        SimpleStrategy(mode="hard"),
+        SimpleStrategy(mode="soft"),
+        LimitedDistanceStrategy(n=1, prioritized=True),
+        LimitedDistanceStrategy(n=2, prioritized=True),
+        LimitedDistanceStrategy(n=3, prioritized=True),
+    ]
+    results = run_strategies(dataset, strategies)
+
+    rows = []
+    for name, result in results.items():
+        rows.append(
+            {
+                "strategy": name,
+                "early harvest": f"{result.series.harvest_at(early):.0%}",
+                "coverage": f"{result.final_coverage:.0%}",
+                "peak queue (URLs)": result.summary.max_queue_size,
+                "pages fetched": result.pages_crawled,
+            }
+        )
+    print(render_table(rows, title="Thai web-archive crawl: strategy comparison"))
+
+    # The operator's trade-off, stated the way the paper concludes it.
+    soft = results["soft-focused"]
+    best = None
+    for name, result in results.items():
+        if result.final_coverage > 0.95 * soft.final_coverage:
+            if best is None or result.summary.max_queue_size < best[1].summary.max_queue_size:
+                best = (name, result)
+    assert best is not None
+    name, result = best
+    saved = 1 - result.summary.max_queue_size / soft.summary.max_queue_size
+    print(
+        f"Recommendation: '{name}' — within 5% of soft-focused coverage\n"
+        f"({result.final_coverage:.0%} vs {soft.final_coverage:.0%}) while using "
+        f"{saved:.0%} less queue memory at peak.\n"
+        "This is the paper's conclusion: prioritized limited-distance\n"
+        "crawling keeps the URL queue compact at nearly full coverage."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""repro — reproduction of "Simulation Study of Language Specific Web
+Crawling" (Somboonviwat, Tamura, Kitsuregawa; DEWS/ICDE 2005).
+
+The package implements the paper's full stack from scratch:
+
+- a composite charset detector and META parsing for language
+  identification (:mod:`repro.charset`),
+- a trace-driven web crawling simulator (:mod:`repro.core`,
+  :mod:`repro.webspace`),
+- the crawl strategies under study — breadth-first, hard/soft-focused,
+  and (non-)prioritized limited-distance (:mod:`repro.core.strategies`),
+- a synthetic web-space generator replacing the unavailable 2004 crawl
+  logs (:mod:`repro.graphgen`),
+- and the experiment harness regenerating every table and figure of the
+  paper's evaluation (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import build_dataset, thai_profile, run_strategy
+    from repro.core.strategies import SimpleStrategy
+
+    dataset = build_dataset(thai_profile().scaled(0.1))
+    result = run_strategy(dataset, SimpleStrategy(mode="soft"))
+    print(result.final_coverage, result.summary.max_queue_size)
+"""
+
+from repro.charset import (
+    CompositeCharsetDetector,
+    DetectionResult,
+    Language,
+    detect_charset,
+    language_of_charset,
+    parse_meta_charset,
+)
+from repro.core import (
+    BreadthFirstStrategy,
+    Classifier,
+    ClassifierMode,
+    CrawlResult,
+    LimitedDistanceStrategy,
+    SimpleStrategy,
+    SimulationConfig,
+    Simulator,
+    TimingModel,
+    strategy_by_name,
+)
+from repro.experiments import (
+    Dataset,
+    build_dataset,
+    load_or_build_dataset,
+    run_strategies,
+    run_strategy,
+)
+from repro.graphgen import (
+    DatasetProfile,
+    HtmlSynthesizer,
+    generate_universe,
+    japanese_profile,
+    profile_by_name,
+    thai_profile,
+)
+from repro.webspace import CrawlLog, LinkDB, PageRecord, VirtualWebSpace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # charset
+    "Language",
+    "detect_charset",
+    "DetectionResult",
+    "CompositeCharsetDetector",
+    "parse_meta_charset",
+    "language_of_charset",
+    # webspace
+    "PageRecord",
+    "CrawlLog",
+    "LinkDB",
+    "VirtualWebSpace",
+    # graphgen
+    "DatasetProfile",
+    "thai_profile",
+    "japanese_profile",
+    "profile_by_name",
+    "generate_universe",
+    "HtmlSynthesizer",
+    # core
+    "Simulator",
+    "SimulationConfig",
+    "CrawlResult",
+    "Classifier",
+    "ClassifierMode",
+    "TimingModel",
+    "BreadthFirstStrategy",
+    "SimpleStrategy",
+    "LimitedDistanceStrategy",
+    "strategy_by_name",
+    # experiments
+    "Dataset",
+    "build_dataset",
+    "load_or_build_dataset",
+    "run_strategy",
+    "run_strategies",
+    "__version__",
+]

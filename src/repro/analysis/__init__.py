@@ -1,0 +1,23 @@
+"""Crawl-log analysis: the paper's §3 evidence, made quantitative.
+
+Before adapting focused crawling, the paper samples pages from the Thai
+dataset and reports three observations supporting language locality.
+This subpackage measures them on any crawl log:
+
+- :func:`~repro.analysis.locality.locality_evidence` — observation 1
+  ("Thai pages are linked by other Thai pages"), observation 2 ("some
+  Thai pages are reachable only through non-Thai pages") and
+  observation 3 ("some Thai pages are mislabeled"), as numbers.
+- :func:`~repro.analysis.degrees.degree_stats` — in/out-degree structure
+  of the web space (heavy tails, hub concentration).
+"""
+
+from repro.analysis.degrees import DegreeStats, degree_stats
+from repro.analysis.locality import LocalityEvidence, locality_evidence
+
+__all__ = [
+    "LocalityEvidence",
+    "locality_evidence",
+    "DegreeStats",
+    "degree_stats",
+]

@@ -1,0 +1,93 @@
+"""Degree-structure statistics of a web space.
+
+Used to check that synthetic universes have real-web-like link structure
+(heavy-tailed in-degree, hub concentration) and by the structure-report
+example.  The tail exponent is estimated as the negative slope of the
+log-log complementary CDF over the upper tail — a deliberately simple
+estimator; it distinguishes "power-law-ish" from "uniform-ish", which is
+all the tests need.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.webspace.crawllog import CrawlLog
+from repro.webspace.linkdb import LinkDB
+
+
+@dataclass(frozen=True, slots=True)
+class DegreeStats:
+    """Summary of one degree distribution (in or out)."""
+
+    count: int
+    mean: float
+    median: float
+    max: int
+    #: share of all endpoints held by the top 1% highest-degree pages
+    top_percent_share: float
+    #: log-log CCDF slope over the tail; more negative = lighter tail
+    tail_exponent: float | None
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 2),
+            "median": self.median,
+            "max": self.max,
+            "top_percent_share": round(self.top_percent_share, 3),
+            "tail_exponent": None if self.tail_exponent is None else round(self.tail_exponent, 2),
+        }
+
+
+def _stats(degrees: np.ndarray) -> DegreeStats:
+    if len(degrees) == 0:
+        return DegreeStats(count=0, mean=0.0, median=0.0, max=0, top_percent_share=0.0, tail_exponent=None)
+    total = degrees.sum()
+    ranked = np.sort(degrees)[::-1]
+    top = max(1, len(degrees) // 100)
+    top_share = float(ranked[:top].sum() / total) if total else 0.0
+    return DegreeStats(
+        count=int(len(degrees)),
+        mean=float(degrees.mean()),
+        median=float(np.median(degrees)),
+        max=int(degrees.max()),
+        top_percent_share=top_share,
+        tail_exponent=_tail_exponent(degrees),
+    )
+
+
+def _tail_exponent(degrees: np.ndarray) -> float | None:
+    """Slope of log CCDF vs log degree over degrees >= median positive."""
+    positive = degrees[degrees > 0]
+    if len(positive) < 20:
+        return None
+    counts = Counter(int(degree) for degree in positive)
+    values = np.array(sorted(counts))
+    ccdf = np.cumsum([counts[int(v)] for v in values][::-1])[::-1] / len(positive)
+    tail = values >= np.median(positive)
+    if tail.sum() < 3:
+        return None
+    slope, _intercept = np.polyfit(np.log(values[tail]), np.log(ccdf[tail]), 1)
+    return float(slope)
+
+
+def degree_stats(crawl_log: CrawlLog) -> dict[str, DegreeStats]:
+    """``{"in": ..., "out": ...}`` degree statistics of a crawl log.
+
+    Out-degrees cover OK HTML pages (the link emitters); in-degrees
+    cover every URL that appears as a link target.
+    """
+    db = LinkDB(crawl_log)
+    out_degrees = np.array(
+        [len(record.outlinks) for record in crawl_log if record.ok and record.is_html],
+        dtype=np.int64,
+    )
+    in_counter: Counter[str] = Counter()
+    for _source, target in db.edges():
+        in_counter[target] += 1
+    in_degrees = np.array(list(in_counter.values()), dtype=np.int64)
+    return {"in": _stats(in_degrees), "out": _stats(out_degrees)}

@@ -1,0 +1,38 @@
+"""Language identification substrate (paper §3.2).
+
+The paper determines the language of a web page from its character
+encoding scheme, identified either by parsing the ``charset`` property of
+the HTML META declaration or by running a byte-distribution charset
+detector (the Mozilla Charset Detector in the original work).  This
+subpackage provides both, implemented from scratch:
+
+- :mod:`~repro.charset.languages` — the charset ↔ language mapping
+  (paper Table 1).
+- :mod:`~repro.charset.meta` — META declaration parsing.
+- :mod:`~repro.charset.detector` — a composite detector following Li &
+  Momoi's three-part architecture: escape-sequence detection, multi-byte
+  coding state machines with character-distribution scoring, and a
+  single-byte frequency model for Thai.
+"""
+
+from repro.charset.detector import CompositeCharsetDetector, DetectionResult, detect_charset
+from repro.charset.languages import (
+    CHARSET_LANGUAGES,
+    Language,
+    canonical_charset,
+    charsets_for_language,
+    language_of_charset,
+)
+from repro.charset.meta import parse_meta_charset
+
+__all__ = [
+    "Language",
+    "CHARSET_LANGUAGES",
+    "canonical_charset",
+    "language_of_charset",
+    "charsets_for_language",
+    "parse_meta_charset",
+    "CompositeCharsetDetector",
+    "DetectionResult",
+    "detect_charset",
+]

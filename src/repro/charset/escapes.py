@@ -1,0 +1,78 @@
+"""Escape-sequence detection for ISO-2022 encodings.
+
+The ISO-2022 family is 7-bit: national text is announced by ESC
+sequences that shift between ASCII and a designated charset.  Finding a
+designation sequence is conclusive ("its me", in Mozilla detector
+terminology) — no other encoding in our universe uses them — so the
+composite detector consults this prober first and short-circuits on a
+match.  Japanese (JIS X 0201/0208/0212) and Korean (KS X 1001)
+designations are recognised; other ISO-2022 variants rule the family
+out without naming a charset.
+"""
+
+from __future__ import annotations
+
+_ESC = 0x1B
+
+# Designation sequences (the bytes following ESC) that conclusively name
+# a charset.
+_CONCLUSIVE_SEQUENCES: tuple[tuple[bytes, str], ...] = (
+    (b"$@", "ISO-2022-JP"),  # JIS X 0208-1978
+    (b"$B", "ISO-2022-JP"),  # JIS X 0208-1983
+    (b"&@", "ISO-2022-JP"),  # JIS X 0208-1990 announcer
+    (b"(I", "ISO-2022-JP"),  # JIS X 0201 katakana
+    (b"$(D", "ISO-2022-JP"),  # JIS X 0212-1990
+    (b"$)C", "ISO-2022-KR"),  # KS X 1001
+)
+
+# Sequences that designate an ISO-2022 variant we do not model; seeing
+# one of these means "none of the charsets we can name".
+_FOREIGN_SEQUENCES: tuple[bytes, ...] = (
+    b"$)A",  # GB 2312  → ISO-2022-CN
+    b"$)G",  # CNS 11643 → ISO-2022-CN
+)
+
+
+class EscapeDetector:
+    """Streaming prober for ISO-2022-JP designation sequences.
+
+    Feed bytes incrementally; :attr:`found` flips to the detected charset
+    name as soon as a conclusive sequence is seen.
+    """
+
+    #: longest sequence we must buffer across feed() boundaries
+    _MAX_SEQ = max(
+        len(seq) for seq in [s for s, _ in _CONCLUSIVE_SEQUENCES] + list(_FOREIGN_SEQUENCES)
+    )
+
+    def __init__(self) -> None:
+        self.found: str | None = None
+        self.ruled_out = False
+        self._tail = b""
+
+    def feed(self, data: bytes) -> str | None:
+        """Consume the next chunk; returns the charset name on a match."""
+        if self.found or self.ruled_out:
+            return self.found
+        buffer = self._tail + data
+        index = buffer.find(_ESC)
+        while index != -1:
+            window = buffer[index + 1 : index + 1 + self._MAX_SEQ]
+            for sequence, charset in _CONCLUSIVE_SEQUENCES:
+                if window.startswith(sequence):
+                    self.found = charset
+                    return self.found
+            for sequence in _FOREIGN_SEQUENCES:
+                if window.startswith(sequence):
+                    self.ruled_out = True
+                    return None
+            index = buffer.find(_ESC, index + 1)
+        # Keep enough tail to recognise a sequence split across chunks.
+        self._tail = buffer[-(self._MAX_SEQ) :]
+        return None
+
+
+def contains_iso2022jp(data: bytes) -> bool:
+    """One-shot convenience wrapper around :class:`EscapeDetector`."""
+    detector = EscapeDetector()
+    return detector.feed(data) == "ISO-2022-JP"

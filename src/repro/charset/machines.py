@@ -1,0 +1,164 @@
+"""Coding state machine definitions for the multi-byte encodings.
+
+Each spec collapses the 256 byte values into the classes the encoding
+distinguishes and lists the legal DFA moves.  Anything not listed is an
+error, which is what makes the machines discriminative: a Shift_JIS
+document quickly hits an illegal EUC-JP byte pair and vice versa.
+
+References: JIS X 0208 / X 0201 for the Japanese encodings, RFC 3629 for
+UTF-8's well-formedness table.
+"""
+
+from __future__ import annotations
+
+from repro.charset.statemachine import MachineSpec, START
+
+
+def _classes(default: int, ranges: list[tuple[int, int, int]]) -> tuple[int, ...]:
+    """Build a 256-entry byte-class table.
+
+    Args:
+        default: class for any byte not covered by a range.
+        ranges: ``(low, high, cls)`` triples, inclusive on both ends;
+            later entries override earlier ones.
+    """
+    table = [default] * 256
+    for low, high, cls in ranges:
+        for byte in range(low, high + 1):
+            table[byte] = cls
+    return tuple(table)
+
+
+# --------------------------------------------------------------------------
+# UTF-8 (RFC 3629).  Classes:
+#   0 ascii    1 cont 80-8F    2 cont 90-9F    3 cont A0-BF
+#   4 illegal (C0,C1,F5-FF)    5 lead C2-DF    6 lead E0
+#   7 lead E1-EC,EE-EF         8 lead ED       9 lead F0
+#  10 lead F1-F3              11 lead F4
+# --------------------------------------------------------------------------
+_UTF8_CLASSES = _classes(
+    4,
+    [
+        (0x00, 0x7F, 0),
+        (0x80, 0x8F, 1),
+        (0x90, 0x9F, 2),
+        (0xA0, 0xBF, 3),
+        (0xC2, 0xDF, 5),
+        (0xE0, 0xE0, 6),
+        (0xE1, 0xEC, 7),
+        (0xED, 0xED, 8),
+        (0xEE, 0xEF, 7),
+        (0xF0, 0xF0, 9),
+        (0xF1, 0xF3, 10),
+        (0xF4, 0xF4, 11),
+    ],
+)
+
+# States: 0 START, 1 need-1-cont, 2 after-E0, 3 after-ED, 4 need-2-cont,
+#         5 after-F0, 6 after-F4, 7 need-3-cont (entered only via leads).
+UTF8_SPEC = MachineSpec(
+    name="UTF-8",
+    byte_classes=_UTF8_CLASSES,
+    transitions=(
+        {0: START, 5: 1, 6: 2, 7: 4, 8: 3, 9: 5, 10: 7, 11: 6},  # START
+        {1: START, 2: START, 3: START},  # need one continuation, any
+        {3: 1},  # after E0: continuation must be A0-BF
+        {1: 1, 2: 1},  # after ED: continuation must be 80-9F
+        {1: 1, 2: 1, 3: 1},  # need two continuations
+        {2: 4, 3: 4},  # after F0: first continuation 90-BF
+        {1: 4},  # after F4: first continuation 80-8F
+        {1: 4, 2: 4, 3: 4},  # need three continuations
+    ),
+)
+
+
+# --------------------------------------------------------------------------
+# EUC-JP.  Classes:
+#   0 ascii (00-7F)   1 SS2 (8E)   2 SS3 (8F)
+#   3 A1-DF (lead/trail; also JIS X 0201 kana after SS2)
+#   4 E0-FE (lead/trail)          5 illegal (80-8D, 90-A0, FF)
+# --------------------------------------------------------------------------
+_EUCJP_CLASSES = _classes(
+    5,
+    [
+        (0x00, 0x7F, 0),
+        (0x8E, 0x8E, 1),
+        (0x8F, 0x8F, 2),
+        (0xA1, 0xDF, 3),
+        (0xE0, 0xFE, 4),
+    ],
+)
+
+# States: 0 START, 1 expect trail (2-byte char), 2 after SS2, 3 after SS3.
+EUCJP_SPEC = MachineSpec(
+    name="EUC-JP",
+    byte_classes=_EUCJP_CLASSES,
+    transitions=(
+        {0: START, 1: 2, 2: 3, 3: 1, 4: 1},  # START
+        {3: START, 4: START},  # trail byte A1-FE completes the char
+        {3: START},  # SS2: one half-width kana byte A1-DF
+        {3: 1, 4: 1},  # SS3: two bytes A1-FE follow
+    ),
+)
+
+
+# --------------------------------------------------------------------------
+# Shift_JIS (with the common vendor extension leads E0-FC).  Classes:
+#   0 low ascii / DEL (00-3F, 7F)  — valid alone, invalid as trail
+#   1 40-7E                        — ascii and valid trail
+#   2 80, A0                      — trail-only bytes
+#   3 lead 81-9F                  — also a valid trail
+#   4 single-byte kana A1-DF      — also a valid trail
+#   5 lead E0-FC                  — also a valid trail
+#   6 illegal FD-FF
+# --------------------------------------------------------------------------
+_SJIS_CLASSES = _classes(
+    6,
+    [
+        (0x00, 0x3F, 0),
+        (0x40, 0x7E, 1),
+        (0x7F, 0x7F, 0),
+        (0x80, 0x80, 2),
+        (0x81, 0x9F, 3),
+        (0xA0, 0xA0, 2),
+        (0xA1, 0xDF, 4),
+        (0xE0, 0xFC, 5),
+    ],
+)
+
+# States: 0 START, 1 expect trail.
+SJIS_SPEC = MachineSpec(
+    name="SHIFT_JIS",
+    byte_classes=_SJIS_CLASSES,
+    transitions=(
+        {0: START, 1: START, 4: START, 3: 1, 5: 1},  # START
+        {1: START, 2: START, 3: START, 4: START, 5: START},  # trail
+    ),
+)
+
+
+# --------------------------------------------------------------------------
+# EUC-KR (KS X 1001 in EUC form).  Structurally like EUC-JP without the
+# single-shift codes: two-byte characters with lead and trail in A1-FE.
+# The *distribution* analysis (hangul syllable rows B0-C8) is what keeps
+# it from claiming EUC-JP documents — structure alone cannot.
+#   0 ascii   1 lead/trail A1-FE   2 illegal (80-A0, FF)
+# --------------------------------------------------------------------------
+_EUCKR_CLASSES = _classes(
+    2,
+    [
+        (0x00, 0x7F, 0),
+        (0xA1, 0xFE, 1),
+    ],
+)
+
+EUCKR_SPEC = MachineSpec(
+    name="EUC-KR",
+    byte_classes=_EUCKR_CLASSES,
+    transitions=(
+        {0: START, 1: 1},  # START
+        {1: START},  # trail completes the character
+    ),
+)
+
+ALL_SPECS = (UTF8_SPEC, EUCJP_SPEC, SJIS_SPEC, EUCKR_SPEC)

@@ -1,0 +1,65 @@
+"""HTML META charset declaration parsing (paper §3.2, method 1).
+
+The paper's first language-identification method reads the charset
+property from the document's META declaration::
+
+    <META http-equiv="Content-Type" content="text/html; charset=EUC-JP">
+
+This parser also understands the HTML5 short form ``<meta charset=...>``
+because synthesized datasets may use either.  Parsing operates on the raw
+bytes decoded as Latin-1 — charset labels are required to be ASCII, and a
+parser that needed to know the encoding to find the encoding declaration
+would be circular.
+"""
+
+from __future__ import annotations
+
+import re
+
+# How far into the document we look for the declaration.  Browsers use a
+# similar prescan window (1024 bytes); we are slightly more generous.
+_SCAN_WINDOW = 4096
+
+_META_TAG_RE = re.compile(r"<meta\s+([^>]*)>", re.IGNORECASE | re.DOTALL)
+
+_ATTR_RE = re.compile(
+    r"""([a-zA-Z-]+)\s*=\s*(?:"([^"]*)"|'([^']*)'|([^\s>]+))""",
+)
+
+_CONTENT_CHARSET_RE = re.compile(r"charset\s*=\s*[\"']?([a-zA-Z0-9._-]+)", re.IGNORECASE)
+
+
+def _attributes(blob: str) -> dict[str, str]:
+    attrs: dict[str, str] = {}
+    for match in _ATTR_RE.finditer(blob):
+        name = match.group(1).lower()
+        value = next(group for group in match.groups()[1:] if group is not None)
+        attrs.setdefault(name, value)
+    return attrs
+
+
+def parse_meta_charset(html: str | bytes) -> str | None:
+    """Extract the charset label declared in the document's META tags.
+
+    Returns the raw label exactly as the author wrote it (callers pass it
+    through :func:`repro.charset.languages.canonical_charset`), or ``None``
+    when no declaration is present — which the paper's classifier treats
+    as "not the target language".
+    """
+    if isinstance(html, bytes):
+        text = html[:_SCAN_WINDOW].decode("latin-1")
+    else:
+        text = html[:_SCAN_WINDOW]
+
+    for meta in _META_TAG_RE.finditer(text):
+        attrs = _attributes(meta.group(1))
+        # HTML5 short form.
+        if "charset" in attrs:
+            label = attrs["charset"].strip()
+            return label or None
+        # HTML4 http-equiv form.
+        if attrs.get("http-equiv", "").lower() == "content-type" and "content" in attrs:
+            content_match = _CONTENT_CHARSET_RE.search(attrs["content"])
+            if content_match:
+                return content_match.group(1)
+    return None

@@ -1,0 +1,201 @@
+"""Single-byte charset probing for Thai (TIS-620 / WINDOWS-874).
+
+The Mozilla detector the paper cites did not support Thai — which is
+exactly why the authors fell back to META tags for the Thai dataset.  We
+close that gap with a positional frequency model of the TIS-620 layout:
+
+- Thai letters occupy 0xA1–0xDA, 0xDF–0xFB; 0xDB–0xDE and 0xFC–0xFF are
+  unassigned, so one such byte rules the encoding out.
+- The *combining* marks (upper/lower vowels 0xD1, 0xD4–0xDA and tone
+  marks 0xE7–0xEE) may only follow a Thai base character.  This adjacency
+  constraint is the discriminator against Latin-1 text, where the very
+  same byte values (é = 0xE9, à = 0xE0, ...) follow ASCII letters.
+- WINDOWS-874 additionally assigns a handful of C1 bytes (Euro sign,
+  smart quotes, dashes); their presence upgrades the verdict from
+  TIS-620 to WINDOWS-874, any other C1 byte rules Thai out entirely.
+- **Run parity**: double-byte CJK encodings (EUC-JP/KR) produce
+  high-byte runs of strictly even length, while Thai words are
+  single-byte sequences of arbitrary length.  A document whose high-byte
+  runs are almost all even is far more likely mis-read CJK than Thai,
+  even when every byte lands in the Thai range — so such documents are
+  heavily discounted.
+"""
+
+from __future__ import annotations
+
+_THAI_CONSONANTS = frozenset(range(0xA1, 0xCF))  # ก .. ฮ
+_THAI_BASE_VOWELS = frozenset({0xD0, 0xD2, 0xD3, 0xE0, 0xE1, 0xE2, 0xE3, 0xE4, 0xE5})
+_THAI_COMBINING = frozenset({0xD1, *range(0xD4, 0xDB), *range(0xE7, 0xEF)})
+_THAI_DIGITS_SIGNS = frozenset({0xDF, 0xE6, *range(0xF0, 0xFC)})
+
+_THAI_BYTES = _THAI_CONSONANTS | _THAI_BASE_VOWELS | _THAI_COMBINING | _THAI_DIGITS_SIGNS
+
+#: bytes that can carry a combining mark (consonant, or stacked mark)
+_THAI_MARK_BASES = _THAI_CONSONANTS | _THAI_COMBINING
+
+_HARD_INVALID = frozenset({*range(0xDB, 0xDF), *range(0xFC, 0x100)})
+
+#: Consonants that are rare in genuine Thai prose (ฃ ฅ ฆ ฌ ญ ฎ ฏ ฐ ฑ ฒ
+#: ณ ฬ ฮ and friends).  Real text keeps their combined share under ~5%;
+#: CJK byte streams mis-read as Thai scatter uniformly and hit ~20%+.
+_RARE_THAI_CONSONANTS = frozenset(
+    {0xA3, 0xA5, 0xA6, 0xAC, 0xAD, 0xAE, 0xAF, 0xB0, 0xB1, 0xB2, 0xB3, 0xCC, 0xCE}
+)
+
+#: Above this rare-consonant share the "Thai" reading is discounted.
+_MAX_RARE_RATIO = 0.15
+
+#: ฃ (0xA3) and ฅ (0xA5) are obsolete — they do not occur in genuine
+#: modern Thai text at all, but they sit exactly where EUC-JP puts its
+#: ideographic punctuation trail (。 = A1 A3) and katakana lead (A5), so
+#: repeated sightings are near-proof of a mis-read CJK document.
+_DEAD_THAI_LETTERS = frozenset({0xA3, 0xA5})
+
+#: C1 bytes WINDOWS-874 assigns (Euro, ellipsis, quotes, dashes, bullet).
+_CP874_C1 = frozenset({0x80, 0x85, 0x91, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97})
+
+#: Minimum share of high bytes that must be Thai before we claim Thai.
+_MIN_THAI_RATIO = 0.85
+#: Minimum share of combining marks sitting on a legal base.
+_MIN_MARK_VALIDITY = 0.90
+
+
+class ThaiProber:
+    """Streaming prober for Thai single-byte encodings.
+
+    Feed the document incrementally; :meth:`confidence` reflects the
+    evidence so far and :attr:`errored` turns True once a byte that no
+    Thai encoding assigns has been seen.
+    """
+
+    def __init__(self) -> None:
+        self.errored = False
+        self._high_bytes = 0
+        self._thai_bytes = 0
+        self._marks = 0
+        self._marks_on_base = 0
+        self._saw_cp874_c1 = False
+        self._previous = 0x20  # pretend the document starts after a space
+        self._run_length = 0  # current high-byte run
+        self._runs = 0
+        self._odd_runs = 0
+        self._consonants = 0
+        self._rare_consonants = 0
+        self._dead_letters = 0
+
+    def feed(self, data: bytes) -> bool:
+        """Consume the next chunk; returns False once ruled out."""
+        if self.errored:
+            return False
+        previous = self._previous
+        run_length = self._run_length
+        for byte in data:
+            if byte >= 0x80:
+                if byte in _HARD_INVALID:
+                    self.errored = True
+                    return False
+                if byte < 0xA0:
+                    if byte in _CP874_C1:
+                        self._saw_cp874_c1 = True
+                        previous = byte
+                        run_length += 1
+                        continue
+                    self.errored = True
+                    return False
+                self._high_bytes += 1
+                run_length += 1
+                if byte in _THAI_BYTES:
+                    self._thai_bytes += 1
+                if byte in _THAI_CONSONANTS:
+                    self._consonants += 1
+                    if byte in _RARE_THAI_CONSONANTS:
+                        self._rare_consonants += 1
+                    if byte in _DEAD_THAI_LETTERS:
+                        self._dead_letters += 1
+                if byte in _THAI_COMBINING:
+                    self._marks += 1
+                    if previous in _THAI_MARK_BASES:
+                        self._marks_on_base += 1
+            else:
+                if run_length:
+                    self._runs += 1
+                    if run_length % 2:
+                        self._odd_runs += 1
+                    run_length = 0
+            previous = byte
+        self._previous = previous
+        self._run_length = run_length
+        return True
+
+    @property
+    def charset(self) -> str:
+        """Best-fitting Thai charset name for the bytes seen so far."""
+        return "WINDOWS-874" if self._saw_cp874_c1 else "TIS-620"
+
+    def confidence(self) -> float:
+        """Confidence in [0, 1] that the document is Thai text."""
+        if self.errored or self._high_bytes == 0:
+            return 0.0
+        thai_ratio = self._thai_bytes / self._high_bytes
+        if thai_ratio < _MIN_THAI_RATIO:
+            return 0.0
+        if self._marks:
+            mark_validity = self._marks_on_base / self._marks
+            if mark_validity < _MIN_MARK_VALIDITY:
+                return 0.0
+        else:
+            # Thai prose without a single combining mark is vanishingly
+            # rare; plain high-byte soup should not be claimed as Thai
+            # with any strength.
+            mark_validity = 0.5
+        confidence = thai_ratio * mark_validity
+        # Run-parity discount: all-even high-byte runs scream "double-
+        # byte CJK mis-read as Thai" (see module docstring).  Demands a
+        # healthy sample — a handful of runs can be all-even by chance.
+        runs = self._runs + (1 if self._run_length else 0)
+        odd_runs = self._odd_runs + (1 if self._run_length % 2 else 0)
+        if runs >= 10 and odd_runs / runs < 0.05:
+            confidence *= 0.25
+        # Letter-frequency discount: genuine Thai prose rarely uses the
+        # rare consonants; uniform CJK bytes hit them constantly.
+        if self._consonants >= 20 and self._rare_consonants / self._consonants > _MAX_RARE_RATIO:
+            confidence *= 0.25
+        # Obsolete-letter rule: two or more sightings of the dead
+        # letters is near-proof of a mis-read CJK document.
+        if self._dead_letters >= 2:
+            confidence *= 0.1
+        return min(0.99, confidence)
+
+
+class Latin1Prober:
+    """Weak fallback prober for Western European single-byte text.
+
+    Assigns a deliberately low confidence: it exists so that documents
+    with a sprinkle of accented Latin letters resolve to ISO-8859-1
+    rather than to nothing, never to outvote a structural match from the
+    multi-byte machines or the Thai model.
+    """
+
+    _LATIN_LETTERS = frozenset({*range(0xC0, 0x100)} - {0xD7, 0xF7})
+
+    def __init__(self) -> None:
+        self._high_bytes = 0
+        self._latin_after_ascii = 0
+        self._previous_is_ascii_letter = False
+
+    def feed(self, data: bytes) -> bool:
+        for byte in data:
+            if byte >= 0x80:
+                self._high_bytes += 1
+                if byte in self._LATIN_LETTERS and self._previous_is_ascii_letter:
+                    self._latin_after_ascii += 1
+                self._previous_is_ascii_letter = False
+            else:
+                self._previous_is_ascii_letter = chr(byte).isalpha()
+        return True
+
+    def confidence(self) -> float:
+        if self._high_bytes == 0:
+            return 0.0
+        adjacency = self._latin_after_ascii / self._high_bytes
+        return min(0.4, 0.05 + 0.5 * adjacency)

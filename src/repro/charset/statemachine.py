@@ -1,0 +1,117 @@
+"""Generic coding state machine for multi-byte encoding validation.
+
+This is the core mechanism of the Mozilla-style detector (Li & Momoi's
+"coding scheme method"): each multi-byte encoding is described as a DFA
+over byte *classes*.  Feeding a document through the DFA either reaches an
+error state (the document cannot be that encoding) or stays valid, in
+which case character statistics collected along the way feed the
+distribution analysis in :mod:`repro.charset.detector`.
+
+A machine definition consists of:
+
+- ``byte_classes``: a 256-entry tuple mapping each byte to a small class
+  id, collapsing the byte space into the distinctions the encoding cares
+  about (lead byte, trail byte, ASCII, illegal, ...).
+- ``transitions``: ``transitions[state][byte_class] -> next state``.
+- Two distinguished states, :data:`START` and :data:`ERROR`.  Returning to
+  START signals "character complete".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+CharCallback = Callable[[int, int], None]
+
+#: The initial state; re-entering it means a full character was consumed.
+START = 0
+#: The dead state; once entered the input cannot be this encoding.
+ERROR = -1
+
+
+@dataclass(frozen=True, slots=True)
+class MachineSpec:
+    """Immutable definition of one encoding's DFA.
+
+    ``transitions`` rows are indexed by state id (0 = START, 1.. =
+    intermediate states); missing class entries default to ERROR, so specs
+    only list legal moves.
+    """
+
+    name: str
+    byte_classes: tuple[int, ...]
+    transitions: tuple[dict[int, int], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.byte_classes) != 256:
+            raise ValueError(f"{self.name}: byte_classes must have 256 entries")
+        for row in self.transitions:
+            for target in row.values():
+                if target != ERROR and not 0 <= target < len(self.transitions):
+                    raise ValueError(f"{self.name}: transition to unknown state {target}")
+
+
+@dataclass(slots=True)
+class CodingStateMachine:
+    """A running instance of a :class:`MachineSpec`.
+
+    Tracks enough character statistics for the distribution analysis:
+    every completed multi-byte character is reported to an optional
+    callback with its lead and trail bytes.
+    """
+
+    spec: MachineSpec
+    state: int = START
+    errored: bool = False
+    chars_total: int = 0
+    chars_multibyte: int = 0
+    _lead: int = field(default=-1, repr=False)
+
+    def reset(self) -> None:
+        """Return the machine to its initial state, clearing statistics."""
+        self.state = START
+        self.errored = False
+        self.chars_total = 0
+        self.chars_multibyte = 0
+        self._lead = -1
+
+    def feed(self, data: bytes, on_char: "CharCallback | None" = None) -> bool:
+        """Run ``data`` through the DFA.
+
+        Args:
+            data: next chunk of the document.
+            on_char: optional callback invoked as ``on_char(lead, trail)``
+                for every completed multi-byte character (trail is the
+                final byte; for 2-byte encodings that is the full pair).
+
+        Returns:
+            ``False`` as soon as the machine has ever errored, else ``True``.
+        """
+        if self.errored:
+            return False
+        classes = self.spec.byte_classes
+        transitions = self.spec.transitions
+        state = self.state
+        for byte in data:
+            if state == START:
+                self._lead = byte
+            next_state = transitions[state].get(classes[byte], ERROR)
+            if next_state == ERROR:
+                self.errored = True
+                self.state = ERROR
+                return False
+            if next_state == START:
+                self.chars_total += 1
+                if state != START:
+                    self.chars_multibyte += 1
+                    if on_char is not None:
+                        on_char(self._lead, byte)
+            state = next_state
+        self.state = state
+        return True
+
+    @property
+    def mid_character(self) -> bool:
+        """True when the input so far ends inside a multi-byte sequence."""
+        return self.state not in (START, ERROR)

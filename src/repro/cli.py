@@ -1,0 +1,174 @@
+"""Command-line interface: ``lswc-sim``.
+
+Subcommands map onto the experiment harness:
+
+- ``lswc-sim dataset thai`` — build (and cache) a dataset, print Table 3
+  style characteristics.
+- ``lswc-sim run thai soft-focused`` — run one strategy, print the
+  summary and checkpoint series.
+- ``lswc-sim figure 6 --dataset thai`` — regenerate a paper figure as
+  checkpoint tables (and an ASCII chart with ``--chart``).
+- ``lswc-sim analyze thai`` — measure the paper's §3 language-locality
+  evidence and the degree structure of a dataset.
+- ``lswc-sim detect FILE`` — run the charset detector on a local file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.charset.detector import detect_charset
+from repro.core.strategies import strategy_by_name
+from repro.errors import ReproError
+from repro.experiments import figures as figures_module
+from repro.experiments.datasets import load_or_build_dataset
+from repro.experiments.report import render_figure, render_ascii_chart, render_table
+from repro.experiments.runner import run_strategy, summary_rows
+from repro.experiments.tables import table3
+from repro.graphgen.profiles import profile_by_name
+
+_FIGURES = {
+    "3": figures_module.figure3,
+    "4": figures_module.figure4,
+    "5": figures_module.figure5,
+    "6": figures_module.figure6,
+    "7": figures_module.figure7,
+}
+
+
+def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.25, help="universe scale factor")
+    parser.add_argument("--seed", type=int, default=None, help="override the profile seed")
+    parser.add_argument("--no-cache", action="store_true", help="rebuild instead of using the cache")
+
+
+def _dataset_from_args(name: str, args: argparse.Namespace):
+    profile = profile_by_name(name, seed=args.seed)
+    if args.scale != 1.0:
+        profile = profile.scaled(args.scale)
+    cache = None if args.no_cache else "default"
+    return load_or_build_dataset(profile, cache_dir=cache)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="lswc-sim",
+        description="Language specific web crawling simulator (DEWS/ICDE 2005 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_dataset = sub.add_parser("dataset", help="build a dataset and print its characteristics")
+    p_dataset.add_argument("profile", choices=["thai", "japanese", "korean"])
+    _add_dataset_args(p_dataset)
+
+    p_run = sub.add_parser("run", help="run one strategy over a dataset")
+    p_run.add_argument("profile", choices=["thai", "japanese", "korean"])
+    p_run.add_argument(
+        "strategy",
+        help="breadth-first | hard-focused | soft-focused | limited-distance",
+    )
+    p_run.add_argument("--n", type=int, default=2, help="limited-distance parameter N")
+    p_run.add_argument("--prioritized", action="store_true", help="prioritized limited distance")
+    p_run.add_argument("--classifier", default="charset", help="charset|meta|detector|oracle")
+    p_run.add_argument("--max-pages", type=int, default=None)
+    _add_dataset_args(p_run)
+
+    p_figure = sub.add_parser("figure", help="regenerate a paper figure")
+    p_figure.add_argument("number", choices=sorted(_FIGURES))
+    p_figure.add_argument("--dataset", default=None, help="thai (default) or japanese")
+    p_figure.add_argument("--chart", action="store_true", help="also draw ASCII charts")
+    _add_dataset_args(p_figure)
+
+    p_analyze = sub.add_parser("analyze", help="language locality + degree structure of a dataset")
+    p_analyze.add_argument("profile", choices=["thai", "japanese", "korean"])
+    _add_dataset_args(p_analyze)
+
+    p_reproduce = sub.add_parser(
+        "reproduce", help="regenerate every table and figure into a directory"
+    )
+    p_reproduce.add_argument("output_dir")
+    p_reproduce.add_argument("--scale", type=float, default=0.25)
+    p_reproduce.add_argument("--no-cache", action="store_true")
+
+    p_detect = sub.add_parser("detect", help="detect the charset of a local file")
+    p_detect.add_argument("path")
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "dataset":
+        dataset = _dataset_from_args(args.profile, args)
+        print(render_table(table3([dataset]), title="Dataset characteristics (Table 3)"))
+        return 0
+
+    if args.command == "run":
+        dataset = _dataset_from_args(args.profile, args)
+        kwargs = {}
+        if args.strategy == "limited-distance":
+            kwargs = {"n": args.n, "prioritized": args.prioritized}
+        strategy = strategy_by_name(args.strategy, **kwargs)
+        result = run_strategy(
+            dataset, strategy, classifier_mode=args.classifier, max_pages=args.max_pages
+        )
+        print(render_table(summary_rows({strategy.name: result}), title="Run summary"))
+        return 0
+
+    if args.command == "figure":
+        default_dataset = "japanese" if args.number == "4" else "thai"
+        dataset = _dataset_from_args(args.dataset or default_dataset, args)
+        figure = _FIGURES[args.number](dataset)
+        print(render_figure(figure))
+        if args.chart:
+            for metric in figure.panels:
+                print(render_ascii_chart(figure, metric))
+        return 0
+
+    if args.command == "analyze":
+        from repro.analysis import degree_stats, locality_evidence
+
+        dataset = _dataset_from_args(args.profile, args)
+        evidence = locality_evidence(dataset.crawl_log, dataset.target_language)
+        degrees = degree_stats(dataset.crawl_log)
+        print(render_table([evidence.to_dict()], title="Language locality evidence (paper §3)"))
+        print(
+            render_table(
+                [dict(direction=key, **stats.to_dict()) for key, stats in degrees.items()],
+                title="Degree structure",
+            )
+        )
+        return 0
+
+    if args.command == "reproduce":
+        from repro.experiments.reproduce import reproduce_all
+
+        artifacts = reproduce_all(
+            args.output_dir,
+            scale=args.scale,
+            cache=not args.no_cache,
+            progress=print,
+        )
+        print(artifacts)
+        return 0
+
+    if args.command == "detect":
+        with open(args.path, "rb") as handle:
+            result = detect_charset(handle.read())
+        print(f"charset={result.charset} confidence={result.confidence:.2f} language={result.language}")
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

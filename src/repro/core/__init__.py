@@ -1,0 +1,67 @@
+"""The paper's contribution: language specific crawling on a simulator.
+
+- :mod:`~repro.core.frontier` — URL queue implementations.
+- :mod:`~repro.core.classifier` — relevance judgment (paper §3.2).
+- :mod:`~repro.core.visitor` — crawler mechanics over the virtual web.
+- :mod:`~repro.core.strategies` — priority-assignment strategies (§3.3).
+- :mod:`~repro.core.simulator` — the trace-driven main loop (§4).
+- :mod:`~repro.core.metrics` — harvest rate / coverage / queue size (§3.4).
+- :mod:`~repro.core.timing` — optional transfer-delay model (§6 future work).
+"""
+
+from repro.core.classifier import Classifier, ClassifierMode
+from repro.core.distiller import Distiller
+from repro.core.frontier import (
+    Candidate,
+    FIFOFrontier,
+    Frontier,
+    PriorityFrontier,
+    ReprioritizableFrontier,
+)
+from repro.core.metrics import CrawlSummary, MetricSeries
+from repro.core.parallel import ParallelCrawlSimulator, ParallelResult
+from repro.core.politeness import HostQueueFrontier, PoliteOrderingStrategy
+from repro.core.simulator import CrawlResult, SimulationConfig, Simulator
+from repro.core.spilling import SpillingFrontier, SpillingStrategy
+from repro.core.strategies import (
+    BacklinkCountStrategy,
+    BreadthFirstStrategy,
+    CrawlStrategy,
+    DistilledSoftStrategy,
+    LimitedDistanceStrategy,
+    SimpleStrategy,
+    strategy_by_name,
+)
+from repro.core.timing import TimingModel
+from repro.core.visitor import Visitor
+
+__all__ = [
+    "Frontier",
+    "FIFOFrontier",
+    "PriorityFrontier",
+    "ReprioritizableFrontier",
+    "HostQueueFrontier",
+    "SpillingFrontier",
+    "Candidate",
+    "Classifier",
+    "ClassifierMode",
+    "Visitor",
+    "CrawlStrategy",
+    "BreadthFirstStrategy",
+    "SimpleStrategy",
+    "LimitedDistanceStrategy",
+    "DistilledSoftStrategy",
+    "BacklinkCountStrategy",
+    "PoliteOrderingStrategy",
+    "SpillingStrategy",
+    "Distiller",
+    "ParallelCrawlSimulator",
+    "ParallelResult",
+    "strategy_by_name",
+    "Simulator",
+    "SimulationConfig",
+    "CrawlResult",
+    "MetricSeries",
+    "CrawlSummary",
+    "TimingModel",
+]

@@ -1,0 +1,119 @@
+"""Page relevance determination (paper §3.2).
+
+"In language specific web crawling, a given page is considered relevant
+if it is written in the target language."  Relevance is binary (score 1
+or 0), derived from the page's character encoding scheme, which can be
+established four ways:
+
+``charset``
+    Trust the charset recorded in the crawl log — equivalent to reading
+    the server/author declaration without touching bytes.  This is the
+    paper's Thai-dataset method and the default.
+``meta``
+    Parse the META declaration out of the synthesized HTML body; like
+    ``charset`` but exercising the real parsing path end to end.
+``detector``
+    Run the composite byte-distribution detector on the body — the
+    paper's Japanese-dataset method (the "Mozilla Charset Detector").
+``oracle``
+    Use the generator's ground-truth language.  Not available to real
+    crawlers; exists to upper-bound classifier error in ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.charset.detector import detect_charset
+from repro.charset.languages import Language, language_of_charset
+from repro.charset.meta import parse_meta_charset
+from repro.errors import ConfigError
+from repro.webspace.virtualweb import FetchResponse
+
+
+class ClassifierMode(Enum):
+    """How the classifier establishes a page's language."""
+
+    CHARSET = "charset"
+    META = "meta"
+    DETECTOR = "detector"
+    ORACLE = "oracle"
+
+
+@dataclass(frozen=True, slots=True)
+class Judgment:
+    """Outcome of classifying one fetched page."""
+
+    relevant: bool
+    language: Language
+    charset: str | None
+
+    @property
+    def score(self) -> float:
+        """Relevance score as the paper defines it: 1.0 or 0.0."""
+        return 1.0 if self.relevant else 0.0
+
+
+_IRRELEVANT = Judgment(relevant=False, language=Language.UNKNOWN, charset=None)
+
+
+class Classifier:
+    """Judges whether fetched pages are in the target language."""
+
+    def __init__(
+        self,
+        target_language: Language,
+        mode: ClassifierMode | str = ClassifierMode.CHARSET,
+    ) -> None:
+        if isinstance(mode, str):
+            try:
+                mode = ClassifierMode(mode)
+            except ValueError:
+                valid = ", ".join(m.value for m in ClassifierMode)
+                raise ConfigError(f"unknown classifier mode {mode!r}; expected one of {valid}") from None
+        self.target_language = target_language
+        self.mode = mode
+
+    def judge(self, response: FetchResponse) -> Judgment:
+        """Classify one fetch response.
+
+        Non-OK and non-HTML responses are never relevant — there is no
+        document in the target language to archive.
+        """
+        if not response.ok or not response.is_html:
+            return _IRRELEVANT
+
+        if self.mode is ClassifierMode.ORACLE:
+            if response.record is None:
+                return _IRRELEVANT
+            language = response.record.true_language
+            return Judgment(
+                relevant=language is self.target_language,
+                language=language,
+                charset=response.charset,
+            )
+
+        if self.mode is ClassifierMode.CHARSET:
+            charset = response.charset
+        elif self.mode is ClassifierMode.META:
+            if response.body is None:
+                raise ConfigError(
+                    "classifier mode 'meta' requires body synthesis "
+                    "(VirtualWebSpace(body_synthesizer=...))"
+                )
+            charset = parse_meta_charset(response.body)
+        else:  # DETECTOR
+            if response.body is None:
+                raise ConfigError(
+                    "classifier mode 'detector' requires body synthesis "
+                    "(VirtualWebSpace(body_synthesizer=...))"
+                )
+            charset = detect_charset(response.body).charset
+
+        language = language_of_charset(charset)
+        return Judgment(
+            relevant=language is self.target_language,
+            language=language,
+            charset=charset,
+        )

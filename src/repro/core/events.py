@@ -1,0 +1,37 @@
+"""Per-fetch crawl events for tracing and custom instrumentation.
+
+The simulator can invoke a callback for every fetch.  Events carry
+everything a custom observer might want — the visit's bookkeeping, the
+classifier verdict, and the frontier occupancy — without forcing the
+main loop to allocate when no callback is installed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.classifier import Judgment
+from repro.core.frontier import Candidate
+from repro.webspace.virtualweb import FetchResponse
+
+
+@dataclass(frozen=True, slots=True)
+class CrawlEvent:
+    """One simulated fetch, fully described."""
+
+    step: int
+    candidate: Candidate
+    response: FetchResponse
+    judgment: Judgment
+    queue_size: int
+    scheduled_count: int
+    sim_time: float | None = None
+
+    @property
+    def url(self) -> str:
+        return self.candidate.url
+
+
+#: Signature of the simulator's optional per-fetch callback.
+FetchCallback = Callable[[CrawlEvent], None]

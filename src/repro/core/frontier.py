@@ -1,0 +1,214 @@
+"""URL frontiers (the paper's "URL queue").
+
+Two disciplines cover every strategy in the paper:
+
+- :class:`FIFOFrontier` — plain breadth-first order; used by the
+  breadth-first baseline, the hard-focused simple strategy (where every
+  kept URL has equal priority) and the non-prioritized limited-distance
+  strategy.
+- :class:`PriorityFrontier` — a max-priority queue with FIFO tie-breaking,
+  used by the soft-focused simple strategy (two priority bands) and the
+  prioritized limited-distance strategy (N+1 bands keyed on distance).
+
+Both track their peak occupancy, which is the quantity Figures 5-7(a)
+plot.
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import FrontierError
+
+
+@dataclass(frozen=True, slots=True)
+class Candidate:
+    """A URL scheduled for crawling, with strategy bookkeeping.
+
+    Attributes:
+        url: normalised URL to fetch.
+        priority: larger pops earlier in a :class:`PriorityFrontier`;
+            ignored by :class:`FIFOFrontier`.
+        distance: number of consecutive irrelevant referrers on the path
+            this URL was discovered through (limited-distance strategies).
+        referrer: URL of the page this candidate was extracted from
+            (None for seeds); kept for tracing and tests.
+    """
+
+    url: str
+    priority: int = 0
+    distance: int = 0
+    referrer: str | None = None
+
+
+class Frontier(ABC):
+    """Common interface of the URL queue implementations."""
+
+    def __init__(self) -> None:
+        self._peak_size = 0
+
+    @abstractmethod
+    def push(self, candidate: Candidate) -> None:
+        """Add a candidate to the queue."""
+
+    @abstractmethod
+    def pop(self) -> Candidate:
+        """Remove and return the next candidate to crawl.
+
+        Raises:
+            FrontierError: when the frontier is empty.
+        """
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    @property
+    def peak_size(self) -> int:
+        """Largest queue occupancy observed so far."""
+        return self._peak_size
+
+    def close(self) -> None:
+        """Release external resources (spill files etc.).
+
+        No-op for in-memory frontiers; the simulator calls this when a
+        crawl finishes.
+        """
+
+    def _note_size(self) -> None:
+        size = len(self)
+        if size > self._peak_size:
+            self._peak_size = size
+
+
+class FIFOFrontier(Frontier):
+    """First-in first-out queue: pure discovery order."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queue: deque[Candidate] = deque()
+
+    def push(self, candidate: Candidate) -> None:
+        self._queue.append(candidate)
+        self._note_size()
+
+    def pop(self) -> Candidate:
+        if not self._queue:
+            raise FrontierError("pop from empty FIFO frontier")
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+@dataclass(order=True, slots=True)
+class _HeapEntry:
+    sort_key: tuple[int, int]
+    candidate: Candidate = field(compare=False)
+
+
+class PriorityFrontier(Frontier):
+    """Max-priority queue with FIFO order within equal priorities.
+
+    A monotonically increasing insertion counter serves as the tie
+    breaker, so two candidates pushed with the same priority pop in push
+    order — the behaviour the paper's two-band soft-focused queue needs
+    for its results to be deterministic.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._heap: list[_HeapEntry] = []
+        self._counter = 0
+
+    def push(self, candidate: Candidate) -> None:
+        entry = _HeapEntry(sort_key=(-candidate.priority, self._counter), candidate=candidate)
+        self._counter += 1
+        heapq.heappush(self._heap, entry)
+        self._note_size()
+
+    def pop(self) -> Candidate:
+        if not self._heap:
+            raise FrontierError("pop from empty priority frontier")
+        return heapq.heappop(self._heap).candidate
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class ReprioritizableFrontier(Frontier):
+    """Priority frontier whose queued URLs can be re-prioritized in place.
+
+    Needed by strategies that revise their opinion of a URL *after*
+    enqueueing it — the distiller of the original focused-crawling system
+    ("the priority values of URLs identified as hubs and their immediate
+    neighbors are raised", paper §2.1) and backlink-count ordering (Cho
+    et al.).  Implemented with lazy invalidation: `update_priority`
+    pushes a fresh heap entry and the stale one is discarded at pop time,
+    so updates are O(log n) and pops amortised O(log n).
+
+    Unlike the simpler frontiers, a URL can only be queued once here —
+    the class keys its bookkeeping by URL.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._heap: list[_HeapEntry] = []
+        self._counter = 0
+        self._current: dict[str, _HeapEntry] = {}
+
+    def push(self, candidate: Candidate) -> None:
+        if candidate.url in self._current:
+            raise FrontierError(f"{candidate.url!r} is already queued; use update_priority")
+        entry = _HeapEntry(sort_key=(-candidate.priority, self._counter), candidate=candidate)
+        self._counter += 1
+        self._current[candidate.url] = entry
+        heapq.heappush(self._heap, entry)
+        self._note_size()
+
+    def update_priority(self, url: str, priority: int) -> bool:
+        """Re-prioritize a queued URL; returns False if it is not queued."""
+        stale = self._current.get(url)
+        if stale is None:
+            return False
+        if -stale.sort_key[0] == priority:
+            return True  # no change needed
+        candidate = Candidate(
+            url=stale.candidate.url,
+            priority=priority,
+            distance=stale.candidate.distance,
+            referrer=stale.candidate.referrer,
+        )
+        entry = _HeapEntry(sort_key=(-priority, self._counter), candidate=candidate)
+        self._counter += 1
+        self._current[url] = entry
+        heapq.heappush(self._heap, entry)
+        return True
+
+    def priority_of(self, url: str) -> int | None:
+        """Current priority of a queued URL, or None."""
+        entry = self._current.get(url)
+        if entry is None:
+            return None
+        return -entry.sort_key[0]
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._current
+
+    def pop(self) -> Candidate:
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            current = self._current.get(entry.candidate.url)
+            if current is entry:
+                del self._current[entry.candidate.url]
+                return entry.candidate
+            # else: a stale entry superseded by update_priority — skip.
+        raise FrontierError("pop from empty reprioritizable frontier")
+
+    def __len__(self) -> int:
+        return len(self._current)

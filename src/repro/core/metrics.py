@@ -1,0 +1,178 @@
+"""Evaluation metrics (paper §3.4) and their progress series.
+
+- **Harvest rate** (precision): fraction of crawled pages that are
+  relevant.
+- **Coverage** (explicit recall): fraction of the dataset's relevant
+  pages that have been crawled.  The denominator is known beforehand by
+  analysing the crawl log — the luxury the simulator affords.
+- **URL queue size**: frontier occupancy, the memory cost Figures 5-7(a)
+  plot.
+
+The recorder samples every ``sample_interval`` crawl steps (plus a final
+flush), so series stay small and sampling cost is O(1) per page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class MetricSeries:
+    """Sampled progress curves of one crawl run.
+
+    Parallel lists, one entry per sample: ``pages[i]`` pages had been
+    crawled when ``harvest_rate[i]``, ``coverage[i]`` and
+    ``queue_size[i]`` were observed.  ``sim_time[i]`` is simulated
+    seconds when a timing model was attached, else empty.
+    """
+
+    name: str
+    pages: list[int] = field(default_factory=list)
+    harvest_rate: list[float] = field(default_factory=list)
+    coverage: list[float] = field(default_factory=list)
+    queue_size: list[int] = field(default_factory=list)
+    sim_time: list[float] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.pages)
+
+    def value_at_pages(self, series: list[float], page_count: int) -> float:
+        """The latest sampled value at or before ``page_count`` pages."""
+        best = 0.0
+        for pages, value in zip(self.pages, series):
+            if pages > page_count:
+                break
+            best = value
+        return best
+
+    def harvest_at(self, page_count: int) -> float:
+        return self.value_at_pages(self.harvest_rate, page_count)
+
+    def coverage_at(self, page_count: int) -> float:
+        return self.value_at_pages(self.coverage, page_count)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON serialisation."""
+        return {
+            "name": self.name,
+            "pages": list(self.pages),
+            "harvest_rate": list(self.harvest_rate),
+            "coverage": list(self.coverage),
+            "queue_size": list(self.queue_size),
+            "sim_time": list(self.sim_time),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricSeries":
+        return cls(
+            name=data["name"],
+            pages=list(data["pages"]),
+            harvest_rate=list(data["harvest_rate"]),
+            coverage=list(data["coverage"]),
+            queue_size=list(data["queue_size"]),
+            sim_time=list(data.get("sim_time", [])),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class CrawlSummary:
+    """End-of-run aggregates of one crawl."""
+
+    strategy: str
+    pages_crawled: int
+    relevant_crawled: int
+    covered_relevant: int
+    total_relevant: int
+    max_queue_size: int
+    simulated_seconds: float | None = None
+
+    @property
+    def final_harvest_rate(self) -> float:
+        if self.pages_crawled == 0:
+            return 0.0
+        return self.relevant_crawled / self.pages_crawled
+
+    @property
+    def final_coverage(self) -> float:
+        if self.total_relevant == 0:
+            return 0.0
+        return self.covered_relevant / self.total_relevant
+
+
+class MetricsRecorder:
+    """Accumulates per-fetch observations into a :class:`MetricSeries`.
+
+    Harvest counts what the *classifier* judged relevant at crawl time;
+    coverage counts membership of the precomputed relevant set.  With the
+    charset classifier the two views coincide; with the detector or
+    oracle classifiers they can diverge — which is itself a measurement
+    (see the classifier ablation).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        relevant_urls: frozenset[str],
+        sample_interval: int = 500,
+    ) -> None:
+        if sample_interval < 1:
+            raise ValueError("sample_interval must be >= 1")
+        self._series = MetricSeries(name=name)
+        self._relevant_urls = relevant_urls
+        self._interval = sample_interval
+        self._steps = 0
+        self._judged_relevant = 0
+        self._covered = 0
+        self._max_queue = 0
+        self._last_queue = 0
+        self._last_time: float | None = None
+
+    @property
+    def steps(self) -> int:
+        return self._steps
+
+    def record(
+        self,
+        url: str,
+        judged_relevant: bool,
+        queue_size: int,
+        sim_time: float | None = None,
+    ) -> None:
+        """Observe one crawled page."""
+        self._steps += 1
+        if judged_relevant:
+            self._judged_relevant += 1
+        if url in self._relevant_urls:
+            self._covered += 1
+        self._last_queue = queue_size
+        self._last_time = sim_time
+        if queue_size > self._max_queue:
+            self._max_queue = queue_size
+        if self._steps % self._interval == 0:
+            self._sample()
+
+    def _sample(self) -> None:
+        series = self._series
+        series.pages.append(self._steps)
+        series.harvest_rate.append(self._judged_relevant / self._steps)
+        total_relevant = len(self._relevant_urls)
+        series.coverage.append(self._covered / total_relevant if total_relevant else 0.0)
+        series.queue_size.append(self._last_queue)
+        if self._last_time is not None:
+            series.sim_time.append(self._last_time)
+
+    def finish(self, strategy: str) -> tuple[MetricSeries, CrawlSummary]:
+        """Flush the final sample and return (series, summary)."""
+        if self._steps and (not self._series.pages or self._series.pages[-1] != self._steps):
+            self._sample()
+        summary = CrawlSummary(
+            strategy=strategy,
+            pages_crawled=self._steps,
+            relevant_crawled=self._judged_relevant,
+            covered_relevant=self._covered,
+            total_relevant=len(self._relevant_urls),
+            max_queue_size=self._max_queue,
+            simulated_seconds=self._last_time,
+        )
+        return self._series, summary

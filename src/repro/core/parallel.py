@@ -1,0 +1,173 @@
+"""Parallel (partitioned) crawling simulation.
+
+The paper's research group also studied distributing crawls over many
+machines (its reference [2], Chakrabarti et al.'s distributed discovery;
+Cho & Garcia-Molina's parallel-crawler taxonomy formalised the design
+space).  A language-specific *archive* crawl is a natural candidate for
+partitioning — national webs are host-clustered — so this module adds
+the standard model on top of the simulator:
+
+- The URL space is partitioned **by host** (pages of one site belong to
+  one crawler; see :func:`repro.webspace.query.host_partition`'s hash).
+- ``firewall`` mode: each crawler fetches only its own URLs and *drops*
+  links into foreign partitions — zero coordination, but pages whose
+  only inlinks cross partitions become unreachable.
+- ``exchange`` mode: cross-partition links are forwarded to their owner
+  — full reachability at the cost of inter-crawler communication, which
+  this simulation counts.
+
+Crawlers advance round-robin one fetch at a time, so the global crawl
+order interleaves fairly and results are deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.classifier import Classifier
+from repro.core.frontier import Candidate
+from repro.core.strategies.base import CrawlStrategy
+from repro.errors import ConfigError
+from repro.webspace.query import _host_bucket
+from repro.webspace.stats import relevant_url_set
+from repro.webspace.virtualweb import VirtualWebSpace
+
+#: Builds one strategy instance per crawler (strategies hold state).
+StrategyFactory = Callable[[], CrawlStrategy]
+
+
+@dataclass(frozen=True, slots=True)
+class ParallelResult:
+    """Outcome of one partitioned crawl."""
+
+    mode: str
+    partitions: int
+    pages_crawled: int
+    covered_relevant: int
+    total_relevant: int
+    messages_exchanged: int
+    dropped_foreign_links: int
+    per_crawler_pages: tuple[int, ...]
+
+    @property
+    def coverage(self) -> float:
+        if self.total_relevant == 0:
+            return 0.0
+        return self.covered_relevant / self.total_relevant
+
+    @property
+    def balance(self) -> float:
+        """Load balance: min/max pages per crawler (1.0 = perfect)."""
+        busiest = max(self.per_crawler_pages)
+        if busiest == 0:
+            return 0.0
+        return min(self.per_crawler_pages) / busiest
+
+
+class _Crawler:
+    """One partition's crawler: frontier + dedup + its own strategy."""
+
+    def __init__(self, strategy: CrawlStrategy) -> None:
+        self.strategy = strategy
+        self.frontier = strategy.make_frontier()
+        self.scheduled: set[str] = set()
+        self.pages_crawled = 0
+
+    def offer(self, candidate: Candidate) -> bool:
+        """Schedule a candidate unless its URL was already seen here."""
+        if candidate.url in self.scheduled:
+            return False
+        self.scheduled.add(candidate.url)
+        self.frontier.push(candidate)
+        return True
+
+
+class ParallelCrawlSimulator:
+    """Round-robin simulation of ``partitions`` cooperating crawlers."""
+
+    def __init__(
+        self,
+        web: VirtualWebSpace,
+        strategy_factory: StrategyFactory,
+        classifier: Classifier,
+        seed_urls: Sequence[str],
+        partitions: int = 4,
+        mode: str = "exchange",
+        relevant_urls: frozenset[str] | None = None,
+        max_pages: int | None = None,
+    ) -> None:
+        if partitions < 1:
+            raise ConfigError("partitions must be >= 1")
+        if mode not in ("firewall", "exchange"):
+            raise ConfigError(f"mode must be 'firewall' or 'exchange', got {mode!r}")
+        if not seed_urls:
+            raise ConfigError("at least one seed URL is required")
+        self._web = web
+        self._classifier = classifier
+        self._partitions = partitions
+        self._mode = mode
+        self._max_pages = max_pages
+        if relevant_urls is None:
+            relevant_urls = relevant_url_set(web.crawl_log, classifier.target_language)
+        self._relevant = relevant_urls
+        self._crawlers = [_Crawler(strategy_factory()) for _ in range(partitions)]
+        self._seed_urls = list(seed_urls)
+
+    def _owner(self, url: str) -> _Crawler:
+        return self._crawlers[_host_bucket(url, self._partitions)]
+
+    def run(self) -> ParallelResult:
+        """Crawl until every partition's frontier drains (or the cap)."""
+        for crawler in self._crawlers:
+            for candidate in crawler.strategy.seed_candidates(self._seed_urls):
+                owner = self._owner(candidate.url)
+                if owner is crawler:
+                    crawler.offer(candidate)
+
+        total_pages = 0
+        covered = 0
+        messages = 0
+        dropped = 0
+        active = True
+        while active:
+            active = False
+            for crawler in self._crawlers:
+                if not crawler.frontier:
+                    continue
+                if self._max_pages is not None and total_pages >= self._max_pages:
+                    active = False
+                    break
+                active = True
+                candidate = crawler.frontier.pop()
+                response = self._web.fetch(candidate.url)
+                judgment = self._classifier.judge(response)
+                crawler.pages_crawled += 1
+                total_pages += 1
+                if candidate.url in self._relevant:
+                    covered += 1
+
+                outlinks = response.outlinks
+                for child in crawler.strategy.expand(candidate, response, judgment, outlinks):
+                    owner = self._owner(child.url)
+                    if owner is crawler:
+                        crawler.offer(child)
+                    elif self._mode == "exchange":
+                        if owner.offer(child):
+                            messages += 1
+                    else:
+                        dropped += 1
+            else:
+                continue
+            break  # max_pages reached inside the for loop
+
+        return ParallelResult(
+            mode=self._mode,
+            partitions=self._partitions,
+            pages_crawled=total_pages,
+            covered_relevant=covered,
+            total_relevant=len(self._relevant),
+            messages_exchanged=messages,
+            dropped_foreign_links=dropped,
+            per_crawler_pages=tuple(crawler.pages_crawled for crawler in self._crawlers),
+        )

@@ -1,0 +1,184 @@
+"""The Web Crawling Simulator main loop (paper §4, Figure 2).
+
+"The simulator generates requests for web pages to the virtual web
+space, according to the specified web crawling strategy."  One
+:class:`Simulator` run wires the components of the paper's Figure 2
+together: the **visitor** fetches and extracts, the **classifier**
+judges, the **observer** (strategy) decides link expansion, and the
+**URL queue** orders what comes next.
+
+Scheduling contract (this is where the paper's discard semantics live):
+
+- a URL enters the frontier at most once — the simulator keeps a
+  ``scheduled`` set of everything ever enqueued;
+- a URL *discarded* by the strategy is **not** marked scheduled, so a
+  later discovery along a different path may still enqueue it.  That is
+  what makes the limited-distance rule a property of crawl *paths*
+  (Figure 1) rather than of pages.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.classifier import Classifier
+from repro.core.events import CrawlEvent, FetchCallback
+from repro.core.metrics import CrawlSummary, MetricsRecorder, MetricSeries
+from repro.core.strategies.base import CrawlStrategy
+from repro.core.timing import TimingModel
+from repro.core.visitor import Visitor
+from repro.errors import SimulationError
+from repro.webspace.stats import relevant_url_set
+from repro.webspace.virtualweb import VirtualWebSpace
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationConfig:
+    """Run-level knobs independent of the strategy under test.
+
+    Attributes:
+        max_pages: stop after this many fetches (None = run the frontier
+            dry, the paper's setting).
+        sample_interval: metric sampling period in pages.
+        extract_from_body: parse outlinks from synthesized HTML instead
+            of reading them from the crawl-log record.
+    """
+
+    max_pages: int | None = None
+    sample_interval: int = 500
+    extract_from_body: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class CrawlResult:
+    """Everything a finished simulation reports."""
+
+    strategy: str
+    series: MetricSeries
+    summary: CrawlSummary
+    wall_seconds: float
+    pages_crawled: int
+    frontier_peak: int
+
+    @property
+    def final_harvest_rate(self) -> float:
+        return self.summary.final_harvest_rate
+
+    @property
+    def final_coverage(self) -> float:
+        return self.summary.final_coverage
+
+
+class Simulator:
+    """Drives one strategy over one virtual web space."""
+
+    def __init__(
+        self,
+        web: VirtualWebSpace,
+        strategy: CrawlStrategy,
+        classifier: Classifier,
+        seed_urls: Sequence[str],
+        relevant_urls: frozenset[str] | None = None,
+        config: SimulationConfig | None = None,
+        timing: TimingModel | None = None,
+        on_fetch: FetchCallback | None = None,
+    ) -> None:
+        if not seed_urls:
+            raise SimulationError("at least one seed URL is required")
+        self._web = web
+        self._strategy = strategy
+        self._classifier = classifier
+        self._seed_urls = list(seed_urls)
+        if relevant_urls is None:
+            relevant_urls = relevant_url_set(web.crawl_log, classifier.target_language)
+        self._relevant_urls = relevant_urls
+        self._config = config or SimulationConfig()
+        self._timing = timing
+        self._on_fetch = on_fetch
+
+    def run(self) -> CrawlResult:
+        """Execute the crawl to frontier exhaustion (or the page cap)."""
+        config = self._config
+        strategy = self._strategy
+        visitor = Visitor(self._web, extract_from_body=config.extract_from_body)
+        frontier = strategy.make_frontier()
+        recorder = MetricsRecorder(
+            name=strategy.name,
+            relevant_urls=self._relevant_urls,
+            sample_interval=config.sample_interval,
+        )
+
+        scheduled: set[str] = set()
+        for candidate in strategy.seed_candidates(self._seed_urls):
+            if candidate.url not in scheduled:
+                scheduled.add(candidate.url)
+                frontier.push(candidate)
+
+        started = time.perf_counter()
+        steps = 0
+        try:
+            self._crawl_loop(frontier, visitor, recorder, scheduled)
+        finally:
+            steps = recorder.steps
+            frontier_peak = frontier.peak_size
+            frontier.close()
+
+        wall = time.perf_counter() - started
+        series, summary = recorder.finish(strategy.name)
+        return CrawlResult(
+            strategy=strategy.name,
+            series=series,
+            summary=summary,
+            wall_seconds=wall,
+            pages_crawled=steps,
+            frontier_peak=frontier_peak,
+        )
+
+    def _crawl_loop(self, frontier, visitor, recorder, scheduled) -> None:
+        config = self._config
+        strategy = self._strategy
+        steps = 0
+        while frontier:
+            if config.max_pages is not None and steps >= config.max_pages:
+                break
+            candidate = frontier.pop()
+            response = visitor.fetch(candidate.url)
+            judgment = self._classifier.judge(response)
+            steps += 1
+
+            sim_time: float | None = None
+            if self._timing is not None:
+                self._timing.observe_fetch(candidate.url, response.size)
+                # Record the global simulated clock, not this fetch's own
+                # completion: with parallel connections a later-started
+                # fetch can finish earlier, but elapsed time is monotone.
+                sim_time = self._timing.now
+
+            outlinks = visitor.extract(response)
+            for child in strategy.expand(candidate, response, judgment, outlinks):
+                if child.url in scheduled:
+                    continue
+                scheduled.add(child.url)
+                frontier.push(child)
+            strategy.tick(steps, frontier)
+
+            recorder.record(
+                url=candidate.url,
+                judged_relevant=judgment.relevant,
+                queue_size=len(frontier),
+                sim_time=sim_time,
+            )
+            if self._on_fetch is not None:
+                self._on_fetch(
+                    CrawlEvent(
+                        step=steps,
+                        candidate=candidate,
+                        response=response,
+                        judgment=judgment,
+                        queue_size=len(frontier),
+                        scheduled_count=len(scheduled),
+                        sim_time=sim_time,
+                    )
+                )

@@ -1,0 +1,216 @@
+"""Disk-spilling URL frontier.
+
+The paper's motivating failure mode is queue memory: "Scaling up this to
+the case of the real Web, we would end up with the exhaustion of
+physical space for the URL queue" (§5.2.1).  The limited-distance
+strategy attacks that by *discarding* URLs; this module is the
+complementary engineering answer a production crawler uses — keep the
+high-priority head of the queue in memory and spill the cold tail to
+disk.
+
+:class:`SpillingFrontier` is a priority queue with a bounded in-memory
+resident set: when the memory budget is exceeded, the lowest-priority
+entries are appended to an on-disk JSONL spill file; when the in-memory
+queue drains, a batch is loaded back.  Ordering among spilled entries
+degrades from strict priority/FIFO to spill-then-batch order — the
+classic trade a spilling queue makes — while hot (high-priority) work
+stays resident, so a soft-focused crawl over a spilling frontier reaches
+the same coverage with a small, fixed resident set.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+
+from repro.core.frontier import Candidate, Frontier, _HeapEntry
+from repro.core.strategies.base import CrawlStrategy
+from repro.errors import FrontierError
+
+#: How many spilled candidates to reload per refill.
+_REFILL_BATCH = 1024
+
+
+@dataclass(frozen=True, slots=True)
+class SpillStats:
+    """Accounting of a spilling frontier's disk traffic."""
+
+    spilled: int
+    reloaded: int
+    peak_resident: int
+    peak_total: int
+
+
+class SpillingFrontier(Frontier):
+    """Priority frontier with a bounded in-memory resident set.
+
+    Args:
+        memory_limit: maximum candidates held in memory; beyond it the
+            lowest-priority entries spill to disk.
+        spill_dir: directory for the spill file (a private temporary
+            directory by default; the file is deleted on ``close``).
+    """
+
+    def __init__(self, memory_limit: int = 10_000, spill_dir: str | None = None) -> None:
+        if memory_limit < 2:
+            raise FrontierError("memory_limit must be >= 2")
+        super().__init__()
+        self._limit = memory_limit
+        self._heap: list[_HeapEntry] = []
+        self._counter = 0
+        self._spill_file = tempfile.NamedTemporaryFile(
+            mode="w+", suffix=".spill.jsonl", dir=spill_dir, delete=False
+        )
+        self._spill_path = self._spill_file.name
+        self._pending_on_disk = 0
+        self._read_offset = 0
+        self.spilled = 0
+        self.reloaded = 0
+        self._peak_resident = 0
+
+    # -- core queue operations ----------------------------------------------
+
+    def push(self, candidate: Candidate) -> None:
+        entry = _HeapEntry(sort_key=(-candidate.priority, self._counter), candidate=candidate)
+        self._counter += 1
+        heapq.heappush(self._heap, entry)
+        if len(self._heap) > self._limit:
+            self._spill_coldest()
+        if len(self._heap) > self._peak_resident:
+            self._peak_resident = len(self._heap)
+        self._note_size()
+
+    def pop(self) -> Candidate:
+        if not self._heap and self._pending_on_disk:
+            self._refill()
+        if not self._heap:
+            raise FrontierError("pop from empty spilling frontier")
+        return heapq.heappop(self._heap).candidate
+
+    def __len__(self) -> int:
+        return len(self._heap) + self._pending_on_disk
+
+    @property
+    def resident_size(self) -> int:
+        """Candidates currently held in memory."""
+        return len(self._heap)
+
+    def stats(self) -> SpillStats:
+        return SpillStats(
+            spilled=self.spilled,
+            reloaded=self.reloaded,
+            peak_resident=self._peak_resident,
+            peak_total=self.peak_size,
+        )
+
+    def close(self) -> None:
+        """Remove the spill file.  The frontier is unusable afterwards."""
+        try:
+            self._spill_file.close()
+        finally:
+            if os.path.exists(self._spill_path):
+                os.unlink(self._spill_path)
+
+    def __enter__(self) -> "SpillingFrontier":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- spill mechanics ------------------------------------------------------
+
+    def _spill_coldest(self) -> None:
+        """Spill the coldest ~10% of resident entries to disk in a batch.
+
+        Batch spilling keeps amortised push cost O(log n): one O(n)
+        partition pays for limit/10 subsequent pushes.
+        """
+        batch = max(1, self._limit // 10)
+        self._heap.sort(key=lambda entry: entry.sort_key)
+        victims = self._heap[-batch:]
+        del self._heap[-batch:]
+        heapq.heapify(self._heap)
+
+        self._spill_file.seek(0, os.SEEK_END)
+        for entry in victims:
+            record = {
+                "u": entry.candidate.url,
+                "p": entry.candidate.priority,
+                "d": entry.candidate.distance,
+                "r": entry.candidate.referrer,
+            }
+            self._spill_file.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._spill_file.flush()
+        self._pending_on_disk += len(victims)
+        self.spilled += len(victims)
+
+    def _refill(self) -> None:
+        """Load the next batch of spilled candidates back into memory."""
+        self._spill_file.seek(self._read_offset)
+        batch = min(_REFILL_BATCH, self._limit)
+        loaded = 0
+        while loaded < batch:
+            line = self._spill_file.readline()
+            if not line:
+                break
+            self._read_offset = self._spill_file.tell()
+            record = json.loads(line)
+            candidate = Candidate(
+                url=record["u"],
+                priority=record["p"],
+                distance=record["d"],
+                referrer=record["r"],
+            )
+            entry = _HeapEntry(
+                sort_key=(-candidate.priority, self._counter), candidate=candidate
+            )
+            self._counter += 1
+            heapq.heappush(self._heap, entry)
+            loaded += 1
+        self._pending_on_disk -= loaded
+        self.reloaded += loaded
+
+
+class SpillingStrategy(CrawlStrategy):
+    """Run any strategy's link selection over a :class:`SpillingFrontier`.
+
+    A thin wrapper (same pattern as
+    :class:`repro.core.politeness.PoliteOrderingStrategy`): the inner
+    strategy keeps deciding what enters the queue and at what priority;
+    only the queue's *storage* changes.  ``last_stats`` exposes the spill
+    accounting of the most recent crawl.
+    """
+
+    def __init__(self, inner, memory_limit: int = 10_000, spill_dir: str | None = None) -> None:
+        self.inner = inner
+        self.memory_limit = memory_limit
+        self._spill_dir = spill_dir
+        self.name = f"spilling({inner.name}, mem={memory_limit})"
+        self._frontier: SpillingFrontier | None = None
+
+    def make_frontier(self) -> SpillingFrontier:
+        self._frontier = SpillingFrontier(
+            memory_limit=self.memory_limit, spill_dir=self._spill_dir
+        )
+        return self._frontier
+
+    def seed_candidates(self, seed_urls):
+        return self.inner.seed_candidates(seed_urls)
+
+    def max_priority(self) -> int:
+        return self.inner.max_priority()
+
+    def expand(self, parent, response, judgment, outlinks):
+        return self.inner.expand(parent, response, judgment, outlinks)
+
+    def tick(self, step, frontier) -> None:
+        self.inner.tick(step, frontier)
+
+    @property
+    def last_stats(self) -> SpillStats | None:
+        if self._frontier is None:
+            return None
+        return self._frontier.stats()

@@ -1,0 +1,57 @@
+"""Priority-assignment strategies (paper §3.3).
+
+Every strategy is a :class:`~repro.core.strategies.base.CrawlStrategy`:
+it chooses the frontier discipline, stamps seed candidates, and decides —
+per crawled page — which extracted URLs enter the queue and at what
+priority.  The registry at the bottom maps the names used by the CLI,
+benchmarks and experiment configs to constructors.
+"""
+
+from repro.core.strategies.backlink import BacklinkCountStrategy
+from repro.core.strategies.base import CrawlStrategy
+from repro.core.strategies.breadth_first import BreadthFirstStrategy
+from repro.core.strategies.combined import hard_limited_strategy, soft_limited_strategy
+from repro.core.strategies.context_graph import ContextGraphStrategy
+from repro.core.strategies.distilled import DistilledSoftStrategy
+from repro.core.strategies.limited_distance import LimitedDistanceStrategy
+from repro.core.strategies.simple import SimpleStrategy
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "CrawlStrategy",
+    "BreadthFirstStrategy",
+    "SimpleStrategy",
+    "LimitedDistanceStrategy",
+    "DistilledSoftStrategy",
+    "BacklinkCountStrategy",
+    "ContextGraphStrategy",
+    "hard_limited_strategy",
+    "soft_limited_strategy",
+    "strategy_by_name",
+]
+
+_SIMPLE_FACTORIES = {
+    "breadth-first": BreadthFirstStrategy,
+    "limited-distance": LimitedDistanceStrategy,
+    "distilled-soft": DistilledSoftStrategy,
+    "backlink-count": BacklinkCountStrategy,
+}
+
+
+def strategy_by_name(name: str, **kwargs) -> CrawlStrategy:
+    """Construct a strategy from its registry name.
+
+    Recognised names: ``breadth-first``, ``hard-focused``,
+    ``soft-focused``, ``limited-distance`` (kwarg ``n``, optional
+    ``prioritized=True``), ``distilled-soft``, ``backlink-count``.
+    """
+    if name == "hard-focused":
+        return SimpleStrategy(mode="hard", **kwargs)
+    if name == "soft-focused":
+        return SimpleStrategy(mode="soft", **kwargs)
+    factory = _SIMPLE_FACTORIES.get(name)
+    if factory is None:
+        known = ["hard-focused", "soft-focused", *sorted(_SIMPLE_FACTORIES)]
+        raise ConfigError(f"unknown strategy {name!r}; expected one of {', '.join(known)}")
+    return factory(**kwargs)

@@ -1,0 +1,75 @@
+"""The strategy interface (the paper's "observer" component).
+
+"An observer is an implementation of the web crawling strategy to be
+evaluated" (paper §4).  A strategy sees each crawled page — its fetch
+response, its relevance judgment, and the candidate bookkeeping it was
+scheduled with — and answers with the candidates to enqueue.
+
+Strategies are deliberately *stateless with respect to the crawl* (all
+path information travels inside :class:`~repro.core.frontier.Candidate`),
+which keeps them trivially reusable across simulator runs and makes the
+limited-distance semantics exactly the per-path rule of the paper's
+Figure 1.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Sequence
+
+from repro.core.classifier import Judgment
+from repro.core.frontier import Candidate, Frontier
+from repro.webspace.virtualweb import FetchResponse
+
+
+class CrawlStrategy(ABC):
+    """Decides frontier discipline and link expansion for one crawl."""
+
+    #: Human-readable name used in reports and figure legends.
+    name: str = "strategy"
+
+    @abstractmethod
+    def make_frontier(self) -> Frontier:
+        """A fresh frontier of the discipline this strategy requires."""
+
+    def seed_candidates(self, seed_urls: Sequence[str]) -> list[Candidate]:
+        """Wrap seed URLs into candidates (distance 0, top priority)."""
+        return [Candidate(url=url, priority=self.max_priority(), distance=0) for url in seed_urls]
+
+    def max_priority(self) -> int:
+        """The priority stamped on seeds (top band by default)."""
+        return 0
+
+    @abstractmethod
+    def expand(
+        self,
+        parent: Candidate,
+        response: FetchResponse,
+        judgment: Judgment,
+        outlinks: Iterable[str],
+    ) -> list[Candidate]:
+        """Candidates to schedule from a just-crawled page.
+
+        Args:
+            parent: the candidate that was just popped and fetched.
+            response: what the virtual web answered.
+            judgment: the classifier's relevance verdict for the page.
+            outlinks: URLs extracted from the page (already normalised,
+                duplicates removed; empty for non-OK/non-HTML pages).
+
+        Returns:
+            Candidates the simulator should enqueue.  URLs already
+            scheduled (queued or visited) are filtered out by the
+            simulator, *not* by the strategy — discarding and
+            re-discovery semantics depend on that split.
+        """
+
+    def tick(self, step: int, frontier: Frontier) -> None:
+        """Hook invoked by the simulator after every crawl step.
+
+        The default is a no-op.  Strategies that run periodic global
+        work — the distiller's intermittent hub analysis, for instance —
+        override this; ``frontier`` is the live queue, so strategies
+        paired with a :class:`~repro.core.frontier.ReprioritizableFrontier`
+        may adjust priorities of queued URLs here.
+        """

@@ -1,0 +1,50 @@
+"""The visitor: crawler mechanics over the virtual web space.
+
+"A visitor simulates various operations of a crawler i.e. managing the
+URL queue, downloading of web pages, and extracting new URLs" (paper §4).
+Queue management lives in :mod:`repro.core.frontier`; this class covers
+the other two: downloading (delegated to the virtual web space) and URL
+extraction — either straight from the crawl-log record, or by actually
+parsing the synthesized HTML body when the simulation runs with bodies
+enabled.
+"""
+
+from __future__ import annotations
+
+from repro.urlkit.extract import extract_links
+from repro.webspace.virtualweb import FetchResponse, VirtualWebSpace
+
+
+class Visitor:
+    """Fetch-and-extract front end used by the simulator."""
+
+    def __init__(self, web: VirtualWebSpace, extract_from_body: bool = False) -> None:
+        self._web = web
+        self._extract_from_body = extract_from_body
+        self.pages_fetched = 0
+        self.bytes_fetched = 0
+
+    @property
+    def web(self) -> VirtualWebSpace:
+        return self._web
+
+    def fetch(self, url: str) -> FetchResponse:
+        """Simulate downloading ``url`` and update transfer accounting."""
+        response = self._web.fetch(url)
+        self.pages_fetched += 1
+        self.bytes_fetched += response.size
+        return response
+
+    def extract(self, response: FetchResponse) -> tuple[str, ...]:
+        """Outlinks of a fetched page.
+
+        With ``extract_from_body`` enabled (and a body present), links
+        are parsed out of the HTML; otherwise the crawl-log record's
+        outlinks are used directly.  For synthesized pages the two agree
+        — a property the integration tests pin down.
+        """
+        if not response.ok or not response.is_html:
+            return ()
+        if self._extract_from_body and response.body is not None:
+            return tuple(extract_links(response.body, response.url))
+        return response.outlinks

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by this library derive from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still letting genuine programming errors (``TypeError`` and friends)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class UrlError(ReproError):
+    """A URL could not be parsed or normalised."""
+
+
+class UnknownPageError(ReproError, KeyError):
+    """A URL was requested that does not exist in the virtual web space."""
+
+    def __init__(self, url: str) -> None:
+        super().__init__(url)
+        self.url = url
+
+    def __str__(self) -> str:  # KeyError quotes its repr; keep a clean message
+        return f"unknown page: {self.url!r}"
+
+
+class CrawlLogError(ReproError):
+    """A crawl log file was malformed or written with an unsupported version."""
+
+
+class DetectionError(ReproError):
+    """The charset detector was used incorrectly (e.g. fed after close())."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state."""
+
+
+class FrontierError(ReproError):
+    """A frontier operation violated its contract (e.g. pop from empty)."""

@@ -1,0 +1,129 @@
+"""Ablations beyond the paper's figures.
+
+Three studies the paper motivates but does not run:
+
+- **A1 locality sweep** — the entire approach rests on "language
+  locality in the Web" (§3).  Sweeping the generator's locality knob
+  shows how strategy separation collapses as locality fades.
+- **A2 classifier choice** — META-declared charsets versus the byte
+  detector versus ground truth quantifies the §3.2 discussion about
+  mislabeled pages.
+- **A3 scale sweep** — shape stability of the headline results across
+  dataset sizes, justifying the scaled-down reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.classifier import ClassifierMode
+from repro.core.strategies import BreadthFirstStrategy, SimpleStrategy
+from repro.experiments.datasets import Dataset, build_dataset
+from repro.experiments.runner import run_strategy
+from repro.graphgen.config import DatasetProfile
+from repro.graphgen.generator import generate_universe
+
+DEFAULT_LOCALITIES = (0.5, 0.65, 0.8, 0.9, 0.95)
+DEFAULT_SCALES = (0.25, 0.5, 1.0)
+
+
+@dataclass(frozen=True, slots=True)
+class AblationRow:
+    """One measured configuration of an ablation sweep."""
+
+    label: str
+    early_harvest_hard: float
+    early_harvest_bfs: float
+    coverage_hard: float
+    max_queue_soft: int
+
+    def to_dict(self) -> dict:
+        return {
+            "config": self.label,
+            "early_harvest_hard": round(self.early_harvest_hard, 3),
+            "early_harvest_bfs": round(self.early_harvest_bfs, 3),
+            "coverage_hard": round(self.coverage_hard, 3),
+            "max_queue_soft": self.max_queue_soft,
+        }
+
+
+def _measure(dataset: Dataset, label: str) -> AblationRow:
+    early_at = max(1, len(dataset.crawl_log) // 5)
+    hard = run_strategy(dataset, SimpleStrategy(mode="hard"))
+    soft = run_strategy(dataset, SimpleStrategy(mode="soft"))
+    bfs = run_strategy(dataset, BreadthFirstStrategy())
+    return AblationRow(
+        label=label,
+        early_harvest_hard=hard.series.harvest_at(early_at),
+        early_harvest_bfs=bfs.series.harvest_at(early_at),
+        coverage_hard=hard.final_coverage,
+        max_queue_soft=soft.summary.max_queue_size,
+    )
+
+
+def universe_dataset(profile: DatasetProfile) -> Dataset:
+    """Wrap a *raw* universe as a Dataset (no capture crawl).
+
+    Ablations that vary a generator knob compare on the raw universe so
+    the dataset composition stays fixed — a capture crawl would itself
+    respond to the knob and confound the measurement.
+    """
+    universe = generate_universe(profile)
+    return Dataset(
+        name=profile.name,
+        profile=profile,
+        crawl_log=universe.crawl_log,
+        seed_urls=universe.seed_urls,
+        capture_kind="none",
+        capture_n=0,
+    )
+
+
+def locality_sweep(
+    base_profile: DatasetProfile,
+    localities: tuple[float, ...] = DEFAULT_LOCALITIES,
+) -> list[AblationRow]:
+    """A1: how language locality drives focused-crawling gains.
+
+    Runs on raw universes (identical page mix across localities), so a
+    change in focused-vs-breadth-first separation is attributable to the
+    link structure alone.
+    """
+    rows = []
+    for locality in localities:
+        dataset = universe_dataset(base_profile.with_locality(locality))
+        rows.append(_measure(dataset, label=f"locality={locality:g}"))
+    return rows
+
+
+def classifier_sweep(dataset: Dataset) -> list[dict]:
+    """A2: harvest/coverage of hard-focused under each classifier mode.
+
+    Harvest is judged by the classifier under test while coverage is
+    measured against the charset-based reference set, so the rows
+    directly expose classifier disagreement.
+    """
+    rows = []
+    for mode in (ClassifierMode.CHARSET, ClassifierMode.META, ClassifierMode.DETECTOR, ClassifierMode.ORACLE):
+        result = run_strategy(dataset, SimpleStrategy(mode="hard"), classifier_mode=mode)
+        rows.append(
+            {
+                "classifier": mode.value,
+                "pages_crawled": result.pages_crawled,
+                "final_harvest_rate": round(result.final_harvest_rate, 3),
+                "coverage_of_charset_set": round(result.final_coverage, 3),
+            }
+        )
+    return rows
+
+
+def scale_sweep(
+    base_profile: DatasetProfile,
+    scales: tuple[float, ...] = DEFAULT_SCALES,
+) -> list[AblationRow]:
+    """A3: shape stability across dataset sizes."""
+    rows = []
+    for scale in scales:
+        dataset = build_dataset(base_profile.scaled(scale))
+        rows.append(_measure(dataset, label=f"scale={scale:g}"))
+    return rows

@@ -1,0 +1,87 @@
+"""Exporting figure data: JSON, CSV and gnuplot.
+
+The paper's figures are gnuplot plots; this module writes each
+regenerated figure in formats a downstream user (or the original
+authors) could plot directly:
+
+- ``<figN>.json`` — the full series per strategy, self-describing;
+- ``<figN>_<label>.dat`` — whitespace-separated columns
+  ``pages harvest_rate coverage queue_size`` per strategy, the classic
+  gnuplot input;
+- ``<figN>.gp`` — a gnuplot script reproducing the paper's panels from
+  those .dat files (percent-scaled axes, matching titles).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from repro.experiments.figures import FigureResult
+
+_METRIC_AXIS = {
+    "harvest_rate": "Harvest Rate [%]",
+    "coverage": "Coverage [%]",
+    "queue_size": "URL Queue Size [URLs]",
+}
+
+_METRIC_COLUMN = {"harvest_rate": 2, "coverage": 3, "queue_size": 4}
+
+_PERCENT = {"harvest_rate", "coverage"}
+
+
+def _slug(label: str) -> str:
+    return re.sub(r"[^a-z0-9]+", "_", label.lower()).strip("_")
+
+
+def export_figure_json(figure: FigureResult, path: str | Path) -> Path:
+    """Write the figure's complete series as one JSON document."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(figure.to_dict(), handle, indent=2)
+    return path
+
+
+def export_figure_gnuplot(figure: FigureResult, directory: str | Path) -> list[Path]:
+    """Write per-strategy .dat files and a .gp script for the figure.
+
+    Returns the list of written paths (data files first, script last).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    data_files: dict[str, Path] = {}
+    for label, result in figure.results.items():
+        series = result.series
+        data_path = directory / f"fig{figure.figure}_{_slug(label)}.dat"
+        with open(data_path, "w", encoding="utf-8") as handle:
+            handle.write("# pages harvest_rate[%] coverage[%] queue_size\n")
+            rows = zip(series.pages, series.harvest_rate, series.coverage, series.queue_size)
+            for pages, harvest, coverage, queue in rows:
+                handle.write(f"{pages} {100 * harvest:.4f} {100 * coverage:.4f} {queue}\n")
+        data_files[label] = data_path
+        written.append(data_path)
+
+    script_path = directory / f"fig{figure.figure}.gp"
+    with open(script_path, "w", encoding="utf-8") as handle:
+        handle.write(f"# Figure {figure.figure}: {figure.title} [{figure.dataset} dataset]\n")
+        handle.write("set key bottom right\nset xlabel 'pages crawled'\n\n")
+        for panel_index, metric in enumerate(figure.panels, start=1):
+            column = _METRIC_COLUMN[metric]
+            handle.write(f"# panel ({chr(96 + panel_index)}): {_METRIC_AXIS[metric]}\n")
+            handle.write(f"set ylabel '{_METRIC_AXIS[metric]}'\n")
+            if metric in _PERCENT:
+                handle.write("set yrange [0:100]\n")
+            else:
+                handle.write("set yrange [0:*]\n")
+            plots = ", \\\n     ".join(
+                f"'{data_files[label].name}' using 1:{column} with linespoints title '{label}'"
+                for label in figure.results
+            )
+            handle.write(f"plot {plots}\n")
+            handle.write("pause -1 'panel done — press enter'\n\n")
+    written.append(script_path)
+    return written

@@ -1,0 +1,125 @@
+"""Plain-text rendering of tables and figure series.
+
+Benchmarks and examples print through these helpers so every run of the
+harness produces the same row/series layout the paper reports — just in
+a terminal instead of gnuplot.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.metrics import MetricSeries
+from repro.experiments.figures import FigureResult
+
+#: Metric pretty-names for panel headers.
+_METRIC_TITLES = {
+    "harvest_rate": "Harvest Rate [%]",
+    "coverage": "Coverage [%]",
+    "queue_size": "URL Queue Size [URLs]",
+}
+
+_PERCENT_METRICS = {"harvest_rate", "coverage"}
+
+
+def render_table(rows: Sequence[dict], title: str | None = None) -> str:
+    """Render dict rows as an aligned ASCII table (insertion-order keys)."""
+    if not rows:
+        return f"{title}\n(empty)\n" if title else "(empty)\n"
+    columns = list(rows[0].keys())
+    cells = [[str(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(row[index]) for row in cells))
+        for index, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(column.ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in cells:
+        lines.append("  ".join(value.ljust(width) for value, width in zip(row, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def _metric_values(series: MetricSeries, metric: str) -> list[float]:
+    values = getattr(series, metric)
+    if metric in _PERCENT_METRICS:
+        return [100.0 * value for value in values]
+    return list(values)
+
+
+def series_checkpoints(
+    series: MetricSeries, metric: str, fractions: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 1.0)
+) -> dict[str, float]:
+    """Metric values at fractions of the total crawl length."""
+    if not series.pages:
+        return {}
+    total = series.pages[-1]
+    values = _metric_values(series, metric)
+    checkpoints: dict[str, float] = {}
+    for fraction in fractions:
+        target = fraction * total
+        chosen = values[0]
+        for pages, value in zip(series.pages, values):
+            if pages > target:
+                break
+            chosen = value
+        checkpoints[f"{int(fraction * 100)}%"] = round(chosen, 2)
+    return checkpoints
+
+
+def render_figure(figure: FigureResult, fractions: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 1.0)) -> str:
+    """Render a figure as one checkpoint table per panel."""
+    blocks = [f"Figure {figure.figure}: {figure.title} [{figure.dataset} dataset]"]
+    for metric in figure.panels:
+        rows = []
+        for label, result in figure.results.items():
+            row = {"strategy": label}
+            row.update(series_checkpoints(result.series, metric, fractions))
+            rows.append(row)
+        blocks.append(render_table(rows, title=f"({_METRIC_TITLES[metric]}, by crawl progress)"))
+    return "\n".join(blocks)
+
+
+def render_ascii_chart(
+    figure: FigureResult,
+    metric: str,
+    width: int = 72,
+    height: int = 16,
+) -> str:
+    """A gnuplot-nostalgic ASCII line chart of one panel.
+
+    Each strategy gets a marker character; points are max-pooled into
+    character cells.  Purely cosmetic — the checkpoint tables are the
+    canonical output — but it makes example scripts legible at a glance.
+    """
+    markers = "ox+*#@%&"
+    grid = [[" "] * width for _ in range(height)]
+    max_pages = max(
+        (result.series.pages[-1] for result in figure.results.values() if result.series.pages),
+        default=0,
+    )
+    all_values: list[float] = []
+    for result in figure.results.values():
+        all_values.extend(_metric_values(result.series, metric))
+    if not all_values or max_pages == 0:
+        return "(no data)\n"
+    top = max(all_values) or 1.0
+
+    for index, (label, result) in enumerate(figure.results.items()):
+        marker = markers[index % len(markers)]
+        series = result.series
+        for pages, value in zip(series.pages, _metric_values(series, metric)):
+            column = min(width - 1, int(pages / max_pages * (width - 1)))
+            row = min(height - 1, int((1 - value / top) * (height - 1)))
+            grid[row][column] = marker
+
+    lines = [f"{_METRIC_TITLES[metric]} (top = {top:.1f})"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width + f"> pages (max = {max_pages})")
+    for index, label in enumerate(figure.results):
+        lines.append(f"  {markers[index % len(markers)]} = {label}")
+    return "\n".join(lines) + "\n"

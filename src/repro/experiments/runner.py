@@ -1,0 +1,93 @@
+"""Running strategies over datasets.
+
+Thin orchestration over :class:`repro.core.simulator.Simulator` so the
+figure producers, benchmarks and examples all share one code path (and
+therefore one definition of "a run").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.classifier import Classifier, ClassifierMode
+from repro.core.simulator import CrawlResult, SimulationConfig, Simulator
+from repro.core.strategies.base import CrawlStrategy
+from repro.core.timing import TimingModel
+from repro.experiments.datasets import Dataset
+from repro.graphgen.htmlsynth import HtmlSynthesizer
+
+
+def run_strategy(
+    dataset: Dataset,
+    strategy: CrawlStrategy,
+    classifier_mode: ClassifierMode | str = ClassifierMode.CHARSET,
+    max_pages: int | None = None,
+    sample_interval: int | None = None,
+    synthesize_bodies: bool = False,
+    extract_from_body: bool = False,
+    timing: TimingModel | None = None,
+) -> CrawlResult:
+    """One strategy, one dataset, one result.
+
+    ``sample_interval`` defaults to ~200 samples over the dataset so the
+    series resolution scales with dataset size.
+    """
+    if sample_interval is None:
+        sample_interval = max(1, len(dataset.crawl_log) // 200)
+    needs_bodies = synthesize_bodies or extract_from_body or (
+        ClassifierMode(classifier_mode) if isinstance(classifier_mode, str) else classifier_mode
+    ) in (ClassifierMode.META, ClassifierMode.DETECTOR)
+    web = dataset.web(body_synthesizer=HtmlSynthesizer() if needs_bodies else None)
+    simulator = Simulator(
+        web=web,
+        strategy=strategy,
+        classifier=Classifier(dataset.target_language, mode=classifier_mode),
+        seed_urls=dataset.seed_urls,
+        relevant_urls=dataset.relevant_urls(),
+        config=SimulationConfig(
+            max_pages=max_pages,
+            sample_interval=sample_interval,
+            extract_from_body=extract_from_body,
+        ),
+        timing=timing,
+    )
+    return simulator.run()
+
+
+def run_strategies(
+    dataset: Dataset,
+    strategies: Iterable[CrawlStrategy],
+    **kwargs,
+) -> dict[str, CrawlResult]:
+    """Run several strategies under identical conditions.
+
+    Returns results keyed by strategy name, in input order (dicts
+    preserve insertion order, and the figure renderers rely on it for
+    stable legends).
+    """
+    results: dict[str, CrawlResult] = {}
+    for strategy in strategies:
+        results[strategy.name] = run_strategy(dataset, strategy, **kwargs)
+    return results
+
+
+def summary_rows(results: dict[str, CrawlResult]) -> list[dict]:
+    """Flatten results into report-friendly rows."""
+    rows = []
+    for name, result in results.items():
+        summary = result.summary
+        rows.append(
+            {
+                "strategy": name,
+                "pages_crawled": summary.pages_crawled,
+                "final_harvest_rate": round(summary.final_harvest_rate, 4),
+                "final_coverage": round(summary.final_coverage, 4),
+                "max_queue_size": summary.max_queue_size,
+            }
+        )
+    return rows
+
+
+def seeds_subset(seed_urls: Sequence[str], count: int) -> tuple[str, ...]:
+    """The first ``count`` seeds (deterministic helper for examples)."""
+    return tuple(seed_urls[:count])

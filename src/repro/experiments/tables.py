@@ -1,0 +1,61 @@
+"""Producers for the paper's tables.
+
+- Table 1: languages and their corresponding character encoding schemes.
+- Table 2: the simple strategy's mode/referrer behaviour matrix.
+- Table 3: characteristics of the experimental datasets.
+"""
+
+from __future__ import annotations
+
+from repro.charset.languages import Language, charsets_for_language
+from repro.experiments.datasets import Dataset
+
+
+def table1() -> list[dict]:
+    """Languages and their corresponding character encoding schemes."""
+    return [
+        {
+            "language": language.value,
+            "charsets": ", ".join(charsets_for_language(language)),
+        }
+        for language in (Language.JAPANESE, Language.THAI)
+    ]
+
+
+def table2() -> list[dict]:
+    """The simple strategy behaviour matrix (paper Table 2).
+
+    This is a statement of semantics, not a measurement; the unit tests
+    of :mod:`repro.core.strategies.simple` assert every cell against the
+    implementation.
+    """
+    return [
+        {
+            "mode": "hard-focused",
+            "relevant_referrer": "add extracted links to URL queue",
+            "irrelevant_referrer": "discard extracted links",
+        },
+        {
+            "mode": "soft-focused",
+            "relevant_referrer": "add extracted links to URL queue with high priority values",
+            "irrelevant_referrer": "add extracted links to URL queue with low priority values",
+        },
+    ]
+
+
+def table3(datasets: list[Dataset]) -> list[dict]:
+    """Characteristics of the experimental datasets (OK pages only)."""
+    rows = []
+    for dataset in datasets:
+        stats = dataset.stats()
+        rows.append(
+            {
+                "dataset": dataset.name,
+                "relevant_html_pages": stats.relevant_html_pages,
+                "irrelevant_html_pages": stats.irrelevant_html_pages,
+                "total_html_pages": stats.total_html_pages,
+                "relevance_ratio": round(stats.relevance_ratio, 3),
+                "total_urls": stats.total_urls,
+            }
+        )
+    return rows

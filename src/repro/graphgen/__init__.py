@@ -1,0 +1,50 @@
+"""Synthetic crawl-log generator.
+
+The paper evaluates on two crawl logs captured from the real Web in 2004
+(~14M Thai URLs, ~110M Japanese URLs).  Those logs are not available, so
+this subpackage synthesizes web spaces with the statistical properties
+the paper's conclusions rest on:
+
+- a host/site structure where each site has a dominant language,
+- **language locality** of links (paper §3's premise), controlled by an
+  explicit parameter,
+- power-law-ish in-degree via per-page attractiveness, lognormal
+  out-degree,
+- non-OK fetches, non-HTML content, pages with missing or **mislabeled**
+  charset declarations (paper §3 observations),
+- and real HTML bodies, rendered on demand in the page's declared
+  encoding, so the charset detector has honest bytes to chew on.
+
+The generator emits the *raw universe*; the capture step that turns a
+universe into a paper-style dataset (crawling it from seeds, as the
+authors did) lives in :mod:`repro.experiments.datasets` because it uses
+the simulator itself.
+"""
+
+from repro.graphgen.config import CharsetChoice, DatasetProfile, LanguageGroup
+from repro.graphgen.evolution import ChurnSpec, evolve_log
+from repro.graphgen.generator import GeneratedUniverse, generate_universe
+from repro.graphgen.htmlsynth import HtmlSynthesizer
+from repro.graphgen.profiles import (
+    japanese_profile,
+    korean_profile,
+    profile_by_name,
+    thai_profile,
+)
+from repro.graphgen.textgen import TextGenerator
+
+__all__ = [
+    "CharsetChoice",
+    "LanguageGroup",
+    "DatasetProfile",
+    "GeneratedUniverse",
+    "generate_universe",
+    "thai_profile",
+    "japanese_profile",
+    "korean_profile",
+    "ChurnSpec",
+    "evolve_log",
+    "profile_by_name",
+    "TextGenerator",
+    "HtmlSynthesizer",
+]

@@ -1,0 +1,213 @@
+"""Configuration model for the synthetic web space generator.
+
+A :class:`DatasetProfile` fully determines a universe: same profile, same
+bytes.  Profiles are immutable and hashable so generated datasets can be
+cached content-addressed (see :mod:`repro.experiments.datasets`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, replace
+
+from repro.charset.languages import CHARSET_LANGUAGES, Language
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True, slots=True)
+class CharsetChoice:
+    """One option of a language group's charset distribution.
+
+    ``charset=None`` means the page declares nothing — the classifier
+    will see no META charset, one of the paper's mislabeling modes.
+    """
+
+    charset: str | None
+    weight: float
+
+
+@dataclass(frozen=True, slots=True)
+class LanguageGroup:
+    """Hosts of one content language and how their pages declare charsets.
+
+    ``weight`` is the share of *hosts* whose dominant language this is.
+    ``charset_choices`` is sampled per page; choices whose charset does
+    not map back to ``language`` model the paper's mislabeled pages.
+    ``out_degree_scale`` multiplies the profile's lognormal out-degree
+    for pages of this language — the 2004-era broad web (directories,
+    portals) was considerably better linked than the small national webs
+    crawls tunnel into, and that asymmetry is what floods the
+    soft-focused queue once low-priority links start being expanded
+    (paper Figure 5).
+    """
+
+    language: Language
+    weight: float
+    charset_choices: tuple[CharsetChoice, ...]
+    out_degree_scale: float = 1.0
+
+    def declared_match_probability(self) -> float:
+        """P(declared charset maps to this group's language)."""
+        total = sum(choice.weight for choice in self.charset_choices)
+        if total <= 0:
+            return 0.0
+        matching = sum(
+            choice.weight
+            for choice in self.charset_choices
+            if choice.charset is not None
+            and CHARSET_LANGUAGES.get(choice.charset) is self.language
+        )
+        return matching / total
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetProfile:
+    """Complete recipe for one synthetic web universe.
+
+    Attributes:
+        name: short identifier; used in cache paths and reports.
+        seed: master RNG seed.
+        target_language: the language the crawl experiments focus on.
+        n_pages: size of the URL universe, including non-OK and non-HTML
+            URLs (the paper's "OK + non-OK pages").
+        n_hosts: number of sites; page counts per site follow a Zipf-like
+            distribution.
+        groups: language composition of the hosts.
+        language_locality: probability that a cross-host link from a page
+            of language L points to a host of language L.  The paper's
+            "language locality in the Web" premise, as a knob.
+        intra_host_fraction: probability a link stays on its own host.
+        page_language_deviation: probability a page's language deviates
+            from its host's dominant language (guestbooks, mirrored docs).
+        isolated_site_fraction: fraction of *target-language* hosts whose
+            cross-host inlinks come only from other-language pages —
+            paper §3 observation 2: "Thai web pages are reachable only
+            through non-Thai web pages".  This is what caps the
+            hard-focused strategy's coverage (Figure 3b).
+        out_degree_mu, out_degree_sigma: lognormal out-degree parameters
+            for OK HTML pages.
+        max_out_degree: hard cap on links per page.
+        ok_fraction: share of URLs that answered 200.
+        html_fraction: share of OK URLs that are text/html.
+        attractiveness_alpha: Pareto shape for per-page link
+            attractiveness; smaller = heavier-tailed in-degree.
+        non_ok_attractiveness: multiplier on the attractiveness of
+            non-OK URLs.  Dead links exist but are much rarer than live
+            ones; without this damping every strategy would waste the
+            same ~(1 - ok_fraction) of its fetches on errors and the
+            harvest-rate curves would be flattened artifacts.
+        non_html_attractiveness: same damping for OK non-HTML resources.
+        mean_page_size: mean synthesized body size, bytes (lognormal).
+        n_seeds: number of seed URLs selected for capture crawls.
+    """
+
+    name: str
+    seed: int
+    target_language: Language
+    n_pages: int
+    n_hosts: int
+    groups: tuple[LanguageGroup, ...]
+    language_locality: float = 0.88
+    intra_host_fraction: float = 0.55
+    page_language_deviation: float = 0.03
+    isolated_site_fraction: float = 0.0
+    out_degree_mu: float = 2.0
+    out_degree_sigma: float = 0.7
+    max_out_degree: int = 64
+    ok_fraction: float = 0.5
+    html_fraction: float = 0.85
+    attractiveness_alpha: float = 1.3
+    non_ok_attractiveness: float = 0.12
+    non_html_attractiveness: float = 0.30
+    mean_page_size: int = 6000
+    n_seeds: int = 10
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on any out-of-range field."""
+        if self.n_pages < 10:
+            raise ConfigError("n_pages must be >= 10")
+        if not 1 <= self.n_hosts <= self.n_pages:
+            raise ConfigError("n_hosts must be in [1, n_pages]")
+        if not self.groups:
+            raise ConfigError("at least one language group is required")
+        if all(group.language is not self.target_language for group in self.groups):
+            raise ConfigError(f"no group for target language {self.target_language}")
+        total_weight = sum(group.weight for group in self.groups)
+        if total_weight <= 0:
+            raise ConfigError("group weights must sum to a positive value")
+        for group in self.groups:
+            if group.weight < 0:
+                raise ConfigError("group weights must be non-negative")
+            if group.out_degree_scale <= 0:
+                raise ConfigError("out_degree_scale must be > 0")
+            if not group.charset_choices:
+                raise ConfigError(f"group {group.language} has no charset choices")
+            for choice in group.charset_choices:
+                if choice.weight < 0:
+                    raise ConfigError("charset choice weights must be non-negative")
+                if choice.charset is not None and choice.charset not in CHARSET_LANGUAGES:
+                    raise ConfigError(f"unknown charset {choice.charset!r}")
+        for probability_field in (
+            "language_locality",
+            "intra_host_fraction",
+            "page_language_deviation",
+            "isolated_site_fraction",
+            "ok_fraction",
+            "html_fraction",
+        ):
+            value = getattr(self, probability_field)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{probability_field} must be in [0, 1], got {value}")
+        if self.max_out_degree < 1:
+            raise ConfigError("max_out_degree must be >= 1")
+        if self.out_degree_sigma < 0:
+            raise ConfigError("out_degree_sigma must be >= 0")
+        if self.attractiveness_alpha <= 0:
+            raise ConfigError("attractiveness_alpha must be > 0")
+        for damping_field in ("non_ok_attractiveness", "non_html_attractiveness"):
+            value = getattr(self, damping_field)
+            if not 0.0 < value <= 1.0:
+                raise ConfigError(f"{damping_field} must be in (0, 1], got {value}")
+        if self.mean_page_size < 64:
+            raise ConfigError("mean_page_size must be >= 64")
+        if not 1 <= self.n_seeds <= self.n_pages:
+            raise ConfigError("n_seeds must be in [1, n_pages]")
+
+    def scaled(self, factor: float) -> "DatasetProfile":
+        """A copy with the universe scaled by ``factor`` (same shape)."""
+        if factor <= 0:
+            raise ConfigError("scale factor must be > 0")
+        return replace(
+            self,
+            name=f"{self.name}-x{factor:g}",
+            n_pages=max(10, int(self.n_pages * factor)),
+            n_hosts=max(1, int(self.n_hosts * factor)),
+        )
+
+    def with_seed(self, seed: int) -> "DatasetProfile":
+        """A copy with a different master seed (for variance studies)."""
+        return replace(self, seed=seed)
+
+    def with_locality(self, locality: float) -> "DatasetProfile":
+        """A copy with a different language-locality (ablation knob)."""
+        return replace(
+            self,
+            name=f"{self.name}-loc{locality:g}",
+            language_locality=locality,
+        )
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the profile, for dataset caching."""
+
+        def encode(value):
+            if isinstance(value, Language):
+                return value.value
+            if isinstance(value, tuple):
+                return [encode(item) for item in value]
+            if isinstance(value, dict):
+                return {key: encode(item) for key, item in value.items()}
+            return value
+
+        payload = json.dumps(encode(asdict(self)), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]

@@ -1,0 +1,205 @@
+"""Top-level universe generation.
+
+``generate_universe(profile)`` assembles everything: hosts, per-page
+language/status/charset/size attributes, the link structure, and seed
+URLs — returning a :class:`GeneratedUniverse` whose crawl log is the raw
+synthetic web.  The paper-style *dataset* (the capture crawl over this
+universe) is produced by :mod:`repro.experiments.datasets`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.charset.languages import Language
+from repro.graphgen.config import DatasetProfile
+from repro.graphgen.hosts import Host, build_hosts
+from repro.graphgen.linker import build_edges, outlinks_per_page
+from repro.webspace.crawllog import CrawlLog
+from repro.webspace.page import HTML_CONTENT_TYPE, STATUS_OK, PageRecord
+
+#: Non-OK statuses and their relative frequencies.
+_NON_OK_STATUSES = np.array([404, 302, 403, 500])
+_NON_OK_WEIGHTS = np.array([0.50, 0.25, 0.10, 0.15])
+
+#: Content types of OK non-HTML pages.
+_NON_HTML_TYPES = ("image/gif", "image/jpeg", "application/pdf", "text/plain")
+
+#: Lognormal sigma for page sizes.
+_SIZE_SIGMA = 0.6
+
+
+@dataclass(frozen=True, slots=True)
+class GeneratedUniverse:
+    """A raw synthetic web: crawl log + the seed URLs a capture starts from."""
+
+    profile: DatasetProfile
+    crawl_log: CrawlLog
+    seed_urls: tuple[str, ...]
+    hosts: tuple[Host, ...]
+
+
+def generate_universe(profile: DatasetProfile) -> GeneratedUniverse:
+    """Generate the synthetic web universe described by ``profile``."""
+    profile.validate()
+    rng = np.random.default_rng(profile.seed)
+    n_pages = profile.n_pages
+    n_groups = len(profile.groups)
+
+    hosts = build_hosts(profile, rng)
+
+    # Per-page language: host's dominant language, with rare deviations.
+    lang_code = np.empty(n_pages, dtype=np.int64)
+    for host in hosts:
+        lang_code[host.page_slice] = host.group_index
+    if n_groups > 1 and profile.page_language_deviation > 0:
+        deviate = rng.random(n_pages) < profile.page_language_deviation
+        shift = rng.integers(1, n_groups, size=n_pages)
+        lang_code[deviate] = (lang_code[deviate] + shift[deviate]) % n_groups
+
+    # Statuses and content types.
+    ok_mask = rng.random(n_pages) < profile.ok_fraction
+    html_mask = ok_mask & (rng.random(n_pages) < profile.html_fraction)
+    statuses = np.full(n_pages, STATUS_OK, dtype=np.int64)
+    n_non_ok = int((~ok_mask).sum())
+    statuses[~ok_mask] = rng.choice(_NON_OK_STATUSES, size=n_non_ok, p=_NON_OK_WEIGHTS)
+
+    # Charset declarations, sampled from each page's language group.
+    charset_index = np.zeros(n_pages, dtype=np.int64)
+    for group_index, group in enumerate(profile.groups):
+        members = lang_code == group_index
+        count = int(members.sum())
+        if count == 0:
+            continue
+        weights = np.array([choice.weight for choice in group.charset_choices], dtype=np.float64)
+        weights /= weights.sum()
+        charset_index[members] = rng.choice(len(group.charset_choices), size=count, p=weights)
+
+    # Sizes (only meaningful for OK HTML pages, but cheap to draw for all).
+    size_mu = np.log(profile.mean_page_size) - _SIZE_SIGMA**2 / 2
+    sizes = rng.lognormal(size_mu, _SIZE_SIGMA, size=n_pages).astype(np.int64)
+    sizes = np.maximum(sizes, 256)
+
+    # Link attractiveness and the link structure itself.  Non-OK and
+    # non-HTML URLs draw far fewer inlinks — dead links and binary
+    # resources are linked much less than live pages.
+    attractiveness = rng.pareto(profile.attractiveness_alpha, size=n_pages) + 1.0
+    attractiveness[~ok_mask] *= profile.non_ok_attractiveness
+    attractiveness[ok_mask & ~html_mask] *= profile.non_html_attractiveness
+
+    # Isolated sites: target-language hosts reachable across hosts only
+    # through other-language pages (paper §3 observation 2).
+    isolated_mask = np.zeros(n_pages, dtype=bool)
+    target_groups = [
+        index
+        for index, group in enumerate(profile.groups)
+        if group.language is profile.target_language
+    ]
+    if profile.isolated_site_fraction > 0:
+        for host in hosts:
+            if host.group_index in target_groups and rng.random() < profile.isolated_site_fraction:
+                isolated_mask[host.page_slice] = True
+
+    sources, targets = build_edges(
+        profile, hosts, lang_code, html_mask, attractiveness, rng, isolated_mask=isolated_mask
+    )
+    per_page_targets = outlinks_per_page(n_pages, sources, targets)
+
+    # Assemble URLs, then records.
+    urls = _page_urls(hosts, n_pages)
+    records = []
+    for page in range(n_pages):
+        group = profile.groups[int(lang_code[page])]
+        ok = bool(ok_mask[page])
+        html = bool(html_mask[page])
+        if ok and not html:
+            content_type = _NON_HTML_TYPES[page % len(_NON_HTML_TYPES)]
+        else:
+            content_type = HTML_CONTENT_TYPE
+        charset: str | None = None
+        if ok and html:
+            charset = group.charset_choices[int(charset_index[page])].charset
+        outlinks: tuple[str, ...] = ()
+        if ok and html:
+            outlinks = tuple(urls[target] for target in per_page_targets[page])
+        records.append(
+            PageRecord(
+                url=urls[page],
+                status=int(statuses[page]),
+                content_type=content_type,
+                charset=charset,
+                true_language=group.language,
+                outlinks=outlinks,
+                size=int(sizes[page]) if ok and html else 0,
+            )
+        )
+
+    seed_urls = _select_seeds(
+        profile, hosts, lang_code, html_mask & ~isolated_mask, attractiveness, urls
+    )
+
+    return GeneratedUniverse(
+        profile=profile,
+        crawl_log=CrawlLog(records),
+        seed_urls=seed_urls,
+        hosts=tuple(hosts),
+    )
+
+
+def _page_urls(hosts: list[Host], n_pages: int) -> list[str]:
+    urls: list[str] = [""] * n_pages
+    for host in hosts:
+        for offset in range(host.n_pages):
+            urls[host.first_page + offset] = host.page_url(offset)
+    return urls
+
+
+def _select_seeds(
+    profile: DatasetProfile,
+    hosts: list[Host],
+    lang_code: np.ndarray,
+    html_mask: np.ndarray,
+    attractiveness: np.ndarray,
+    urls: list[str],
+) -> tuple[str, ...]:
+    """Pick seed URLs: popular target-language OK HTML pages, spread over
+    distinct hosts — the way an archivist would seed from known portals."""
+    target_groups = {
+        index
+        for index, group in enumerate(profile.groups)
+        if group.language is profile.target_language
+    }
+    candidate_mask = html_mask & np.isin(lang_code, list(target_groups))
+    candidates = np.nonzero(candidate_mask)[0]
+    if len(candidates) == 0:
+        raise_from = f"profile {profile.name!r} produced no target-language HTML pages"
+        raise RuntimeError(raise_from)
+    order = candidates[np.argsort(attractiveness[candidates])[::-1]]
+
+    host_of_page = np.empty(len(lang_code), dtype=np.int64)
+    for host in hosts:
+        host_of_page[host.page_slice] = host.index
+
+    seeds: list[str] = []
+    used_hosts: set[int] = set()
+    for page in order:
+        host_index = int(host_of_page[page])
+        if host_index in used_hosts:
+            continue
+        used_hosts.add(host_index)
+        seeds.append(urls[int(page)])
+        if len(seeds) == profile.n_seeds:
+            break
+    # Not enough distinct hosts: top up with the best remaining pages.
+    if len(seeds) < profile.n_seeds:
+        chosen = set(seeds)
+        for page in order:
+            url = urls[int(page)]
+            if url not in chosen:
+                seeds.append(url)
+                chosen.add(url)
+            if len(seeds) == profile.n_seeds:
+                break
+    return tuple(seeds)

@@ -1,0 +1,102 @@
+"""On-demand HTML body synthesis.
+
+Renders a :class:`~repro.webspace.page.PageRecord` into actual HTML bytes
+in the page's declared encoding — META declaration included — so the
+simulator's ``meta`` and ``detector`` classification modes operate on the
+same raw material a live crawler would see.
+
+Rendering is a pure function of the record: the RNG is seeded from a hash
+of the URL, so the same record always yields the same bytes regardless of
+fetch order.  Pages whose declared charset disagrees with their content
+language are rendered honestly: a Thai page declaring UTF-8 contains Thai
+text *encoded as UTF-8* — which is exactly why the charset-based
+classifier misjudges it (paper §3, observation 3).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.charset.languages import PYTHON_CODECS, Language, canonical_charset
+from repro.graphgen.textgen import TextGenerator, flavor_for
+from repro.webspace.page import PageRecord
+
+#: Encoding used when the page declares nothing, per content language.
+_DEFAULT_CODECS = {
+    Language.THAI: "TIS-620",
+    Language.JAPANESE: "SHIFT_JIS",
+    Language.KOREAN: "EUC-KR",
+    Language.OTHER: "ISO-8859-1",
+    Language.UNKNOWN: "ISO-8859-1",
+}
+
+_ACCENTED_CHARSETS = frozenset({"ISO-8859-1", "WINDOWS-1252"})
+
+
+def _page_seed(url: str) -> int:
+    digest = hashlib.blake2b(url.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HtmlSynthesizer:
+    """Callable ``record -> bytes`` satisfying the BodySynthesizer protocol."""
+
+    def __init__(self, links_per_paragraph: int = 3) -> None:
+        self._links_per_paragraph = links_per_paragraph
+
+    def __call__(self, record: PageRecord) -> bytes:
+        return self.render(record)
+
+    def encoding_for(self, record: PageRecord) -> str:
+        """Canonical charset the body will actually be encoded in."""
+        declared = canonical_charset(record.charset)
+        if declared is not None:
+            return declared
+        return _DEFAULT_CODECS[record.true_language]
+
+    def render(self, record: PageRecord) -> bytes:
+        """Render the record to encoded HTML bytes (deterministic)."""
+        charset = self.encoding_for(record)
+        codec = PYTHON_CODECS[charset]
+        rng = np.random.default_rng(_page_seed(record.url))
+        accented = charset in _ACCENTED_CHARSETS
+        text = TextGenerator(flavor_for(record.true_language, accented=accented), rng)
+
+        parts: list[str] = ["<!DOCTYPE html>\n<html>\n<head>\n"]
+        if record.charset is not None:
+            parts.append(
+                f'<meta http-equiv="Content-Type" '
+                f'content="text/html; charset={record.charset}">\n'
+            )
+        parts.append(f"<title>{text.phrase()}</title>\n</head>\n<body>\n")
+        parts.append(f"<h1>{text.phrase()}</h1>\n")
+
+        # Interleave prose paragraphs with the record's outlinks so link
+        # extraction from the body reproduces the crawl log exactly.
+        links = list(record.outlinks)
+        body_chars = 0
+        target_chars = max(400, record.size // 2)
+        link_cursor = 0
+        while body_chars < target_chars or link_cursor < len(links):
+            paragraph = text.paragraph()
+            anchors = []
+            for _ in range(self._links_per_paragraph):
+                if link_cursor >= len(links):
+                    break
+                href = links[link_cursor]
+                link_cursor += 1
+                anchors.append(f'<a href="{href}">{text.phrase(1, 3)}</a>')
+            parts.append(f"<p>{paragraph} {' '.join(anchors)}</p>\n")
+            body_chars += len(paragraph)
+            if body_chars > 4 * target_chars:  # safety valve on huge link lists
+                remaining = (
+                    f'<a href="{href}">{text.phrase(1, 2)}</a>'
+                    for href in links[link_cursor:]
+                )
+                parts.append(f"<p>{' '.join(remaining)}</p>\n")
+                break
+        parts.append("</body>\n</html>\n")
+        html = "".join(parts)
+        return html.encode(codec, errors="xmlcharrefreplace")

@@ -1,0 +1,214 @@
+"""Edge generation: who links to whom.
+
+Links are sampled from a three-way mixture, per source page:
+
+1. with probability ``intra_host_fraction`` — a page on the same host;
+2. otherwise, with probability ``language_locality`` — a page on some
+   host of the *source page's* language (language locality);
+3. otherwise — a page of a different language, chosen by group weight.
+
+Within any candidate pool, targets are drawn proportionally to a
+per-page Pareto "attractiveness", which yields the heavy-tailed
+in-degree distribution of real web graphs (hubs, portals) and gives the
+capture crawl natural entry points.
+
+Everything is vectorised with numpy: per-host batches for intra-host
+links, per-language-pair batches for the rest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphgen.config import DatasetProfile
+from repro.graphgen.hosts import Host
+
+
+class _WeightedPool:
+    """Attractiveness-weighted sampling over a fixed set of page ids."""
+
+    __slots__ = ("page_ids", "_cumulative")
+
+    def __init__(self, page_ids: np.ndarray, attractiveness: np.ndarray) -> None:
+        self.page_ids = page_ids
+        weights = attractiveness[page_ids]
+        self._cumulative = np.cumsum(weights)
+
+    def __len__(self) -> int:
+        return len(self.page_ids)
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        if len(self.page_ids) == 0 or count == 0:
+            return np.empty(0, dtype=np.int64)
+        total = self._cumulative[-1]
+        draws = rng.random(count) * total
+        indices = np.searchsorted(self._cumulative, draws, side="right")
+        indices = np.minimum(indices, len(self.page_ids) - 1)
+        return self.page_ids[indices]
+
+
+def sample_out_degrees(
+    profile: DatasetProfile,
+    source_mask: np.ndarray,
+    rng: np.random.Generator,
+    lang_code: np.ndarray | None = None,
+) -> np.ndarray:
+    """Lognormal out-degrees for source (OK HTML) pages, 0 elsewhere.
+
+    When ``lang_code`` is given, each page's degree is scaled by its
+    language group's ``out_degree_scale`` before clipping.
+    """
+    n_pages = len(source_mask)
+    degrees = np.zeros(n_pages, dtype=np.int64)
+    n_sources = int(source_mask.sum())
+    if n_sources == 0:
+        return degrees
+    raw = rng.lognormal(profile.out_degree_mu, profile.out_degree_sigma, size=n_sources)
+    if lang_code is not None:
+        scales = np.array([group.out_degree_scale for group in profile.groups])
+        raw *= scales[lang_code[source_mask]]
+    degrees[source_mask] = np.clip(np.round(raw), 0, profile.max_out_degree).astype(np.int64)
+    return degrees
+
+
+def build_edges(
+    profile: DatasetProfile,
+    hosts: list[Host],
+    lang_code: np.ndarray,
+    source_mask: np.ndarray,
+    attractiveness: np.ndarray,
+    rng: np.random.Generator,
+    isolated_mask: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample all link targets.
+
+    Args:
+        profile: the generator recipe.
+        hosts: host table (pages contiguous per host).
+        lang_code: per-page language group index (after deviation).
+        source_mask: True for pages that emit links (OK HTML).
+        attractiveness: per-page positive link-attractiveness weights.
+        rng: the generator's RNG stream.
+        isolated_mask: pages on isolated sites; they are excluded from
+            the *same-language* target pools, so their only cross-host
+            inlinks come from pages of other languages (paper §3
+            observation 2).
+
+    Returns:
+        ``(sources, targets)`` — parallel int64 arrays, one entry per
+        link slot, ordered by source page id.  Self-links and duplicate
+        (source, target) pairs may still occur; the caller dedupes when
+        assembling page records.
+    """
+    n_pages = len(lang_code)
+    n_groups = len(profile.groups)
+
+    degrees = sample_out_degrees(profile, source_mask, rng, lang_code=lang_code)
+    sources = np.repeat(np.arange(n_pages, dtype=np.int64), degrees)
+    total_slots = len(sources)
+    targets = np.empty(total_slots, dtype=np.int64)
+    if total_slots == 0:
+        return sources, targets
+
+    # Mixture category per slot: 0 = intra-host, 1 = same language,
+    # 2 = other language.
+    draws = rng.random(total_slots)
+    category = np.full(total_slots, 2, dtype=np.int8)
+    category[draws < profile.intra_host_fraction + (1 - profile.intra_host_fraction) * profile.language_locality] = 1
+    category[draws < profile.intra_host_fraction] = 0
+
+    # --- intra-host slots: batched per host (pages are contiguous). -------
+    host_of_page = np.empty(n_pages, dtype=np.int64)
+    for host in hosts:
+        host_of_page[host.page_slice] = host.index
+    intra = category == 0
+    if intra.any():
+        intra_positions = np.nonzero(intra)[0]
+        slot_host = host_of_page[sources[intra_positions]]
+        order = np.argsort(slot_host, kind="stable")
+        sorted_positions = intra_positions[order]
+        sorted_hosts = slot_host[order]
+        boundaries = np.nonzero(np.diff(sorted_hosts))[0] + 1
+        for chunk_positions, host_index in zip(
+            np.split(sorted_positions, boundaries),
+            sorted_hosts[np.concatenate(([0], boundaries))] if len(sorted_hosts) else [],
+        ):
+            host = hosts[int(host_index)]
+            local = np.arange(host.first_page, host.first_page + host.n_pages, dtype=np.int64)
+            pool = _WeightedPool(local, attractiveness)
+            targets[chunk_positions] = pool.sample(len(chunk_positions), rng)
+
+    # --- language-directed slots: batched per (category, source group). ---
+    # Two pool families: cross-language links may target any page of the
+    # chosen language, while same-language links avoid isolated sites.
+    if isolated_mask is None:
+        isolated_mask = np.zeros(n_pages, dtype=bool)
+    cross_pools = [
+        _WeightedPool(np.nonzero(lang_code == group)[0].astype(np.int64), attractiveness)
+        for group in range(n_groups)
+    ]
+    same_pools = [
+        _WeightedPool(
+            np.nonzero((lang_code == group) & ~isolated_mask)[0].astype(np.int64),
+            attractiveness,
+        )
+        for group in range(n_groups)
+    ]
+    group_weights = np.array([group.weight for group in profile.groups], dtype=np.float64)
+
+    for source_group in range(n_groups):
+        same = (category == 1) & (lang_code[sources] == source_group)
+        if same.any():
+            pool = same_pools[source_group]
+            if not len(pool):  # every site of this language is isolated
+                pool = cross_pools[source_group]
+            if len(pool):
+                targets[same] = pool.sample(int(same.sum()), rng)
+            else:  # no page of this language: fall back to anywhere
+                targets[same] = rng.integers(0, n_pages, size=int(same.sum()))
+
+        other = (category == 2) & (lang_code[sources] == source_group)
+        if other.any():
+            weights = group_weights.copy()
+            weights[source_group] = 0.0
+            if weights.sum() == 0:  # single-language universe
+                weights[source_group] = 1.0
+            weights /= weights.sum()
+            slot_count = int(other.sum())
+            chosen_groups = rng.choice(n_groups, size=slot_count, p=weights)
+            slot_positions = np.nonzero(other)[0]
+            for target_group in range(n_groups):
+                chunk = slot_positions[chosen_groups == target_group]
+                if len(chunk) == 0:
+                    continue
+                pool = cross_pools[target_group]
+                if len(pool):
+                    targets[chunk] = pool.sample(len(chunk), rng)
+                else:
+                    targets[chunk] = rng.integers(0, n_pages, size=len(chunk))
+
+    return sources, targets
+
+
+def outlinks_per_page(
+    n_pages: int, sources: np.ndarray, targets: np.ndarray
+) -> list[np.ndarray]:
+    """Regroup flat edge arrays into per-source target arrays.
+
+    Self-links are dropped; duplicate targets are removed preserving
+    first-occurrence order (a page links to each URL at most once, which
+    keeps the crawl log and re-extraction from synthesized bodies in
+    exact agreement).
+    """
+    per_page: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * n_pages
+    if len(sources) == 0:
+        return per_page
+    boundaries = np.nonzero(np.diff(sources))[0] + 1
+    chunks = np.split(targets, boundaries)
+    chunk_sources = sources[np.concatenate(([0], boundaries))]
+    for source, chunk in zip(chunk_sources, chunks):
+        chunk = chunk[chunk != source]
+        # Order-preserving dedupe.
+        _, first_index = np.unique(chunk, return_index=True)
+        per_page[int(source)] = chunk[np.sort(first_index)]
+    return per_page

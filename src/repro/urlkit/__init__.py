@@ -1,0 +1,25 @@
+"""URL substrate: parsing, normalisation and link extraction.
+
+The crawler, the virtual web space and the synthetic graph generator all
+need to agree on what a URL *is* and when two URLs are the same page.  This
+subpackage provides that shared vocabulary:
+
+- :class:`~repro.urlkit.parse.SplitUrl` — a parsed, immutable URL value.
+- :func:`~repro.urlkit.normalize.normalize_url` — canonicalisation used as
+  the identity function for frontier deduplication.
+- :func:`~repro.urlkit.extract.extract_links` — anchor extraction from HTML,
+  used when the simulator runs with synthesized page bodies.
+"""
+
+from repro.urlkit.extract import extract_links
+from repro.urlkit.normalize import normalize_url, url_host, url_site_key
+from repro.urlkit.parse import SplitUrl, parse_url
+
+__all__ = [
+    "SplitUrl",
+    "parse_url",
+    "normalize_url",
+    "url_host",
+    "url_site_key",
+    "extract_links",
+]

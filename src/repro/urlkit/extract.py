@@ -1,0 +1,92 @@
+"""Anchor (``<a href=...>``) extraction from HTML.
+
+Used when the simulator runs with synthesized page bodies: the visitor
+extracts outlinks from the actual HTML bytes rather than reading them from
+the crawl-log record, exercising the same code path a real crawler would.
+
+The extractor is a small hand-rolled scanner rather than a full HTML
+parser: it handles quoting, attribute order, embedded whitespace, relative
+URL resolution against a base URL, and skips ``javascript:``/``mailto:``
+pseudo-links.  It is deliberately forgiving — real-web HTML rarely parses
+cleanly, and a crawler that raises on bad markup collects nothing.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import UrlError
+from repro.urlkit.normalize import normalize_url
+from repro.urlkit.parse import parse_url
+
+# Matches an <a ...> opening tag; the attribute blob is picked apart below.
+_ANCHOR_RE = re.compile(r"<a\s+([^>]*)>", re.IGNORECASE | re.DOTALL)
+
+# href value: double-quoted, single-quoted or bare token.
+_HREF_RE = re.compile(
+    r"""href\s*=\s*(?:"([^"]*)"|'([^']*)'|([^\s>]+))""",
+    re.IGNORECASE,
+)
+
+_IGNORED_SCHEMES = ("javascript:", "mailto:", "ftp:", "file:", "data:", "tel:")
+
+
+def _resolve(base: str, href: str) -> str | None:
+    """Resolve ``href`` against ``base`` and normalise; None if unusable."""
+    href = href.strip()
+    if not href or href.startswith("#"):
+        return None
+    lowered = href.lower()
+    if any(lowered.startswith(scheme) for scheme in _IGNORED_SCHEMES):
+        return None
+
+    if "://" in href:
+        absolute = href
+    else:
+        base_split = parse_url(base)
+        if href.startswith("//"):
+            absolute = f"{base_split.scheme}:{href}"
+        elif href.startswith("/"):
+            absolute = f"{base_split.scheme}://{base_split.site_key}{href}"
+        else:
+            # Relative to the base path's directory.
+            directory = base_split.path.rsplit("/", 1)[0]
+            absolute = f"{base_split.scheme}://{base_split.site_key}{directory}/{href}"
+
+    try:
+        return normalize_url(absolute)
+    except UrlError:
+        return None
+
+
+def extract_links(html: str | bytes, base_url: str) -> list[str]:
+    """Extract normalised absolute outlink URLs from an HTML document.
+
+    Args:
+        html: the document markup; bytes are decoded permissively as
+            Latin-1, which is byte-transparent and sufficient because URLs
+            in our synthesized pages are always ASCII.
+        base_url: absolute URL of the document, used to resolve relative
+            links.
+
+    Returns:
+        Outlinks in document order with duplicates removed (first
+        occurrence wins).
+    """
+    if isinstance(html, bytes):
+        text = html.decode("latin-1")
+    else:
+        text = html
+
+    seen: set[str] = set()
+    links: list[str] = []
+    for anchor in _ANCHOR_RE.finditer(text):
+        href_match = _HREF_RE.search(anchor.group(1))
+        if href_match is None:
+            continue
+        href = next(group for group in href_match.groups() if group is not None)
+        resolved = _resolve(base_url, href)
+        if resolved is not None and resolved not in seen:
+            seen.add(resolved)
+            links.append(resolved)
+    return links

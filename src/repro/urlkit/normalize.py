@@ -1,0 +1,69 @@
+"""URL normalisation.
+
+Two URLs denote the same page iff they normalise to the same string, so
+this function defines page identity for the whole system: the frontier
+deduplicates on it, the LinkDB keys on it, and the generator emits URLs
+already in normal form (a property the tests verify).
+
+The normalisations applied are the standard semantics-preserving ones:
+
+- scheme and host are lowercased,
+- a default port (80 for http, 443 for https) is dropped,
+- dot-segments (``.`` and ``..``) in the path are resolved,
+- duplicate slashes in the path are collapsed,
+- an empty path becomes ``/``,
+- the fragment is removed,
+- an empty query (trailing ``?``) is dropped.
+"""
+
+from __future__ import annotations
+
+from repro.urlkit.parse import SplitUrl, parse_url
+
+
+def _resolve_dot_segments(path: str) -> str:
+    """Resolve ``.`` and ``..`` segments per RFC 3986 §5.2.4."""
+    output: list[str] = []
+    for segment in path.split("/"):
+        if segment == "." or segment == "":
+            continue
+        if segment == "..":
+            if output:
+                output.pop()
+            continue
+        output.append(segment)
+    resolved = "/" + "/".join(output)
+    # Preserve a trailing slash: /a/b/ and /a/b are different resources.
+    if path.endswith(("/", "/.", "/..")) and resolved != "/":
+        resolved += "/"
+    return resolved
+
+
+def normalize_split(split: SplitUrl) -> SplitUrl:
+    """Normalise an already-parsed URL."""
+    port = split.port
+    if port is not None and port == split.effective_port and port in (80, 443):
+        # parse_url gave us an explicit default port; drop it.
+        if (split.scheme, port) in (("http", 80), ("https", 443)):
+            port = None
+    path = _resolve_dot_segments(split.path)
+    return SplitUrl(scheme=split.scheme, host=split.host, port=port, path=path, query=split.query)
+
+
+def normalize_url(url: str) -> str:
+    """Return the canonical form of ``url``.
+
+    Raises:
+        UrlError: if the URL cannot be parsed at all.
+    """
+    return normalize_split(parse_url(url)).unsplit()
+
+
+def url_host(url: str) -> str:
+    """The lowercased host of ``url`` (convenience accessor)."""
+    return parse_url(url).host
+
+
+def url_site_key(url: str) -> str:
+    """The ``host:port`` site key of ``url`` (see :attr:`SplitUrl.site_key`)."""
+    return parse_url(url).site_key

@@ -1,0 +1,117 @@
+"""Lightweight URL parsing.
+
+The standard library's :mod:`urllib.parse` is general but slow for the
+millions of URL operations a crawl simulation performs, and it accepts many
+inputs a web crawler should reject.  ``parse_url`` implements the subset of
+RFC 3986 a crawler needs — scheme, host, port, path, query — as an immutable
+value type with cheap accessors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UrlError
+
+_SUPPORTED_SCHEMES = frozenset({"http", "https"})
+
+_DEFAULT_PORTS = {"http": 80, "https": 443}
+
+# Characters permitted in a registered name (host).  We accept IDNA-encoded
+# hosts (all-ASCII) only; the generator never produces anything else.
+_HOST_CHARS = frozenset("abcdefghijklmnopqrstuvwxyz0123456789.-")
+
+
+@dataclass(frozen=True, slots=True)
+class SplitUrl:
+    """An immutable parsed URL.
+
+    Attributes mirror RFC 3986 component names.  ``port`` is ``None`` when
+    the URL does not carry an explicit port; use :attr:`effective_port` for
+    the scheme default.
+    """
+
+    scheme: str
+    host: str
+    port: int | None
+    path: str
+    query: str
+
+    @property
+    def effective_port(self) -> int:
+        """The explicit port, or the scheme's well-known default."""
+        if self.port is not None:
+            return self.port
+        return _DEFAULT_PORTS[self.scheme]
+
+    @property
+    def site_key(self) -> str:
+        """Identity of the *server* this URL lives on (``host:port``).
+
+        Per-server politeness queues and the host model of the graph
+        generator key on this value.
+        """
+        return f"{self.host}:{self.effective_port}"
+
+    def unsplit(self) -> str:
+        """Reassemble the URL into its canonical string form."""
+        netloc = self.host
+        if self.port is not None and self.port != _DEFAULT_PORTS[self.scheme]:
+            netloc = f"{self.host}:{self.port}"
+        url = f"{self.scheme}://{netloc}{self.path}"
+        if self.query:
+            url = f"{url}?{self.query}"
+        return url
+
+
+def parse_url(url: str) -> SplitUrl:
+    """Parse ``url`` into a :class:`SplitUrl`.
+
+    Raises:
+        UrlError: if the URL is relative, uses an unsupported scheme, or has
+            a malformed authority component.
+    """
+    if not isinstance(url, str):
+        raise UrlError(f"URL must be a string, got {type(url).__name__}")
+
+    scheme, sep, rest = url.partition("://")
+    if not sep:
+        raise UrlError(f"relative or scheme-less URL: {url!r}")
+    scheme = scheme.lower()
+    if scheme not in _SUPPORTED_SCHEMES:
+        raise UrlError(f"unsupported scheme {scheme!r} in {url!r}")
+
+    # Strip the fragment first: it never reaches the server.
+    rest, _, _fragment = rest.partition("#")
+
+    authority, slash, path_and_query = rest.partition("/")
+    path_and_query = slash + path_and_query if slash else ""
+    path, qmark, query = path_and_query.partition("?")
+
+    if not authority:
+        raise UrlError(f"URL has no host: {url!r}")
+
+    # Userinfo is deliberately rejected: crawlers must not follow
+    # credential-bearing links.
+    if "@" in authority:
+        raise UrlError(f"userinfo not supported: {url!r}")
+
+    host, colon, port_str = authority.partition(":")
+    host = host.lower()
+    if not host or not set(host) <= _HOST_CHARS:
+        raise UrlError(f"malformed host {host!r} in {url!r}")
+    if host.startswith(".") or host.endswith(".") or ".." in host:
+        raise UrlError(f"malformed host {host!r} in {url!r}")
+
+    port: int | None = None
+    if colon:
+        if not port_str.isdigit():
+            raise UrlError(f"malformed port {port_str!r} in {url!r}")
+        port = int(port_str)
+        if not 1 <= port <= 65535:
+            raise UrlError(f"port out of range in {url!r}")
+
+    if not path:
+        path = "/"
+
+    return SplitUrl(scheme=scheme, host=host, port=port, path=path, query=query if qmark else "")

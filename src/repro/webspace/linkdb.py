@@ -1,0 +1,95 @@
+"""LinkDB: the link database of the simulator (paper Figure 2).
+
+Provides forward adjacency (outlinks, straight from the crawl log) and
+lazily-built backward adjacency (inlinks), plus the graph traversals the
+experiment harness and tests need: reachability from a seed set and
+degree statistics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Iterator
+
+from repro.webspace.crawllog import CrawlLog
+
+
+class LinkDB:
+    """Adjacency views over a :class:`~repro.webspace.crawllog.CrawlLog`.
+
+    Only OK HTML pages contribute outlinks (a 404 has no body to extract
+    links from), matching how the capture crawler produced the log.
+    """
+
+    def __init__(self, crawl_log: CrawlLog) -> None:
+        self._log = crawl_log
+        self._backward: dict[str, list[str]] | None = None
+
+    # -- forward links -----------------------------------------------------
+
+    def forward(self, url: str) -> tuple[str, ...]:
+        """Outlinks of ``url``; empty for non-OK, non-HTML or unknown URLs."""
+        record = self._log.get(url)
+        if record is None or not record.ok or not record.is_html:
+            return ()
+        return record.outlinks
+
+    def out_degree(self, url: str) -> int:
+        return len(self.forward(url))
+
+    # -- backward links ----------------------------------------------------
+
+    def backward(self, url: str) -> tuple[str, ...]:
+        """Inlinks of ``url`` (sources are OK HTML pages, by construction)."""
+        if self._backward is None:
+            self._build_backward()
+        assert self._backward is not None
+        return tuple(self._backward.get(url, ()))
+
+    def in_degree(self, url: str) -> int:
+        if self._backward is None:
+            self._build_backward()
+        assert self._backward is not None
+        return len(self._backward.get(url, ()))
+
+    def _build_backward(self) -> None:
+        backward: dict[str, list[str]] = {}
+        for record in self._log:
+            if not record.ok or not record.is_html:
+                continue
+            for target in record.outlinks:
+                backward.setdefault(target, []).append(record.url)
+        self._backward = backward
+
+    # -- traversal ---------------------------------------------------------
+
+    def reachable_from(self, seeds: Iterable[str]) -> set[str]:
+        """All URLs discoverable from ``seeds`` by following forward links.
+
+        Includes the seeds themselves and link targets with no record
+        (dangling URLs): discovery does not require fetchability.
+        """
+        seen: set[str] = set()
+        queue: deque[str] = deque()
+        for seed in seeds:
+            if seed not in seen:
+                seen.add(seed)
+                queue.append(seed)
+        while queue:
+            url = queue.popleft()
+            for target in self.forward(url):
+                if target not in seen:
+                    seen.add(target)
+                    queue.append(target)
+        return seen
+
+    def edges(self) -> Iterator[tuple[str, str]]:
+        """All (source, target) link pairs in crawl-log order."""
+        for record in self._log:
+            if not record.ok or not record.is_html:
+                continue
+            for target in record.outlinks:
+                yield record.url, target
+
+    def edge_count(self) -> int:
+        return sum(1 for _ in self.edges())

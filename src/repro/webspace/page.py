@@ -1,0 +1,100 @@
+"""The crawl-log page record.
+
+One :class:`PageRecord` is what the paper's virtual web space returns for
+a request: HTTP status, charset, outlinks, plus bookkeeping the generator
+adds (the page's *true* language, whether its declared charset is a
+mislabel) that lets experiments separate classifier error from strategy
+behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.charset.languages import Language, language_of_charset
+
+#: HTTP status of a successfully fetched page ("OK status (200)" in Table 3).
+STATUS_OK = 200
+
+#: Content type of pages that participate in link expansion.
+HTML_CONTENT_TYPE = "text/html"
+
+
+@dataclass(frozen=True, slots=True)
+class PageRecord:
+    """One entry of a crawl log.
+
+    Attributes:
+        url: normalised absolute URL; the record's identity.
+        status: HTTP status the capture crawler observed (200, 3xx, 4xx, 5xx).
+        content_type: MIME type; only ``text/html`` pages have outlinks.
+        charset: the charset label the *server/author declared* — what a
+            META tag would say.  ``None`` when the page declared nothing.
+            May disagree with :attr:`true_language` (paper §3 observation 3:
+            "Thai web pages are mislabeled as non-Thai web pages").
+        true_language: ground-truth language of the page content, known to
+            the generator.  Real crawl logs do not carry this field; it
+            exists so experiments can quantify classifier error.
+        outlinks: normalised URLs of the anchors on the page, in document
+            order, duplicates removed.
+        size: page body size in bytes (drives the optional timing model).
+    """
+
+    url: str
+    status: int = STATUS_OK
+    content_type: str = HTML_CONTENT_TYPE
+    charset: str | None = None
+    true_language: Language = Language.OTHER
+    outlinks: tuple[str, ...] = field(default=())
+    size: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.outlinks, tuple):
+            object.__setattr__(self, "outlinks", tuple(self.outlinks))
+
+    @property
+    def ok(self) -> bool:
+        """True when the capture crawler got a 200 for this URL."""
+        return self.status == STATUS_OK
+
+    @property
+    def is_html(self) -> bool:
+        return self.content_type == HTML_CONTENT_TYPE
+
+    @property
+    def declared_language(self) -> Language:
+        """Language implied by the declared charset (META-tag semantics)."""
+        return language_of_charset(self.charset)
+
+    @property
+    def mislabeled(self) -> bool:
+        """True when the declared charset disagrees with the true language."""
+        return self.declared_language is not self.true_language
+
+    def to_json_dict(self) -> dict:
+        """Serialise for the crawl-log file format (compact keys)."""
+        record: dict = {"u": self.url, "s": self.status}
+        if self.content_type != HTML_CONTENT_TYPE:
+            record["t"] = self.content_type
+        if self.charset is not None:
+            record["c"] = self.charset
+        if self.true_language is not Language.OTHER:
+            record["l"] = self.true_language.value
+        if self.outlinks:
+            record["o"] = list(self.outlinks)
+        if self.size:
+            record["z"] = self.size
+        return record
+
+    @classmethod
+    def from_json_dict(cls, record: dict) -> "PageRecord":
+        """Inverse of :meth:`to_json_dict`."""
+        return cls(
+            url=record["u"],
+            status=record.get("s", STATUS_OK),
+            content_type=record.get("t", HTML_CONTENT_TYPE),
+            charset=record.get("c"),
+            true_language=Language(record.get("l", Language.OTHER.value)),
+            outlinks=tuple(record.get("o", ())),
+            size=record.get("z", 0),
+        )

@@ -1,0 +1,137 @@
+"""The virtual web space: what the simulated crawler "downloads" from.
+
+"The virtual web space gives the properties of the requested web page,
+such as page's character set and download time, as a response to each
+request" (paper §1).  :class:`VirtualWebSpace` is that responder.
+
+Unknown URLs — link targets the capture crawl never fetched — answer with
+a synthetic 404, because a real crawler does not know in advance that a
+URL is dead; it spends a request finding out.  This matters for metrics:
+the paper's page counts include non-OK fetches.
+
+When constructed with a ``body_synthesizer`` (see
+:mod:`repro.graphgen.htmlsynth`), OK HTML responses also carry actual
+HTML bytes so the classifier can run real META parsing and byte-level
+charset detection instead of trusting the log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from repro.webspace.crawllog import CrawlLog
+from repro.webspace.page import HTML_CONTENT_TYPE, PageRecord
+
+#: Status reported for URLs absent from the crawl log.
+STATUS_UNKNOWN_URL = 404
+
+
+@dataclass(frozen=True, slots=True)
+class FetchResponse:
+    """What one simulated download returns.
+
+    ``record`` is None for URLs with no crawl-log entry; ``body`` is None
+    unless body synthesis is enabled and the page is an OK HTML page.
+    """
+
+    url: str
+    status: int
+    content_type: str
+    charset: str | None
+    outlinks: tuple[str, ...]
+    size: int
+    body: bytes | None = None
+    record: PageRecord | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200
+
+    @property
+    def is_html(self) -> bool:
+        return self.content_type == HTML_CONTENT_TYPE
+
+
+class BodySynthesizer(Protocol):
+    """Renders the HTML bytes of a page record on demand."""
+
+    def __call__(self, record: PageRecord) -> bytes: ...
+
+
+class VirtualWebSpace:
+    """Trace-driven responder over a :class:`CrawlLog`."""
+
+    def __init__(
+        self,
+        crawl_log: CrawlLog,
+        body_synthesizer: BodySynthesizer | None = None,
+    ) -> None:
+        self._log = crawl_log
+        self._synthesize = body_synthesizer
+        self.fetch_count = 0
+
+    @property
+    def crawl_log(self) -> CrawlLog:
+        return self._log
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._log
+
+    def fetch(self, url: str) -> FetchResponse:
+        """Simulate downloading ``url``.
+
+        Never raises for unknown URLs — those come back as a 404 response
+        with no links, mirroring what a live crawler would observe.
+        """
+        self.fetch_count += 1
+        record = self._log.get(url)
+        if record is None:
+            return FetchResponse(
+                url=url,
+                status=STATUS_UNKNOWN_URL,
+                content_type=HTML_CONTENT_TYPE,
+                charset=None,
+                outlinks=(),
+                size=0,
+            )
+        body: bytes | None = None
+        if self._synthesize is not None and record.ok and record.is_html:
+            body = self._synthesize(record)
+        return FetchResponse(
+            url=record.url,
+            status=record.status,
+            content_type=record.content_type,
+            charset=record.charset,
+            outlinks=record.outlinks if record.ok and record.is_html else (),
+            size=record.size,
+            body=body,
+            record=record,
+        )
+
+
+def make_cached_synthesizer(
+    synthesizer: BodySynthesizer, max_entries: int = 4096
+) -> BodySynthesizer:
+    """Wrap a body synthesizer with a bounded FIFO cache.
+
+    Re-rendering is deterministic, so caching is purely a speed
+    optimisation for workloads that re-fetch (the simulator itself never
+    fetches a URL twice, but examples and tests do).
+    """
+    cache: dict[str, bytes] = {}
+
+    def cached(record: PageRecord) -> bytes:
+        body = cache.get(record.url)
+        if body is None:
+            body = synthesizer(record)
+            if len(cache) >= max_entries:
+                cache.pop(next(iter(cache)))
+            cache[record.url] = body
+        return body
+
+    return cached
+
+
+# Convenience alias used by type annotations elsewhere.
+Fetcher = Callable[[str], FetchResponse]

@@ -1,0 +1,103 @@
+"""Shared fixtures: hand-built miniature webs and small generated datasets.
+
+``tiny_web`` is a fully hand-specified crawl log whose structure makes
+strategy behaviour exactly predictable — each test can reason about which
+pages are reachable under which strategy.  The generated fixtures are
+session-scoped because dataset construction is the expensive part of the
+suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.charset.languages import Language
+from repro.experiments.datasets import build_dataset
+from repro.graphgen.profiles import japanese_profile, thai_profile
+from repro.webspace.crawllog import CrawlLog
+from repro.webspace.page import PageRecord
+from repro.webspace.virtualweb import VirtualWebSpace
+
+#: Scale used for the session's generated datasets — big enough for the
+#: statistical shape assertions, small enough to keep the suite fast.
+TEST_SCALE = 0.08
+
+
+def thai_page(url: str, outlinks: tuple[str, ...] = (), charset: str = "TIS-620") -> PageRecord:
+    return PageRecord(
+        url=url,
+        charset=charset,
+        true_language=Language.THAI,
+        outlinks=outlinks,
+        size=2048,
+    )
+
+
+def english_page(url: str, outlinks: tuple[str, ...] = ()) -> PageRecord:
+    return PageRecord(
+        url=url,
+        charset="ISO-8859-1",
+        true_language=Language.OTHER,
+        outlinks=outlinks,
+        size=2048,
+    )
+
+
+# URL shorthands for the tiny web.
+SEED = "http://seed.co.th/"
+A = "http://a.co.th/"
+B = "http://b.com/"
+C = "http://c.co.th/"
+D = "http://d.com/"
+E = "http://e.com/"
+F = "http://f.co.th/"
+DEAD = "http://dead.com/gone.html"
+
+
+@pytest.fixture()
+def tiny_pages() -> list[PageRecord]:
+    """A 8-URL web exercising every strategy distinction.
+
+    Structure (t = Thai/relevant, e = English/irrelevant)::
+
+        SEED(t) ──> A(t) ──> D(e) ──> E(e) ──> F(t)
+             └────> B(e) ──> C(t)
+             └────> DEAD (404)
+
+    - C sits behind exactly one irrelevant page (reachable at N >= 1);
+    - F sits behind two consecutive irrelevant pages (needs N >= 3 when
+      counting D=1, E=2, F=3 from relevant A... see strategy tests);
+    - DEAD is a non-OK fetch.
+    """
+    return [
+        thai_page(SEED, outlinks=(A, B, DEAD)),
+        thai_page(A, outlinks=(D,)),
+        english_page(B, outlinks=(C,)),
+        thai_page(C),
+        english_page(D, outlinks=(E,)),
+        english_page(E, outlinks=(F,)),
+        thai_page(F),
+        PageRecord(url=DEAD, status=404),
+    ]
+
+
+@pytest.fixture()
+def tiny_log(tiny_pages) -> CrawlLog:
+    return CrawlLog(tiny_pages)
+
+
+@pytest.fixture()
+def tiny_web(tiny_log) -> VirtualWebSpace:
+    return VirtualWebSpace(tiny_log)
+
+
+@pytest.fixture(scope="session")
+def thai_dataset():
+    """A small captured Thai dataset shared across the session."""
+    return build_dataset(thai_profile().scaled(TEST_SCALE))
+
+
+@pytest.fixture(scope="session")
+def japanese_dataset():
+    """A small captured Japanese dataset shared across the session."""
+    return build_dataset(japanese_profile().scaled(TEST_SCALE))

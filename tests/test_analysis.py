@@ -1,0 +1,110 @@
+"""Unit tests for the analysis subpackage (§3 evidence + degrees)."""
+
+import pytest
+
+from repro.analysis import degree_stats, locality_evidence
+from repro.charset.languages import Language
+from repro.webspace.crawllog import CrawlLog
+from repro.webspace.page import PageRecord
+
+from conftest import english_page, thai_page
+
+
+def two_cluster_log() -> CrawlLog:
+    """Two pure clusters + one bridge: locality is perfect except one
+    cross link, and one Thai page (t2) has only an English inlink."""
+    t0, t1, t2 = "http://t0.th/", "http://t1.th/", "http://t2.th/"
+    e0, e1 = "http://e0.com/", "http://e1.com/"
+    return CrawlLog(
+        [
+            thai_page(t0, outlinks=(t1, e0)),
+            thai_page(t1, outlinks=(t0,)),
+            thai_page(t2),
+            english_page(e0, outlinks=(e1, t2)),
+            english_page(e1),
+        ]
+    )
+
+
+class TestLocalityEvidence:
+    @pytest.fixture()
+    def evidence(self):
+        return locality_evidence(two_cluster_log(), Language.THAI)
+
+    def test_relevance_ratio(self, evidence):
+        assert evidence.relevance_ratio == pytest.approx(3 / 5)
+
+    def test_outlink_fraction(self, evidence):
+        # Links from Thai pages: t0->t1 (thai), t0->e0, t1->t0 (thai).
+        assert evidence.same_language_outlink_fraction == pytest.approx(2 / 3)
+
+    def test_inlink_fraction(self, evidence):
+        # Links into Thai pages: t0->t1, t1->t0 (thai sources), e0->t2.
+        assert evidence.same_language_inlink_fraction == pytest.approx(2 / 3)
+
+    def test_orphaned_relevant(self, evidence):
+        # t2 is the only Thai page with no Thai inlink (t0 and t1 link
+        # each other).
+        assert evidence.relevant_without_relevant_inlink == pytest.approx(1 / 3)
+
+    def test_locality_lift(self, evidence):
+        assert evidence.locality_lift == pytest.approx((2 / 3) / (3 / 5))
+
+    def test_mislabel_rate(self):
+        log = CrawlLog(
+            [
+                thai_page("http://a.th/"),
+                PageRecord(url="http://b.th/", charset="UTF-8", true_language=Language.THAI),
+            ]
+        )
+        evidence = locality_evidence(log, Language.THAI)
+        assert evidence.mislabel_rate == pytest.approx(1 / 2)
+
+    def test_empty_log(self):
+        evidence = locality_evidence(CrawlLog(), Language.THAI)
+        assert evidence.relevance_ratio == 0.0
+        assert evidence.locality_lift == 0.0
+
+    def test_to_dict_keys(self, evidence):
+        data = evidence.to_dict()
+        assert data["target_language"] == "thai"
+        assert "locality_lift" in data
+
+
+class TestLocalityOnGeneratedData:
+    """The generator must actually produce the §3 observations."""
+
+    def test_all_three_observations_hold(self, thai_dataset):
+        evidence = locality_evidence(thai_dataset.crawl_log, Language.THAI)
+        # Obs 1: relevant pages link to relevant pages far above chance.
+        assert evidence.locality_lift > 1.5
+        # Obs 2: a real minority of Thai pages lack any Thai inlink.
+        assert 0.01 < evidence.relevant_without_relevant_inlink < 0.6
+        # Obs 3: some Thai pages are mislabeled.
+        assert 0.02 < evidence.mislabel_rate < 0.3
+
+
+class TestDegreeStats:
+    def test_tiny_log(self):
+        stats = degree_stats(two_cluster_log())
+        assert stats["out"].count == 5
+        assert stats["out"].max == 2
+        assert stats["in"].count == 5  # t0, t1, t2, e0, e1 all receive links
+
+    def test_empty_log(self):
+        stats = degree_stats(CrawlLog())
+        assert stats["in"].count == 0
+        assert stats["in"].tail_exponent is None
+
+    def test_generated_universe_is_heavy_tailed(self, thai_dataset):
+        stats = degree_stats(thai_dataset.crawl_log)
+        assert stats["in"].top_percent_share > 0.05
+        assert stats["in"].max > 10 * stats["in"].median
+        assert stats["in"].tail_exponent is not None
+        assert stats["in"].tail_exponent < -0.5
+
+    def test_to_dict(self, thai_dataset):
+        data = degree_stats(thai_dataset.crawl_log)["out"].to_dict()
+        assert set(data) == {
+            "count", "mean", "median", "max", "top_percent_share", "tail_exponent",
+        }

@@ -1,0 +1,79 @@
+"""Public-API surface tests: everything exported exists, is documented,
+and the README quickstart snippet actually runs.
+"""
+
+import inspect
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ exports missing name {name!r}"
+
+    def test_no_duplicate_exports(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    def test_public_callables_documented(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"{name} has no docstring"
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+
+class TestSubpackageExports:
+    def test_charset(self):
+        import repro.charset as pkg
+
+        for name in pkg.__all__:
+            assert hasattr(pkg, name)
+
+    def test_core(self):
+        import repro.core as pkg
+
+        for name in pkg.__all__:
+            assert hasattr(pkg, name)
+
+    def test_webspace(self):
+        import repro.webspace as pkg
+
+        for name in pkg.__all__:
+            assert hasattr(pkg, name)
+
+    def test_graphgen(self):
+        import repro.graphgen as pkg
+
+        for name in pkg.__all__:
+            assert hasattr(pkg, name)
+
+    def test_experiments(self):
+        import repro.experiments as pkg
+
+        for name in pkg.__all__:
+            assert hasattr(pkg, name)
+
+    def test_analysis(self):
+        import repro.analysis as pkg
+
+        for name in pkg.__all__:
+            assert hasattr(pkg, name)
+
+    def test_urlkit(self):
+        import repro.urlkit as pkg
+
+        for name in pkg.__all__:
+            assert hasattr(pkg, name)
+
+
+class TestQuickstartSnippet:
+    def test_readme_quickstart_runs(self):
+        from repro import SimpleStrategy, build_dataset, run_strategy, thai_profile
+
+        dataset = build_dataset(thai_profile().scaled(0.03))
+        result = run_strategy(dataset, SimpleStrategy(mode="soft"))
+        assert result.final_coverage == 1.0
+        assert result.summary.max_queue_size > 0

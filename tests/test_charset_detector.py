@@ -1,0 +1,133 @@
+"""Unit tests for the composite charset detector."""
+
+import pytest
+
+from repro.charset.detector import CompositeCharsetDetector, DetectionResult, detect_charset
+from repro.charset.languages import Language
+from repro.errors import DetectionError
+
+JAPANESE = "今日は良い天気ですね。ひらがなとカタカナと漢字が混ざった普通の日本語の文章です。"
+THAI = "วันนี้อากาศดีมาก ภาษาไทยมีวรรณยุกต์และสระประกอบอยู่ในข้อความปกติ"
+ENGLISH = "The quick brown fox jumps over the lazy dog. " * 4
+FRENCH = "Le cœur a ses raisons que la raison ne connaît point. Éléphant à côté, déjà vu."
+
+
+class TestDetectJapanese:
+    def test_euc_jp(self):
+        result = detect_charset(JAPANESE.encode("euc_jp"))
+        assert result.charset == "EUC-JP"
+        assert result.language is Language.JAPANESE
+
+    def test_shift_jis(self):
+        result = detect_charset(JAPANESE.encode("shift_jis"))
+        assert result.charset == "SHIFT_JIS"
+        assert result.language is Language.JAPANESE
+
+    def test_iso_2022_jp(self):
+        result = detect_charset(JAPANESE.encode("iso2022_jp"))
+        assert result.charset == "ISO-2022-JP"
+        assert result.language is Language.JAPANESE
+        assert result.confidence > 0.9
+
+    def test_utf8_japanese_is_utf8_not_japanese(self):
+        # Mirrors the charset-classifier blind spot the paper notes:
+        # UTF-8 pages do not map to a language by encoding alone.
+        result = detect_charset(JAPANESE.encode("utf-8"))
+        assert result.charset == "UTF-8"
+        assert result.language is Language.OTHER
+
+
+class TestDetectThai:
+    def test_tis_620(self):
+        result = detect_charset(THAI.encode("tis_620"))
+        assert result.charset == "TIS-620"
+        assert result.language is Language.THAI
+
+    def test_windows_874_with_c1_punctuation(self):
+        data = THAI.encode("cp874") + b"\x93quoted\x94"
+        result = detect_charset(data)
+        assert result.charset == "WINDOWS-874"
+        assert result.language is Language.THAI
+
+
+class TestDetectWestern:
+    def test_pure_ascii(self):
+        result = detect_charset(ENGLISH.encode("ascii"))
+        assert result.charset == "US-ASCII"
+        assert result.confidence == 1.0
+        assert result.language is Language.OTHER
+
+    def test_latin1_french(self):
+        data = FRENCH.encode("latin-1", errors="ignore")
+        result = detect_charset(data)
+        assert result.charset == "ISO-8859-1"
+        assert result.language is Language.OTHER
+
+    def test_empty_input_is_unknown(self):
+        result = detect_charset(b"")
+        assert result.charset is None
+        assert result.language is Language.UNKNOWN
+
+
+class TestMixedContent:
+    def test_html_markup_around_japanese(self):
+        html = f"<html><body><p>{JAPANESE}</p></body></html>".encode("euc_jp")
+        assert detect_charset(html).charset == "EUC-JP"
+
+    def test_html_markup_around_thai(self):
+        html = f"<html><body><p>{THAI}</p></body></html>".encode("tis_620")
+        assert detect_charset(html).charset == "TIS-620"
+
+    def test_mostly_ascii_with_some_japanese(self):
+        text = ENGLISH + JAPANESE[:10]
+        assert detect_charset(text.encode("euc_jp", errors="ignore")).charset == "EUC-JP"
+
+
+class TestStreamingApi:
+    def test_chunked_feed_equals_one_shot(self):
+        data = JAPANESE.encode("shift_jis")
+        detector = CompositeCharsetDetector()
+        for index in range(0, len(data), 5):
+            detector.feed(data[index : index + 5])
+        assert detector.close().charset == detect_charset(data).charset
+
+    def test_close_is_idempotent(self):
+        detector = CompositeCharsetDetector()
+        detector.feed(b"abc")
+        first = detector.close()
+        assert detector.close() is first
+
+    def test_feed_after_close_raises(self):
+        detector = CompositeCharsetDetector()
+        detector.close()
+        with pytest.raises(DetectionError):
+            detector.feed(b"more")
+
+    def test_result_before_close_raises(self):
+        detector = CompositeCharsetDetector()
+        with pytest.raises(DetectionError):
+            detector.result()
+
+    def test_result_after_close(self):
+        detector = CompositeCharsetDetector()
+        detector.feed(b"ascii")
+        detector.close()
+        assert detector.result().charset == "US-ASCII"
+
+
+class TestDetectionResult:
+    def test_unknown_constructor(self):
+        result = DetectionResult.unknown()
+        assert result.charset is None
+        assert result.confidence == 0.0
+        assert result.language is Language.UNKNOWN
+
+    def test_truncated_multibyte_still_detected(self):
+        data = JAPANESE.encode("euc_jp")[:-1]  # cut mid-character
+        result = detect_charset(data)
+        assert result.charset == "EUC-JP"
+
+    def test_confidence_ordering_japanese_over_latin(self):
+        data = JAPANESE.encode("euc_jp")
+        result = detect_charset(data)
+        assert result.confidence > 0.5

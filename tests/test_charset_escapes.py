@@ -1,0 +1,57 @@
+"""Unit tests for ISO-2022 escape-sequence detection."""
+
+from repro.charset.escapes import EscapeDetector, contains_iso2022jp
+
+
+class TestEscapeDetector:
+    def test_detects_jis_x0208_1983(self):
+        assert contains_iso2022jp(b"\x1b$B$3$s$K$A$O\x1b(B")
+
+    def test_detects_jis_x0208_1978(self):
+        assert contains_iso2022jp(b"\x1b$@$3$s\x1b(B")
+
+    def test_detects_jis_x0201_katakana(self):
+        assert contains_iso2022jp(b"\x1b(I1b\x1b(B")
+
+    def test_detects_real_codec_output(self):
+        assert contains_iso2022jp("日本語テスト".encode("iso2022_jp"))
+
+    def test_plain_ascii_not_detected(self):
+        assert not contains_iso2022jp(b"just ascii text")
+
+    def test_bare_escape_not_enough(self):
+        assert not contains_iso2022jp(b"\x1b[31mansi color\x1b[0m")
+
+    def test_korean_designation_detected(self):
+        detector = EscapeDetector()
+        assert detector.feed(b"\x1b$)C Korean designation") == "ISO-2022-KR"
+
+    def test_real_iso2022kr_codec_output(self):
+        assert EscapeDetector().feed("한국어".encode("iso2022_kr")) == "ISO-2022-KR"
+
+    def test_unmodelled_iso2022_ruled_out(self):
+        detector = EscapeDetector()
+        detector.feed(b"\x1b$)A Chinese designation")
+        assert detector.ruled_out
+        assert detector.found is None
+
+    def test_sequence_split_across_feeds(self):
+        detector = EscapeDetector()
+        assert detector.feed(b"prefix \x1b$") is None
+        assert detector.feed(b"B$3$s") == "ISO-2022-JP"
+
+    def test_found_is_sticky(self):
+        detector = EscapeDetector()
+        detector.feed(b"\x1b$B")
+        assert detector.feed(b"more data") == "ISO-2022-JP"
+
+    def test_escape_after_long_ascii_run(self):
+        data = b"x" * 10_000 + b"\x1b$B$3"
+        assert contains_iso2022jp(data)
+
+    def test_empty_input(self):
+        assert not contains_iso2022jp(b"")
+
+    def test_multiple_escapes_first_conclusive_wins(self):
+        # ANSI escape first, then a real designation.
+        assert contains_iso2022jp(b"\x1b[1m bold \x1b$B$3$s")

@@ -1,0 +1,118 @@
+"""Unit tests for the encoding state machine definitions.
+
+Validation is checked against Python's own codecs: anything the codec
+encodes must pass the corresponding machine, and byte sequences the codec
+rejects should generally trip it.
+"""
+
+import pytest
+
+from repro.charset.machines import EUCJP_SPEC, SJIS_SPEC, UTF8_SPEC
+from repro.charset.statemachine import CodingStateMachine
+
+JAPANESE = "日本語のテキストです。ひらがなカタカナ漢字"
+
+
+def run(spec, data: bytes) -> CodingStateMachine:
+    machine = CodingStateMachine(spec)
+    machine.feed(data)
+    return machine
+
+
+class TestUtf8Machine:
+    def test_accepts_ascii(self):
+        assert not run(UTF8_SPEC, b"plain ascii").errored
+
+    def test_accepts_real_utf8(self):
+        data = (JAPANESE + "ภาษาไทย résumé").encode("utf-8")
+        machine = run(UTF8_SPEC, data)
+        assert not machine.errored
+        assert machine.chars_multibyte > 0
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            b"\xc0\xaf",  # overlong 2-byte
+            b"\xc1\xbf",  # overlong 2-byte
+            b"\xe0\x80\x80",  # overlong 3-byte
+            b"\xed\xa0\x80",  # UTF-16 surrogate
+            b"\xf4\x90\x80\x80",  # above U+10FFFF
+            b"\xf5\x80\x80\x80",  # invalid lead
+            b"\x80",  # bare continuation
+            b"\xc2\x41",  # lead + non-continuation
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        assert run(UTF8_SPEC, bad).errored
+
+    def test_boundary_code_points(self):
+        for ch in ("", "߿", "ࠀ", "￿", "\U00010000", "\U0010ffff"):
+            assert not run(UTF8_SPEC, ch.encode("utf-8")).errored
+
+    def test_truncated_sequence_reports_mid_character(self):
+        machine = run(UTF8_SPEC, "あ".encode("utf-8")[:2])
+        assert not machine.errored
+        assert machine.mid_character
+
+
+class TestEucJpMachine:
+    def test_accepts_codec_output(self):
+        machine = run(EUCJP_SPEC, JAPANESE.encode("euc_jp"))
+        assert not machine.errored
+        assert machine.chars_multibyte == len(JAPANESE)
+
+    def test_accepts_halfwidth_kana_via_ss2(self):
+        data = "ｱｲｳ".encode("euc_jp")  # uses the 0x8E single-shift
+        assert not run(EUCJP_SPEC, data).errored
+
+    def test_rejects_sjis_japanese(self):
+        # Shift_JIS hiragana leads (0x82) are illegal EUC-JP bytes.
+        assert run(EUCJP_SPEC, "ひらがな".encode("shift_jis")).errored
+
+    def test_rejects_bare_high_byte(self):
+        assert run(EUCJP_SPEC, b"\xa4").mid_character  # incomplete, not error
+        assert run(EUCJP_SPEC, b"\xa4\x41").errored  # bad trail
+
+    def test_rejects_illegal_lead(self):
+        assert run(EUCJP_SPEC, b"\x85\xa1").errored
+
+
+class TestShiftJisMachine:
+    def test_accepts_codec_output(self):
+        machine = run(SJIS_SPEC, JAPANESE.encode("shift_jis"))
+        assert not machine.errored
+        assert machine.chars_multibyte == len(JAPANESE)
+
+    def test_accepts_halfwidth_kana_single_bytes(self):
+        machine = run(SJIS_SPEC, "ｱｲｳ".encode("shift_jis"))
+        assert not machine.errored
+        assert machine.chars_multibyte == 0  # single-byte kana
+
+    def test_rejects_bad_trail(self):
+        # 0x81 lead followed by 0x7F (illegal trail).
+        assert run(SJIS_SPEC, b"\x81\x7f").errored
+
+    def test_rejects_fd_ff(self):
+        assert run(SJIS_SPEC, b"\xfd").errored
+        assert run(SJIS_SPEC, b"\xff").errored
+
+    def test_rejects_bare_a0(self):
+        assert run(SJIS_SPEC, b"\xa0").errored
+
+
+class TestCrossValidation:
+    """Round-trip: everything each codec emits must pass its machine."""
+
+    SAMPLES = [
+        "こんにちは世界",
+        "テスト、データ。",
+        "漢字と카... no, kanji only: 東京都港区",
+        "mixed ascii と 日本語 text",
+        "",
+    ]
+
+    @pytest.mark.parametrize("codec,spec", [("euc_jp", EUCJP_SPEC), ("shift_jis", SJIS_SPEC), ("utf_8", UTF8_SPEC)])
+    def test_codec_output_always_valid(self, codec, spec):
+        for sample in self.SAMPLES:
+            data = sample.encode(codec, errors="ignore")
+            assert not run(spec, data).errored, f"{codec} rejected {sample!r}"

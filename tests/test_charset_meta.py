@@ -1,0 +1,80 @@
+"""Unit tests for repro.charset.meta (META declaration parsing)."""
+
+from repro.charset.meta import parse_meta_charset
+
+
+class TestHttpEquivForm:
+    def test_paper_example(self):
+        # The exact example from paper §3.2.
+        html = '<META http-equiv="content-type" content="text/html; charset=euc-jp">'
+        assert parse_meta_charset(html) == "euc-jp"
+
+    def test_case_insensitive_http_equiv(self):
+        html = '<meta HTTP-EQUIV="Content-Type" CONTENT="text/html; charset=TIS-620">'
+        assert parse_meta_charset(html) == "TIS-620"
+
+    def test_single_quotes(self):
+        html = "<meta http-equiv='Content-Type' content='text/html; charset=Shift_JIS'>"
+        assert parse_meta_charset(html) == "Shift_JIS"
+
+    def test_charset_quoted_inside_content(self):
+        html = '<meta http-equiv="Content-Type" content="text/html; charset=\'utf-8\'">'
+        assert parse_meta_charset(html) == "utf-8"
+
+    def test_whitespace_around_equals(self):
+        html = '<meta http-equiv="Content-Type" content="text/html; charset = windows-874">'
+        assert parse_meta_charset(html) == "windows-874"
+
+    def test_attribute_order_reversed(self):
+        html = '<meta content="text/html; charset=EUC-JP" http-equiv="Content-Type">'
+        assert parse_meta_charset(html) == "EUC-JP"
+
+    def test_other_http_equiv_ignored(self):
+        html = '<meta http-equiv="refresh" content="5; url=http://x.example/">'
+        assert parse_meta_charset(html) is None
+
+
+class TestHtml5Form:
+    def test_short_form(self):
+        assert parse_meta_charset('<meta charset="utf-8">') == "utf-8"
+
+    def test_short_form_unquoted(self):
+        assert parse_meta_charset("<meta charset=utf-8>") == "utf-8"
+
+    def test_empty_charset_attr_is_none(self):
+        assert parse_meta_charset('<meta charset="">') is None
+
+
+class TestDocuments:
+    def test_full_document(self):
+        html = (
+            "<!DOCTYPE html><html><head>"
+            '<meta http-equiv="Content-Type" content="text/html; charset=TIS-620">'
+            "<title>x</title></head><body>hello</body></html>"
+        )
+        assert parse_meta_charset(html) == "TIS-620"
+
+    def test_no_meta_returns_none(self):
+        assert parse_meta_charset("<html><body>plain</body></html>") is None
+
+    def test_first_declaration_wins(self):
+        html = '<meta charset="utf-8"><meta charset="euc-jp">'
+        assert parse_meta_charset(html) == "utf-8"
+
+    def test_bytes_input(self):
+        html = b'<meta charset="tis-620">'
+        assert parse_meta_charset(html) == "tis-620"
+
+    def test_bytes_with_high_bytes_before_meta(self):
+        # Non-ASCII bytes before the declaration must not break the scan.
+        html = b"<!-- \xe0\xb8\x81 -->" + b'<meta charset="utf-8">'
+        assert parse_meta_charset(html) == "utf-8"
+
+    def test_declaration_outside_scan_window_is_missed(self):
+        # Browsers only prescan a bounded prefix; so do we.
+        html = " " * 10_000 + '<meta charset="utf-8">'
+        assert parse_meta_charset(html) is None
+
+    def test_empty_document(self):
+        assert parse_meta_charset("") is None
+        assert parse_meta_charset(b"") is None

@@ -1,0 +1,94 @@
+"""Unit tests for the Thai single-byte prober and the Latin-1 fallback."""
+
+from repro.charset.singlebyte import Latin1Prober, ThaiProber
+
+THAI_TEXT = "ภาษาไทยเป็นภาษาราชการของประเทศไทย มีตัวอักษรและวรรณยุกต์เป็นของตัวเอง"
+FRENCH_TEXT = "Les élèves étudiaient à l'école près de la forêt. Déjà vu, café, crème brûlée."
+
+
+def fed_thai(data: bytes) -> ThaiProber:
+    prober = ThaiProber()
+    prober.feed(data)
+    return prober
+
+
+class TestThaiProber:
+    def test_high_confidence_on_tis620_text(self):
+        prober = fed_thai(THAI_TEXT.encode("tis_620"))
+        assert not prober.errored
+        assert prober.confidence() > 0.8
+        assert prober.charset == "TIS-620"
+
+    def test_cp874_punctuation_upgrades_to_windows874(self):
+        # 0x96 is an en-dash in WINDOWS-874, unassigned in TIS-620.
+        data = THAI_TEXT.encode("cp874") + b"\x96" + THAI_TEXT.encode("cp874")
+        prober = fed_thai(data)
+        assert not prober.errored
+        assert prober.charset == "WINDOWS-874"
+        assert prober.confidence() > 0.8
+
+    def test_rejects_unassigned_bytes(self):
+        prober = fed_thai(b"\xdb")  # 0xDB-0xDE unassigned in both Thai charsets
+        assert prober.errored
+        assert prober.confidence() == 0.0
+
+    def test_rejects_0xff(self):
+        assert fed_thai(b"\xff").errored
+
+    def test_rejects_unassigned_c1_byte(self):
+        assert fed_thai(b"\x9f").errored
+
+    def test_low_confidence_on_french_latin1(self):
+        # Same byte values as Thai combining marks, but they follow ASCII
+        # letters — the adjacency model must reject them.
+        prober = fed_thai(FRENCH_TEXT.encode("latin-1"))
+        assert prober.confidence() < 0.2
+
+    def test_ascii_only_gives_zero_confidence(self):
+        assert fed_thai(b"plain english").confidence() == 0.0
+
+    def test_streaming_equivalent_to_one_shot(self):
+        data = THAI_TEXT.encode("tis_620")
+        streamed = ThaiProber()
+        for index in range(0, len(data), 7):
+            streamed.feed(data[index : index + 7])
+        assert abs(streamed.confidence() - fed_thai(data).confidence()) < 1e-9
+
+    def test_feed_after_error_returns_false(self):
+        prober = fed_thai(b"\xdb")
+        assert prober.feed(THAI_TEXT.encode("tis_620")) is False
+
+    def test_mark_adjacency_across_chunk_boundary(self):
+        # Split between a consonant and its tone mark: must still count
+        # as a mark on a legal base.
+        data = "ก่".encode("tis_620")
+        prober = ThaiProber()
+        prober.feed(data[:1])
+        prober.feed(data[1:])
+        assert prober.confidence() > 0.5
+
+
+class TestLatin1Prober:
+    def test_confidence_on_french(self):
+        prober = Latin1Prober()
+        prober.feed(FRENCH_TEXT.encode("latin-1"))
+        assert 0.0 < prober.confidence() <= 0.4
+
+    def test_zero_on_pure_ascii(self):
+        prober = Latin1Prober()
+        prober.feed(b"plain ascii")
+        assert prober.confidence() == 0.0
+
+    def test_low_on_thai_bytes(self):
+        # Thai text has long high-byte runs, not accents-after-letters.
+        prober = Latin1Prober()
+        prober.feed(THAI_TEXT.encode("tis_620"))
+        thai_conf = prober.confidence()
+        french = Latin1Prober()
+        french.feed(FRENCH_TEXT.encode("latin-1"))
+        assert french.confidence() > thai_conf
+
+    def test_capped_below_structural_scores(self):
+        prober = Latin1Prober()
+        prober.feed(("né " * 500).encode("latin-1"))
+        assert prober.confidence() <= 0.4

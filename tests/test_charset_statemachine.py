@@ -1,0 +1,91 @@
+"""Unit tests for the generic coding state machine."""
+
+import pytest
+
+from repro.charset.statemachine import ERROR, START, CodingStateMachine, MachineSpec
+
+
+def toy_spec() -> MachineSpec:
+    """Two byte classes: 0 = ascii (complete), 1 = lead, needs one trail."""
+    classes = [0] * 256
+    for byte in range(0x80, 0xC0):
+        classes[byte] = 1  # lead
+    for byte in range(0xC0, 0x100):
+        classes[byte] = 2  # trail
+    return MachineSpec(
+        name="toy",
+        byte_classes=tuple(classes),
+        transitions=(
+            {0: START, 1: 1},  # START: ascii loops, lead -> state 1
+            {2: START},  # state 1: trail completes
+        ),
+    )
+
+
+class TestMachineSpec:
+    def test_requires_256_classes(self):
+        with pytest.raises(ValueError):
+            MachineSpec(name="bad", byte_classes=(0,) * 10, transitions=({0: START},))
+
+    def test_rejects_transition_to_unknown_state(self):
+        with pytest.raises(ValueError):
+            MachineSpec(name="bad", byte_classes=(0,) * 256, transitions=({0: 5},))
+
+    def test_error_target_is_allowed(self):
+        spec = MachineSpec(name="ok", byte_classes=(0,) * 256, transitions=({0: ERROR},))
+        assert spec.name == "ok"
+
+
+class TestCodingStateMachine:
+    def test_ascii_counts_chars(self):
+        machine = CodingStateMachine(toy_spec())
+        assert machine.feed(b"abc")
+        assert machine.chars_total == 3
+        assert machine.chars_multibyte == 0
+
+    def test_multibyte_char_counted(self):
+        machine = CodingStateMachine(toy_spec())
+        assert machine.feed(bytes([0x81, 0xC1]))
+        assert machine.chars_total == 1
+        assert machine.chars_multibyte == 1
+
+    def test_error_on_illegal_sequence(self):
+        machine = CodingStateMachine(toy_spec())
+        # Lead followed by ascii is illegal in the toy encoding.
+        assert not machine.feed(bytes([0x81, 0x41]))
+        assert machine.errored
+        assert machine.state == ERROR
+
+    def test_feed_after_error_returns_false(self):
+        machine = CodingStateMachine(toy_spec())
+        machine.feed(bytes([0x81, 0x41]))
+        assert not machine.feed(b"abc")
+        assert machine.chars_total == 0
+
+    def test_mid_character_across_chunks(self):
+        machine = CodingStateMachine(toy_spec())
+        assert machine.feed(bytes([0x81]))
+        assert machine.mid_character
+        assert machine.feed(bytes([0xC1]))
+        assert not machine.mid_character
+        assert machine.chars_multibyte == 1
+
+    def test_on_char_callback_receives_lead_and_trail(self):
+        seen = []
+        machine = CodingStateMachine(toy_spec())
+        machine.feed(bytes([0x85, 0xC7, 0x41]), on_char=lambda lead, trail: seen.append((lead, trail)))
+        assert seen == [(0x85, 0xC7)]
+
+    def test_reset_clears_everything(self):
+        machine = CodingStateMachine(toy_spec())
+        machine.feed(bytes([0x81, 0x41]))  # error
+        machine.reset()
+        assert not machine.errored
+        assert machine.state == START
+        assert machine.feed(b"ok")
+        assert machine.chars_total == 2
+
+    def test_empty_feed_is_noop(self):
+        machine = CodingStateMachine(toy_spec())
+        assert machine.feed(b"")
+        assert machine.chars_total == 0

@@ -1,0 +1,114 @@
+"""Unit tests for the lswc-sim CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_dataset_command(self):
+        args = build_parser().parse_args(["dataset", "thai", "--scale", "0.1"])
+        assert args.command == "dataset"
+        assert args.scale == 0.1
+
+    def test_run_command(self):
+        args = build_parser().parse_args(
+            ["run", "thai", "limited-distance", "--n", "3", "--prioritized"]
+        )
+        assert args.strategy == "limited-distance"
+        assert args.n == 3
+        assert args.prioritized
+
+    def test_figure_command(self):
+        args = build_parser().parse_args(["figure", "6", "--chart"])
+        assert args.number == "6"
+        assert args.chart
+
+    def test_rejects_unknown_profile(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dataset", "french"])
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "12"])
+
+
+class TestExecution:
+    def test_dataset_prints_table3(self, capsys):
+        code = main(["dataset", "thai", "--scale", "0.03", "--no-cache"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "relevance_ratio" in out
+        assert "thai" in out
+
+    def test_run_prints_summary(self, capsys):
+        code = main(
+            ["run", "thai", "hard-focused", "--scale", "0.03", "--no-cache", "--max-pages", "200"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hard-focused" in out
+        assert "final_coverage" in out
+
+    def test_run_limited_distance(self, capsys):
+        code = main(
+            [
+                "run", "thai", "limited-distance", "--n", "1", "--prioritized",
+                "--scale", "0.03", "--no-cache", "--max-pages", "100",
+            ]
+        )
+        assert code == 0
+        assert "prioritized-limited-distance(N=1)" in capsys.readouterr().out
+
+    def test_unknown_strategy_reports_error(self, capsys):
+        code = main(["run", "thai", "teleport", "--scale", "0.03", "--no-cache"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_detect_on_file(self, tmp_path, capsys):
+        path = tmp_path / "thai.txt"
+        path.write_bytes("ภาษาไทยมีวรรณยุกต์และสระ".encode("tis_620"))
+        assert main(["detect", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "TIS-620" in out
+        assert "thai" in out
+
+    def test_figure_command_small(self, capsys):
+        code = main(["figure", "5", "--dataset", "thai", "--scale", "0.03", "--no-cache"])
+        assert code == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+
+class TestAnalyzeCommand:
+    def test_analyze_prints_evidence(self, capsys):
+        code = main(["analyze", "thai", "--scale", "0.03", "--no-cache"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "locality_lift" in out
+        assert "Degree structure" in out
+
+
+class TestReproduceCommand:
+    def test_reproduce_writes_report(self, tmp_path, capsys):
+        code = main(["reproduce", str(tmp_path / "out"), "--scale", "0.03", "--no-cache"])
+        assert code == 0
+        assert (tmp_path / "out" / "REPORT.md").exists()
+        assert (tmp_path / "out" / "gnuplot" / "fig3.gp").exists()
+        out = capsys.readouterr().out
+        assert "REPORT.md" in out
+
+
+class TestExtendedStrategyNames:
+    def test_run_backlink_count(self, capsys):
+        code = main(
+            ["run", "thai", "backlink-count", "--scale", "0.03", "--no-cache", "--max-pages", "150"]
+        )
+        assert code == 0
+        assert "backlink-count" in capsys.readouterr().out
+
+    def test_run_distilled_soft(self, capsys):
+        code = main(
+            ["run", "thai", "distilled-soft", "--scale", "0.03", "--no-cache", "--max-pages", "150"]
+        )
+        assert code == 0
+        assert "distilled-soft" in capsys.readouterr().out

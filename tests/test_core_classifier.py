@@ -1,0 +1,118 @@
+"""Unit tests for repro.core.classifier."""
+
+import pytest
+
+from repro.charset.languages import Language
+from repro.core.classifier import Classifier, ClassifierMode
+from repro.errors import ConfigError
+from repro.graphgen.htmlsynth import HtmlSynthesizer
+from repro.webspace.crawllog import CrawlLog
+from repro.webspace.page import PageRecord
+from repro.webspace.virtualweb import VirtualWebSpace
+
+from conftest import DEAD, SEED, B
+
+
+def make_web(*pages: PageRecord, bodies: bool = False) -> VirtualWebSpace:
+    return VirtualWebSpace(
+        CrawlLog(pages), body_synthesizer=HtmlSynthesizer() if bodies else None
+    )
+
+
+class TestCharsetMode:
+    def test_relevant_thai_page(self, tiny_web):
+        classifier = Classifier(Language.THAI)
+        judgment = classifier.judge(tiny_web.fetch(SEED))
+        assert judgment.relevant
+        assert judgment.score == 1.0
+        assert judgment.language is Language.THAI
+
+    def test_irrelevant_english_page(self, tiny_web):
+        judgment = Classifier(Language.THAI).judge(tiny_web.fetch(B))
+        assert not judgment.relevant
+        assert judgment.score == 0.0
+
+    def test_non_ok_page_is_irrelevant(self, tiny_web):
+        assert not Classifier(Language.THAI).judge(tiny_web.fetch(DEAD)).relevant
+
+    def test_unknown_url_is_irrelevant(self, tiny_web):
+        response = tiny_web.fetch("http://never.example/")
+        assert not Classifier(Language.THAI).judge(response).relevant
+
+    def test_non_html_is_irrelevant(self):
+        web = make_web(
+            PageRecord(url="http://x.example/p.pdf", content_type="application/pdf", charset="TIS-620")
+        )
+        assert not Classifier(Language.THAI).judge(web.fetch("http://x.example/p.pdf")).relevant
+
+    def test_charset_alias_accepted(self):
+        web = make_web(PageRecord(url="http://x.example/", charset="tis620", true_language=Language.THAI))
+        assert Classifier(Language.THAI).judge(web.fetch("http://x.example/")).relevant
+
+    def test_mislabeled_page_judged_irrelevant(self):
+        # Thai content declaring UTF-8: charset mode cannot see it.
+        web = make_web(PageRecord(url="http://x.example/", charset="UTF-8", true_language=Language.THAI))
+        assert not Classifier(Language.THAI).judge(web.fetch("http://x.example/")).relevant
+
+
+class TestMetaMode:
+    def test_parses_meta_from_body(self):
+        record = PageRecord(url="http://x.example/", charset="TIS-620", true_language=Language.THAI)
+        web = make_web(record, bodies=True)
+        judgment = Classifier(Language.THAI, mode="meta").judge(web.fetch("http://x.example/"))
+        assert judgment.relevant
+        assert judgment.charset == "TIS-620"
+
+    def test_page_without_declaration_is_irrelevant(self):
+        record = PageRecord(url="http://x.example/", charset=None, true_language=Language.THAI)
+        web = make_web(record, bodies=True)
+        assert not Classifier(Language.THAI, mode="meta").judge(web.fetch("http://x.example/")).relevant
+
+    def test_requires_bodies(self, tiny_web):
+        classifier = Classifier(Language.THAI, mode="meta")
+        with pytest.raises(ConfigError, match="body synthesis"):
+            classifier.judge(tiny_web.fetch(SEED))
+
+
+class TestDetectorMode:
+    def test_detects_thai_bytes(self):
+        record = PageRecord(url="http://x.example/", charset="TIS-620", true_language=Language.THAI)
+        web = make_web(record, bodies=True)
+        judgment = Classifier(Language.THAI, mode="detector").judge(web.fetch("http://x.example/"))
+        assert judgment.relevant
+        assert judgment.charset in ("TIS-620", "WINDOWS-874")
+
+    def test_detects_undeclared_japanese(self):
+        # No META declaration: detector still recognises the bytes —
+        # the capability META-based classification lacks.
+        record = PageRecord(url="http://x.example/", charset=None, true_language=Language.JAPANESE)
+        web = make_web(record, bodies=True)
+        judgment = Classifier(Language.JAPANESE, mode="detector").judge(web.fetch("http://x.example/"))
+        assert judgment.relevant
+
+    def test_requires_bodies(self, tiny_web):
+        with pytest.raises(ConfigError, match="body synthesis"):
+            Classifier(Language.THAI, mode="detector").judge(tiny_web.fetch(SEED))
+
+
+class TestOracleMode:
+    def test_sees_through_mislabels(self):
+        record = PageRecord(url="http://x.example/", charset="UTF-8", true_language=Language.THAI)
+        web = make_web(record)
+        assert Classifier(Language.THAI, mode="oracle").judge(web.fetch("http://x.example/")).relevant
+
+    def test_unknown_url_irrelevant(self, tiny_web):
+        response = tiny_web.fetch("http://never.example/")
+        assert not Classifier(Language.THAI, mode="oracle").judge(response).relevant
+
+
+class TestConstruction:
+    def test_mode_from_string(self):
+        assert Classifier(Language.THAI, mode="detector").mode is ClassifierMode.DETECTOR
+
+    def test_mode_from_enum(self):
+        assert Classifier(Language.THAI, mode=ClassifierMode.META).mode is ClassifierMode.META
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigError, match="unknown classifier mode"):
+            Classifier(Language.THAI, mode="psychic")

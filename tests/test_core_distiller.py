@@ -1,0 +1,76 @@
+"""Unit tests for the distiller (relevance-weighted HITS)."""
+
+import pytest
+
+from repro.core.distiller import Distiller
+
+
+def hub_web() -> Distiller:
+    """HUB links to three relevant pages; DECOY links to three
+    irrelevant ones; MIXED links to one of each."""
+    distiller = Distiller(iterations=10)
+    relevant = [f"http://r{index}.th/" for index in range(3)]
+    irrelevant = [f"http://e{index}.com/" for index in range(3)]
+    distiller.observe("http://hub.th/", tuple(relevant), relevant=False)
+    distiller.observe("http://decoy.com/", tuple(irrelevant), relevant=False)
+    distiller.observe("http://mixed.com/", (relevant[0], irrelevant[0]), relevant=False)
+    for url in relevant:
+        distiller.observe(url, (), relevant=True)
+    for url in irrelevant:
+        distiller.observe(url, (), relevant=False)
+    return distiller
+
+
+class TestComputeHubs:
+    def test_hub_outranks_decoy(self):
+        hubs = hub_web().compute_hubs()
+        assert hubs["http://hub.th/"] > hubs["http://mixed.com/"]
+        assert hubs["http://mixed.com/"] > hubs["http://decoy.com/"]
+        assert hubs["http://decoy.com/"] == 0.0
+
+    def test_scores_normalised(self):
+        hubs = hub_web().compute_hubs()
+        assert max(hubs.values()) == pytest.approx(1.0)
+        assert all(0.0 <= score <= 1.0 for score in hubs.values())
+
+    def test_empty_graph(self):
+        assert Distiller().compute_hubs() == {}
+
+    def test_no_relevant_pages_no_hubs(self):
+        distiller = Distiller()
+        distiller.observe("http://a.com/", ("http://b.com/",), relevant=False)
+        distiller.observe("http://b.com/", (), relevant=False)
+        assert distiller.compute_hubs() == {}
+
+    def test_pages_observed(self):
+        assert hub_web().pages_observed == 9
+
+
+class TestTopHubs:
+    def test_only_positive_scores_returned(self):
+        top = hub_web().top_hubs()
+        assert all(score > 0.0 for score in top.values())
+
+    def test_top_fraction_bounds_count(self):
+        distiller = hub_web()
+        distiller.top_fraction = 0.12  # 12% of 9 pages → 1 hub
+        top = distiller.top_hubs()
+        assert list(top) == ["http://hub.th/"]
+
+
+class TestHubNeighbors:
+    def test_neighbors_of_hub(self):
+        distiller = hub_web()
+        neighbors = distiller.hub_neighbors({"http://hub.th/": 1.0})
+        assert set(neighbors) == {f"http://r{index}.th/" for index in range(3)}
+        assert all(score == 1.0 for score in neighbors.values())
+
+    def test_best_score_wins_on_shared_neighbor(self):
+        distiller = hub_web()
+        neighbors = distiller.hub_neighbors(
+            {"http://hub.th/": 1.0, "http://mixed.com/": 0.4}
+        )
+        assert neighbors["http://r0.th/"] == 1.0  # hub beats mixed
+
+    def test_no_hubs_no_neighbors(self):
+        assert hub_web().hub_neighbors({}) == {}

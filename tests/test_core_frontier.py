@@ -1,0 +1,124 @@
+"""Unit tests for repro.core.frontier."""
+
+import pytest
+
+from repro.core.frontier import Candidate, FIFOFrontier, PriorityFrontier
+from repro.errors import FrontierError
+
+
+def candidate(url: str, priority: int = 0, distance: int = 0) -> Candidate:
+    return Candidate(url=url, priority=priority, distance=distance)
+
+
+class TestCandidate:
+    def test_defaults(self):
+        c = Candidate(url="http://x.example/")
+        assert c.priority == 0
+        assert c.distance == 0
+        assert c.referrer is None
+
+    def test_frozen(self):
+        c = Candidate(url="http://x.example/")
+        with pytest.raises(AttributeError):
+            c.priority = 5  # type: ignore[misc]
+
+
+class TestFIFOFrontier:
+    def test_fifo_order(self):
+        frontier = FIFOFrontier()
+        for name in ("a", "b", "c"):
+            frontier.push(candidate(f"http://{name}.example/"))
+        popped = [frontier.pop().url for _ in range(3)]
+        assert popped == ["http://a.example/", "http://b.example/", "http://c.example/"]
+
+    def test_priority_ignored(self):
+        frontier = FIFOFrontier()
+        frontier.push(candidate("http://low.example/", priority=0))
+        frontier.push(candidate("http://high.example/", priority=9))
+        assert frontier.pop().url == "http://low.example/"
+
+    def test_len_and_bool(self):
+        frontier = FIFOFrontier()
+        assert len(frontier) == 0
+        assert not frontier
+        frontier.push(candidate("http://a.example/"))
+        assert len(frontier) == 1
+        assert frontier
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(FrontierError):
+            FIFOFrontier().pop()
+
+    def test_peak_size_tracks_high_water_mark(self):
+        frontier = FIFOFrontier()
+        for index in range(5):
+            frontier.push(candidate(f"http://p{index}.example/"))
+        for _ in range(5):
+            frontier.pop()
+        frontier.push(candidate("http://late.example/"))
+        assert frontier.peak_size == 5
+
+
+class TestPriorityFrontier:
+    def test_higher_priority_pops_first(self):
+        frontier = PriorityFrontier()
+        frontier.push(candidate("http://low.example/", priority=0))
+        frontier.push(candidate("http://high.example/", priority=1))
+        assert frontier.pop().url == "http://high.example/"
+        assert frontier.pop().url == "http://low.example/"
+
+    def test_fifo_within_priority_band(self):
+        frontier = PriorityFrontier()
+        for name in ("first", "second", "third"):
+            frontier.push(candidate(f"http://{name}.example/", priority=1))
+        assert [frontier.pop().url for _ in range(3)] == [
+            "http://first.example/",
+            "http://second.example/",
+            "http://third.example/",
+        ]
+
+    def test_interleaved_bands(self):
+        frontier = PriorityFrontier()
+        frontier.push(candidate("http://a0.example/", priority=0))
+        frontier.push(candidate("http://a2.example/", priority=2))
+        frontier.push(candidate("http://a1.example/", priority=1))
+        frontier.push(candidate("http://b2.example/", priority=2))
+        order = [frontier.pop().url for _ in range(4)]
+        assert order == [
+            "http://a2.example/",
+            "http://b2.example/",
+            "http://a1.example/",
+            "http://a0.example/",
+        ]
+
+    def test_negative_priorities_supported(self):
+        frontier = PriorityFrontier()
+        frontier.push(candidate("http://neg.example/", priority=-3))
+        frontier.push(candidate("http://zero.example/", priority=0))
+        assert frontier.pop().url == "http://zero.example/"
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(FrontierError):
+            PriorityFrontier().pop()
+
+    def test_push_after_pops_keeps_fifo_tiebreak(self):
+        frontier = PriorityFrontier()
+        frontier.push(candidate("http://a.example/", priority=1))
+        frontier.pop()
+        frontier.push(candidate("http://b.example/", priority=1))
+        frontier.push(candidate("http://c.example/", priority=1))
+        assert frontier.pop().url == "http://b.example/"
+
+    def test_peak_size(self):
+        frontier = PriorityFrontier()
+        frontier.push(candidate("http://a.example/"))
+        frontier.push(candidate("http://b.example/"))
+        frontier.pop()
+        assert frontier.peak_size == 2
+
+    def test_candidate_payload_preserved(self):
+        frontier = PriorityFrontier()
+        frontier.push(Candidate(url="http://a.example/", priority=2, distance=7, referrer="http://r.example/"))
+        popped = frontier.pop()
+        assert popped.distance == 7
+        assert popped.referrer == "http://r.example/"

@@ -1,0 +1,131 @@
+"""Unit tests for repro.core.metrics."""
+
+import pytest
+
+from repro.core.metrics import CrawlSummary, MetricSeries, MetricsRecorder
+
+RELEVANT = frozenset({"http://r1.example/", "http://r2.example/", "http://r3.example/"})
+
+
+def recorder(interval: int = 2) -> MetricsRecorder:
+    return MetricsRecorder(name="test", relevant_urls=RELEVANT, sample_interval=interval)
+
+
+class TestMetricsRecorder:
+    def test_sampling_interval(self):
+        rec = recorder(interval=2)
+        for index in range(5):
+            rec.record(f"http://p{index}.example/", judged_relevant=False, queue_size=index)
+        series, _ = rec.finish("test")
+        # Samples at steps 2, 4, and the final flush at 5.
+        assert series.pages == [2, 4, 5]
+
+    def test_no_duplicate_final_sample(self):
+        rec = recorder(interval=2)
+        for index in range(4):
+            rec.record(f"http://p{index}.example/", judged_relevant=False, queue_size=0)
+        series, _ = rec.finish("test")
+        assert series.pages == [2, 4]
+
+    def test_harvest_rate_counts_judgments(self):
+        rec = recorder(interval=1)
+        rec.record("http://a.example/", judged_relevant=True, queue_size=0)
+        rec.record("http://b.example/", judged_relevant=False, queue_size=0)
+        series, summary = rec.finish("test")
+        assert series.harvest_rate == [1.0, 0.5]
+        assert summary.relevant_crawled == 1
+
+    def test_coverage_counts_reference_set(self):
+        rec = recorder(interval=1)
+        rec.record("http://r1.example/", judged_relevant=True, queue_size=0)
+        rec.record("http://other.example/", judged_relevant=True, queue_size=0)
+        series, summary = rec.finish("test")
+        assert series.coverage == [pytest.approx(1 / 3), pytest.approx(1 / 3)]
+        assert summary.covered_relevant == 1
+
+    def test_harvest_and_coverage_can_disagree(self):
+        # A detector-mode classifier may judge pages outside the charset
+        # reference set as relevant; the recorder must keep both views.
+        rec = recorder(interval=1)
+        rec.record("http://not-in-set.example/", judged_relevant=True, queue_size=0)
+        series, summary = rec.finish("test")
+        assert series.harvest_rate == [1.0]
+        assert series.coverage == [0.0]
+
+    def test_max_queue_tracked(self):
+        rec = recorder(interval=10)
+        for size in (3, 9, 1):
+            rec.record("http://p.example/x", judged_relevant=False, queue_size=size)
+        _, summary = rec.finish("test")
+        assert summary.max_queue_size == 9
+
+    def test_empty_run(self):
+        series, summary = recorder().finish("test")
+        assert len(series) == 0
+        assert summary.pages_crawled == 0
+        assert summary.final_harvest_rate == 0.0
+        assert summary.final_coverage == 0.0
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            MetricsRecorder(name="x", relevant_urls=frozenset(), sample_interval=0)
+
+    def test_sim_time_recorded_when_given(self):
+        rec = recorder(interval=1)
+        rec.record("http://a.example/", judged_relevant=False, queue_size=0, sim_time=1.5)
+        series, summary = rec.finish("test")
+        assert series.sim_time == [1.5]
+        assert summary.simulated_seconds == 1.5
+
+
+class TestMetricSeries:
+    def series(self) -> MetricSeries:
+        return MetricSeries(
+            name="s",
+            pages=[10, 20, 30],
+            harvest_rate=[0.5, 0.4, 0.3],
+            coverage=[0.1, 0.2, 0.3],
+            queue_size=[5, 9, 2],
+        )
+
+    def test_harvest_at(self):
+        series = self.series()
+        assert series.harvest_at(25) == 0.4
+        assert series.harvest_at(30) == 0.3
+        assert series.harvest_at(5) == 0.0  # before first sample
+
+    def test_coverage_at(self):
+        assert self.series().coverage_at(20) == 0.2
+
+    def test_dict_round_trip(self):
+        series = self.series()
+        assert MetricSeries.from_dict(series.to_dict()) == series
+
+    def test_len(self):
+        assert len(self.series()) == 3
+
+
+class TestCrawlSummary:
+    def test_rates(self):
+        summary = CrawlSummary(
+            strategy="s",
+            pages_crawled=100,
+            relevant_crawled=40,
+            covered_relevant=30,
+            total_relevant=60,
+            max_queue_size=7,
+        )
+        assert summary.final_harvest_rate == 0.4
+        assert summary.final_coverage == 0.5
+
+    def test_zero_division_guards(self):
+        summary = CrawlSummary(
+            strategy="s",
+            pages_crawled=0,
+            relevant_crawled=0,
+            covered_relevant=0,
+            total_relevant=0,
+            max_queue_size=0,
+        )
+        assert summary.final_harvest_rate == 0.0
+        assert summary.final_coverage == 0.0

@@ -1,0 +1,138 @@
+"""Unit tests for the per-server queue frontier and polite ordering."""
+
+import pytest
+
+from repro.charset.languages import Language
+from repro.core.classifier import Classifier
+from repro.core.frontier import Candidate
+from repro.core.politeness import (
+    HostQueueFrontier,
+    PoliteOrderingStrategy,
+    max_same_site_run,
+)
+from repro.core.simulator import SimulationConfig, Simulator
+from repro.core.strategies import BreadthFirstStrategy, SimpleStrategy
+from repro.errors import FrontierError
+
+from conftest import SEED
+
+
+def candidate(url: str) -> Candidate:
+    return Candidate(url=url)
+
+
+class TestHostQueueFrontier:
+    def test_round_robin_across_sites(self):
+        frontier = HostQueueFrontier()
+        for index in range(2):
+            frontier.push(candidate(f"http://a.example/p{index}"))
+            frontier.push(candidate(f"http://b.example/p{index}"))
+        order = [frontier.pop().url for _ in range(4)]
+        assert order == [
+            "http://a.example/p0",
+            "http://b.example/p0",
+            "http://a.example/p1",
+            "http://b.example/p1",
+        ]
+
+    def test_fifo_within_site(self):
+        frontier = HostQueueFrontier()
+        for index in range(3):
+            frontier.push(candidate(f"http://a.example/p{index}"))
+        assert [frontier.pop().url for _ in range(3)] == [
+            f"http://a.example/p{index}" for index in range(3)
+        ]
+
+    def test_drained_site_reenters_at_back(self):
+        frontier = HostQueueFrontier()
+        frontier.push(candidate("http://a.example/p0"))
+        frontier.push(candidate("http://b.example/p0"))
+        assert frontier.pop().url == "http://a.example/p0"  # a drains
+        frontier.push(candidate("http://a.example/p1"))  # a re-enters after b
+        assert frontier.pop().url == "http://b.example/p0"
+        assert frontier.pop().url == "http://a.example/p1"
+
+    def test_site_distinguished_by_port(self):
+        frontier = HostQueueFrontier()
+        frontier.push(candidate("http://a.example/p"))
+        frontier.push(candidate("http://a.example:8080/p"))
+        assert frontier.site_count == 2
+
+    def test_len_and_pop_empty(self):
+        frontier = HostQueueFrontier()
+        assert len(frontier) == 0
+        with pytest.raises(FrontierError):
+            frontier.pop()
+
+    def test_peak_size(self):
+        frontier = HostQueueFrontier()
+        for index in range(4):
+            frontier.push(candidate(f"http://h{index}.example/"))
+        frontier.pop()
+        assert frontier.peak_size == 4
+
+    def test_unparseable_url_gets_own_site(self):
+        frontier = HostQueueFrontier()
+        frontier.push(Candidate(url="not a real url"))
+        assert frontier.pop().url == "not a real url"
+
+
+class TestMaxSameSiteRun:
+    def test_alternating_is_one(self):
+        urls = ["http://a.example/1", "http://b.example/1", "http://a.example/2"]
+        assert max_same_site_run(urls) == 1
+
+    def test_burst_counted(self):
+        urls = ["http://a.example/1", "http://a.example/2", "http://a.example/3", "http://b.example/1"]
+        assert max_same_site_run(urls) == 3
+
+    def test_empty(self):
+        assert max_same_site_run([]) == 0
+
+
+class TestPoliteOrderingStrategy:
+    def test_name_and_delegation(self):
+        strategy = PoliteOrderingStrategy(SimpleStrategy(mode="hard"))
+        assert strategy.name == "polite(hard-focused)"
+        assert isinstance(strategy.make_frontier(), HostQueueFrontier)
+
+    def test_same_reachability_as_inner(self, tiny_web):
+        def crawl(strategy):
+            urls = []
+            Simulator(
+                web=tiny_web,
+                strategy=strategy,
+                classifier=Classifier(Language.THAI),
+                seed_urls=[SEED],
+                relevant_urls=frozenset(),
+                config=SimulationConfig(sample_interval=1),
+                on_fetch=lambda event: urls.append(event.url),
+            ).run()
+            return set(urls)
+
+        # Polite ordering changes the order, never the kept-URL set for
+        # order-insensitive strategies like breadth-first.
+        assert crawl(PoliteOrderingStrategy(BreadthFirstStrategy())) == crawl(
+            BreadthFirstStrategy()
+        )
+
+    def test_reduces_burstiness_on_generated_data(self, thai_dataset):
+        from repro.experiments.runner import run_strategy
+
+        def burstiness(strategy):
+            urls = []
+            Simulator(
+                web=thai_dataset.web(),
+                strategy=strategy,
+                classifier=Classifier(Language.THAI),
+                seed_urls=list(thai_dataset.seed_urls),
+                relevant_urls=frozenset(),
+                config=SimulationConfig(sample_interval=10_000, max_pages=2000),
+                on_fetch=lambda event: urls.append(event.url),
+            ).run()
+            return max_same_site_run(urls)
+
+        plain = burstiness(BreadthFirstStrategy())
+        polite = burstiness(PoliteOrderingStrategy(BreadthFirstStrategy()))
+        assert polite < plain
+        assert polite <= 3

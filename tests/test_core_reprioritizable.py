@@ -1,0 +1,114 @@
+"""Unit tests for the reprioritizable frontier."""
+
+import pytest
+
+from repro.core.frontier import Candidate, ReprioritizableFrontier
+from repro.errors import FrontierError
+
+
+def candidate(url: str, priority: int = 0) -> Candidate:
+    return Candidate(url=url, priority=priority)
+
+
+class TestBasics:
+    def test_pops_by_priority(self):
+        frontier = ReprioritizableFrontier()
+        frontier.push(candidate("http://low.example/", 1))
+        frontier.push(candidate("http://high.example/", 5))
+        assert frontier.pop().url == "http://high.example/"
+
+    def test_fifo_within_band(self):
+        frontier = ReprioritizableFrontier()
+        frontier.push(candidate("http://a.example/", 1))
+        frontier.push(candidate("http://b.example/", 1))
+        assert frontier.pop().url == "http://a.example/"
+
+    def test_duplicate_push_rejected(self):
+        frontier = ReprioritizableFrontier()
+        frontier.push(candidate("http://a.example/"))
+        with pytest.raises(FrontierError, match="already queued"):
+            frontier.push(candidate("http://a.example/"))
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(FrontierError):
+            ReprioritizableFrontier().pop()
+
+    def test_contains(self):
+        frontier = ReprioritizableFrontier()
+        frontier.push(candidate("http://a.example/"))
+        assert "http://a.example/" in frontier
+        frontier.pop()
+        assert "http://a.example/" not in frontier
+
+
+class TestUpdatePriority:
+    def test_raise_changes_pop_order(self):
+        frontier = ReprioritizableFrontier()
+        frontier.push(candidate("http://a.example/", 1))
+        frontier.push(candidate("http://b.example/", 2))
+        assert frontier.update_priority("http://a.example/", 9)
+        assert frontier.pop().url == "http://a.example/"
+
+    def test_lower_changes_pop_order(self):
+        frontier = ReprioritizableFrontier()
+        frontier.push(candidate("http://a.example/", 9))
+        frontier.push(candidate("http://b.example/", 2))
+        frontier.update_priority("http://a.example/", 1)
+        assert frontier.pop().url == "http://b.example/"
+
+    def test_update_unqueued_returns_false(self):
+        assert not ReprioritizableFrontier().update_priority("http://x.example/", 3)
+
+    def test_update_popped_url_returns_false(self):
+        frontier = ReprioritizableFrontier()
+        frontier.push(candidate("http://a.example/"))
+        frontier.pop()
+        assert not frontier.update_priority("http://a.example/", 3)
+
+    def test_priority_of(self):
+        frontier = ReprioritizableFrontier()
+        frontier.push(candidate("http://a.example/", 4))
+        assert frontier.priority_of("http://a.example/") == 4
+        frontier.update_priority("http://a.example/", 7)
+        assert frontier.priority_of("http://a.example/") == 7
+        assert frontier.priority_of("http://missing.example/") is None
+
+    def test_noop_update(self):
+        frontier = ReprioritizableFrontier()
+        frontier.push(candidate("http://a.example/", 4))
+        assert frontier.update_priority("http://a.example/", 4)
+        assert len(frontier) == 1
+
+    def test_len_unchanged_by_updates(self):
+        frontier = ReprioritizableFrontier()
+        for index in range(5):
+            frontier.push(candidate(f"http://p{index}.example/", index))
+        for index in range(5):
+            frontier.update_priority(f"http://p{index}.example/", 10 - index)
+        assert len(frontier) == 5
+
+    def test_stale_entries_never_resurface(self):
+        frontier = ReprioritizableFrontier()
+        frontier.push(candidate("http://a.example/", 1))
+        for priority in (3, 5, 2, 8):
+            frontier.update_priority("http://a.example/", priority)
+        popped = frontier.pop()
+        assert popped.priority == 8
+        assert len(frontier) == 0
+        with pytest.raises(FrontierError):
+            frontier.pop()
+
+    def test_candidate_payload_survives_update(self):
+        frontier = ReprioritizableFrontier()
+        frontier.push(Candidate(url="http://a.example/", priority=1, distance=3, referrer="http://r.example/"))
+        frontier.update_priority("http://a.example/", 6)
+        popped = frontier.pop()
+        assert popped.distance == 3
+        assert popped.referrer == "http://r.example/"
+
+    def test_peak_size_counts_live_entries_only(self):
+        frontier = ReprioritizableFrontier()
+        frontier.push(candidate("http://a.example/", 1))
+        for priority in range(2, 10):
+            frontier.update_priority("http://a.example/", priority)
+        assert frontier.peak_size == 1

@@ -1,0 +1,122 @@
+"""Unit tests for the disk-spilling frontier."""
+
+import os
+
+import pytest
+
+from repro.core.frontier import Candidate
+from repro.core.spilling import SpillingFrontier, SpillingStrategy
+from repro.core.strategies import SimpleStrategy
+from repro.errors import FrontierError
+
+
+def candidate(index: int, priority: int = 0) -> Candidate:
+    return Candidate(url=f"http://p{index}.example/", priority=priority)
+
+
+class TestSpillMechanics:
+    def test_no_spill_under_limit(self):
+        with SpillingFrontier(memory_limit=10) as frontier:
+            for index in range(10):
+                frontier.push(candidate(index))
+            assert frontier.spilled == 0
+            assert frontier.resident_size == 10
+
+    def test_spills_beyond_limit(self):
+        with SpillingFrontier(memory_limit=10) as frontier:
+            for index in range(15):
+                frontier.push(candidate(index))
+            assert frontier.spilled > 0
+            assert frontier.resident_size <= 10
+            assert len(frontier) == 15
+
+    def test_everything_comes_back(self):
+        with SpillingFrontier(memory_limit=8) as frontier:
+            pushed = {f"http://p{index}.example/" for index in range(50)}
+            for index in range(50):
+                frontier.push(candidate(index))
+            popped = {frontier.pop().url for _ in range(50)}
+            assert popped == pushed
+            assert len(frontier) == 0
+
+    def test_high_priority_stays_resident(self):
+        with SpillingFrontier(memory_limit=10) as frontier:
+            for index in range(30):
+                frontier.push(candidate(index, priority=0))
+            for index in range(30, 35):
+                frontier.push(candidate(index, priority=5))
+            # The five hot candidates must pop first, never spilled.
+            first_five = [frontier.pop() for _ in range(5)]
+            assert all(item.priority == 5 for item in first_five)
+
+    def test_resident_bounded_throughout(self):
+        with SpillingFrontier(memory_limit=16) as frontier:
+            peak = 0
+            for index in range(200):
+                frontier.push(candidate(index))
+                peak = max(peak, frontier.resident_size)
+            # One batch of slack beyond the limit is allowed transiently.
+            assert peak <= 16 + 2
+
+    def test_stats(self):
+        with SpillingFrontier(memory_limit=8) as frontier:
+            for index in range(20):
+                frontier.push(candidate(index))
+            for _ in range(20):
+                frontier.pop()
+            stats = frontier.stats()
+            assert stats.spilled == stats.reloaded > 0
+            assert stats.peak_total == 20
+
+    def test_pop_empty_raises(self):
+        with SpillingFrontier(memory_limit=4) as frontier:
+            with pytest.raises(FrontierError):
+                frontier.pop()
+
+    def test_candidate_payload_survives_spill(self):
+        with SpillingFrontier(memory_limit=2) as frontier:
+            frontier.push(Candidate(url="http://keep1.example/", priority=9))
+            frontier.push(Candidate(url="http://keep2.example/", priority=9))
+            frontier.push(
+                Candidate(url="http://cold.example/", priority=0, distance=4, referrer="http://r.example/")
+            )
+            frontier.pop(), frontier.pop()
+            cold = frontier.pop()
+            assert cold.distance == 4
+            assert cold.referrer == "http://r.example/"
+
+    def test_close_removes_spill_file(self, tmp_path):
+        frontier = SpillingFrontier(memory_limit=2, spill_dir=str(tmp_path))
+        for index in range(10):
+            frontier.push(candidate(index))
+        spill_files = list(tmp_path.iterdir())
+        assert len(spill_files) == 1
+        frontier.close()
+        assert not list(tmp_path.iterdir())
+
+    def test_rejects_tiny_limit(self):
+        with pytest.raises(FrontierError):
+            SpillingFrontier(memory_limit=1)
+
+
+class TestSpillingStrategy:
+    def test_crawl_equivalent_coverage(self, thai_dataset):
+        from repro.experiments.runner import run_strategy
+
+        plain = run_strategy(thai_dataset, SimpleStrategy(mode="soft"))
+        spilling_strategy = SpillingStrategy(SimpleStrategy(mode="soft"), memory_limit=200)
+        spilled = run_strategy(thai_dataset, spilling_strategy)
+
+        assert spilled.final_coverage == pytest.approx(plain.final_coverage)
+        assert spilled.pages_crawled == plain.pages_crawled
+        stats = spilling_strategy.last_stats
+        assert stats is not None
+        assert stats.spilled > 0
+        # The whole point: resident set bounded, far under the plain
+        # frontier's peak.
+        assert stats.peak_resident <= 200 + 20
+        assert stats.peak_resident < plain.summary.max_queue_size / 5
+
+    def test_name(self):
+        strategy = SpillingStrategy(SimpleStrategy(mode="soft"), memory_limit=64)
+        assert strategy.name == "spilling(soft-focused, mem=64)"

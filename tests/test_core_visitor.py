@@ -1,0 +1,51 @@
+"""Unit tests for repro.core.visitor."""
+
+from repro.core.visitor import Visitor
+from repro.graphgen.htmlsynth import HtmlSynthesizer
+from repro.webspace.virtualweb import VirtualWebSpace
+
+from conftest import DEAD, SEED, A, B
+
+
+class TestFetch:
+    def test_counts_pages_and_bytes(self, tiny_web):
+        visitor = Visitor(tiny_web)
+        visitor.fetch(SEED)
+        visitor.fetch(A)
+        assert visitor.pages_fetched == 2
+        assert visitor.bytes_fetched == 4096  # two 2048-byte pages
+
+    def test_non_ok_fetch_counts_zero_bytes(self, tiny_web):
+        visitor = Visitor(tiny_web)
+        visitor.fetch(DEAD)
+        assert visitor.pages_fetched == 1
+        assert visitor.bytes_fetched == 0
+
+    def test_web_accessor(self, tiny_web):
+        assert Visitor(tiny_web).web is tiny_web
+
+
+class TestExtract:
+    def test_record_outlinks_by_default(self, tiny_web):
+        visitor = Visitor(tiny_web)
+        response = visitor.fetch(SEED)
+        assert visitor.extract(response) == response.outlinks
+
+    def test_non_ok_page_yields_nothing(self, tiny_web):
+        visitor = Visitor(tiny_web)
+        assert visitor.extract(visitor.fetch(DEAD)) == ()
+
+    def test_body_extraction_matches_record(self, tiny_log):
+        """Links parsed from synthesized HTML equal the crawl-log record —
+        the contract that makes body-mode and record-mode simulations
+        interchangeable."""
+        web = VirtualWebSpace(tiny_log, body_synthesizer=HtmlSynthesizer())
+        visitor = Visitor(web, extract_from_body=True)
+        for url in (SEED, A, B):
+            response = visitor.fetch(url)
+            assert visitor.extract(response) == response.record.outlinks
+
+    def test_body_mode_falls_back_without_body(self, tiny_web):
+        visitor = Visitor(tiny_web, extract_from_body=True)
+        response = visitor.fetch(SEED)
+        assert visitor.extract(response) == response.outlinks

@@ -1,0 +1,68 @@
+"""Unit tests for the ablation sweeps (small configurations only)."""
+
+import pytest
+
+from repro.experiments.ablations import classifier_sweep, locality_sweep, scale_sweep
+from repro.graphgen.profiles import thai_profile
+
+TINY = thai_profile().scaled(0.03)
+
+
+class TestLocalitySweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        # Wide spread so the trend dominates small-scale noise.
+        return locality_sweep(thai_profile().scaled(0.05), localities=(0.4, 0.95))
+
+    def test_row_per_locality(self, rows):
+        assert [row.label for row in rows] == ["locality=0.4", "locality=0.95"]
+
+    def test_focused_gain_grows_with_locality(self, rows):
+        # The premise of the paper: higher language locality → bigger
+        # advantage of focused crawling over breadth-first.
+        gain_low = rows[0].early_harvest_hard - rows[0].early_harvest_bfs
+        gain_high = rows[1].early_harvest_hard - rows[1].early_harvest_bfs
+        assert gain_high > gain_low
+
+    def test_to_dict(self, rows):
+        data = rows[0].to_dict()
+        assert set(data) == {
+            "config",
+            "early_harvest_hard",
+            "early_harvest_bfs",
+            "coverage_hard",
+            "max_queue_soft",
+        }
+
+
+class TestClassifierSweep:
+    @pytest.fixture(scope="class")
+    def rows(self, thai_dataset):
+        return classifier_sweep(thai_dataset)
+
+    def test_all_modes_present(self, rows):
+        assert [row["classifier"] for row in rows] == ["charset", "meta", "detector", "oracle"]
+
+    def test_charset_and_meta_agree(self, rows):
+        # META parsing reads back exactly what the generator declared.
+        by_mode = {row["classifier"]: row for row in rows}
+        assert by_mode["charset"]["pages_crawled"] == by_mode["meta"]["pages_crawled"]
+
+    def test_detector_expands_reach(self, rows):
+        # The byte detector recognises undeclared/mislabeled pages the
+        # charset classifier misses, so hard-focused crawls further.
+        by_mode = {row["classifier"]: row for row in rows}
+        assert by_mode["detector"]["pages_crawled"] >= by_mode["charset"]["pages_crawled"]
+
+    def test_oracle_is_upper_bound_on_crawl_reach(self, rows):
+        by_mode = {row["classifier"]: row for row in rows}
+        assert by_mode["oracle"]["pages_crawled"] >= by_mode["charset"]["pages_crawled"]
+
+
+class TestScaleSweep:
+    def test_shape_stable_across_scales(self):
+        rows = scale_sweep(thai_profile(), scales=(0.03, 0.06))
+        for row in rows:
+            # The headline orderings hold at both scales.
+            assert row.early_harvest_hard > row.early_harvest_bfs
+            assert row.coverage_hard < 0.98

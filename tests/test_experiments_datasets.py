@@ -1,0 +1,99 @@
+"""Unit tests for dataset construction and caching."""
+
+import pytest
+
+from repro.charset.languages import Language
+from repro.errors import ConfigError
+from repro.experiments.datasets import (
+    build_dataset,
+    capture_kind_for,
+    load_or_build_dataset,
+)
+from repro.graphgen.generator import generate_universe
+from repro.graphgen.profiles import japanese_profile, thai_profile
+from repro.webspace.linkdb import LinkDB
+
+SMALL = thai_profile().scaled(0.04)
+
+
+class TestCaptureSemantics:
+    def test_captured_is_subset_of_universe(self, thai_dataset):
+        universe = generate_universe(thai_dataset.profile)
+        for record in thai_dataset.crawl_log:
+            assert record == universe.crawl_log[record.url]
+
+    def test_every_captured_page_reachable_from_seeds(self, thai_dataset):
+        db = LinkDB(thai_dataset.crawl_log)
+        reached = db.reachable_from(thai_dataset.seed_urls)
+        for url in thai_dataset.crawl_log.urls():
+            assert url in reached
+
+    def test_seeds_in_dataset(self, thai_dataset):
+        for seed in thai_dataset.seed_urls:
+            assert seed in thai_dataset.crawl_log
+
+    def test_capture_kind_defaults(self):
+        assert capture_kind_for(thai_profile()) == "soft-limited"
+        assert capture_kind_for(japanese_profile()) == "hard-limited"
+
+    def test_dataset_smaller_than_universe(self, thai_dataset):
+        assert len(thai_dataset.crawl_log) < thai_dataset.profile.n_pages
+
+    def test_invalid_capture_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            build_dataset(SMALL, capture_kind="teleport")
+
+    def test_invalid_capture_n_rejected(self):
+        with pytest.raises(ConfigError):
+            build_dataset(SMALL, capture_n=-1)
+
+    def test_larger_capture_n_captures_more(self):
+        small = build_dataset(SMALL, capture_n=0)
+        large = build_dataset(SMALL, capture_n=3)
+        assert len(large.crawl_log) > len(small.crawl_log)
+
+    def test_deterministic(self):
+        a = build_dataset(SMALL)
+        b = build_dataset(SMALL)
+        assert list(a.crawl_log.urls()) == list(b.crawl_log.urls())
+
+
+class TestDatasetAccessors:
+    def test_stats(self, thai_dataset):
+        stats = thai_dataset.stats()
+        assert stats.target_language is Language.THAI
+        assert stats.relevant_html_pages > 0
+
+    def test_relevant_urls_match_stats(self, thai_dataset):
+        assert len(thai_dataset.relevant_urls()) == thai_dataset.stats().relevant_html_pages
+
+    def test_web_factory(self, thai_dataset):
+        web = thai_dataset.web()
+        seed = thai_dataset.seed_urls[0]
+        assert web.fetch(seed).ok
+
+
+class TestCache:
+    def test_round_trip(self, tmp_path):
+        first = load_or_build_dataset(SMALL, cache_dir=tmp_path)
+        assert (len(list(tmp_path.iterdir()))) == 2  # log + meta
+        second = load_or_build_dataset(SMALL, cache_dir=tmp_path)
+        assert list(second.crawl_log.urls()) == list(first.crawl_log.urls())
+        assert second.seed_urls == first.seed_urls
+        assert second.capture_kind == first.capture_kind
+
+    def test_force_rebuilds(self, tmp_path):
+        load_or_build_dataset(SMALL, cache_dir=tmp_path)
+        rebuilt = load_or_build_dataset(SMALL, cache_dir=tmp_path, force=True)
+        assert len(rebuilt.crawl_log) > 0
+
+    def test_profile_by_name_accepted(self, tmp_path, monkeypatch):
+        # Use the tiny profile path only; just exercise the name route
+        # with caching disabled to keep it fast.
+        dataset = load_or_build_dataset(SMALL, cache_dir=None)
+        assert dataset.name.startswith("thai")
+
+    def test_different_capture_params_cached_separately(self, tmp_path):
+        load_or_build_dataset(SMALL, capture_n=1, cache_dir=tmp_path)
+        load_or_build_dataset(SMALL, capture_n=2, cache_dir=tmp_path)
+        assert len(list(tmp_path.iterdir())) == 4

@@ -1,0 +1,79 @@
+"""Unit tests for figure export (JSON + gnuplot) and reproduce_all."""
+
+import json
+
+import pytest
+
+from repro.experiments.export import export_figure_gnuplot, export_figure_json
+from repro.experiments.figures import figure5
+from repro.experiments.reproduce import reproduce_all
+
+
+@pytest.fixture(scope="module")
+def small_figure(thai_dataset):
+    return figure5(thai_dataset)
+
+
+class TestJsonExport:
+    def test_round_trips_series(self, small_figure, tmp_path):
+        path = export_figure_json(small_figure, tmp_path / "fig5.json")
+        with open(path) as handle:
+            data = json.load(handle)
+        assert data["figure"] == "5"
+        assert set(data["series"]) == set(small_figure.results)
+        for label, series in data["series"].items():
+            assert len(series["pages"]) == len(series["queue_size"])
+            assert series["pages"] == sorted(series["pages"])
+
+    def test_creates_parent_dirs(self, small_figure, tmp_path):
+        path = export_figure_json(small_figure, tmp_path / "nested" / "dir" / "f.json")
+        assert path.exists()
+
+
+class TestGnuplotExport:
+    def test_writes_dat_per_strategy_plus_script(self, small_figure, tmp_path):
+        written = export_figure_gnuplot(small_figure, tmp_path)
+        dat_files = [p for p in written if p.suffix == ".dat"]
+        scripts = [p for p in written if p.suffix == ".gp"]
+        assert len(dat_files) == len(small_figure.results)
+        assert len(scripts) == 1
+
+    def test_dat_columns_parse(self, small_figure, tmp_path):
+        written = export_figure_gnuplot(small_figure, tmp_path)
+        dat = next(p for p in written if p.suffix == ".dat")
+        lines = dat.read_text().splitlines()
+        assert lines[0].startswith("#")
+        for line in lines[1:]:
+            pages, harvest, coverage, queue = line.split()
+            assert int(pages) >= 0
+            assert 0.0 <= float(harvest) <= 100.0
+            assert 0.0 <= float(coverage) <= 100.0
+            assert int(queue) >= 0
+
+    def test_script_references_existing_dat_files(self, small_figure, tmp_path):
+        written = export_figure_gnuplot(small_figure, tmp_path)
+        script = next(p for p in written if p.suffix == ".gp").read_text()
+        for dat in (p for p in written if p.suffix == ".dat"):
+            assert dat.name in script
+
+    def test_script_has_one_plot_per_panel(self, small_figure, tmp_path):
+        written = export_figure_gnuplot(small_figure, tmp_path)
+        script = next(p for p in written if p.suffix == ".gp").read_text()
+        assert script.count("\nplot ") == len(small_figure.panels)
+
+
+class TestReproduceAll:
+    def test_end_to_end_tiny(self, tmp_path):
+        messages = []
+        artifacts = reproduce_all(
+            tmp_path / "out", scale=0.03, cache=False, progress=messages.append
+        )
+        assert artifacts.figures == ("3", "4", "5", "6", "7")
+        assert artifacts.report_path.exists()
+        report = artifacts.report_path.read_text()
+        assert "Figure 7" in report
+        assert "Table 3" in report
+        for figure_id in artifacts.figures:
+            assert (tmp_path / "out" / f"fig{figure_id}.json").exists()
+            assert (tmp_path / "out" / "gnuplot" / f"fig{figure_id}.gp").exists()
+        assert any("figure 6" in message for message in messages)

@@ -1,0 +1,55 @@
+"""Unit tests for the table producers (Tables 1-3)."""
+
+from repro.experiments.tables import table1, table2, table3
+
+
+class TestTable1:
+    def test_rows(self):
+        rows = table1()
+        assert len(rows) == 2
+        by_language = {row["language"]: row["charsets"] for row in rows}
+        assert "EUC-JP" in by_language["japanese"]
+        assert "SHIFT_JIS" in by_language["japanese"]
+        assert "ISO-2022-JP" in by_language["japanese"]
+        assert "TIS-620" in by_language["thai"]
+        assert "WINDOWS-874" in by_language["thai"]
+
+
+class TestTable2:
+    def test_semantics_matrix(self):
+        rows = table2()
+        modes = {row["mode"]: row for row in rows}
+        assert "discard" in modes["hard-focused"]["irrelevant_referrer"]
+        assert "high priority" in modes["soft-focused"]["relevant_referrer"]
+        assert "low priority" in modes["soft-focused"]["irrelevant_referrer"]
+
+
+class TestTable3:
+    def test_row_contents(self, thai_dataset):
+        rows = table3([thai_dataset])
+        row = rows[0]
+        assert row["dataset"].startswith("thai")
+        assert row["total_html_pages"] == (
+            row["relevant_html_pages"] + row["irrelevant_html_pages"]
+        )
+        assert 0.0 < row["relevance_ratio"] < 1.0
+        assert row["total_urls"] >= row["total_html_pages"]
+
+    def test_thai_ratio_matches_paper_band(self, thai_dataset):
+        # Paper Table 3: Thai relevance ratio ≈ 0.35.
+        row = table3([thai_dataset])[0]
+        assert 0.2 < row["relevance_ratio"] < 0.5
+
+    def test_japanese_ratio_matches_paper_band(self, japanese_dataset):
+        # Paper Table 3: Japanese relevance ratio ≈ 0.71.  The captured
+        # ratio is scale-dependent (cross-language links concentrate on
+        # hub pages, and at the tiny test scale hubs cover a larger share
+        # of the foreign pool); the ≈0.7 band is asserted at benchmark
+        # scale in benchmarks/bench_table3_datasets.py.
+        row = table3([japanese_dataset])[0]
+        assert 0.45 < row["relevance_ratio"] < 0.85
+
+    def test_multiple_datasets(self, thai_dataset, japanese_dataset):
+        rows = table3([thai_dataset, japanese_dataset])
+        assert len(rows) == 2
+        assert rows[0]["relevance_ratio"] < rows[1]["relevance_ratio"]

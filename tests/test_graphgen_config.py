@@ -1,0 +1,139 @@
+"""Unit tests for repro.graphgen.config."""
+
+import pytest
+
+from repro.charset.languages import Language
+from repro.errors import ConfigError
+from repro.graphgen.config import CharsetChoice, DatasetProfile, LanguageGroup
+from repro.graphgen.profiles import japanese_profile, thai_profile
+
+
+def minimal_profile(**overrides) -> DatasetProfile:
+    fields = dict(
+        name="mini",
+        seed=1,
+        target_language=Language.THAI,
+        n_pages=100,
+        n_hosts=5,
+        groups=(
+            LanguageGroup(Language.THAI, 0.5, (CharsetChoice("TIS-620", 1.0),)),
+            LanguageGroup(Language.OTHER, 0.5, (CharsetChoice("US-ASCII", 1.0),)),
+        ),
+    )
+    fields.update(overrides)
+    return DatasetProfile(**fields)
+
+
+class TestValidation:
+    def test_valid_profile_passes(self):
+        minimal_profile().validate()
+
+    def test_rejects_tiny_universe(self):
+        with pytest.raises(ConfigError, match="n_pages"):
+            minimal_profile(n_pages=5).validate()
+
+    def test_rejects_more_hosts_than_pages(self):
+        with pytest.raises(ConfigError, match="n_hosts"):
+            minimal_profile(n_hosts=1000).validate()
+
+    def test_rejects_empty_groups(self):
+        with pytest.raises(ConfigError):
+            minimal_profile(groups=()).validate()
+
+    def test_rejects_missing_target_group(self):
+        groups = (LanguageGroup(Language.OTHER, 1.0, (CharsetChoice(None, 1.0),)),)
+        with pytest.raises(ConfigError, match="target language"):
+            minimal_profile(groups=groups).validate()
+
+    def test_rejects_unknown_charset(self):
+        groups = (
+            LanguageGroup(Language.THAI, 1.0, (CharsetChoice("KLINGON-8", 1.0),)),
+        )
+        with pytest.raises(ConfigError, match="unknown charset"):
+            minimal_profile(groups=groups).validate()
+
+    def test_rejects_out_of_range_probability(self):
+        with pytest.raises(ConfigError, match="language_locality"):
+            minimal_profile(language_locality=1.5).validate()
+
+    def test_rejects_negative_group_weight(self):
+        groups = (
+            LanguageGroup(Language.THAI, -0.5, (CharsetChoice("TIS-620", 1.0),)),
+            LanguageGroup(Language.OTHER, 1.5, (CharsetChoice(None, 1.0),)),
+        )
+        with pytest.raises(ConfigError):
+            minimal_profile(groups=groups).validate()
+
+    def test_rejects_zero_out_degree_scale(self):
+        groups = (
+            LanguageGroup(Language.THAI, 1.0, (CharsetChoice("TIS-620", 1.0),), out_degree_scale=0),
+        )
+        with pytest.raises(ConfigError, match="out_degree_scale"):
+            minimal_profile(groups=groups).validate()
+
+    def test_rejects_bad_damping(self):
+        with pytest.raises(ConfigError, match="non_ok_attractiveness"):
+            minimal_profile(non_ok_attractiveness=0.0).validate()
+
+    def test_rejects_bad_seeds(self):
+        with pytest.raises(ConfigError, match="n_seeds"):
+            minimal_profile(n_seeds=0).validate()
+
+
+class TestDerivedProfiles:
+    def test_scaled_changes_size_not_shape(self):
+        base = thai_profile()
+        half = base.scaled(0.5)
+        assert half.n_pages == base.n_pages // 2
+        assert half.n_hosts == base.n_hosts // 2
+        assert half.language_locality == base.language_locality
+        assert half.name != base.name
+        half.validate()
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            thai_profile().scaled(0)
+
+    def test_with_seed(self):
+        assert thai_profile().with_seed(42).seed == 42
+
+    def test_with_locality(self):
+        changed = thai_profile().with_locality(0.5)
+        assert changed.language_locality == 0.5
+        assert "loc0.5" in changed.name
+
+
+class TestFingerprint:
+    def test_stable(self):
+        assert thai_profile().fingerprint() == thai_profile().fingerprint()
+
+    def test_differs_between_profiles(self):
+        assert thai_profile().fingerprint() != japanese_profile().fingerprint()
+
+    def test_sensitive_to_any_field(self):
+        base = thai_profile()
+        assert base.fingerprint() != base.with_seed(base.seed + 1).fingerprint()
+        assert base.fingerprint() != base.scaled(0.5).fingerprint()
+        assert base.fingerprint() != base.with_locality(0.5).fingerprint()
+
+
+class TestDeclaredMatchProbability:
+    def test_pure_declaration(self):
+        group = LanguageGroup(Language.THAI, 1.0, (CharsetChoice("TIS-620", 1.0),))
+        assert group.declared_match_probability() == 1.0
+
+    def test_mislabel_share(self):
+        group = LanguageGroup(
+            Language.THAI,
+            1.0,
+            (
+                CharsetChoice("TIS-620", 0.8),
+                CharsetChoice("UTF-8", 0.1),
+                CharsetChoice(None, 0.1),
+            ),
+        )
+        assert group.declared_match_probability() == pytest.approx(0.8)
+
+    def test_no_matching_charset(self):
+        group = LanguageGroup(Language.THAI, 1.0, (CharsetChoice("UTF-8", 1.0),))
+        assert group.declared_match_probability() == 0.0

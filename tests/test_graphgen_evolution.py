@@ -1,0 +1,94 @@
+"""Unit tests for snapshot evolution."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.graphgen.evolution import ChurnSpec, evolve_log
+from repro.webspace.query import diff_logs
+
+NO_CHURN = ChurnSpec(death_rate=0.0, birth_rate=0.0, relink_rate=0.0)
+
+
+class TestChurnSpec:
+    def test_defaults_valid(self):
+        ChurnSpec().validate()
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigError):
+            ChurnSpec(death_rate=1.5).validate()
+
+    def test_evolve_validates_spec(self, tiny_log):
+        with pytest.raises(ConfigError):
+            evolve_log(tiny_log, ChurnSpec(birth_rate=-0.1))
+
+
+class TestEvolveLog:
+    def test_zero_churn_is_identity(self, thai_dataset):
+        evolved = evolve_log(thai_dataset.crawl_log, NO_CHURN, seed=1)
+        assert diff_logs(thai_dataset.crawl_log, evolved).identical
+
+    def test_deterministic(self, thai_dataset):
+        churn = ChurnSpec()
+        a = evolve_log(thai_dataset.crawl_log, churn, seed=7)
+        b = evolve_log(thai_dataset.crawl_log, churn, seed=7)
+        assert diff_logs(a, b).identical
+
+    def test_different_seeds_differ(self, thai_dataset):
+        churn = ChurnSpec()
+        a = evolve_log(thai_dataset.crawl_log, churn, seed=7)
+        b = evolve_log(thai_dataset.crawl_log, churn, seed=8)
+        assert not diff_logs(a, b).identical
+
+    def test_death_rate_approximate(self, thai_dataset):
+        churn = ChurnSpec(death_rate=0.2, birth_rate=0.0, relink_rate=0.0)
+        evolved = evolve_log(thai_dataset.crawl_log, churn, seed=3)
+        before_ok = sum(1 for record in thai_dataset.crawl_log if record.ok)
+        after_ok = sum(1 for record in evolved if record.ok)
+        died = before_ok - after_ok
+        assert 0.15 < died / before_ok < 0.25
+
+    def test_dead_pages_lose_everything_but_stay_listed(self, thai_dataset):
+        churn = ChurnSpec(death_rate=0.3, birth_rate=0.0, relink_rate=0.0)
+        evolved = evolve_log(thai_dataset.crawl_log, churn, seed=3)
+        assert len(evolved) == len(thai_dataset.crawl_log)
+        for record in evolved:
+            if not record.ok:
+                assert record.outlinks == ()
+                assert record.charset is None
+
+    def test_births_grow_the_log(self, thai_dataset):
+        churn = ChurnSpec(death_rate=0.0, birth_rate=0.1, relink_rate=0.0)
+        evolved = evolve_log(thai_dataset.crawl_log, churn, seed=3)
+        diff = diff_logs(thai_dataset.crawl_log, evolved)
+        assert len(diff.only_in_second) > 0
+        assert len(evolved) > len(thai_dataset.crawl_log)
+
+    def test_newborns_linked_from_their_host(self, thai_dataset):
+        from repro.urlkit.normalize import url_host
+        from repro.webspace.linkdb import LinkDB
+
+        churn = ChurnSpec(death_rate=0.0, birth_rate=0.05, relink_rate=0.0)
+        evolved = evolve_log(thai_dataset.crawl_log, churn, seed=3)
+        db = LinkDB(evolved)
+        newborns = [record for record in evolved if "/new/" in record.url]
+        assert newborns
+        for record in newborns[:20]:
+            sources = db.backward(record.url)
+            assert sources  # reachable
+            assert all(url_host(s) == url_host(record.url) for s in sources)
+
+    def test_invariants_preserved(self, thai_dataset):
+        evolved = evolve_log(thai_dataset.crawl_log, ChurnSpec(), seed=3)
+        urls = list(evolved.urls())
+        assert len(urls) == len(set(urls))
+        for record in evolved:
+            assert record.url not in record.outlinks
+            if not record.ok:
+                assert record.outlinks == ()
+
+    def test_relink_changes_some_lists(self, thai_dataset):
+        churn = ChurnSpec(death_rate=0.0, birth_rate=0.0, relink_rate=0.3)
+        evolved = evolve_log(thai_dataset.crawl_log, churn, seed=3)
+        diff = diff_logs(thai_dataset.crawl_log, evolved)
+        changed_fraction = len(diff.changed) / len(thai_dataset.crawl_log)
+        assert 0.05 < changed_fraction < 0.4

@@ -1,0 +1,143 @@
+"""Unit tests for universe generation."""
+
+import pytest
+
+from repro.charset.languages import Language
+from repro.graphgen.generator import generate_universe
+from repro.graphgen.profiles import japanese_profile, thai_profile
+from repro.webspace.linkdb import LinkDB
+from repro.webspace.stats import compute_stats
+
+
+@pytest.fixture(scope="module")
+def thai_universe():
+    return generate_universe(thai_profile().scaled(0.08))
+
+
+class TestUniverseShape:
+    def test_page_count(self, thai_universe):
+        assert len(thai_universe.crawl_log) == thai_universe.profile.n_pages
+
+    def test_urls_unique_and_normalized(self, thai_universe):
+        from repro.urlkit.normalize import normalize_url
+
+        urls = list(thai_universe.crawl_log.urls())
+        assert len(urls) == len(set(urls))
+        for url in urls[:100]:
+            assert normalize_url(url) == url
+
+    def test_ok_fraction_approximate(self, thai_universe):
+        profile = thai_universe.profile
+        ok = sum(1 for record in thai_universe.crawl_log if record.ok)
+        assert abs(ok / len(thai_universe.crawl_log) - profile.ok_fraction) < 0.03
+
+    def test_relevance_ratio_near_target(self, thai_universe):
+        stats = compute_stats(thai_universe.crawl_log, Language.THAI)
+        # Raw-universe declared relevance; the thai profile aims ~0.33.
+        assert 0.25 < stats.relevance_ratio < 0.45
+
+    def test_non_ok_pages_have_no_outlinks(self, thai_universe):
+        for record in thai_universe.crawl_log:
+            if not record.ok:
+                assert record.outlinks == ()
+                assert record.charset is None
+
+    def test_non_html_pages_have_no_outlinks(self, thai_universe):
+        for record in thai_universe.crawl_log:
+            if record.ok and not record.is_html:
+                assert record.outlinks == ()
+
+    def test_outlinks_resolve_within_universe(self, thai_universe):
+        log = thai_universe.crawl_log
+        checked = 0
+        for record in log:
+            for target in record.outlinks:
+                assert target in log
+                checked += 1
+            if checked > 5000:
+                break
+
+    def test_no_self_links(self, thai_universe):
+        for record in thai_universe.crawl_log:
+            assert record.url not in record.outlinks
+
+    def test_outlinks_unique_per_page(self, thai_universe):
+        for record in thai_universe.crawl_log:
+            assert len(record.outlinks) == len(set(record.outlinks))
+
+    def test_sizes_positive_for_html(self, thai_universe):
+        for record in thai_universe.crawl_log:
+            if record.ok and record.is_html:
+                assert record.size >= 256
+
+
+class TestMislabeling:
+    def test_some_pages_mislabeled(self, thai_universe):
+        mislabeled = sum(
+            1
+            for record in thai_universe.crawl_log
+            if record.ok and record.is_html
+            and record.true_language is Language.THAI
+            and record.mislabeled
+        )
+        thai_pages = sum(
+            1
+            for record in thai_universe.crawl_log
+            if record.ok and record.is_html and record.true_language is Language.THAI
+        )
+        # The thai profile declares ~10% of thai pages unhelpfully.
+        assert 0.04 < mislabeled / thai_pages < 0.2
+
+
+class TestSeeds:
+    def test_seed_count(self, thai_universe):
+        assert len(thai_universe.seed_urls) == thai_universe.profile.n_seeds
+
+    def test_seeds_are_relevant_ok_html(self, thai_universe):
+        for url in thai_universe.seed_urls:
+            record = thai_universe.crawl_log[url]
+            assert record.ok and record.is_html
+            assert record.true_language is Language.THAI
+
+    def test_seeds_on_distinct_hosts(self, thai_universe):
+        from repro.urlkit.normalize import url_host
+
+        hosts = [url_host(url) for url in thai_universe.seed_urls]
+        assert len(hosts) == len(set(hosts))
+
+    def test_majority_of_universe_reachable_from_seeds(self, thai_universe):
+        db = LinkDB(thai_universe.crawl_log)
+        reached = db.reachable_from(thai_universe.seed_urls)
+        assert len(reached) > 0.4 * len(thai_universe.crawl_log)
+
+
+class TestDeterminism:
+    def test_same_profile_same_universe(self):
+        profile = thai_profile().scaled(0.02)
+        a = generate_universe(profile)
+        b = generate_universe(profile)
+        assert list(a.crawl_log) == list(b.crawl_log)
+        assert a.seed_urls == b.seed_urls
+
+    def test_different_seed_different_universe(self):
+        profile = thai_profile().scaled(0.02)
+        a = generate_universe(profile)
+        b = generate_universe(profile.with_seed(999))
+        assert list(a.crawl_log) != list(b.crawl_log)
+
+
+class TestJapaneseUniverse:
+    def test_high_relevance_ratio(self):
+        universe = generate_universe(japanese_profile().scaled(0.05))
+        stats = compute_stats(universe.crawl_log, Language.JAPANESE)
+        assert stats.relevance_ratio > 0.55
+
+    def test_japanese_charsets_dominate(self):
+        universe = generate_universe(japanese_profile().scaled(0.05))
+        japanese_declared = sum(
+            1
+            for record in universe.crawl_log
+            if record.ok and record.is_html and record.declared_language is Language.JAPANESE
+        )
+        ok_html = sum(1 for record in universe.crawl_log if record.ok and record.is_html)
+        assert japanese_declared / ok_html > 0.55

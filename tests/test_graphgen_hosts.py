@@ -1,0 +1,90 @@
+"""Unit tests for the host model."""
+
+import numpy as np
+import pytest
+
+from repro.charset.languages import Language
+from repro.graphgen.hosts import build_hosts
+from repro.graphgen.profiles import thai_profile
+
+
+@pytest.fixture(scope="module")
+def hosts():
+    profile = thai_profile().scaled(0.1)
+    return profile, build_hosts(profile, np.random.default_rng(profile.seed))
+
+
+class TestAllocation:
+    def test_page_counts_sum_exactly(self, hosts):
+        profile, host_list = hosts
+        assert sum(host.n_pages for host in host_list) == profile.n_pages
+
+    def test_every_host_has_a_page(self, hosts):
+        _, host_list = hosts
+        assert all(host.n_pages >= 1 for host in host_list)
+
+    def test_pages_contiguous_and_disjoint(self, hosts):
+        _, host_list = hosts
+        cursor = 0
+        for host in host_list:
+            assert host.first_page == cursor
+            cursor += host.n_pages
+
+    def test_heavy_tail(self, hosts):
+        _, host_list = hosts
+        sizes = sorted((host.n_pages for host in host_list), reverse=True)
+        # A few portals own far more than the median site.
+        assert sizes[0] > 10 * sizes[len(sizes) // 2]
+
+    def test_host_count(self, hosts):
+        profile, host_list = hosts
+        assert len(host_list) == profile.n_hosts
+
+
+class TestLanguages:
+    def test_group_shares_approximate_weights(self, hosts):
+        profile, host_list = hosts
+        total_weight = sum(group.weight for group in profile.groups)
+        for index, group in enumerate(profile.groups):
+            share = sum(1 for host in host_list if host.group_index == index) / len(host_list)
+            assert abs(share - group.weight / total_weight) < 0.1
+
+    def test_language_matches_group(self, hosts):
+        profile, host_list = hosts
+        for host in host_list:
+            assert host.language is profile.groups[host.group_index].language
+
+
+class TestNaming:
+    def test_names_unique(self, hosts):
+        _, host_list = hosts
+        names = [host.name for host in host_list]
+        assert len(names) == len(set(names))
+
+    def test_thai_hosts_get_thai_tlds(self, hosts):
+        _, host_list = hosts
+        for host in host_list:
+            if host.language is Language.THAI:
+                assert host.name.endswith((".co.th", ".ac.th", ".or.th", ".in.th"))
+
+    def test_page_urls_normalized(self, hosts):
+        from repro.urlkit.normalize import normalize_url
+
+        _, host_list = hosts
+        host = host_list[0]
+        for offset in (0, 1, min(2, host.n_pages - 1)):
+            url = host.page_url(offset)
+            assert normalize_url(url) == url
+
+    def test_root_url(self, hosts):
+        _, host_list = hosts
+        host = host_list[0]
+        assert host.page_url(0) == f"http://{host.name}/"
+
+
+class TestDeterminism:
+    def test_same_seed_same_hosts(self):
+        profile = thai_profile().scaled(0.05)
+        a = build_hosts(profile, np.random.default_rng(99))
+        b = build_hosts(profile, np.random.default_rng(99))
+        assert a == b

@@ -1,0 +1,98 @@
+"""Unit tests for the HTML body synthesizer."""
+
+from repro.charset.detector import detect_charset
+from repro.charset.languages import Language
+from repro.charset.meta import parse_meta_charset
+from repro.graphgen.htmlsynth import HtmlSynthesizer
+from repro.urlkit.extract import extract_links
+from repro.webspace.page import PageRecord
+
+SYNTH = HtmlSynthesizer()
+
+
+def thai_record(charset: str | None = "TIS-620", outlinks=(), size: int = 2000) -> PageRecord:
+    return PageRecord(
+        url="http://site.co.th/page.html",
+        charset=charset,
+        true_language=Language.THAI,
+        outlinks=tuple(outlinks),
+        size=size,
+    )
+
+
+class TestRendering:
+    def test_deterministic(self):
+        record = thai_record()
+        assert SYNTH(record) == SYNTH(record)
+
+    def test_different_urls_differ(self):
+        a = PageRecord(url="http://a.co.th/", charset="TIS-620", true_language=Language.THAI, size=1000)
+        b = PageRecord(url="http://b.co.th/", charset="TIS-620", true_language=Language.THAI, size=1000)
+        assert SYNTH(a) != SYNTH(b)
+
+    def test_meta_tag_present_when_declared(self):
+        body = SYNTH(thai_record(charset="TIS-620"))
+        assert parse_meta_charset(body) == "TIS-620"
+
+    def test_no_meta_when_undeclared(self):
+        body = SYNTH(thai_record(charset=None))
+        assert parse_meta_charset(body) is None
+
+    def test_body_size_scales_with_record_size(self):
+        small = len(SYNTH(thai_record(size=500)))
+        large = len(SYNTH(thai_record(size=20_000)))
+        assert large > 2 * small
+
+
+class TestEncodingHonesty:
+    """The declared charset must match the actual bytes."""
+
+    def test_tis620_bytes_detectable(self):
+        result = detect_charset(SYNTH(thai_record(charset="TIS-620")))
+        assert result.language is Language.THAI
+
+    def test_japanese_pages_detectable(self):
+        for charset in ("EUC-JP", "SHIFT_JIS", "ISO-2022-JP"):
+            record = PageRecord(
+                url=f"http://jp.example/{charset}",
+                charset=charset,
+                true_language=Language.JAPANESE,
+                size=2000,
+            )
+            result = detect_charset(SYNTH(record))
+            assert result.language is Language.JAPANESE, charset
+
+    def test_mislabeled_thai_page_is_utf8_bytes(self):
+        # Thai content declared (and genuinely encoded) as UTF-8 — the
+        # paper's mislabel case: detector says UTF-8, language OTHER.
+        body = SYNTH(thai_record(charset="UTF-8"))
+        assert parse_meta_charset(body) == "UTF-8"
+        assert detect_charset(body).charset == "UTF-8"
+        body.decode("utf-8")  # must be valid UTF-8
+
+    def test_undeclared_page_uses_language_default(self):
+        body = SYNTH(thai_record(charset=None))
+        assert detect_charset(body).language is Language.THAI
+
+    def test_encoding_for_reports_actual_codec(self):
+        assert SYNTH.encoding_for(thai_record(charset="TIS-620")) == "TIS-620"
+        assert SYNTH.encoding_for(thai_record(charset=None)) == "TIS-620"
+        assert SYNTH.encoding_for(thai_record(charset="UTF-8")) == "UTF-8"
+
+
+class TestLinkEmbedding:
+    def test_all_outlinks_present_in_order(self):
+        links = tuple(f"http://other{index}.example/p" for index in range(10))
+        record = thai_record(outlinks=links)
+        extracted = extract_links(SYNTH(record), record.url)
+        assert tuple(extracted) == links
+
+    def test_many_links_small_body_all_kept(self):
+        links = tuple(f"http://other{index}.example/p" for index in range(200))
+        record = thai_record(outlinks=links, size=500)
+        extracted = extract_links(SYNTH(record), record.url)
+        assert tuple(extracted) == links
+
+    def test_no_links(self):
+        record = thai_record(outlinks=())
+        assert extract_links(SYNTH(record), record.url) == []

@@ -1,0 +1,137 @@
+"""Unit tests for edge generation."""
+
+import numpy as np
+import pytest
+
+from repro.graphgen.hosts import build_hosts
+from repro.graphgen.linker import build_edges, outlinks_per_page, sample_out_degrees
+from repro.graphgen.profiles import thai_profile
+
+
+@pytest.fixture(scope="module")
+def setup():
+    profile = thai_profile().scaled(0.05)
+    rng = np.random.default_rng(profile.seed)
+    hosts = build_hosts(profile, rng)
+    n_pages = profile.n_pages
+    lang_code = np.empty(n_pages, dtype=np.int64)
+    for host in hosts:
+        lang_code[host.page_slice] = host.group_index
+    source_mask = np.ones(n_pages, dtype=bool)
+    attractiveness = rng.pareto(1.3, size=n_pages) + 1.0
+    return profile, hosts, lang_code, source_mask, attractiveness
+
+
+class TestOutDegrees:
+    def test_zero_for_non_sources(self, setup):
+        profile, _, lang_code, _, _ = setup
+        mask = np.zeros(profile.n_pages, dtype=bool)
+        mask[:10] = True
+        degrees = sample_out_degrees(profile, mask, np.random.default_rng(1), lang_code)
+        assert (degrees[10:] == 0).all()
+        assert degrees[:10].sum() > 0
+
+    def test_capped_at_max(self, setup):
+        profile, _, lang_code, mask, _ = setup
+        degrees = sample_out_degrees(profile, mask, np.random.default_rng(1), lang_code)
+        assert degrees.max() <= profile.max_out_degree
+
+    def test_out_degree_scale_applied(self, setup):
+        profile, _, lang_code, mask, _ = setup
+        degrees = sample_out_degrees(profile, mask, np.random.default_rng(1), lang_code)
+        # The thai profile scales the OTHER group's degree 2.2x and the
+        # THAI group's 0.8x; means must separate accordingly.
+        scales = {index: group.out_degree_scale for index, group in enumerate(profile.groups)}
+        big = max(scales, key=scales.get)
+        small = min(scales, key=scales.get)
+        assert degrees[lang_code == big].mean() > 1.5 * degrees[lang_code == small].mean()
+
+    def test_no_sources_yields_no_edges(self, setup):
+        profile, hosts, lang_code, _, attractiveness = setup
+        mask = np.zeros(profile.n_pages, dtype=bool)
+        sources, targets = build_edges(
+            profile, hosts, lang_code, mask, attractiveness, np.random.default_rng(2)
+        )
+        assert len(sources) == len(targets) == 0
+
+
+class TestEdgeStructure:
+    @pytest.fixture(scope="class")
+    def edges(self, setup):
+        profile, hosts, lang_code, mask, attractiveness = setup
+        return setup + build_edges(
+            profile, hosts, lang_code, mask, attractiveness, np.random.default_rng(3)
+        )
+
+    def test_sources_sorted_by_page(self, edges):
+        *_, sources, targets = edges
+        assert (np.diff(sources) >= 0).all()
+
+    def test_targets_in_range(self, edges):
+        profile, *_ , sources, targets = edges
+        assert targets.min() >= 0
+        assert targets.max() < profile.n_pages
+
+    def test_language_locality_holds(self, edges):
+        profile, hosts, lang_code, _, _, sources, targets = edges
+        same_language = (lang_code[sources] == lang_code[targets]).mean()
+        # intra-host links are same-language by construction, plus the
+        # locality share of cross-host links; allow slack for deviants.
+        expected_floor = profile.intra_host_fraction * 0.9
+        assert same_language > expected_floor
+
+    def test_in_degree_heavy_tailed(self, edges):
+        profile, *_ , sources, targets = edges
+        counts = np.bincount(targets, minlength=profile.n_pages)
+        top_share = np.sort(counts)[::-1][: profile.n_pages // 100].sum() / counts.sum()
+        # Top 1% of pages should attract a grossly disproportionate share.
+        assert top_share > 0.15
+
+
+class TestIsolation:
+    def test_isolated_pages_receive_no_same_language_cross_links(self, setup):
+        profile, hosts, lang_code, mask, attractiveness = setup
+        rng = np.random.default_rng(4)
+        isolated = np.zeros(profile.n_pages, dtype=bool)
+        # Isolate one thai host entirely.
+        target_group = next(
+            index for index, group in enumerate(profile.groups)
+            if group.language is profile.target_language
+        )
+        thai_hosts = [host for host in hosts if host.group_index == target_group]
+        victim = max(thai_hosts, key=lambda host: host.n_pages)
+        isolated[victim.page_slice] = True
+
+        sources, targets = build_edges(
+            profile, hosts, lang_code, mask, attractiveness, rng, isolated_mask=isolated
+        )
+        host_of = np.empty(profile.n_pages, dtype=np.int64)
+        for host in hosts:
+            host_of[host.page_slice] = host.index
+        into_victim = isolated[targets] & (host_of[sources] != victim.index)
+        # Every cross-host link into the isolated host comes from a
+        # different-language page.
+        assert (lang_code[sources[into_victim]] != target_group).all()
+
+
+class TestOutlinksPerPage:
+    def test_grouping(self):
+        sources = np.array([0, 0, 2, 2, 2])
+        targets = np.array([5, 6, 7, 8, 9])
+        grouped = outlinks_per_page(4, sources, targets)
+        assert list(grouped[0]) == [5, 6]
+        assert list(grouped[1]) == []
+        assert list(grouped[2]) == [7, 8, 9]
+
+    def test_self_links_dropped(self):
+        grouped = outlinks_per_page(2, np.array([0, 0]), np.array([0, 1]))
+        assert list(grouped[0]) == [1]
+
+    def test_duplicates_dropped_order_preserved(self):
+        sources = np.array([0, 0, 0, 0])
+        targets = np.array([3, 1, 3, 2])
+        assert list(outlinks_per_page(4, sources, targets)[0]) == [3, 1, 2]
+
+    def test_empty(self):
+        grouped = outlinks_per_page(3, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert all(len(chunk) == 0 for chunk in grouped)

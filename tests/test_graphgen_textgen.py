@@ -1,0 +1,107 @@
+"""Unit tests for the deterministic text generator."""
+
+import numpy as np
+import pytest
+
+from repro.charset.languages import Language
+from repro.graphgen.textgen import FLAVORS, TextGenerator, flavor_for
+
+_THAI_RANGE = (0x0E01, 0x0E5B)
+
+
+def generator(flavor: str, seed: int = 7) -> TextGenerator:
+    return TextGenerator(flavor, np.random.default_rng(seed))
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("flavor", FLAVORS)
+    def test_same_seed_same_text(self, flavor):
+        assert generator(flavor).paragraph() == generator(flavor).paragraph()
+
+    def test_different_seeds_differ(self):
+        a = TextGenerator("thai", np.random.default_rng(1)).paragraph()
+        b = TextGenerator("thai", np.random.default_rng(2)).paragraph()
+        assert a != b
+
+
+class TestScriptPurity:
+    def test_japanese_chars_in_expected_scripts(self):
+        text = generator("japanese").paragraph(sentences=10)
+        for char in text:
+            if char == "。":
+                continue
+            code = ord(char)
+            assert (
+                0x3040 <= code <= 0x30FF  # kana
+                or 0x4E00 <= code <= 0x9FFF  # kanji
+            ), f"unexpected char {char!r}"
+
+    def test_thai_chars_in_thai_block(self):
+        text = generator("thai").paragraph(sentences=10)
+        for char in text:
+            if char == " ":
+                continue
+            assert _THAI_RANGE[0] <= ord(char) <= _THAI_RANGE[1], f"unexpected {char!r}"
+
+    def test_english_is_pure_ascii(self):
+        text = generator("english").paragraph(sentences=10)
+        assert text.isascii()
+
+    def test_latin_flavor_contains_accents(self):
+        text = " ".join(generator("latin").words(500))
+        assert not text.isascii()
+        assert any(ch in text for ch in "éèêàçüöñ")
+
+
+class TestEncodability:
+    """Every flavor must encode cleanly in its language's charsets —
+    otherwise the HTML synthesizer would silently drop characters."""
+
+    def test_japanese_encodes_in_all_japanese_charsets(self):
+        text = generator("japanese").paragraph(sentences=20)
+        for codec in ("euc_jp", "shift_jis", "iso2022_jp"):
+            assert text.encode(codec)  # strict: raises on failure
+
+    def test_thai_encodes_in_thai_charsets(self):
+        text = generator("thai").paragraph(sentences=20)
+        for codec in ("tis_620", "cp874"):
+            assert text.encode(codec)
+
+    def test_latin_encodes_in_latin1_and_cp1252(self):
+        text = generator("latin").paragraph(sentences=20)
+        for codec in ("latin_1", "cp1252"):
+            assert text.encode(codec)
+
+
+class TestApi:
+    def test_words_count(self):
+        assert len(generator("english").words(17)) == 17
+
+    def test_phrase_word_bounds(self):
+        phrase = generator("english").phrase(2, 4)
+        assert 2 <= len(phrase.split()) <= 4
+
+    def test_sentence_ends_with_period(self):
+        assert generator("english").sentence().endswith(". ")
+        assert generator("japanese").sentence().endswith("。")
+
+    def test_unknown_flavor_rejected(self):
+        with pytest.raises(ValueError):
+            generator("klingon")
+
+    def test_zipf_distribution_is_skewed(self):
+        words = generator("english").words(3000)
+        counts = {}
+        for word in words:
+            counts[word] = counts.get(word, 0) + 1
+        frequencies = sorted(counts.values(), reverse=True)
+        # Top word should dominate: much more frequent than the median.
+        assert frequencies[0] > 5 * frequencies[len(frequencies) // 2]
+
+
+class TestFlavorFor:
+    def test_mapping(self):
+        assert flavor_for(Language.JAPANESE) == "japanese"
+        assert flavor_for(Language.THAI) == "thai"
+        assert flavor_for(Language.OTHER) == "english"
+        assert flavor_for(Language.OTHER, accented=True) == "latin"

@@ -1,0 +1,106 @@
+"""Tests for the Korean language pack (generality beyond the paper).
+
+The paper's method claims to work for any national web archive; this
+pack adds Korean with one charset row, one coding state machine, one
+escape designation and one text flavor — and these tests assert the
+whole pipeline works end to end for it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.charset.detector import detect_charset
+from repro.charset.languages import Language, charsets_for_language, language_of_charset
+from repro.core.strategies import BreadthFirstStrategy, SimpleStrategy
+from repro.experiments.datasets import build_dataset
+from repro.experiments.runner import run_strategies
+from repro.graphgen.htmlsynth import HtmlSynthesizer
+from repro.graphgen.profiles import korean_profile, profile_by_name
+from repro.graphgen.textgen import TextGenerator
+from repro.webspace.page import PageRecord
+
+KOREAN_TEXT = TextGenerator("korean", np.random.default_rng(3)).paragraph(12)
+JAPANESE_TEXT = TextGenerator("japanese", np.random.default_rng(3)).paragraph(12)
+
+
+class TestCharsetLayer:
+    def test_table1_extension(self):
+        assert set(charsets_for_language(Language.KOREAN)) == {"EUC-KR", "ISO-2022-KR"}
+
+    def test_aliases(self):
+        assert language_of_charset("ks_c_5601-1987") is Language.KOREAN
+        assert language_of_charset("euc-kr") is Language.KOREAN
+        assert language_of_charset("csISO2022KR") is Language.KOREAN
+
+    def test_euckr_detected(self):
+        result = detect_charset(KOREAN_TEXT.encode("euc_kr"))
+        assert result.charset == "EUC-KR"
+        assert result.language is Language.KOREAN
+
+    def test_iso2022kr_detected(self):
+        result = detect_charset(KOREAN_TEXT.encode("iso2022_kr"))
+        assert result.charset == "ISO-2022-KR"
+        assert result.language is Language.KOREAN
+
+    def test_japanese_not_misread_as_korean(self):
+        for codec in ("euc_jp", "shift_jis"):
+            result = detect_charset(JAPANESE_TEXT.encode(codec))
+            assert result.language is Language.JAPANESE, codec
+
+    def test_korean_not_misread_as_japanese(self):
+        result = detect_charset(KOREAN_TEXT.encode("euc_kr"))
+        assert result.language is Language.KOREAN
+
+
+class TestGenerationLayer:
+    def test_korean_text_is_hangul(self):
+        for char in KOREAN_TEXT:
+            if char in " .":
+                continue
+            assert 0xAC00 <= ord(char) <= 0xD7A3, char
+
+    def test_korean_text_encodes_strictly(self):
+        KOREAN_TEXT.encode("euc_kr")
+        KOREAN_TEXT.encode("iso2022_kr")
+
+    def test_synthesized_page_round_trips(self):
+        record = PageRecord(
+            url="http://demo.co.kr/",
+            charset="EUC-KR",
+            true_language=Language.KOREAN,
+            size=2000,
+        )
+        body = HtmlSynthesizer()(record)
+        assert detect_charset(body).language is Language.KOREAN
+
+
+class TestProfileLayer:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return build_dataset(korean_profile().scaled(0.05))
+
+    def test_registered(self):
+        assert profile_by_name("korean").target_language is Language.KOREAN
+
+    def test_dataset_mixed_language(self, dataset):
+        assert 0.2 < dataset.stats().relevance_ratio < 0.8
+
+    def test_headline_orderings_hold(self, dataset):
+        results = run_strategies(
+            dataset, [BreadthFirstStrategy(), SimpleStrategy("hard"), SimpleStrategy("soft")]
+        )
+        early = len(dataset.crawl_log) // 5
+        bfs, hard, soft = results.values()
+        assert hard.series.harvest_at(early) > bfs.series.harvest_at(early)
+        assert soft.final_coverage == pytest.approx(1.0)
+        assert hard.final_coverage < soft.final_coverage
+
+    def test_korean_hosts_get_kr_tlds(self, dataset):
+        from repro.urlkit.normalize import url_host
+
+        korean_hosts = {
+            url_host(record.url)
+            for record in dataset.crawl_log
+            if record.true_language is Language.KOREAN
+        }
+        assert any(host.endswith(".kr") for host in korean_hosts)

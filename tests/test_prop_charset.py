@@ -1,0 +1,97 @@
+"""Property-based tests for the charset substrate.
+
+The central invariant: text generated in a language, encoded with one of
+that language's charsets, is detected as that language — across arbitrary
+seeds and text lengths.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.charset.detector import detect_charset
+from repro.charset.languages import Language
+from repro.charset.machines import EUCJP_SPEC, SJIS_SPEC, UTF8_SPEC
+from repro.charset.meta import parse_meta_charset
+from repro.charset.statemachine import CodingStateMachine
+from repro.graphgen.textgen import TextGenerator
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+sentence_counts = st.integers(min_value=3, max_value=12)
+
+
+def text_of(flavor: str, seed: int, sentences: int) -> str:
+    return TextGenerator(flavor, np.random.default_rng(seed)).paragraph(sentences)
+
+
+class TestDetectionRoundTrip:
+    @given(seeds, sentence_counts, st.sampled_from(["euc_jp", "shift_jis", "iso2022_jp"]))
+    @settings(max_examples=40, deadline=None)
+    def test_japanese_always_detected(self, seed, sentences, codec):
+        data = text_of("japanese", seed, sentences).encode(codec)
+        assert detect_charset(data).language is Language.JAPANESE
+
+    @given(seeds, sentence_counts)
+    @settings(max_examples=40, deadline=None)
+    def test_thai_always_detected(self, seed, sentences):
+        data = text_of("thai", seed, sentences).encode("tis_620")
+        assert detect_charset(data).language is Language.THAI
+
+    @given(seeds, sentence_counts)
+    @settings(max_examples=30, deadline=None)
+    def test_english_never_misread_as_target_language(self, seed, sentences):
+        data = text_of("english", seed, sentences).encode("ascii")
+        assert detect_charset(data).language is Language.OTHER
+
+    @given(seeds, sentence_counts)
+    @settings(max_examples=30, deadline=None)
+    def test_utf8_japanese_reported_as_utf8(self, seed, sentences):
+        data = text_of("japanese", seed, sentences).encode("utf-8")
+        assert detect_charset(data).charset == "UTF-8"
+
+
+class TestDetectorTotality:
+    @given(st.binary(max_size=300))
+    @settings(max_examples=80, deadline=None)
+    def test_never_crashes_on_arbitrary_bytes(self, data):
+        result = detect_charset(data)
+        assert 0.0 <= result.confidence <= 1.0
+
+    @given(st.binary(max_size=200), st.integers(min_value=1, max_value=16))
+    @settings(max_examples=40, deadline=None)
+    def test_chunking_never_changes_verdict(self, data, chunk):
+        from repro.charset.detector import CompositeCharsetDetector
+
+        whole = detect_charset(data)
+        detector = CompositeCharsetDetector()
+        for index in range(0, len(data), chunk):
+            detector.feed(data[index : index + chunk])
+        assert detector.close().charset == whole.charset
+
+
+class TestMachineTotality:
+    @given(st.binary(max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_machines_never_crash(self, data):
+        for spec in (UTF8_SPEC, EUCJP_SPEC, SJIS_SPEC):
+            machine = CodingStateMachine(spec)
+            machine.feed(data)
+            assert machine.chars_total >= 0
+
+    @given(st.text(max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_utf8_machine_accepts_all_python_strings(self, text):
+        machine = CodingStateMachine(UTF8_SPEC)
+        assert machine.feed(text.encode("utf-8"))
+
+
+class TestMetaParserTotality:
+    @given(st.binary(max_size=500))
+    @settings(max_examples=60, deadline=None)
+    def test_never_crashes(self, data):
+        result = parse_meta_charset(data)
+        assert result is None or isinstance(result, str)
+
+    @given(st.sampled_from(["TIS-620", "EUC-JP", "Shift_JIS", "utf-8"]))
+    def test_declared_charset_always_recovered(self, charset):
+        html = f'<html><head><meta http-equiv="Content-Type" content="text/html; charset={charset}"></head></html>'
+        assert parse_meta_charset(html) == charset

@@ -1,0 +1,72 @@
+"""Property-based tests for crawl-log serialisation."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.charset.languages import Language
+from repro.webspace.crawllog import CrawlLog
+from repro.webspace.page import PageRecord
+
+url_ids = st.integers(min_value=0, max_value=10_000)
+charsets = st.sampled_from(
+    [None, "TIS-620", "WINDOWS-874", "EUC-JP", "SHIFT_JIS", "ISO-2022-JP", "UTF-8", "US-ASCII"]
+)
+languages = st.sampled_from(list(Language))
+statuses = st.sampled_from([200, 302, 404, 403, 500])
+content_types = st.sampled_from(["text/html", "image/gif", "application/pdf"])
+
+
+@st.composite
+def page_records(draw, url_id=None):
+    uid = draw(url_ids) if url_id is None else url_id
+    status = draw(statuses)
+    outlinks = tuple(
+        f"http://l{target}.example/" for target in draw(st.lists(url_ids, max_size=6, unique=True))
+    )
+    return PageRecord(
+        url=f"http://p{uid}.example/",
+        status=status,
+        content_type=draw(content_types),
+        charset=draw(charsets) if status == 200 else None,
+        true_language=draw(languages),
+        outlinks=outlinks if status == 200 else (),
+        size=draw(st.integers(min_value=0, max_value=10**7)),
+    )
+
+
+@st.composite
+def crawl_logs(draw):
+    ids = draw(st.lists(url_ids, max_size=20, unique=True))
+    return CrawlLog([draw(page_records(url_id=uid)) for uid in ids])
+
+
+class TestRecordRoundTrip:
+    @given(page_records())
+    @settings(max_examples=100)
+    def test_json_dict_round_trip(self, record):
+        assert PageRecord.from_json_dict(record.to_json_dict()) == record
+
+
+class TestLogRoundTrip:
+    @given(crawl_logs())
+    @settings(max_examples=25, deadline=None)
+    def test_save_load_identity(self, log):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as directory:
+            path = Path(directory) / "log.jsonl"
+            log.save(path)
+            assert list(CrawlLog.load(path)) == list(log)
+
+    @given(crawl_logs())
+    @settings(max_examples=10, deadline=None)
+    def test_gzip_save_load_identity(self, log):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as directory:
+            path = Path(directory) / "log.jsonl.gz"
+            log.save(path)
+            assert list(CrawlLog.load(path)) == list(log)

@@ -1,0 +1,98 @@
+"""Property-based tests for the frontier implementations."""
+
+from collections import Counter
+
+from hypothesis import given, strategies as st
+
+from repro.core.frontier import Candidate, FIFOFrontier, PriorityFrontier
+
+pushes = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=999), st.integers(min_value=-5, max_value=5)),
+    max_size=60,
+)
+
+#: Interleaved operations: push (url_id, priority) or pop (None).
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.integers(min_value=0, max_value=999), st.integers(min_value=-5, max_value=5)),
+        st.none(),
+    ),
+    max_size=80,
+)
+
+
+def candidate(url_id: int, priority: int) -> Candidate:
+    return Candidate(url=f"http://p{url_id}.example/", priority=priority)
+
+
+class TestConservation:
+    @given(pushes)
+    def test_fifo_returns_exactly_what_was_pushed(self, items):
+        frontier = FIFOFrontier()
+        for url_id, priority in items:
+            frontier.push(candidate(url_id, priority))
+        popped = [frontier.pop() for _ in range(len(items))]
+        assert Counter(c.url for c in popped) == Counter(
+            f"http://p{url_id}.example/" for url_id, _ in items
+        )
+        assert not frontier
+
+    @given(pushes)
+    def test_priority_returns_exactly_what_was_pushed(self, items):
+        frontier = PriorityFrontier()
+        for url_id, priority in items:
+            frontier.push(candidate(url_id, priority))
+        popped = [frontier.pop() for _ in range(len(items))]
+        assert Counter(c.url for c in popped) == Counter(
+            f"http://p{url_id}.example/" for url_id, _ in items
+        )
+
+
+class TestOrdering:
+    @given(pushes)
+    def test_fifo_preserves_order(self, items):
+        frontier = FIFOFrontier()
+        for url_id, priority in items:
+            frontier.push(candidate(url_id, priority))
+        popped = [frontier.pop().url for _ in range(len(items))]
+        assert popped == [f"http://p{url_id}.example/" for url_id, _ in items]
+
+    @given(pushes)
+    def test_priority_pops_in_nonincreasing_priority(self, items):
+        frontier = PriorityFrontier()
+        for url_id, priority in items:
+            frontier.push(candidate(url_id, priority))
+        priorities = [frontier.pop().priority for _ in range(len(items))]
+        assert priorities == sorted(priorities, reverse=True)
+
+    @given(pushes)
+    def test_priority_fifo_within_band(self, items):
+        frontier = PriorityFrontier()
+        arrival: dict[str, int] = {}
+        for order, (url_id, priority) in enumerate(items):
+            c = Candidate(url=f"http://p{order}-{url_id}.example/", priority=priority)
+            arrival[c.url] = order
+            frontier.push(c)
+        popped = [frontier.pop() for _ in range(len(items))]
+        for earlier, later in zip(popped, popped[1:]):
+            if earlier.priority == later.priority:
+                assert arrival[earlier.url] < arrival[later.url]
+
+
+class TestInterleaved:
+    @given(operations)
+    def test_size_accounting_under_interleaving(self, ops):
+        frontier = PriorityFrontier()
+        expected_size = 0
+        peak = 0
+        for op in ops:
+            if op is None:
+                if expected_size:
+                    frontier.pop()
+                    expected_size -= 1
+            else:
+                frontier.push(candidate(*op))
+                expected_size += 1
+                peak = max(peak, expected_size)
+            assert len(frontier) == expected_size
+        assert frontier.peak_size == peak

@@ -1,0 +1,68 @@
+"""Property-based tests for HTML synthesis.
+
+The crucial contract: for ANY page record, the synthesized body must
+(a) re-extract to exactly the record's outlinks, (b) carry the declared
+META charset, and (c) decode under the encoding it claims — across
+random charsets, languages, sizes and link lists.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.charset.languages import PYTHON_CODECS, Language
+from repro.charset.meta import parse_meta_charset
+from repro.graphgen.htmlsynth import HtmlSynthesizer
+from repro.urlkit.extract import extract_links
+from repro.webspace.page import PageRecord
+
+SYNTH = HtmlSynthesizer()
+
+charsets = st.sampled_from(
+    [None, "TIS-620", "WINDOWS-874", "EUC-JP", "SHIFT_JIS", "ISO-2022-JP", "UTF-8", "ISO-8859-1", "US-ASCII"]
+)
+languages = st.sampled_from([Language.THAI, Language.JAPANESE, Language.OTHER])
+sizes = st.integers(min_value=256, max_value=30_000)
+link_lists = st.lists(
+    st.integers(min_value=0, max_value=500).map(lambda n: f"http://link{n}.example/p"),
+    max_size=30,
+    unique=True,
+)
+
+
+@st.composite
+def records(draw):
+    return PageRecord(
+        url=f"http://host{draw(st.integers(0, 999))}.example/page.html",
+        charset=draw(charsets),
+        true_language=draw(languages),
+        outlinks=tuple(draw(link_lists)),
+        size=draw(sizes),
+    )
+
+
+class TestSynthesisContract:
+    @given(records())
+    @settings(max_examples=40, deadline=None)
+    def test_outlinks_round_trip(self, record):
+        body = SYNTH(record)
+        assert tuple(extract_links(body, record.url)) == record.outlinks
+
+    @given(records())
+    @settings(max_examples=40, deadline=None)
+    def test_meta_matches_declaration(self, record):
+        label = parse_meta_charset(SYNTH(record))
+        if record.charset is None:
+            assert label is None
+        else:
+            assert label == record.charset
+
+    @given(records())
+    @settings(max_examples=40, deadline=None)
+    def test_bytes_decode_under_actual_encoding(self, record):
+        body = SYNTH(record)
+        codec = PYTHON_CODECS[SYNTH.encoding_for(record)]
+        body.decode(codec)  # strict decode must succeed
+
+    @given(records())
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic(self, record):
+        assert SYNTH(record) == SYNTH(record)

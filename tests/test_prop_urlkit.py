@@ -1,0 +1,85 @@
+"""Property-based tests for the URL substrate."""
+
+import string
+
+from hypothesis import given, strategies as st
+
+from repro.errors import UrlError
+from repro.urlkit.normalize import normalize_url
+from repro.urlkit.parse import parse_url
+
+host_labels = st.text(alphabet=string.ascii_lowercase + string.digits, min_size=1, max_size=8)
+hosts = st.lists(host_labels, min_size=1, max_size=3).map(".".join)
+path_segments = st.lists(
+    st.text(alphabet=string.ascii_letters + string.digits + "._-", min_size=1, max_size=8),
+    min_size=0,
+    max_size=5,
+)
+queries = st.one_of(
+    st.just(""),
+    st.text(alphabet=string.ascii_lowercase + "=&", min_size=1, max_size=12),
+)
+
+
+@st.composite
+def urls(draw):
+    scheme = draw(st.sampled_from(["http", "https"]))
+    host = draw(hosts)
+    port = draw(st.one_of(st.none(), st.integers(min_value=1, max_value=65535)))
+    segments = draw(path_segments)
+    query = draw(queries)
+    url = f"{scheme}://{host}"
+    if port is not None:
+        url += f":{port}"
+    url += "/" + "/".join(segments)
+    if query:
+        url += f"?{query}"
+    return url
+
+
+class TestNormalizationProperties:
+    @given(urls())
+    def test_idempotent(self, url):
+        once = normalize_url(url)
+        assert normalize_url(once) == once
+
+    @given(urls())
+    def test_output_always_parseable(self, url):
+        parse_url(normalize_url(url))
+
+    @given(urls())
+    def test_host_preserved(self, url):
+        assert parse_url(normalize_url(url)).host == parse_url(url).host
+
+    @given(urls())
+    def test_no_dot_segments_survive(self, url):
+        path = parse_url(normalize_url(url)).path
+        segments = path.split("/")
+        assert "." not in segments
+        assert ".." not in segments
+
+    @given(urls(), st.text(alphabet=string.ascii_letters, max_size=8))
+    def test_fragment_never_matters(self, url, fragment):
+        assert normalize_url(url + "#" + fragment) == normalize_url(url)
+
+    @given(urls())
+    def test_case_of_scheme_host_irrelevant(self, url):
+        scheme, rest = url.split("://", 1)
+        assert normalize_url(scheme.upper() + "://" + rest) == normalize_url(url)
+
+
+class TestParseTotality:
+    @given(st.text(max_size=40))
+    def test_parse_never_crashes_unexpectedly(self, text):
+        """parse_url either returns a SplitUrl or raises UrlError —
+        nothing else escapes."""
+        try:
+            split = parse_url(text)
+        except UrlError:
+            return
+        assert split.unsplit()
+
+    @given(urls())
+    def test_round_trip_preserves_identity(self, url):
+        split = parse_url(url)
+        assert parse_url(split.unsplit()) == parse_url(parse_url(split.unsplit()).unsplit())

@@ -1,0 +1,88 @@
+"""Unit tests for repro.urlkit.extract."""
+
+from repro.urlkit.extract import extract_links
+
+BASE = "http://host.example/dir/page.html"
+
+
+class TestExtractLinks:
+    def test_absolute_link(self):
+        html = '<a href="http://other.example/x">x</a>'
+        assert extract_links(html, BASE) == ["http://other.example/x"]
+
+    def test_root_relative_link(self):
+        html = '<a href="/top.html">t</a>'
+        assert extract_links(html, BASE) == ["http://host.example/top.html"]
+
+    def test_document_relative_link(self):
+        html = '<a href="sibling.html">s</a>'
+        assert extract_links(html, BASE) == ["http://host.example/dir/sibling.html"]
+
+    def test_parent_relative_link(self):
+        html = '<a href="../up.html">u</a>'
+        assert extract_links(html, BASE) == ["http://host.example/up.html"]
+
+    def test_protocol_relative_link(self):
+        html = '<a href="//cdn.example/lib.js">c</a>'
+        assert extract_links(html, BASE) == ["http://cdn.example/lib.js"]
+
+    def test_single_quoted_href(self):
+        assert extract_links("<a href='/a'>a</a>", BASE) == ["http://host.example/a"]
+
+    def test_unquoted_href(self):
+        assert extract_links("<a href=/a>a</a>", BASE) == ["http://host.example/a"]
+
+    def test_attribute_order_irrelevant(self):
+        html = '<a class="x" target="_blank" href="/a">a</a>'
+        assert extract_links(html, BASE) == ["http://host.example/a"]
+
+    def test_case_insensitive_tag_and_attr(self):
+        html = '<A HREF="/a">a</A>'
+        assert extract_links(html, BASE) == ["http://host.example/a"]
+
+    def test_multiline_tag(self):
+        html = '<a\n   href="/a"\n>a</a>'
+        assert extract_links(html, BASE) == ["http://host.example/a"]
+
+    def test_duplicates_removed_first_wins(self):
+        html = '<a href="/a">1</a><a href="/b">2</a><a href="/a">3</a>'
+        assert extract_links(html, BASE) == [
+            "http://host.example/a",
+            "http://host.example/b",
+        ]
+
+    def test_document_order_preserved(self):
+        html = '<a href="/z">z</a><a href="/a">a</a><a href="/m">m</a>'
+        assert [u.rsplit("/", 1)[1] for u in extract_links(html, BASE)] == ["z", "a", "m"]
+
+    def test_ignores_fragment_only(self):
+        assert extract_links('<a href="#top">top</a>', BASE) == []
+
+    def test_ignores_pseudo_schemes(self):
+        html = (
+            '<a href="javascript:void(0)">j</a>'
+            '<a href="mailto:a@b.c">m</a>'
+            '<a href="ftp://f.example/x">f</a>'
+        )
+        assert extract_links(html, BASE) == []
+
+    def test_ignores_anchor_without_href(self):
+        assert extract_links('<a name="top">anchor</a>', BASE) == []
+
+    def test_ignores_unparseable_href(self):
+        assert extract_links('<a href="http://bad host/">b</a>', BASE) == []
+
+    def test_bytes_input(self):
+        html = b'<a href="/a">a</a>'
+        assert extract_links(html, BASE) == ["http://host.example/a"]
+
+    def test_links_are_normalized(self):
+        html = '<a href="HTTP://Other.Example//x/./y">n</a>'
+        assert extract_links(html, BASE) == ["http://other.example/x/y"]
+
+    def test_empty_document(self):
+        assert extract_links("", BASE) == []
+
+    def test_non_anchor_tags_ignored(self):
+        html = '<img src="/pic.png"><link href="/style.css">'
+        assert extract_links(html, BASE) == []

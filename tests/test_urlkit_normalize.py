@@ -1,0 +1,75 @@
+"""Unit tests for repro.urlkit.normalize."""
+
+import pytest
+
+from repro.errors import UrlError
+from repro.urlkit.normalize import normalize_url, url_host, url_site_key
+
+
+class TestNormalizeUrl:
+    def test_already_normal_is_unchanged(self):
+        url = "http://example.com/a/b.html"
+        assert normalize_url(url) == url
+
+    def test_lowercases_scheme_and_host(self):
+        assert normalize_url("HTTP://EXAMPLE.COM/A") == "http://example.com/A"
+
+    def test_path_case_preserved(self):
+        assert normalize_url("http://example.com/CaseSensitive") == "http://example.com/CaseSensitive"
+
+    def test_drops_default_http_port(self):
+        assert normalize_url("http://example.com:80/a") == "http://example.com/a"
+
+    def test_drops_default_https_port(self):
+        assert normalize_url("https://example.com:443/a") == "https://example.com/a"
+
+    def test_keeps_nonstandard_port(self):
+        assert normalize_url("http://example.com:8080/a") == "http://example.com:8080/a"
+
+    def test_empty_path_becomes_slash(self):
+        assert normalize_url("http://example.com") == "http://example.com/"
+
+    def test_collapses_duplicate_slashes(self):
+        assert normalize_url("http://example.com//a///b") == "http://example.com/a/b"
+
+    def test_resolves_single_dot(self):
+        assert normalize_url("http://example.com/a/./b") == "http://example.com/a/b"
+
+    def test_resolves_double_dot(self):
+        assert normalize_url("http://example.com/a/../b") == "http://example.com/b"
+
+    def test_double_dot_at_root_is_clamped(self):
+        assert normalize_url("http://example.com/../../a") == "http://example.com/a"
+
+    def test_preserves_trailing_slash(self):
+        assert normalize_url("http://example.com/a/b/") == "http://example.com/a/b/"
+
+    def test_trailing_dot_segment_keeps_slash(self):
+        assert normalize_url("http://example.com/a/b/.") == "http://example.com/a/b/"
+
+    def test_strips_fragment(self):
+        assert normalize_url("http://example.com/a#frag") == "http://example.com/a"
+
+    def test_drops_empty_query(self):
+        assert normalize_url("http://example.com/a?") == "http://example.com/a"
+
+    def test_keeps_query(self):
+        assert normalize_url("http://example.com/a?b=2&c=3") == "http://example.com/a?b=2&c=3"
+
+    def test_idempotent(self):
+        messy = "HTTP://Example.COM:80//a/./b/../c#x"
+        once = normalize_url(messy)
+        assert normalize_url(once) == once
+
+    def test_raises_on_garbage(self):
+        with pytest.raises(UrlError):
+            normalize_url("not a url at all")
+
+
+class TestAccessors:
+    def test_url_host(self):
+        assert url_host("http://WWW.Example.com/x") == "www.example.com"
+
+    def test_url_site_key(self):
+        assert url_site_key("http://example.com/x") == "example.com:80"
+        assert url_site_key("http://example.com:99/x") == "example.com:99"

@@ -1,0 +1,102 @@
+"""Unit tests for repro.webspace.linkdb."""
+
+from repro.webspace.crawllog import CrawlLog
+from repro.webspace.linkdb import LinkDB
+from repro.webspace.page import PageRecord
+
+from conftest import A, B, C, D, DEAD, E, F, SEED
+
+
+class TestForward:
+    def test_forward_links(self, tiny_log):
+        db = LinkDB(tiny_log)
+        assert db.forward(SEED) == (A, B, DEAD)
+        assert db.forward(B) == (C,)
+
+    def test_forward_of_leaf_is_empty(self, tiny_log):
+        assert LinkDB(tiny_log).forward(C) == ()
+
+    def test_forward_of_non_ok_is_empty(self, tiny_log):
+        assert LinkDB(tiny_log).forward(DEAD) == ()
+
+    def test_forward_of_unknown_is_empty(self, tiny_log):
+        assert LinkDB(tiny_log).forward("http://nowhere.example/") == ()
+
+    def test_forward_of_non_html_is_empty(self):
+        log = CrawlLog(
+            [
+                PageRecord(
+                    url="http://x.example/pic",
+                    content_type="image/gif",
+                    outlinks=("http://y.example/",),
+                )
+            ]
+        )
+        assert LinkDB(log).forward("http://x.example/pic") == ()
+
+    def test_out_degree(self, tiny_log):
+        db = LinkDB(tiny_log)
+        assert db.out_degree(SEED) == 3
+        assert db.out_degree(C) == 0
+
+
+class TestBackward:
+    def test_backward_links(self, tiny_log):
+        db = LinkDB(tiny_log)
+        assert db.backward(C) == (B,)
+        assert db.backward(A) == (SEED,)
+
+    def test_backward_of_seed_is_empty(self, tiny_log):
+        assert LinkDB(tiny_log).backward(SEED) == ()
+
+    def test_in_degree(self, tiny_log):
+        db = LinkDB(tiny_log)
+        assert db.in_degree(DEAD) == 1
+        assert db.in_degree(SEED) == 0
+
+    def test_backward_includes_dangling_targets(self):
+        log = CrawlLog(
+            [PageRecord(url="http://x.example/", outlinks=("http://gone.example/",))]
+        )
+        assert LinkDB(log).backward("http://gone.example/") == ("http://x.example/",)
+
+    def test_non_ok_pages_do_not_contribute_backlinks(self):
+        log = CrawlLog(
+            [
+                PageRecord(url="http://x.example/", status=500, outlinks=("http://y.example/",)),
+                PageRecord(url="http://y.example/"),
+            ]
+        )
+        assert LinkDB(log).backward("http://y.example/") == ()
+
+
+class TestTraversal:
+    def test_reachable_from_seed_covers_everything(self, tiny_log):
+        db = LinkDB(tiny_log)
+        reached = db.reachable_from([SEED])
+        assert reached == {SEED, A, B, C, D, E, F, DEAD}
+
+    def test_reachable_from_interior_node(self, tiny_log):
+        db = LinkDB(tiny_log)
+        assert db.reachable_from([D]) == {D, E, F}
+
+    def test_reachable_includes_seeds_themselves(self, tiny_log):
+        assert C in LinkDB(tiny_log).reachable_from([C])
+
+    def test_reachable_from_multiple_seeds(self, tiny_log):
+        db = LinkDB(tiny_log)
+        assert db.reachable_from([C, F]) == {C, F}
+
+    def test_reachable_from_empty_is_empty(self, tiny_log):
+        assert LinkDB(tiny_log).reachable_from([]) == set()
+
+    def test_edges_enumeration(self, tiny_log):
+        db = LinkDB(tiny_log)
+        edges = list(db.edges())
+        assert (SEED, A) in edges
+        assert (E, F) in edges
+        assert db.edge_count() == len(edges) == 7
+
+    def test_edges_exclude_non_ok_sources(self, tiny_log):
+        sources = {source for source, _ in LinkDB(tiny_log).edges()}
+        assert DEAD not in sources

@@ -1,0 +1,152 @@
+"""Unit tests for crawl-log query operations."""
+
+import pytest
+
+from repro.charset.languages import Language
+from repro.errors import CrawlLogError
+from repro.webspace.crawllog import CrawlLog
+from repro.webspace.page import PageRecord
+from repro.webspace.query import (
+    by_host_suffix,
+    by_language,
+    diff_logs,
+    filter_log,
+    host_partition,
+    merge_logs,
+    ok_html,
+    sample_log,
+)
+
+from conftest import SEED, A, B, C, DEAD, english_page, thai_page
+
+
+class TestFilters:
+    def test_by_language_declared(self, tiny_log):
+        thai = filter_log(tiny_log, by_language(Language.THAI))
+        assert set(thai.urls()) == {SEED, A, C, "http://f.co.th/"}
+
+    def test_by_language_true(self):
+        log = CrawlLog(
+            [PageRecord(url="http://x.th/", charset="UTF-8", true_language=Language.THAI)]
+        )
+        assert len(filter_log(log, by_language(Language.THAI))) == 0
+        assert len(filter_log(log, by_language(Language.THAI, declared=False))) == 1
+
+    def test_by_host_suffix(self, tiny_log):
+        th = filter_log(tiny_log, by_host_suffix(".th"))
+        assert all(url.endswith((".co.th/", ".co.th")) for url in th.urls())
+        assert B not in th
+
+    def test_ok_html(self, tiny_log):
+        kept = filter_log(tiny_log, ok_html())
+        assert DEAD not in kept
+        assert len(kept) == 7
+
+    def test_composition(self, tiny_log):
+        both = filter_log(tiny_log, lambda r: ok_html()(r) and by_language(Language.THAI)(r))
+        assert len(both) == 4
+
+    def test_order_preserved(self, tiny_log):
+        filtered = filter_log(tiny_log, ok_html())
+        original_order = [url for url in tiny_log.urls() if url != DEAD]
+        assert list(filtered.urls()) == original_order
+
+
+class TestMerge:
+    def test_disjoint_union(self, tiny_pages):
+        first = CrawlLog(tiny_pages[:4])
+        second = CrawlLog(tiny_pages[4:])
+        merged = merge_logs(first, second)
+        assert len(merged) == len(tiny_pages)
+
+    def test_identical_duplicates_collapse(self, tiny_pages):
+        log = CrawlLog(tiny_pages)
+        assert len(merge_logs(log, log)) == len(log)
+
+    def test_conflict_first_wins(self):
+        a = CrawlLog([thai_page("http://x.th/")])
+        b = CrawlLog([english_page("http://x.th/")])
+        merged = merge_logs(a, b)
+        assert merged["http://x.th/"].true_language is Language.THAI
+
+    def test_conflict_error_mode(self):
+        a = CrawlLog([thai_page("http://x.th/")])
+        b = CrawlLog([english_page("http://x.th/")])
+        with pytest.raises(CrawlLogError, match="conflicting"):
+            merge_logs(a, b, on_conflict="error")
+
+    def test_invalid_mode(self):
+        with pytest.raises(CrawlLogError):
+            merge_logs(CrawlLog(), on_conflict="whatever")
+
+
+class TestSample:
+    def test_fraction_bounds(self, tiny_log):
+        with pytest.raises(CrawlLogError):
+            sample_log(tiny_log, 0.0)
+        with pytest.raises(CrawlLogError):
+            sample_log(tiny_log, 1.5)
+
+    def test_full_fraction_keeps_everything(self, tiny_log):
+        assert len(sample_log(tiny_log, 1.0)) == len(tiny_log)
+
+    def test_deterministic(self, thai_dataset):
+        a = sample_log(thai_dataset.crawl_log, 0.3, seed=5)
+        b = sample_log(thai_dataset.crawl_log, 0.3, seed=5)
+        assert list(a.urls()) == list(b.urls())
+
+    def test_roughly_proportional(self, thai_dataset):
+        sampled = sample_log(thai_dataset.crawl_log, 0.3, seed=5)
+        ratio = len(sampled) / len(thai_dataset.crawl_log)
+        assert 0.25 < ratio < 0.35
+
+
+class TestDiff:
+    def test_identical(self, tiny_log):
+        diff = diff_logs(tiny_log, tiny_log)
+        assert diff.identical
+        assert diff.unchanged_count == len(tiny_log)
+
+    def test_asymmetric_membership(self, tiny_pages):
+        first = CrawlLog(tiny_pages[:5])
+        second = CrawlLog(tiny_pages[2:])
+        diff = diff_logs(first, second)
+        assert set(diff.only_in_first) == {page.url for page in tiny_pages[:2]}
+        assert set(diff.only_in_second) == {page.url for page in tiny_pages[5:]}
+        assert diff.unchanged_count == 3
+
+    def test_changed_records(self):
+        first = CrawlLog([thai_page("http://x.th/")])
+        second = CrawlLog([thai_page("http://x.th/", charset="WINDOWS-874")])
+        diff = diff_logs(first, second)
+        assert diff.changed == ("http://x.th/",)
+        assert not diff.identical
+
+
+class TestHostPartition:
+    def test_partitions_cover_everything(self, thai_dataset):
+        parts = host_partition(thai_dataset.crawl_log, 4)
+        assert sum(len(part) for part in parts) == len(thai_dataset.crawl_log)
+
+    def test_hosts_not_split(self, thai_dataset):
+        from repro.urlkit.normalize import url_host
+
+        parts = host_partition(thai_dataset.crawl_log, 4)
+        seen: dict[str, int] = {}
+        for index, part in enumerate(parts):
+            for record in part:
+                host = url_host(record.url)
+                assert seen.setdefault(host, index) == index
+
+    def test_single_partition_is_identity(self, tiny_log):
+        parts = host_partition(tiny_log, 1)
+        assert list(parts[0].urls()) == list(tiny_log.urls())
+
+    def test_rejects_zero_partitions(self, tiny_log):
+        with pytest.raises(CrawlLogError):
+            host_partition(tiny_log, 0)
+
+    def test_reasonable_balance(self, thai_dataset):
+        parts = host_partition(thai_dataset.crawl_log, 4)
+        sizes = sorted(len(part) for part in parts)
+        assert sizes[0] > 0

@@ -1,0 +1,76 @@
+"""Unit tests for repro.webspace.stats (Table 3 computation)."""
+
+from repro.charset.languages import Language
+from repro.webspace.crawllog import CrawlLog
+from repro.webspace.page import PageRecord
+from repro.webspace.stats import compute_stats, relevant_url_set
+
+from conftest import C, DEAD, F, SEED, A
+
+
+class TestComputeStats:
+    def test_tiny_web_counts(self, tiny_log):
+        stats = compute_stats(tiny_log, Language.THAI)
+        # 4 Thai pages (SEED, A, C, F), 3 English, 1 non-OK.
+        assert stats.relevant_html_pages == 4
+        assert stats.irrelevant_html_pages == 3
+        assert stats.total_html_pages == 7
+        assert stats.non_ok_pages == 1
+        assert stats.total_urls == 8
+
+    def test_relevance_ratio(self, tiny_log):
+        stats = compute_stats(tiny_log, Language.THAI)
+        assert abs(stats.relevance_ratio - 4 / 7) < 1e-9
+
+    def test_other_target_language(self, tiny_log):
+        stats = compute_stats(tiny_log, Language.OTHER)
+        assert stats.relevant_html_pages == 3
+
+    def test_empty_log(self):
+        stats = compute_stats(CrawlLog(), Language.THAI)
+        assert stats.total_html_pages == 0
+        assert stats.relevance_ratio == 0.0
+
+    def test_mislabeled_page_counts_by_declared_charset(self):
+        # A Thai page declaring UTF-8 is *irrelevant* by charset (the
+        # paper's mislabel case) but relevant by ground truth.
+        log = CrawlLog(
+            [PageRecord(url="http://x.example/", charset="UTF-8", true_language=Language.THAI)]
+        )
+        declared = compute_stats(log, Language.THAI)
+        assert declared.relevant_html_pages == 0
+        truth = compute_stats(log, Language.THAI, use_true_language=True)
+        assert truth.relevant_html_pages == 1
+
+    def test_non_html_ok_pages_excluded_from_html_counts(self):
+        log = CrawlLog(
+            [PageRecord(url="http://x.example/pic", content_type="image/gif", charset="TIS-620")]
+        )
+        stats = compute_stats(log, Language.THAI)
+        assert stats.total_html_pages == 0
+        assert stats.non_ok_pages == 0
+
+
+class TestRelevantUrlSet:
+    def test_tiny_web_set(self, tiny_log):
+        assert relevant_url_set(tiny_log, Language.THAI) == {SEED, A, C, F}
+
+    def test_excludes_non_ok(self, tiny_log):
+        assert DEAD not in relevant_url_set(tiny_log, Language.THAI)
+
+    def test_returns_frozenset(self, tiny_log):
+        assert isinstance(relevant_url_set(tiny_log, Language.THAI), frozenset)
+
+    def test_true_language_mode(self):
+        log = CrawlLog(
+            [PageRecord(url="http://x.example/", charset="UTF-8", true_language=Language.THAI)]
+        )
+        assert relevant_url_set(log, Language.THAI) == frozenset()
+        assert relevant_url_set(log, Language.THAI, use_true_language=True) == {
+            "http://x.example/"
+        }
+
+    def test_consistent_with_stats(self, tiny_log):
+        stats = compute_stats(tiny_log, Language.THAI)
+        urls = relevant_url_set(tiny_log, Language.THAI)
+        assert len(urls) == stats.relevant_html_pages

@@ -1,0 +1,97 @@
+"""Unit tests for repro.webspace.virtualweb."""
+
+from repro.graphgen.htmlsynth import HtmlSynthesizer
+from repro.webspace.crawllog import CrawlLog
+from repro.webspace.page import PageRecord
+from repro.webspace.virtualweb import (
+    STATUS_UNKNOWN_URL,
+    VirtualWebSpace,
+    make_cached_synthesizer,
+)
+
+from conftest import DEAD, SEED, A
+
+
+class TestFetch:
+    def test_known_page_properties(self, tiny_web):
+        response = tiny_web.fetch(SEED)
+        assert response.ok
+        assert response.is_html
+        assert response.charset == "TIS-620"
+        assert response.outlinks == (A, "http://b.com/", DEAD)
+        assert response.record is not None
+
+    def test_non_ok_page_has_no_outlinks(self, tiny_web):
+        response = tiny_web.fetch(DEAD)
+        assert response.status == 404
+        assert not response.ok
+        assert response.outlinks == ()
+
+    def test_unknown_url_answers_404(self, tiny_web):
+        response = tiny_web.fetch("http://never-seen.example/")
+        assert response.status == STATUS_UNKNOWN_URL
+        assert response.record is None
+        assert response.outlinks == ()
+
+    def test_fetch_count_increments(self, tiny_web):
+        assert tiny_web.fetch_count == 0
+        tiny_web.fetch(SEED)
+        tiny_web.fetch("http://never-seen.example/")
+        assert tiny_web.fetch_count == 2
+
+    def test_contains(self, tiny_web):
+        assert SEED in tiny_web
+        assert "http://never-seen.example/" not in tiny_web
+
+    def test_no_body_without_synthesizer(self, tiny_web):
+        assert tiny_web.fetch(SEED).body is None
+
+    def test_non_html_page_outlinks_suppressed(self):
+        record = PageRecord(
+            url="http://x.example/doc.pdf",
+            content_type="application/pdf",
+            outlinks=("http://y.example/",),
+        )
+        web = VirtualWebSpace(CrawlLog([record]))
+        assert web.fetch("http://x.example/doc.pdf").outlinks == ()
+
+
+class TestBodySynthesis:
+    def test_body_present_for_ok_html(self, tiny_log):
+        web = VirtualWebSpace(tiny_log, body_synthesizer=HtmlSynthesizer())
+        body = web.fetch(SEED).body
+        assert body is not None
+        assert body.startswith(b"<!DOCTYPE html>")
+
+    def test_no_body_for_non_ok(self, tiny_log):
+        web = VirtualWebSpace(tiny_log, body_synthesizer=HtmlSynthesizer())
+        assert web.fetch(DEAD).body is None
+
+    def test_body_deterministic(self, tiny_log):
+        web = VirtualWebSpace(tiny_log, body_synthesizer=HtmlSynthesizer())
+        assert web.fetch(SEED).body == web.fetch(SEED).body
+
+
+class TestCachedSynthesizer:
+    def test_returns_same_bytes(self, tiny_log):
+        calls = []
+        inner = HtmlSynthesizer()
+
+        def counting(record):
+            calls.append(record.url)
+            return inner(record)
+
+        cached = make_cached_synthesizer(counting)
+        record = tiny_log[SEED]
+        first = cached(record)
+        second = cached(record)
+        assert first == second
+        assert calls == [SEED]  # second call served from cache
+
+    def test_eviction_bounds_memory(self, tiny_pages):
+        cached = make_cached_synthesizer(HtmlSynthesizer(), max_entries=2)
+        html_pages = [page for page in tiny_pages if page.ok][:3]
+        for page in html_pages:
+            cached(page)
+        # Re-rendering the evicted first page still works and is equal.
+        assert cached(html_pages[0]) == HtmlSynthesizer()(html_pages[0])
