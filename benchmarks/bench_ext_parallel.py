@@ -11,9 +11,8 @@ and measures the classic trade-off:
   cross-partition link delivery — communication grows with partitions.
 """
 
-from repro.charset.languages import Language
-from repro.core.classifier import Classifier
-from repro.core.parallel import ParallelCrawlSimulator
+from repro.api import run_crawl
+from repro.core.parallel import ParallelConfig, PartitionMode
 from repro.core.strategies import BreadthFirstStrategy
 from repro.experiments.report import render_table
 
@@ -25,20 +24,16 @@ PARTITION_SWEEP = (1, 2, 4, 8)
 def test_ext_parallel_crawling(benchmark, thai_bench, results_dir):
     def sweep():
         rows = []
-        for mode in ("firewall", "exchange"):
+        for mode in (PartitionMode.FIREWALL, PartitionMode.EXCHANGE):
             for partitions in PARTITION_SWEEP:
-                result = ParallelCrawlSimulator(
-                    web=thai_bench.web(),
-                    strategy_factory=BreadthFirstStrategy,
-                    classifier=Classifier(Language.THAI),
-                    seed_urls=list(thai_bench.seed_urls),
-                    partitions=partitions,
-                    mode=mode,
-                    relevant_urls=thai_bench.relevant_urls(),
-                ).run()
+                result = run_crawl(
+                    dataset=thai_bench,
+                    strategy=BreadthFirstStrategy,
+                    config=ParallelConfig(partitions=partitions, mode=mode),
+                )
                 rows.append(
                     {
-                        "mode": mode,
+                        "mode": mode.value,
                         "partitions": partitions,
                         "coverage": round(result.coverage, 3),
                         "messages": result.messages_exchanged,
@@ -53,6 +48,7 @@ def test_ext_parallel_crawling(benchmark, thai_bench, results_dir):
         results_dir,
         "ext_parallel",
         render_table(rows, title="Extension E6: partitioned crawling (firewall vs exchange)"),
+        data=rows,
     )
 
     firewall = [row for row in rows if row["mode"] == "firewall"]

@@ -58,6 +58,7 @@ def test_ext_wider_strategy_range(benchmark, thai_bench, results_dir):
         results_dir,
         "ext_strategies",
         render_table(rows, title="Extension E2: wider strategy range (Thai dataset)"),
+        data=rows,
     )
 
     early_of = {row["strategy"]: row["early_harvest"] for row in rows}

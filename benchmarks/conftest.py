@@ -6,11 +6,14 @@ per session and cached on disk, so re-running the suite only pays the
 simulation cost, not generation.
 
 Every benchmark writes its rendered tables/series under
-``benchmarks/results/`` so the paper-shaped output survives the run.
+``benchmarks/results/`` so the paper-shaped output survives the run —
+both human-readable (``<name>.txt``) and machine-readable
+(``BENCH_<name>.json``) for CI trend tracking.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -42,8 +45,20 @@ def results_dir() -> Path:
     return RESULTS_DIR
 
 
-def emit(results_dir: Path, name: str, text: str) -> None:
-    """Print a rendered report and persist it under benchmarks/results/."""
+def emit(results_dir: Path, name: str, text: str, data: dict | list | None = None) -> None:
+    """Print a rendered report and persist it under benchmarks/results/.
+
+    Writes ``<name>.txt`` (the rendered report) and a machine-readable
+    ``BENCH_<name>.json`` companion: ``data`` when the caller provides
+    structured results, otherwise the text wrapped in a one-key dict so
+    every benchmark run leaves a parseable artifact either way.
+    """
     print()
     print(text)
     (results_dir / f"{name}.txt").write_text(text)
+    payload = {
+        "name": name,
+        "scale": BENCH_SCALE,
+        "data": data if data is not None else {"text": text},
+    }
+    (results_dir / f"BENCH_{name}.json").write_text(json.dumps(payload, indent=2, sort_keys=True))

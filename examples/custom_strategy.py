@@ -13,12 +13,18 @@ original simple strategy lacks — compared against the paper's built-ins.
 from collections import defaultdict
 from collections.abc import Iterable
 
-from repro import BreadthFirstStrategy, SimpleStrategy, build_dataset, thai_profile
+from repro import (
+    BreadthFirstStrategy,
+    SimpleStrategy,
+    SimulationConfig,
+    build_dataset,
+    run_crawl,
+    thai_profile,
+)
 from repro.core.classifier import Judgment
 from repro.core.frontier import Candidate, Frontier, PriorityFrontier
 from repro.core.strategies.base import CrawlStrategy
 from repro.experiments.report import render_table
-from repro.experiments.runner import run_strategies
 from repro.urlkit import url_host
 from repro.webspace.virtualweb import FetchResponse
 
@@ -73,10 +79,15 @@ def main() -> None:
     dataset = build_dataset(thai_profile().scaled(0.125))
     early = len(dataset.crawl_log) // 5
 
-    results = run_strategies(
-        dataset,
-        [BreadthFirstStrategy(), SimpleStrategy(mode="soft"), HostReputationStrategy()],
-    )
+    config = SimulationConfig(sample_interval=max(1, len(dataset.crawl_log) // 200))
+    results = {
+        strategy.name: run_crawl(dataset=dataset, strategy=strategy, config=config)
+        for strategy in (
+            BreadthFirstStrategy(),
+            SimpleStrategy(mode="soft"),
+            HostReputationStrategy(),
+        )
+    }
 
     rows = []
     for name, result in results.items():

@@ -10,9 +10,15 @@ coordination ("exchange") need — then slices the resulting archive by
 language using the crawl-log query API.
 """
 
-from repro import BreadthFirstStrategy, Language, build_dataset, thai_profile
-from repro.core.classifier import Classifier
-from repro.core.parallel import ParallelCrawlSimulator
+from repro import (
+    BreadthFirstStrategy,
+    Language,
+    ParallelConfig,
+    PartitionMode,
+    build_dataset,
+    run_crawl,
+    thai_profile,
+)
 from repro.experiments.report import render_table
 from repro.webspace.query import by_language, filter_log, ok_html
 
@@ -22,20 +28,16 @@ def main() -> None:
     dataset = build_dataset(thai_profile().scaled(0.125))
 
     rows = []
-    for mode in ("firewall", "exchange"):
+    for mode in (PartitionMode.FIREWALL, PartitionMode.EXCHANGE):
         for partitions in (2, 4, 8):
-            result = ParallelCrawlSimulator(
-                web=dataset.web(),
-                strategy_factory=BreadthFirstStrategy,
-                classifier=Classifier(Language.THAI),
-                seed_urls=list(dataset.seed_urls),
-                partitions=partitions,
-                mode=mode,
-                relevant_urls=dataset.relevant_urls(),
-            ).run()
+            result = run_crawl(
+                dataset=dataset,
+                strategy=BreadthFirstStrategy,
+                config=ParallelConfig(partitions=partitions, mode=mode),
+            )
             rows.append(
                 {
-                    "mode": mode,
+                    "mode": mode.value,
                     "crawlers": partitions,
                     "coverage": f"{result.coverage:.0%}",
                     "messages": result.messages_exchanged,

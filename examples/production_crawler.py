@@ -17,28 +17,29 @@ The punchline: full archive coverage with a ~500-URL resident queue, a
 mean same-site burst of ~1, and a realistic simulated wall-clock.
 """
 
-from repro import SimpleStrategy, TimingModel, build_dataset, thai_profile
+from repro import (
+    SimpleStrategy,
+    SimulationConfig,
+    TimingModel,
+    build_dataset,
+    run_crawl,
+    thai_profile,
+)
 from repro.core.politeness import PoliteOrderingStrategy, mean_same_site_run
 from repro.core.spilling import SpillingStrategy
-from repro.charset.languages import Language
-from repro.core.classifier import Classifier
-from repro.core.simulator import SimulationConfig, Simulator
 
 MEMORY_LIMIT = 500
 
 
 def crawl(dataset, strategy, timing=None):
     urls = []
-    result = Simulator(
-        web=dataset.web(),
+    result = run_crawl(
+        dataset=dataset,
         strategy=strategy,
-        classifier=Classifier(Language.THAI),
-        seed_urls=list(dataset.seed_urls),
-        relevant_urls=dataset.relevant_urls(),
         config=SimulationConfig(sample_interval=500),
         timing=timing,
         on_fetch=lambda event: urls.append(event.url),
-    ).run()
+    )
     return result, urls
 
 

@@ -9,18 +9,32 @@ with memory *and* pay in harvest rate; prioritization removes the
 harvest penalty, so the frontier becomes a pure memory/coverage dial.
 """
 
-from repro import LimitedDistanceStrategy, SimpleStrategy, build_dataset, thai_profile
+from repro import (
+    LimitedDistanceStrategy,
+    SimpleStrategy,
+    SimulationConfig,
+    build_dataset,
+    run_crawl,
+    thai_profile,
+)
 from repro.experiments.report import render_table
-from repro.experiments.runner import run_strategy
 
 NS = (1, 2, 3, 4)
+
+
+def _config(dataset) -> SimulationConfig:
+    return SimulationConfig(sample_interval=max(1, len(dataset.crawl_log) // 200))
 
 
 def sweep(dataset, prioritized: bool) -> list[dict]:
     early = len(dataset.crawl_log) // 5
     rows = []
     for n in NS:
-        result = run_strategy(dataset, LimitedDistanceStrategy(n=n, prioritized=prioritized))
+        result = run_crawl(
+            dataset=dataset,
+            strategy=LimitedDistanceStrategy(n=n, prioritized=prioritized),
+            config=_config(dataset),
+        )
         rows.append(
             {
                 "N": n,
@@ -36,7 +50,9 @@ def main() -> None:
     print("Building the Thai dataset (1/8 scale)...\n")
     dataset = build_dataset(thai_profile().scaled(0.125))
 
-    soft = run_strategy(dataset, SimpleStrategy(mode="soft"))
+    soft = run_crawl(
+        dataset=dataset, strategy=SimpleStrategy(mode="soft"), config=_config(dataset)
+    )
     print(
         f"Reference (soft-focused, unbounded queue): coverage "
         f"{soft.final_coverage:.1%}, peak queue {soft.summary.max_queue_size} URLs\n"

@@ -15,11 +15,12 @@ from repro import (
     BreadthFirstStrategy,
     LimitedDistanceStrategy,
     SimpleStrategy,
+    SimulationConfig,
     build_dataset,
+    run_crawl,
     thai_profile,
 )
 from repro.experiments.report import render_table
-from repro.experiments.runner import run_strategies
 
 
 def main() -> None:
@@ -35,7 +36,11 @@ def main() -> None:
         LimitedDistanceStrategy(n=2, prioritized=True),
         LimitedDistanceStrategy(n=3, prioritized=True),
     ]
-    results = run_strategies(dataset, strategies)
+    config = SimulationConfig(sample_interval=max(1, len(dataset.crawl_log) // 200))
+    results = {
+        strategy.name: run_crawl(dataset=dataset, strategy=strategy, config=config)
+        for strategy in strategies
+    }
 
     rows = []
     for name, result in results.items():

@@ -16,14 +16,18 @@ The package implements the paper's full stack from scratch:
 
 Quickstart::
 
-    from repro import build_dataset, thai_profile, run_strategy
-    from repro.core.strategies import SimpleStrategy
+    from repro import SimpleStrategy, build_dataset, run_crawl, thai_profile
 
     dataset = build_dataset(thai_profile().scaled(0.1))
-    result = run_strategy(dataset, SimpleStrategy(mode="soft"))
-    print(result.final_coverage, result.summary.max_queue_size)
+    result = run_crawl(dataset=dataset, strategy=SimpleStrategy(mode="soft"))
+    print(result.coverage, result.summary.max_queue_size)
+
+``run_crawl`` is the session API: one keyword-only entry point driving
+the sequential and the partitioned engines alike (:mod:`repro.api`),
+with optional telemetry from :mod:`repro.obs`.
 """
 
+from repro.api import run_crawl
 from repro.charset import (
     CompositeCharsetDetector,
     DetectionResult,
@@ -36,8 +40,13 @@ from repro.core import (
     BreadthFirstStrategy,
     Classifier,
     ClassifierMode,
+    CrawlReport,
     CrawlResult,
     LimitedDistanceStrategy,
+    ParallelConfig,
+    ParallelCrawlSimulator,
+    ParallelResult,
+    PartitionMode,
     SimpleStrategy,
     SimulationConfig,
     Simulator,
@@ -58,6 +67,14 @@ from repro.graphgen import (
     japanese_profile,
     profile_by_name,
     thai_profile,
+)
+from repro.obs import (
+    EventBus,
+    Instrumentation,
+    JsonlTraceWriter,
+    MetricsRegistry,
+    SpanEvent,
+    read_trace,
 )
 from repro.webspace import CrawlLog, LinkDB, PageRecord, VirtualWebSpace
 
@@ -83,10 +100,17 @@ __all__ = [
     "profile_by_name",
     "generate_universe",
     "HtmlSynthesizer",
+    # session API
+    "run_crawl",
     # core
     "Simulator",
     "SimulationConfig",
     "CrawlResult",
+    "CrawlReport",
+    "ParallelCrawlSimulator",
+    "ParallelConfig",
+    "ParallelResult",
+    "PartitionMode",
     "Classifier",
     "ClassifierMode",
     "TimingModel",
@@ -94,6 +118,13 @@ __all__ = [
     "SimpleStrategy",
     "LimitedDistanceStrategy",
     "strategy_by_name",
+    # observability
+    "Instrumentation",
+    "MetricsRegistry",
+    "EventBus",
+    "SpanEvent",
+    "JsonlTraceWriter",
+    "read_trace",
     # experiments
     "Dataset",
     "build_dataset",

@@ -1,0 +1,155 @@
+"""The unified crawl-session API: one entry point for every workload.
+
+``run_crawl`` is the documented public way to run a simulation.  It
+drives both engines — the sequential
+:class:`~repro.core.simulator.Simulator` and the partitioned
+:class:`~repro.core.parallel.ParallelCrawlSimulator` — selected by the
+type of ``config``, and threads the optional extras (timing model,
+per-fetch callback, telemetry) through uniformly, so new workloads stop
+re-plumbing their own constructors::
+
+    from repro import run_crawl, SimpleStrategy
+
+    # sequential, from a built dataset
+    result = run_crawl(dataset=dataset, strategy=SimpleStrategy(mode="soft"))
+
+    # partitioned: a ParallelConfig selects the parallel engine
+    from repro import ParallelConfig, PartitionMode, BreadthFirstStrategy
+    result = run_crawl(
+        dataset=dataset,
+        strategy=BreadthFirstStrategy,
+        config=ParallelConfig(partitions=4, mode=PartitionMode.EXCHANGE),
+    )
+
+Both calls return an object satisfying the
+:class:`~repro.core.summary.CrawlReport` protocol, so downstream report
+code does not care which engine ran.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.classifier import Classifier, ClassifierMode
+from repro.core.events import FetchCallback
+from repro.core.parallel import (
+    ParallelConfig,
+    ParallelCrawlSimulator,
+    ParallelResult,
+)
+from repro.core.simulator import CrawlResult, SimulationConfig, Simulator
+from repro.core.strategies.base import CrawlStrategy
+from repro.core.timing import TimingModel
+from repro.errors import ConfigError
+from repro.obs import Instrumentation
+from repro.webspace.virtualweb import VirtualWebSpace
+
+__all__ = ["run_crawl"]
+
+
+def run_crawl(
+    *,
+    web: VirtualWebSpace | None = None,
+    dataset=None,
+    strategy: CrawlStrategy | Callable[[], CrawlStrategy],
+    classifier: Classifier | None = None,
+    seeds: Sequence[str] | None = None,
+    config: SimulationConfig | ParallelConfig | None = None,
+    relevant_urls: frozenset[str] | None = None,
+    timing: TimingModel | None = None,
+    on_fetch: FetchCallback | None = None,
+    instrumentation: Instrumentation | None = None,
+) -> CrawlResult | ParallelResult:
+    """Run one crawl session; the single public entry point.
+
+    Keyword-only by design: every call site names what it configures.
+
+    Args:
+        web: the virtual web space to crawl.  Mutually exclusive with
+            ``dataset``.
+        dataset: a built :class:`~repro.experiments.datasets.Dataset`;
+            supplies ``web``, and defaults for ``classifier``, ``seeds``
+            and ``relevant_urls`` in one argument.
+        strategy: a :class:`CrawlStrategy` instance, or a zero-arg
+            factory (class or lambda).  A parallel run *requires* the
+            factory form — each partition gets its own instance.
+        classifier: relevance judge; required with ``web``, defaulted to
+            the charset classifier of the dataset's target language with
+            ``dataset``.
+        seeds: seed URLs; required with ``web``, defaulted to the
+            dataset's captured seeds with ``dataset``.
+        config: :class:`SimulationConfig` (or None) runs the sequential
+            simulator; a :class:`ParallelConfig` runs the partitioned
+            one.
+        relevant_urls: explicit-recall denominator; precomputed from the
+            crawl log when omitted.
+        timing: optional transfer-delay model (sequential engine only).
+        on_fetch: optional per-fetch :class:`CrawlEvent` callback
+            (sequential engine only).
+        instrumentation: optional :class:`repro.obs.Instrumentation`
+            hub; no-op when omitted.
+
+    Returns:
+        A :class:`CrawlResult` or :class:`ParallelResult` — either way a
+        :class:`~repro.core.summary.CrawlReport`.
+
+    Raises:
+        ConfigError: on contradictory or incomplete session arguments.
+    """
+    if dataset is not None:
+        if web is not None:
+            raise ConfigError("pass either web= or dataset=, not both")
+        if classifier is None:
+            classifier = Classifier(dataset.target_language)
+        if classifier.mode in (ClassifierMode.META, ClassifierMode.DETECTOR):
+            # Body-reading classifiers need synthesized HTML to judge.
+            from repro.graphgen.htmlsynth import HtmlSynthesizer
+
+            web = dataset.web(body_synthesizer=HtmlSynthesizer())
+        else:
+            web = dataset.web()
+        if seeds is None:
+            seeds = dataset.seed_urls
+        if relevant_urls is None:
+            relevant_urls = dataset.relevant_urls()
+    if web is None:
+        raise ConfigError("run_crawl needs a web= space or a dataset=")
+    if classifier is None:
+        raise ConfigError("run_crawl needs a classifier= (or a dataset= to default from)")
+    if seeds is None:
+        raise ConfigError("run_crawl needs seeds= (or a dataset= to default from)")
+
+    if isinstance(config, ParallelConfig):
+        if isinstance(strategy, CrawlStrategy):
+            raise ConfigError(
+                "a parallel crawl needs a strategy *factory* (a class or "
+                "zero-arg callable), not an instance — each partition "
+                "builds its own"
+            )
+        if timing is not None or on_fetch is not None:
+            raise ConfigError("timing= and on_fetch= are sequential-engine features")
+        return ParallelCrawlSimulator(
+            web=web,
+            strategy_factory=strategy,
+            classifier=classifier,
+            seed_urls=list(seeds),
+            config=config,
+            relevant_urls=relevant_urls,
+            instrumentation=instrumentation,
+        ).run()
+
+    if not isinstance(strategy, CrawlStrategy):
+        strategy = strategy()
+        if not isinstance(strategy, CrawlStrategy):
+            raise ConfigError("strategy factory did not produce a CrawlStrategy")
+    return Simulator(
+        web=web,
+        strategy=strategy,
+        classifier=classifier,
+        seed_urls=list(seeds),
+        relevant_urls=relevant_urls,
+        config=config,
+        timing=timing,
+        on_fetch=on_fetch,
+        instrumentation=instrumentation,
+    ).run()

@@ -72,6 +72,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--prioritized", action="store_true", help="prioritized limited distance")
     p_run.add_argument("--classifier", default="charset", help="charset|meta|detector|oracle")
     p_run.add_argument("--max-pages", type=int, default=None)
+    p_run.add_argument(
+        "--trace",
+        metavar="FILE.jsonl",
+        default=None,
+        help="write one JSONL span per fetched page to FILE.jsonl",
+    )
+    p_run.add_argument(
+        "--profile",
+        dest="profile_timings",
+        action="store_true",
+        help="print a per-component timing table after the run",
+    )
     _add_dataset_args(p_run)
 
     p_figure = sub.add_parser("figure", help="regenerate a paper figure")
@@ -113,15 +125,37 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "run":
+        from repro.obs import Instrumentation
+
         dataset = _dataset_from_args(args.profile, args)
         kwargs = {}
         if args.strategy == "limited-distance":
             kwargs = {"n": args.n, "prioritized": args.prioritized}
         strategy = strategy_by_name(args.strategy, **kwargs)
-        result = run_strategy(
-            dataset, strategy, classifier_mode=args.classifier, max_pages=args.max_pages
-        )
+        instrumentation = None
+        if args.trace or args.profile_timings:
+            try:
+                instrumentation = Instrumentation(trace_path=args.trace)
+            except OSError as exc:
+                print(f"error: cannot open trace file: {exc}", file=sys.stderr)
+                return 1
+        try:
+            result = run_strategy(
+                dataset,
+                strategy,
+                classifier_mode=args.classifier,
+                max_pages=args.max_pages,
+                instrumentation=instrumentation,
+            )
+        finally:
+            if instrumentation is not None:
+                instrumentation.close()
         print(render_table(summary_rows({strategy.name: result}), title="Run summary"))
+        if instrumentation is not None and args.profile_timings:
+            print()
+            print(instrumentation.render_profile(title="Per-component profile"))
+        if instrumentation is not None and args.trace:
+            print(f"\ntrace written to {args.trace}")
         return 0
 
     if args.command == "figure":

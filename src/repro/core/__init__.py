@@ -19,10 +19,16 @@ from repro.core.frontier import (
     ReprioritizableFrontier,
 )
 from repro.core.metrics import CrawlSummary, MetricSeries
-from repro.core.parallel import ParallelCrawlSimulator, ParallelResult
+from repro.core.parallel import (
+    ParallelConfig,
+    ParallelCrawlSimulator,
+    ParallelResult,
+    PartitionMode,
+)
 from repro.core.politeness import HostQueueFrontier, PoliteOrderingStrategy
 from repro.core.simulator import CrawlResult, SimulationConfig, Simulator
 from repro.core.spilling import SpillingFrontier, SpillingStrategy
+from repro.core.summary import CrawlReport
 from repro.core.strategies import (
     BacklinkCountStrategy,
     BreadthFirstStrategy,
@@ -56,11 +62,14 @@ __all__ = [
     "SpillingStrategy",
     "Distiller",
     "ParallelCrawlSimulator",
+    "ParallelConfig",
     "ParallelResult",
+    "PartitionMode",
     "strategy_by_name",
     "Simulator",
     "SimulationConfig",
     "CrawlResult",
+    "CrawlReport",
     "MetricSeries",
     "CrawlSummary",
     "TimingModel",

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from time import perf_counter
 
 from repro.charset.detector import detect_charset
 from repro.charset.languages import Language, language_of_charset
@@ -74,6 +75,17 @@ class Classifier:
                 raise ConfigError(f"unknown classifier mode {mode!r}; expected one of {valid}") from None
         self.target_language = target_language
         self.mode = mode
+        self._instr = None
+
+    def bind_instrumentation(self, instrumentation) -> None:
+        """Attach a :class:`repro.obs.Instrumentation` for timing.
+
+        With a hub bound, every judgment is timed under
+        "classifier.judge" and tallied into the "classifier.relevant" /
+        "classifier.irrelevant" counters.  The simulator binds this on
+        instrumented runs; pass None to detach.
+        """
+        self._instr = instrumentation
 
     def judge(self, response: FetchResponse) -> Judgment:
         """Classify one fetch response.
@@ -81,6 +93,16 @@ class Classifier:
         Non-OK and non-HTML responses are never relevant — there is no
         document in the target language to archive.
         """
+        instr = self._instr
+        if instr is None:
+            return self._judge(response)
+        started = perf_counter()
+        judgment = self._judge(response)
+        instr.observe("classifier.judge", perf_counter() - started)
+        instr.count("classifier.relevant" if judgment.relevant else "classifier.irrelevant")
+        return judgment
+
+    def _judge(self, response: FetchResponse) -> Judgment:
         if not response.ok or not response.is_html:
             return _IRRELEVANT
 

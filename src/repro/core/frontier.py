@@ -45,10 +45,18 @@ class Candidate:
 
 
 class Frontier(ABC):
-    """Common interface of the URL queue implementations."""
+    """Common interface of the URL queue implementations.
+
+    Every implementation keeps two always-on operation counters —
+    ``pushes`` and ``pops`` — cheap enough to maintain unconditionally
+    and the raw material of the observability layer's frontier gauges
+    (:mod:`repro.obs`).
+    """
 
     def __init__(self) -> None:
         self._peak_size = 0
+        self.pushes = 0
+        self.pops = 0
 
     @abstractmethod
     def push(self, candidate: Candidate) -> None:
@@ -81,6 +89,13 @@ class Frontier(ABC):
         """
 
     def _note_size(self) -> None:
+        """Account for one push: op counter + peak occupancy.
+
+        Every ``push`` implementation calls this exactly once, which is
+        why the push counter lives here and the pop counter in each
+        ``pop`` (pops have no shared hook).
+        """
+        self.pushes += 1
         size = len(self)
         if size > self._peak_size:
             self._peak_size = size
@@ -100,6 +115,7 @@ class FIFOFrontier(Frontier):
     def pop(self) -> Candidate:
         if not self._queue:
             raise FrontierError("pop from empty FIFO frontier")
+        self.pops += 1
         return self._queue.popleft()
 
     def __len__(self) -> int:
@@ -135,6 +151,7 @@ class PriorityFrontier(Frontier):
     def pop(self) -> Candidate:
         if not self._heap:
             raise FrontierError("pop from empty priority frontier")
+        self.pops += 1
         return heapq.heappop(self._heap).candidate
 
     def __len__(self) -> int:
@@ -206,6 +223,7 @@ class ReprioritizableFrontier(Frontier):
             current = self._current.get(entry.candidate.url)
             if current is entry:
                 del self._current[entry.candidate.url]
+                self.pops += 1
                 return entry.candidate
             # else: a stale entry superseded by update_priority — skip.
         raise FrontierError("pop from empty reprioritizable frontier")

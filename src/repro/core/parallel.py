@@ -9,26 +9,37 @@ the standard model on top of the simulator:
 
 - The URL space is partitioned **by host** (pages of one site belong to
   one crawler; see :func:`repro.webspace.query.host_partition`'s hash).
-- ``firewall`` mode: each crawler fetches only its own URLs and *drops*
-  links into foreign partitions — zero coordination, but pages whose
-  only inlinks cross partitions become unreachable.
-- ``exchange`` mode: cross-partition links are forwarded to their owner
-  — full reachability at the cost of inter-crawler communication, which
-  this simulation counts.
+- :attr:`PartitionMode.FIREWALL`: each crawler fetches only its own
+  URLs and *drops* links into foreign partitions — zero coordination,
+  but pages whose only inlinks cross partitions become unreachable.
+- :attr:`PartitionMode.EXCHANGE`: cross-partition links are forwarded
+  to their owner — full reachability at the cost of inter-crawler
+  communication, which this simulation counts.
 
 Crawlers advance round-robin one fetch at a time, so the global crawl
 order interleaves fairly and results are deterministic.
+
+Run-level knobs live in :class:`ParallelConfig` (mirroring
+:class:`~repro.core.simulator.SimulationConfig`); the loose
+``partitions=`` / ``mode=`` / ``max_pages=`` keywords and plain-string
+modes remain accepted for compatibility, strings with a
+``DeprecationWarning``.
 """
 
 from __future__ import annotations
 
+import time
+import warnings
 from dataclasses import dataclass
+from enum import Enum
 from typing import Callable, Sequence
 
 from repro.core.classifier import Classifier
 from repro.core.frontier import Candidate
 from repro.core.strategies.base import CrawlStrategy
 from repro.errors import ConfigError
+from repro.obs import Instrumentation
+from repro.obs.instrument import active as _active_instrumentation
 from repro.webspace.query import _host_bucket
 from repro.webspace.stats import relevant_url_set
 from repro.webspace.virtualweb import VirtualWebSpace
@@ -37,11 +48,73 @@ from repro.webspace.virtualweb import VirtualWebSpace
 StrategyFactory = Callable[[], CrawlStrategy]
 
 
+class PartitionMode(str, Enum):
+    """Coordination discipline between partitioned crawlers."""
+
+    FIREWALL = "firewall"
+    EXCHANGE = "exchange"
+
+    def __str__(self) -> str:  # render as the wire value, not the member
+        return self.value
+
+    @classmethod
+    def coerce(cls, value: "PartitionMode | str") -> "PartitionMode":
+        """Accept an enum member, or (deprecated) its string value."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            try:
+                mode = cls(value)
+            except ValueError:
+                valid = " or ".join(repr(member.value) for member in cls)
+                raise ConfigError(f"mode must be {valid}, got {value!r}") from None
+            warnings.warn(
+                f"string mode={value!r} is deprecated; use PartitionMode.{mode.name}",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            return mode
+        raise ConfigError(f"mode must be a PartitionMode, got {value!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class ParallelConfig:
+    """Run-level knobs of a partitioned crawl.
+
+    Mirrors :class:`~repro.core.simulator.SimulationConfig`: everything
+    independent of the strategy under test.
+
+    Attributes:
+        partitions: number of cooperating crawlers (host-hash owners).
+        mode: coordination discipline (:class:`PartitionMode`); plain
+            strings are accepted with a ``DeprecationWarning``.
+        max_pages: stop after this many fetches across all crawlers
+            (None = run every frontier dry).
+    """
+
+    partitions: int = 4
+    mode: PartitionMode = PartitionMode.EXCHANGE
+    max_pages: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.partitions < 1:
+            raise ConfigError("partitions must be >= 1")
+        if self.max_pages is not None and self.max_pages < 0:
+            raise ConfigError("max_pages must be >= 0")
+        if not isinstance(self.mode, PartitionMode):
+            object.__setattr__(self, "mode", PartitionMode.coerce(self.mode))
+
+
 @dataclass(frozen=True, slots=True)
 class ParallelResult:
-    """Outcome of one partitioned crawl."""
+    """Outcome of one partitioned crawl.
 
-    mode: str
+    Satisfies the :class:`repro.core.summary.CrawlReport` protocol
+    (``pages_crawled`` / ``coverage`` / ``to_dict``) shared with
+    :class:`~repro.core.simulator.CrawlResult`.
+    """
+
+    mode: PartitionMode
     partitions: int
     pages_crawled: int
     covered_relevant: int
@@ -64,6 +137,18 @@ class ParallelResult:
             return 0.0
         return min(self.per_crawler_pages) / busiest
 
+    def to_dict(self) -> dict:
+        """Report-friendly flat summary (the run's headline numbers)."""
+        return {
+            "mode": self.mode.value,
+            "partitions": self.partitions,
+            "pages_crawled": self.pages_crawled,
+            "coverage": self.coverage,
+            "messages_exchanged": self.messages_exchanged,
+            "dropped_foreign_links": self.dropped_foreign_links,
+            "balance": self.balance,
+        }
+
 
 class _Crawler:
     """One partition's crawler: frontier + dedup + its own strategy."""
@@ -84,7 +169,13 @@ class _Crawler:
 
 
 class ParallelCrawlSimulator:
-    """Round-robin simulation of ``partitions`` cooperating crawlers."""
+    """Round-robin simulation of ``partitions`` cooperating crawlers.
+
+    Prefer configuring through ``config=ParallelConfig(...)``; the
+    legacy loose keywords (``partitions=``, ``mode=``, ``max_pages=``)
+    are folded into one for you and cannot be combined with an explicit
+    ``config``.
+    """
 
     def __init__(
         self,
@@ -92,78 +183,127 @@ class ParallelCrawlSimulator:
         strategy_factory: StrategyFactory,
         classifier: Classifier,
         seed_urls: Sequence[str],
-        partitions: int = 4,
-        mode: str = "exchange",
+        config: ParallelConfig | None = None,
+        *,
+        partitions: int | None = None,
+        mode: PartitionMode | str | None = None,
         relevant_urls: frozenset[str] | None = None,
         max_pages: int | None = None,
+        instrumentation: Instrumentation | None = None,
     ) -> None:
-        if partitions < 1:
-            raise ConfigError("partitions must be >= 1")
-        if mode not in ("firewall", "exchange"):
-            raise ConfigError(f"mode must be 'firewall' or 'exchange', got {mode!r}")
+        if config is not None:
+            if partitions is not None or mode is not None or max_pages is not None:
+                raise ConfigError(
+                    "pass either config=ParallelConfig(...) or the loose "
+                    "partitions=/mode=/max_pages= keywords, not both"
+                )
+        else:
+            config = ParallelConfig(
+                partitions=4 if partitions is None else partitions,
+                mode=PartitionMode.EXCHANGE if mode is None else mode,
+                max_pages=max_pages,
+            )
         if not seed_urls:
             raise ConfigError("at least one seed URL is required")
         self._web = web
         self._classifier = classifier
-        self._partitions = partitions
-        self._mode = mode
-        self._max_pages = max_pages
+        self._config = config
         if relevant_urls is None:
             relevant_urls = relevant_url_set(web.crawl_log, classifier.target_language)
         self._relevant = relevant_urls
-        self._crawlers = [_Crawler(strategy_factory()) for _ in range(partitions)]
+        self._instrumentation = instrumentation
+        self._crawlers = [_Crawler(strategy_factory()) for _ in range(config.partitions)]
         self._seed_urls = list(seed_urls)
 
+    @property
+    def config(self) -> ParallelConfig:
+        return self._config
+
     def _owner(self, url: str) -> _Crawler:
-        return self._crawlers[_host_bucket(url, self._partitions)]
+        return self._crawlers[_host_bucket(url, self._config.partitions)]
 
     def run(self) -> ParallelResult:
         """Crawl until every partition's frontier drains (or the cap)."""
+        config = self._config
+        instr = _active_instrumentation(self._instrumentation)
+        if instr is not None:
+            self._classifier.bind_instrumentation(instr)
         for crawler in self._crawlers:
+            if instr is not None:
+                crawler.strategy.bind_instrumentation(instr)
             for candidate in crawler.strategy.seed_candidates(self._seed_urls):
                 owner = self._owner(candidate.url)
                 if owner is crawler:
                     crawler.offer(candidate)
 
+        exchange = config.mode is PartitionMode.EXCHANGE
         total_pages = 0
         covered = 0
         messages = 0
         dropped = 0
+        perf = time.perf_counter
         active = True
-        while active:
-            active = False
-            for crawler in self._crawlers:
-                if not crawler.frontier:
-                    continue
-                if self._max_pages is not None and total_pages >= self._max_pages:
-                    active = False
-                    break
-                active = True
-                candidate = crawler.frontier.pop()
-                response = self._web.fetch(candidate.url)
-                judgment = self._classifier.judge(response)
-                crawler.pages_crawled += 1
-                total_pages += 1
-                if candidate.url in self._relevant:
-                    covered += 1
+        try:
+            while active:
+                active = False
+                for index, crawler in enumerate(self._crawlers):
+                    if not crawler.frontier:
+                        continue
+                    if config.max_pages is not None and total_pages >= config.max_pages:
+                        active = False
+                        break
+                    active = True
+                    step_started = perf()
+                    candidate = crawler.frontier.pop()
+                    response = self._web.fetch(candidate.url)
+                    judgment = self._classifier.judge(response)
+                    crawler.pages_crawled += 1
+                    total_pages += 1
+                    if candidate.url in self._relevant:
+                        covered += 1
 
-                outlinks = response.outlinks
-                for child in crawler.strategy.expand(candidate, response, judgment, outlinks):
-                    owner = self._owner(child.url)
-                    if owner is crawler:
-                        crawler.offer(child)
-                    elif self._mode == "exchange":
-                        if owner.offer(child):
-                            messages += 1
-                    else:
-                        dropped += 1
-            else:
-                continue
-            break  # max_pages reached inside the for loop
+                    outlinks = response.outlinks
+                    for child in crawler.strategy.expand(
+                        candidate, response, judgment, outlinks
+                    ):
+                        owner = self._owner(child.url)
+                        if owner is crawler:
+                            crawler.offer(child)
+                        elif exchange:
+                            if owner.offer(child):
+                                messages += 1
+                        else:
+                            dropped += 1
+                    if instr is not None:
+                        instr.span(
+                            "parallel",
+                            "fetch",
+                            start_s=step_started,
+                            duration_s=perf() - step_started,
+                            step=total_pages,
+                            crawler=index,
+                            url=candidate.url,
+                            status=response.status,
+                            relevant=judgment.relevant,
+                            queue_size=len(crawler.frontier),
+                        )
+                else:
+                    continue
+                break  # max_pages reached inside the for loop
+        finally:
+            if instr is not None:
+                instr.count("parallel.pages", total_pages)
+                instr.count("parallel.messages", messages)
+                instr.count("parallel.dropped_links", dropped)
+                instr.gauge(
+                    "parallel.peak_frontier",
+                    max(crawler.frontier.peak_size for crawler in self._crawlers),
+                )
+                self._classifier.bind_instrumentation(None)
 
         return ParallelResult(
-            mode=self._mode,
-            partitions=self._partitions,
+            mode=config.mode,
+            partitions=config.partitions,
             pages_crawled=total_pages,
             covered_relevant=covered,
             total_relevant=len(self._relevant),

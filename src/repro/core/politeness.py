@@ -74,6 +74,7 @@ class HostQueueFrontier(Frontier):
                 continue  # stale rotation entry
             candidate = queue.popleft()
             self._size -= 1
+            self.pops += 1
             if queue:
                 self._rotation.append(site)
             return candidate

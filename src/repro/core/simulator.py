@@ -30,6 +30,8 @@ from repro.core.strategies.base import CrawlStrategy
 from repro.core.timing import TimingModel
 from repro.core.visitor import Visitor
 from repro.errors import SimulationError
+from repro.obs import Instrumentation
+from repro.obs.instrument import active as _active_instrumentation
 from repro.webspace.stats import relevant_url_set
 from repro.webspace.virtualweb import VirtualWebSpace
 
@@ -53,7 +55,13 @@ class SimulationConfig:
 
 @dataclass(frozen=True, slots=True)
 class CrawlResult:
-    """Everything a finished simulation reports."""
+    """Everything a finished simulation reports.
+
+    Satisfies the :class:`repro.core.summary.CrawlReport` protocol
+    (``pages_crawled`` / ``coverage`` / ``to_dict``), the shape shared
+    with :class:`repro.core.parallel.ParallelResult` so report code can
+    render either without isinstance checks.
+    """
 
     strategy: str
     series: MetricSeries
@@ -70,6 +78,21 @@ class CrawlResult:
     def final_coverage(self) -> float:
         return self.summary.final_coverage
 
+    @property
+    def coverage(self) -> float:
+        """Protocol alias of :attr:`final_coverage`."""
+        return self.summary.final_coverage
+
+    def to_dict(self) -> dict:
+        """Report-friendly flat summary (the run's headline numbers)."""
+        return {
+            "strategy": self.strategy,
+            "pages_crawled": self.summary.pages_crawled,
+            "final_harvest_rate": self.summary.final_harvest_rate,
+            "final_coverage": self.summary.final_coverage,
+            "max_queue_size": self.summary.max_queue_size,
+        }
+
 
 class Simulator:
     """Drives one strategy over one virtual web space."""
@@ -84,6 +107,7 @@ class Simulator:
         config: SimulationConfig | None = None,
         timing: TimingModel | None = None,
         on_fetch: FetchCallback | None = None,
+        instrumentation: Instrumentation | None = None,
     ) -> None:
         if not seed_urls:
             raise SimulationError("at least one seed URL is required")
@@ -97,12 +121,21 @@ class Simulator:
         self._config = config or SimulationConfig()
         self._timing = timing
         self._on_fetch = on_fetch
+        self._instrumentation = instrumentation
 
     def run(self) -> CrawlResult:
         """Execute the crawl to frontier exhaustion (or the page cap)."""
         config = self._config
         strategy = self._strategy
-        visitor = Visitor(self._web, extract_from_body=config.extract_from_body)
+        instr = _active_instrumentation(self._instrumentation)
+        visitor = Visitor(
+            self._web,
+            extract_from_body=config.extract_from_body,
+            instrumentation=instr,
+        )
+        if instr is not None:
+            self._classifier.bind_instrumentation(instr)
+            strategy.bind_instrumentation(instr)
         frontier = strategy.make_frontier()
         recorder = MetricsRecorder(
             name=strategy.name,
@@ -119,10 +152,19 @@ class Simulator:
         started = time.perf_counter()
         steps = 0
         try:
-            self._crawl_loop(frontier, visitor, recorder, scheduled)
+            if instr is None:
+                self._crawl_loop(frontier, visitor, recorder, scheduled)
+            else:
+                self._crawl_loop_instrumented(frontier, visitor, recorder, scheduled, instr)
         finally:
             steps = recorder.steps
             frontier_peak = frontier.peak_size
+            if instr is not None:
+                instr.gauge("frontier.peak_size", frontier.peak_size)
+                instr.gauge("frontier.pushes", frontier.pushes)
+                instr.gauge("frontier.pops", frontier.pops)
+                instr.count("simulator.pages", steps)
+                self._classifier.bind_instrumentation(None)
             frontier.close()
 
         wall = time.perf_counter() - started
@@ -168,6 +210,89 @@ class Simulator:
                 url=candidate.url,
                 judged_relevant=judgment.relevant,
                 queue_size=len(frontier),
+                sim_time=sim_time,
+            )
+            if self._on_fetch is not None:
+                self._on_fetch(
+                    CrawlEvent(
+                        step=steps,
+                        candidate=candidate,
+                        response=response,
+                        judgment=judgment,
+                        queue_size=len(frontier),
+                        scheduled_count=len(scheduled),
+                        sim_time=sim_time,
+                    )
+                )
+
+    def _crawl_loop_instrumented(self, frontier, visitor, recorder, scheduled, instr) -> None:
+        """The crawl loop with per-component timing and per-fetch spans.
+
+        Kept as a separate method (instead of ``if`` guards sprinkled
+        through :meth:`_crawl_loop`) so the uninstrumented path stays
+        byte-for-byte what the micro benchmarks measure.  The visitor
+        and classifier time themselves; this loop adds the frontier and
+        strategy timers and publishes exactly one
+        :class:`~repro.obs.SpanEvent` per fetch — the record the JSONL
+        trace exporter writes.
+        """
+        config = self._config
+        strategy = self._strategy
+        registry = instr.registry
+        perf = time.perf_counter
+        steps = 0
+        while frontier:
+            if config.max_pages is not None and steps >= config.max_pages:
+                break
+            step_started = perf()
+            candidate = frontier.pop()
+            registry.observe("frontier.pop", perf() - step_started)
+
+            response = visitor.fetch(candidate.url)
+            judgment = self._classifier.judge(response)
+            steps += 1
+
+            sim_time: float | None = None
+            if self._timing is not None:
+                self._timing.observe_fetch(candidate.url, response.size)
+                sim_time = self._timing.now
+
+            outlinks = visitor.extract(response)
+
+            expand_started = perf()
+            children = strategy.expand(candidate, response, judgment, outlinks)
+            registry.observe("strategy.expand", perf() - expand_started)
+
+            push_started = perf()
+            pushed = 0
+            for child in children:
+                if child.url in scheduled:
+                    continue
+                scheduled.add(child.url)
+                frontier.push(child)
+                pushed += 1
+            registry.observe("frontier.push", perf() - push_started)
+            if pushed:
+                registry.add("frontier.pushed", pushed)
+            strategy.tick(steps, frontier)
+
+            recorder.record(
+                url=candidate.url,
+                judged_relevant=judgment.relevant,
+                queue_size=len(frontier),
+                sim_time=sim_time,
+            )
+            instr.span(
+                "simulator",
+                "fetch",
+                start_s=step_started,
+                duration_s=perf() - step_started,
+                step=steps,
+                url=candidate.url,
+                status=response.status,
+                relevant=judgment.relevant,
+                queue_size=len(frontier),
+                scheduled=len(scheduled),
                 sim_time=sim_time,
             )
             if self._on_fetch is not None:

@@ -24,6 +24,7 @@ import heapq
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass
 
 from repro.core.frontier import Candidate, Frontier, _HeapEntry
@@ -52,12 +53,22 @@ class SpillingFrontier(Frontier):
             lowest-priority entries spill to disk.
         spill_dir: directory for the spill file (a private temporary
             directory by default; the file is deleted on ``close``).
+        instrumentation: optional :class:`repro.obs.Instrumentation`;
+            when given, spill/refill batches are timed
+            ("frontier.spill" / "frontier.refill") and disk traffic is
+            counted ("frontier.spilled" / "frontier.reloaded").
     """
 
-    def __init__(self, memory_limit: int = 10_000, spill_dir: str | None = None) -> None:
+    def __init__(
+        self,
+        memory_limit: int = 10_000,
+        spill_dir: str | None = None,
+        instrumentation=None,
+    ) -> None:
         if memory_limit < 2:
             raise FrontierError("memory_limit must be >= 2")
         super().__init__()
+        self._instr = instrumentation
         self._limit = memory_limit
         self._heap: list[_HeapEntry] = []
         self._counter = 0
@@ -88,6 +99,7 @@ class SpillingFrontier(Frontier):
             self._refill()
         if not self._heap:
             raise FrontierError("pop from empty spilling frontier")
+        self.pops += 1
         return heapq.heappop(self._heap).candidate
 
     def __len__(self) -> int:
@@ -128,6 +140,7 @@ class SpillingFrontier(Frontier):
         Batch spilling keeps amortised push cost O(log n): one O(n)
         partition pays for limit/10 subsequent pushes.
         """
+        started = time.perf_counter() if self._instr is not None else 0.0
         batch = max(1, self._limit // 10)
         self._heap.sort(key=lambda entry: entry.sort_key)
         victims = self._heap[-batch:]
@@ -146,9 +159,13 @@ class SpillingFrontier(Frontier):
         self._spill_file.flush()
         self._pending_on_disk += len(victims)
         self.spilled += len(victims)
+        if self._instr is not None:
+            self._instr.observe("frontier.spill", time.perf_counter() - started)
+            self._instr.count("frontier.spilled", len(victims))
 
     def _refill(self) -> None:
         """Load the next batch of spilled candidates back into memory."""
+        started = time.perf_counter() if self._instr is not None else 0.0
         self._spill_file.seek(self._read_offset)
         batch = min(_REFILL_BATCH, self._limit)
         loaded = 0
@@ -172,6 +189,9 @@ class SpillingFrontier(Frontier):
             loaded += 1
         self._pending_on_disk -= loaded
         self.reloaded += loaded
+        if self._instr is not None:
+            self._instr.observe("frontier.refill", time.perf_counter() - started)
+            self._instr.count("frontier.reloaded", loaded)
 
 
 class SpillingStrategy(CrawlStrategy):
@@ -193,7 +213,9 @@ class SpillingStrategy(CrawlStrategy):
 
     def make_frontier(self) -> SpillingFrontier:
         self._frontier = SpillingFrontier(
-            memory_limit=self.memory_limit, spill_dir=self._spill_dir
+            memory_limit=self.memory_limit,
+            spill_dir=self._spill_dir,
+            instrumentation=self.instrumentation,
         )
         return self._frontier
 

@@ -28,6 +28,20 @@ class CrawlStrategy(ABC):
     #: Human-readable name used in reports and figure legends.
     name: str = "strategy"
 
+    #: Per-run telemetry hub, bound by the simulator before
+    #: ``make_frontier`` (None on uninstrumented runs).
+    instrumentation = None
+
+    def bind_instrumentation(self, instrumentation) -> None:
+        """Attach a :class:`repro.obs.Instrumentation` for the next run.
+
+        The simulator calls this before ``make_frontier`` on
+        instrumented runs, so wrapper strategies (spilling, politeness)
+        can hand the hub down to the frontiers they build.  The default
+        just stores it.
+        """
+        self.instrumentation = instrumentation
+
     @abstractmethod
     def make_frontier(self) -> Frontier:
         """A fresh frontier of the discipline this strategy requires."""

@@ -1,20 +1,27 @@
 """Running strategies over datasets.
 
-Thin orchestration over :class:`repro.core.simulator.Simulator` so the
-figure producers, benchmarks and examples all share one code path (and
-therefore one definition of "a run").
+Thin orchestration over :func:`repro.api.run_crawl` so the figure
+producers, benchmarks and examples all share one code path (and
+therefore one definition of "a run").  ``run_strategy`` adds the
+dataset-aware defaults — body synthesis when the classifier needs it, a
+sample interval scaled to the dataset — and hands everything else to
+the session API.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
+from repro.api import run_crawl
 from repro.core.classifier import Classifier, ClassifierMode
-from repro.core.simulator import CrawlResult, SimulationConfig, Simulator
+from repro.core.events import FetchCallback
+from repro.core.simulator import CrawlResult, SimulationConfig
 from repro.core.strategies.base import CrawlStrategy
+from repro.core.summary import CrawlReport
 from repro.core.timing import TimingModel
 from repro.experiments.datasets import Dataset
 from repro.graphgen.htmlsynth import HtmlSynthesizer
+from repro.obs import Instrumentation
 
 
 def run_strategy(
@@ -26,6 +33,8 @@ def run_strategy(
     synthesize_bodies: bool = False,
     extract_from_body: bool = False,
     timing: TimingModel | None = None,
+    on_fetch: FetchCallback | None = None,
+    instrumentation: Instrumentation | None = None,
 ) -> CrawlResult:
     """One strategy, one dataset, one result.
 
@@ -38,11 +47,11 @@ def run_strategy(
         ClassifierMode(classifier_mode) if isinstance(classifier_mode, str) else classifier_mode
     ) in (ClassifierMode.META, ClassifierMode.DETECTOR)
     web = dataset.web(body_synthesizer=HtmlSynthesizer() if needs_bodies else None)
-    simulator = Simulator(
+    return run_crawl(
         web=web,
         strategy=strategy,
         classifier=Classifier(dataset.target_language, mode=classifier_mode),
-        seed_urls=dataset.seed_urls,
+        seeds=dataset.seed_urls,
         relevant_urls=dataset.relevant_urls(),
         config=SimulationConfig(
             max_pages=max_pages,
@@ -50,8 +59,9 @@ def run_strategy(
             extract_from_body=extract_from_body,
         ),
         timing=timing,
+        on_fetch=on_fetch,
+        instrumentation=instrumentation,
     )
-    return simulator.run()
 
 
 def run_strategies(
@@ -71,20 +81,20 @@ def run_strategies(
     return results
 
 
-def summary_rows(results: dict[str, CrawlResult]) -> list[dict]:
-    """Flatten results into report-friendly rows."""
+def summary_rows(results: dict[str, CrawlReport]) -> list[dict]:
+    """Flatten results into report-friendly rows.
+
+    Works on anything satisfying the
+    :class:`~repro.core.summary.CrawlReport` protocol — sequential
+    :class:`CrawlResult` and partitioned ``ParallelResult`` alike, with
+    no isinstance dispatch: each result renders its own ``to_dict()``.
+    """
     rows = []
     for name, result in results.items():
-        summary = result.summary
-        rows.append(
-            {
-                "strategy": name,
-                "pages_crawled": summary.pages_crawled,
-                "final_harvest_rate": round(summary.final_harvest_rate, 4),
-                "final_coverage": round(summary.final_coverage, 4),
-                "max_queue_size": summary.max_queue_size,
-            }
-        )
+        row = {"strategy": name}
+        for key, value in result.to_dict().items():
+            row[key] = round(value, 4) if isinstance(value, float) else value
+        rows.append(row)
     return rows
 
 

@@ -1,0 +1,48 @@
+"""Observability: structured events, metrics, tracing, profiling.
+
+The paper evaluates crawl strategies through *continuous* telemetry —
+per-checkpoint harvest rate, coverage, queue size — and the ROADMAP's
+production north star needs the same discipline for performance: you
+cannot make a hot path faster before you can see it.  This package is
+that measurement layer:
+
+- :mod:`~repro.obs.events` — typed span/counter/gauge events and a
+  synchronous :class:`EventBus`;
+- :mod:`~repro.obs.registry` — the in-process
+  :class:`MetricsRegistry` with a rendered per-component profile table;
+- :mod:`~repro.obs.trace` — JSONL trace export
+  (:class:`JsonlTraceWriter`) and re-import (:func:`read_trace`);
+- :mod:`~repro.obs.instrument` — the :class:`Instrumentation` hub the
+  crawl components share.
+
+Everything is zero-dependency and opt-in: components accept
+``instrumentation=None`` and an uninstrumented crawl pays only a
+``None`` check per hook point.
+"""
+
+from repro.obs.events import (
+    CounterEvent,
+    EventBus,
+    GaugeEvent,
+    SpanEvent,
+    TelemetryEvent,
+)
+from repro.obs.instrument import Instrumentation, active
+from repro.obs.registry import MetricsRegistry, TimerStat
+from repro.obs.trace import JsonlTraceWriter, event_to_dict, iter_trace, read_trace
+
+__all__ = [
+    "SpanEvent",
+    "CounterEvent",
+    "GaugeEvent",
+    "TelemetryEvent",
+    "EventBus",
+    "MetricsRegistry",
+    "TimerStat",
+    "JsonlTraceWriter",
+    "event_to_dict",
+    "read_trace",
+    "iter_trace",
+    "Instrumentation",
+    "active",
+]

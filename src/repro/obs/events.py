@@ -1,0 +1,101 @@
+"""Typed telemetry events and the in-process event bus.
+
+The observability subsystem is built around three event kinds — the
+usual vocabulary of a metrics pipeline:
+
+- :class:`SpanEvent` — one timed operation (a simulated fetch, a spill
+  batch) with a start time, a duration, and free-form attributes;
+- :class:`CounterEvent` — a monotone increment ("bytes fetched",
+  "links dropped");
+- :class:`GaugeEvent` — a point-in-time level ("frontier size").
+
+Events flow through an :class:`EventBus`: producers publish, any number
+of subscribers receive every event synchronously, in subscription
+order.  The bus is deliberately dependency-free and allocation-light —
+publishing with no subscribers is a single truthiness check, which is
+what lets the crawl loop stay fast when nobody is listening.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+
+@dataclass(frozen=True, slots=True)
+class SpanEvent:
+    """One timed operation, fully described.
+
+    Attributes:
+        component: subsystem that produced the span ("simulator",
+            "frontier", ...).
+        name: operation within the component ("fetch", "spill", ...).
+        start_s: start time on the producer's clock (``perf_counter``
+            origin for wall spans; simulated seconds for sim spans).
+        duration_s: how long the operation took, same clock.
+        attrs: free-form structured payload (URL, step, verdict...).
+    """
+
+    component: str
+    name: str
+    start_s: float
+    duration_s: float
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        """Registry key of this span's timer: ``component.name``."""
+        return f"{self.component}.{self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class CounterEvent:
+    """A monotone increment of a named counter."""
+
+    name: str
+    delta: int = 1
+
+
+@dataclass(frozen=True, slots=True)
+class GaugeEvent:
+    """A point-in-time level of a named gauge."""
+
+    name: str
+    value: float
+
+
+#: Any telemetry event the bus carries.
+TelemetryEvent = SpanEvent | CounterEvent | GaugeEvent
+
+#: Signature of an event-bus subscriber.
+EventSubscriber = Callable[[TelemetryEvent], None]
+
+
+class EventBus:
+    """Synchronous fan-out of telemetry events to subscribers."""
+
+    def __init__(self) -> None:
+        self._subscribers: list[EventSubscriber] = []
+
+    def subscribe(self, subscriber: EventSubscriber) -> Callable[[], None]:
+        """Register a subscriber; returns a zero-arg unsubscribe."""
+        self._subscribers.append(subscriber)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(subscriber)
+            except ValueError:
+                pass  # already unsubscribed
+
+        return unsubscribe
+
+    def publish(self, event: TelemetryEvent) -> None:
+        """Deliver one event to every subscriber, in order."""
+        for subscriber in self._subscribers:
+            subscriber(event)
+
+    def __len__(self) -> int:
+        return len(self._subscribers)
+
+    def __bool__(self) -> bool:
+        return bool(self._subscribers)

@@ -1,0 +1,141 @@
+"""The per-run telemetry hub the crawl components share.
+
+One :class:`Instrumentation` object travels with one run: the simulator
+binds it into the visitor, classifier, strategy and frontier, and every
+component records through the same three verbs —
+
+- ``observe(key, seconds)`` / ``timer(key)`` — aggregate a duration into
+  the :class:`~repro.obs.registry.MetricsRegistry`;
+- ``count(key)`` / ``gauge(key, value)`` — registry counters/gauges;
+- ``publish(event)`` — stream a typed event to bus subscribers (the
+  JSONL trace exporter, a live dashboard, a test probe).
+
+Design rule: *absence is the no-op*.  Components take
+``instrumentation=None`` and guard with one ``is not None`` check, so an
+uninstrumented crawl pays nothing but that branch (<5% measured by
+``bench_micro_components.py``).  A constructed-but-disabled hub
+(``enabled=False``) is treated the same way by the simulator.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.obs.events import EventBus, SpanEvent, TelemetryEvent
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import JsonlTraceWriter
+
+
+class _Timer:
+    """Context manager recording one duration into the registry."""
+
+    __slots__ = ("_registry", "_key", "_start")
+
+    def __init__(self, registry: MetricsRegistry, key: str) -> None:
+        self._registry = registry
+        self._key = key
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self._registry.observe(self._key, time.perf_counter() - self._start)
+
+
+class Instrumentation:
+    """Telemetry hub: registry + event bus + optional JSONL trace.
+
+    Args:
+        registry: metrics registry to aggregate into (fresh by default).
+        bus: event bus to publish spans on (fresh by default).
+        trace_path: when given, a :class:`JsonlTraceWriter` is created,
+            subscribed to the bus, and owned by this hub (``close()``
+            flushes and closes it).
+        enabled: a disabled hub is ignored by every component that
+            receives it — handy for flag-controlled call sites.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        bus: EventBus | None = None,
+        trace_path: str | Path | None = None,
+        enabled: bool = True,
+    ) -> None:
+        self.registry = registry or MetricsRegistry()
+        self.bus = bus or EventBus()
+        self.enabled = enabled
+        self.trace: JsonlTraceWriter | None = None
+        if trace_path is not None:
+            self.trace = JsonlTraceWriter(trace_path)
+            self.bus.subscribe(self.trace)
+
+    # -- recording shorthands ------------------------------------------------
+
+    def timer(self, key: str) -> _Timer:
+        """``with instr.timer("component.op"): ...`` — aggregate only."""
+        return _Timer(self.registry, key)
+
+    def observe(self, key: str, seconds: float) -> None:
+        self.registry.observe(key, seconds)
+
+    def count(self, key: str, delta: int = 1) -> None:
+        self.registry.add(key, delta)
+
+    def gauge(self, key: str, value: float) -> None:
+        self.registry.set_gauge(key, value)
+
+    def publish(self, event: TelemetryEvent) -> None:
+        """Stream one typed event to the bus subscribers."""
+        self.bus.publish(event)
+
+    def span(
+        self,
+        component: str,
+        name: str,
+        start_s: float,
+        duration_s: float,
+        **attrs: Any,
+    ) -> None:
+        """Aggregate a duration *and* publish the span on the bus."""
+        self.registry.observe(f"{component}.{name}", duration_s)
+        if self.bus:
+            self.bus.publish(
+                SpanEvent(
+                    component=component,
+                    name=name,
+                    start_s=start_s,
+                    duration_s=duration_s,
+                    attrs=attrs,
+                )
+            )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def render_profile(self, title: str = "Per-component profile") -> str:
+        return self.registry.render_profile(title)
+
+    def close(self) -> None:
+        """Flush and close the owned trace writer, if any."""
+        if self.trace is not None:
+            self.trace.close()
+
+    def __enter__(self) -> "Instrumentation":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def active(instrumentation: Instrumentation | None) -> Instrumentation | None:
+    """Normalise "no telemetry": a disabled hub becomes None.
+
+    Components call this once at the top of a run so their hot paths
+    only ever test ``is not None``.
+    """
+    if instrumentation is not None and instrumentation.enabled:
+        return instrumentation
+    return None

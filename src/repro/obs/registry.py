@@ -1,0 +1,158 @@
+"""In-process metrics registry: timers, counters, gauges.
+
+The registry is the *aggregated* view of a run's telemetry — where the
+event bus streams individual events, the registry keeps O(1)-sized
+running statistics per key.  Keys follow the ``component.op``
+convention ("visitor.fetch", "frontier.pop"), which is what the
+rendered profile table groups by.
+
+Zero dependencies, no locks (the simulator is single-threaded), and no
+rendering imports from the rest of the package — `repro.obs` sits
+*below* `repro.experiments` in the layering, so it carries its own tiny
+table renderer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class TimerStat:
+    """Running statistics of one timer key."""
+
+    count: int = 0
+    total_s: float = 0.0
+    min_s: float = math.inf
+    max_s: float = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Fold one duration into the statistics."""
+        self.count += 1
+        self.total_s += seconds
+        if seconds < self.min_s:
+            self.min_s = seconds
+        if seconds > self.max_s:
+            self.max_s = seconds
+
+    @property
+    def mean_s(self) -> float:
+        """Mean duration, 0.0 before any observation."""
+        if self.count == 0:
+            return 0.0
+        return self.total_s / self.count
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "mean_s": self.mean_s,
+            "min_s": self.min_s if self.count else 0.0,
+            "max_s": self.max_s,
+        }
+
+
+class MetricsRegistry:
+    """Aggregated timers, counters and gauges of one run."""
+
+    def __init__(self) -> None:
+        self._timers: dict[str, TimerStat] = {}
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+
+    # -- recording ----------------------------------------------------------
+
+    def observe(self, key: str, seconds: float) -> None:
+        """Record one duration under ``key`` ("component.op")."""
+        stat = self._timers.get(key)
+        if stat is None:
+            stat = self._timers[key] = TimerStat()
+        stat.observe(seconds)
+
+    def add(self, key: str, delta: int = 1) -> None:
+        """Increment the counter ``key`` by ``delta``."""
+        self._counters[key] = self._counters.get(key, 0) + delta
+
+    def set_gauge(self, key: str, value: float) -> None:
+        """Set the gauge ``key`` to ``value`` (last write wins)."""
+        self._gauges[key] = value
+
+    # -- reading ------------------------------------------------------------
+
+    @property
+    def timers(self) -> dict[str, TimerStat]:
+        return dict(self._timers)
+
+    @property
+    def counters(self) -> dict[str, int]:
+        return dict(self._counters)
+
+    @property
+    def gauges(self) -> dict[str, float]:
+        return dict(self._gauges)
+
+    def timer(self, key: str) -> TimerStat | None:
+        return self._timers.get(key)
+
+    def counter(self, key: str) -> int:
+        return self._counters.get(key, 0)
+
+    def __bool__(self) -> bool:
+        return bool(self._timers or self._counters or self._gauges)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON serialisation."""
+        return {
+            "timers": {key: stat.to_dict() for key, stat in self._timers.items()},
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+        }
+
+    # -- profile rendering --------------------------------------------------
+
+    def profile_rows(self) -> list[dict]:
+        """Per-component timing rows, sorted by total time descending.
+
+        ``share`` is each timer's fraction of the summed timer total —
+        the "where did the time go" column a perf PR starts from.
+        """
+        grand_total = sum(stat.total_s for stat in self._timers.values())
+        rows = []
+        for key, stat in sorted(
+            self._timers.items(), key=lambda item: item[1].total_s, reverse=True
+        ):
+            rows.append(
+                {
+                    "component": key,
+                    "calls": stat.count,
+                    "total_ms": round(stat.total_s * 1e3, 3),
+                    "mean_us": round(stat.mean_s * 1e6, 2),
+                    "max_us": round(stat.max_s * 1e6, 2),
+                    "share": f"{stat.total_s / grand_total:.1%}" if grand_total else "-",
+                }
+            )
+        return rows
+
+    def render_profile(self, title: str = "Per-component profile") -> str:
+        """The profile table as aligned plain text (own mini renderer)."""
+        rows = self.profile_rows()
+        if not rows:
+            return f"{title}\n(no timers recorded)\n"
+        columns = list(rows[0].keys())
+        cells = [[str(row[column]) for column in columns] for row in rows]
+        widths = [
+            max(len(column), *(len(row[index]) for row in cells))
+            for index, column in enumerate(columns)
+        ]
+        lines = [title]
+        lines.append("  ".join(column.ljust(width) for column, width in zip(columns, widths)))
+        lines.append("  ".join("-" * width for width in widths))
+        for row in cells:
+            lines.append("  ".join(value.ljust(width) for value, width in zip(row, widths)))
+        if self._counters:
+            lines.append("")
+            lines.append("counters: " + "  ".join(
+                f"{key}={value}" for key, value in sorted(self._counters.items())
+            ))
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,104 @@
+"""JSONL trace export and re-import.
+
+A trace file is one JSON object per line, in emission order.  The
+exporter subscribes to an :class:`~repro.obs.events.EventBus` and
+serialises the events it is configured to care about — by default only
+:class:`~repro.obs.events.SpanEvent`, so a crawl trace is exactly one
+line per fetch and the hot counters never hit the disk.
+
+The format round-trips: :func:`read_trace` yields the same dicts
+:meth:`JsonlTraceWriter.write` was given, which the trace tests pin
+down end to end through a real simulated crawl.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterable
+
+from repro.obs.events import CounterEvent, GaugeEvent, SpanEvent, TelemetryEvent
+
+
+def event_to_dict(event: TelemetryEvent) -> dict:
+    """Flatten a typed event into its JSONL record."""
+    if isinstance(event, SpanEvent):
+        record = {
+            "type": "span",
+            "component": event.component,
+            "name": event.name,
+            "start_s": event.start_s,
+            "duration_s": event.duration_s,
+        }
+        record.update(event.attrs)
+        return record
+    if isinstance(event, CounterEvent):
+        return {"type": "counter", "name": event.name, "delta": event.delta}
+    if isinstance(event, GaugeEvent):
+        return {"type": "gauge", "name": event.name, "value": event.value}
+    raise TypeError(f"not a telemetry event: {event!r}")
+
+
+class JsonlTraceWriter:
+    """Streams telemetry events to a JSONL file.
+
+    Usable directly (``write(record)``) or as an event-bus subscriber
+    (``__call__``).  ``kinds`` filters what the subscriber serialises;
+    spans only by default.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        kinds: tuple[type, ...] = (SpanEvent,),
+    ) -> None:
+        self.path = Path(path)
+        self._kinds = kinds
+        self._handle: IO[str] | None = self.path.open("w", encoding="utf-8")
+        self.records_written = 0
+
+    def __call__(self, event: TelemetryEvent) -> None:
+        if isinstance(event, self._kinds):
+            self.write(event_to_dict(event))
+
+    def write(self, record: dict) -> None:
+        """Append one record (a JSON-serialisable dict) to the trace."""
+        if self._handle is None:
+            raise ValueError(f"trace writer for {self.path} is closed")
+        self._handle.write(json.dumps(record, separators=(",", ":"), default=str) + "\n")
+        self.records_written += 1
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlTraceWriter":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def read_trace(path: str | Path) -> list[dict]:
+    """Load a JSONL trace back into a list of dicts."""
+    records = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def iter_trace(path: str | Path) -> Iterable[dict]:
+    """Stream a JSONL trace without loading it whole."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

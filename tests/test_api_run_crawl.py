@@ -1,0 +1,244 @@
+"""Tests of the unified session API (repro.api.run_crawl).
+
+run_crawl is the one public entry point: these tests pin down its
+engine dispatch (SimulationConfig vs ParallelConfig), its dataset
+defaults, its argument validation, and the per-fetch callback path —
+event ordering, sim_time propagation under a TimingModel, and the
+trace-file round-trip through an Instrumentation hub.
+"""
+
+import pytest
+
+import repro
+from repro.charset.languages import Language
+from repro.core.classifier import Classifier
+from repro.core.parallel import ParallelConfig, ParallelResult, PartitionMode
+from repro.core.simulator import CrawlResult, SimulationConfig
+from repro.core.strategies import BreadthFirstStrategy, SimpleStrategy
+from repro.core.timing import TimingModel
+from repro.errors import ConfigError
+from repro.obs import Instrumentation, read_trace
+
+from conftest import SEED
+
+run_crawl = repro.run_crawl
+
+
+class TestDispatch:
+    def test_web_path_runs_sequential_engine(self, tiny_web):
+        result = run_crawl(
+            web=tiny_web,
+            strategy=BreadthFirstStrategy(),
+            classifier=Classifier(Language.THAI),
+            seeds=[SEED],
+        )
+        assert isinstance(result, CrawlResult)
+        assert result.pages_crawled > 0
+
+    def test_strategy_factory_works_sequentially(self, tiny_web):
+        instance = run_crawl(
+            web=tiny_web,
+            strategy=BreadthFirstStrategy(),
+            classifier=Classifier(Language.THAI),
+            seeds=[SEED],
+        )
+        factory = run_crawl(
+            web=tiny_web,
+            strategy=BreadthFirstStrategy,
+            classifier=Classifier(Language.THAI),
+            seeds=[SEED],
+        )
+        assert factory.pages_crawled == instance.pages_crawled
+
+    def test_parallel_config_selects_parallel_engine(self, tiny_web):
+        result = run_crawl(
+            web=tiny_web,
+            strategy=BreadthFirstStrategy,
+            classifier=Classifier(Language.THAI),
+            seeds=[SEED],
+            config=ParallelConfig(partitions=2, mode=PartitionMode.EXCHANGE),
+        )
+        assert isinstance(result, ParallelResult)
+        assert result.partitions == 2
+
+    def test_both_engines_satisfy_crawl_report(self, tiny_web):
+        kwargs = dict(
+            web=tiny_web, classifier=Classifier(Language.THAI), seeds=[SEED]
+        )
+        sequential = run_crawl(strategy=BreadthFirstStrategy(), **kwargs)
+        parallel = run_crawl(
+            strategy=BreadthFirstStrategy, config=ParallelConfig(partitions=2), **kwargs
+        )
+        for report in (sequential, parallel):
+            assert report.pages_crawled > 0
+            assert 0.0 <= report.coverage <= 1.0
+            assert isinstance(report.to_dict(), dict)
+
+    def test_summary_rows_renders_both_result_types(self, tiny_web):
+        from repro.experiments.runner import summary_rows
+
+        kwargs = dict(
+            web=tiny_web, classifier=Classifier(Language.THAI), seeds=[SEED]
+        )
+        results = {
+            "sequential": run_crawl(strategy=BreadthFirstStrategy(), **kwargs),
+            "parallel": run_crawl(
+                strategy=BreadthFirstStrategy, config=ParallelConfig(partitions=2), **kwargs
+            ),
+        }
+        rows = summary_rows(results)
+        # The sequential result's to_dict carries its own strategy name;
+        # the parallel row keeps the caller's key.
+        assert [row["strategy"] for row in rows] == ["breadth-first", "parallel"]
+        assert all("pages_crawled" in row for row in rows)
+
+
+class TestDatasetDefaults:
+    def test_dataset_supplies_web_classifier_and_seeds(self, thai_dataset):
+        result = run_crawl(dataset=thai_dataset, strategy=SimpleStrategy(mode="soft"))
+        assert result.coverage == pytest.approx(1.0)
+
+    def test_dataset_parallel(self, thai_dataset):
+        result = run_crawl(
+            dataset=thai_dataset,
+            strategy=BreadthFirstStrategy,
+            config=ParallelConfig(partitions=2),
+        )
+        assert isinstance(result, ParallelResult)
+        assert result.coverage == pytest.approx(1.0)
+
+    def test_matches_run_strategy(self, thai_dataset):
+        from repro.experiments.runner import run_strategy
+
+        direct = run_crawl(
+            dataset=thai_dataset,
+            strategy=SimpleStrategy(mode="soft"),
+            config=SimulationConfig(sample_interval=500),
+        )
+        harness = run_strategy(thai_dataset, SimpleStrategy(mode="soft"), sample_interval=500)
+        assert direct.to_dict() == harness.to_dict()
+
+
+class TestValidation:
+    def test_web_and_dataset_conflict(self, tiny_web, thai_dataset):
+        with pytest.raises(ConfigError, match="not both"):
+            run_crawl(web=tiny_web, dataset=thai_dataset, strategy=BreadthFirstStrategy())
+
+    def test_missing_web_and_dataset(self):
+        with pytest.raises(ConfigError):
+            run_crawl(strategy=BreadthFirstStrategy())
+
+    def test_web_requires_classifier_and_seeds(self, tiny_web):
+        with pytest.raises(ConfigError):
+            run_crawl(web=tiny_web, strategy=BreadthFirstStrategy(), seeds=[SEED])
+        with pytest.raises(ConfigError):
+            run_crawl(
+                web=tiny_web,
+                strategy=BreadthFirstStrategy(),
+                classifier=Classifier(Language.THAI),
+            )
+
+    def test_parallel_rejects_strategy_instance(self, tiny_web):
+        with pytest.raises(ConfigError, match="factory"):
+            run_crawl(
+                web=tiny_web,
+                strategy=BreadthFirstStrategy(),
+                classifier=Classifier(Language.THAI),
+                seeds=[SEED],
+                config=ParallelConfig(partitions=2),
+            )
+
+    def test_parallel_rejects_sequential_only_features(self, tiny_web):
+        with pytest.raises(ConfigError, match="sequential"):
+            run_crawl(
+                web=tiny_web,
+                strategy=BreadthFirstStrategy,
+                classifier=Classifier(Language.THAI),
+                seeds=[SEED],
+                config=ParallelConfig(partitions=2),
+                on_fetch=lambda event: None,
+            )
+
+    def test_bad_factory_return_value(self, tiny_web):
+        with pytest.raises(ConfigError, match="factory"):
+            run_crawl(
+                web=tiny_web,
+                strategy=lambda: "not a strategy",
+                classifier=Classifier(Language.THAI),
+                seeds=[SEED],
+            )
+
+
+class TestOnFetchCallback:
+    def test_events_arrive_in_step_order_with_full_payload(self, tiny_web):
+        events = []
+        result = run_crawl(
+            web=tiny_web,
+            strategy=BreadthFirstStrategy(),
+            classifier=Classifier(Language.THAI),
+            seeds=[SEED],
+            on_fetch=events.append,
+        )
+        assert len(events) == result.pages_crawled
+        assert [event.step for event in events] == list(range(1, len(events) + 1))
+        assert events[0].url == SEED
+        assert events[0].judgment.relevant  # the seed is Thai
+        assert all(event.queue_size >= 0 for event in events)
+        assert all(event.scheduled_count >= event.queue_size for event in events)
+
+    def test_sim_time_is_none_without_timing_model(self, tiny_web):
+        events = []
+        run_crawl(
+            web=tiny_web,
+            strategy=BreadthFirstStrategy(),
+            classifier=Classifier(Language.THAI),
+            seeds=[SEED],
+            on_fetch=events.append,
+        )
+        assert all(event.sim_time is None for event in events)
+
+    def test_sim_time_propagates_and_grows_with_timing_model(self, tiny_web):
+        events = []
+        run_crawl(
+            web=tiny_web,
+            strategy=BreadthFirstStrategy(),
+            classifier=Classifier(Language.THAI),
+            seeds=[SEED],
+            timing=TimingModel(),
+            on_fetch=events.append,
+        )
+        times = [event.sim_time for event in events]
+        assert all(t is not None and t > 0.0 for t in times)
+        assert times == sorted(times)
+
+    def test_callback_and_instrumentation_compose(self, tiny_web, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        events = []
+        with Instrumentation(trace_path=path) as hub:
+            result = run_crawl(
+                web=tiny_web,
+                strategy=BreadthFirstStrategy(),
+                classifier=Classifier(Language.THAI),
+                seeds=[SEED],
+                timing=TimingModel(),
+                on_fetch=events.append,
+                instrumentation=hub,
+            )
+        records = read_trace(path)
+        assert len(records) == len(events) == result.pages_crawled
+        # The trace mirrors the callback stream, including simulated time.
+        for record, event in zip(records, events):
+            assert record["step"] == event.step
+            assert record["url"] == event.url
+            assert record["sim_time"] == pytest.approx(event.sim_time)
+
+
+class TestPublicSurface:
+    def test_run_crawl_exported_from_package_root(self):
+        assert repro.run_crawl is run_crawl
+        assert "run_crawl" in repro.__all__
+
+    def test_obs_names_exported_from_package_root(self):
+        for name in ("Instrumentation", "MetricsRegistry", "EventBus", "read_trace"):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None

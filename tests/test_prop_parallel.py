@@ -9,7 +9,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.charset.languages import Language
 from repro.core.classifier import Classifier
-from repro.core.parallel import ParallelCrawlSimulator
+from repro.core.parallel import ParallelCrawlSimulator, PartitionMode
 from repro.core.simulator import Simulator
 from repro.core.strategies import BreadthFirstStrategy
 from repro.webspace.crawllog import CrawlLog
@@ -45,14 +45,14 @@ def random_webs(draw):
     return CrawlLog(records)
 
 
-def run(log: CrawlLog, partitions: int, mode: str):
+def run(log: CrawlLog, partitions: int, mode: PartitionMode):
     return ParallelCrawlSimulator(
         web=VirtualWebSpace(log),
         strategy_factory=BreadthFirstStrategy,
         classifier=Classifier(Language.THAI),
         seed_urls=[next(iter(log.urls()))],
         partitions=partitions,
-        mode=mode,
+        mode=PartitionMode(mode),
         relevant_urls=relevant_url_set(log, Language.THAI),
     ).run()
 
