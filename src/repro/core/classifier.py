@@ -59,13 +59,91 @@ class Judgment:
 _IRRELEVANT = Judgment(relevant=False, language=Language.UNKNOWN, charset=None)
 
 
+class ClassifierCache:
+    """Bounded LRU of classification outcomes, keyed by content identity.
+
+    Strategy sweeps re-classify the same bytes once per strategy: four
+    strategies over one dataset run the charset detector four times on
+    every body.  Judgments depend only on (mode, target language,
+    content), and :class:`Judgment` is frozen, so memoising them is
+    exact — the cached and uncached classifier agree on every input
+    (``tests/test_prop_classifier_cache.py`` pins this property).
+
+    Keys are built by the classifier: the declared charset string in
+    ``charset`` mode, the body bytes in ``meta``/``detector`` mode (see
+    :meth:`Classifier._cache_key`).  One cache may be shared by several
+    classifiers — the key carries mode and target language.
+
+    Hit/miss/eviction counters are always on (two int increments per
+    lookup); the simulator publishes them as ``classifier.cache.*``
+    gauges through :mod:`repro.obs` at the end of an instrumented run.
+    """
+
+    __slots__ = ("max_entries", "hits", "misses", "evictions", "_entries")
+
+    def __init__(self, max_entries: int = 65536) -> None:
+        if max_entries < 1:
+            raise ConfigError("ClassifierCache max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: dict[object, Judgment] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: object) -> Judgment | None:
+        """The cached judgment for ``key``, refreshed as most recent."""
+        entries = self._entries
+        judgment = entries.get(key)
+        if judgment is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        # Move to the MRU end; dicts preserve insertion order, so the
+        # first key is always the least recently used.
+        del entries[key]
+        entries[key] = judgment
+        return judgment
+
+    def store(self, key: object, judgment: Judgment) -> None:
+        """Insert a judgment, evicting the least recently used on overflow."""
+        entries = self._entries
+        if key not in entries and len(entries) >= self.max_entries:
+            del entries[next(iter(entries))]
+            self.evictions += 1
+        entries[key] = judgment
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot (the shape the obs gauges publish)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._entries),
+        }
+
+
 class Classifier:
-    """Judges whether fetched pages are in the target language."""
+    """Judges whether fetched pages are in the target language.
+
+    Args:
+        target_language: the language that counts as relevant.
+        mode: how the page's language is established (see module doc).
+        cache: optional :class:`ClassifierCache`; when given, judgments
+            are memoised by content identity.  Share one cache across
+            the classifiers of a strategy sweep to skip re-detection.
+    """
 
     def __init__(
         self,
         target_language: Language,
         mode: ClassifierMode | str = ClassifierMode.CHARSET,
+        cache: ClassifierCache | None = None,
     ) -> None:
         if isinstance(mode, str):
             try:
@@ -75,6 +153,7 @@ class Classifier:
                 raise ConfigError(f"unknown classifier mode {mode!r}; expected one of {valid}") from None
         self.target_language = target_language
         self.mode = mode
+        self.cache = cache
         self._instr = None
 
     def bind_instrumentation(self, instrumentation) -> None:
@@ -102,6 +181,20 @@ class Classifier:
         instr.count("classifier.relevant" if judgment.relevant else "classifier.irrelevant")
         return judgment
 
+    def _cache_key(self, response: FetchResponse) -> object | None:
+        """Content-identity key of a response, or None when uncacheable.
+
+        ``charset`` mode classifies nothing but the declared charset, so
+        that string *is* the content identity; ``meta``/``detector``
+        read the body bytes, so the bytes are.  Mode and target language
+        are part of the key so one cache can serve a whole sweep.
+        """
+        if self.mode is ClassifierMode.CHARSET:
+            return (self.mode, self.target_language, response.charset)
+        if response.body is None:
+            return None  # the mode needs a body; let _judge raise
+        return (self.mode, self.target_language, response.body)
+
     def _judge(self, response: FetchResponse) -> Judgment:
         if not response.ok or not response.is_html:
             return _IRRELEVANT
@@ -116,6 +209,19 @@ class Classifier:
                 charset=response.charset,
             )
 
+        cache = self.cache
+        if cache is not None:
+            key = self._cache_key(response)
+            if key is not None:
+                judgment = cache.lookup(key)
+                if judgment is None:
+                    judgment = self._classify(response)
+                    cache.store(key, judgment)
+                return judgment
+        return self._classify(response)
+
+    def _classify(self, response: FetchResponse) -> Judgment:
+        """The uncached classification path (OK HTML, non-oracle modes)."""
         if self.mode is ClassifierMode.CHARSET:
             charset = response.charset
         elif self.mode is ClassifierMode.META:

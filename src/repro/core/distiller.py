@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 
 @dataclass
 class Distiller:
@@ -53,34 +55,53 @@ class Distiller:
         Only links into *relevant* crawled pages carry authority (the
         "modified version of Kleinberg's algorithm": off-language pages
         must not certify hubs), and only crawled pages can be hubs.
+
+        Vectorised: the observed graph is flattened once into source /
+        target index arrays over the edges that can carry authority
+        (crawled source → relevant target), then each power iteration is
+        two ``np.bincount`` scatter-adds instead of a Python loop over
+        every edge — the difference between O(edges × iterations) in
+        interpreter time and in C time.  Edges into irrelevant targets
+        contribute nothing in the scalar formulation, so dropping them
+        up front changes no score.
         """
         if not self._outlinks or not self._relevant:
             return {}
 
-        hub = {url: 1.0 for url in self._outlinks}
-        authority = {url: 1.0 for url in self._relevant}
+        page_index = {url: index for index, url in enumerate(self._outlinks)}
+        relevant_index = {url: index for index, url in enumerate(self._relevant)}
+        sources: list[int] = []
+        targets: list[int] = []
+        for url, links in self._outlinks.items():
+            source = page_index[url]
+            for target in links:
+                target_idx = relevant_index.get(target)
+                if target_idx is not None:
+                    sources.append(source)
+                    targets.append(target_idx)
 
+        n_pages = len(page_index)
+        n_relevant = len(relevant_index)
+        if not sources:
+            return dict.fromkeys(self._outlinks, 0.0)
+        src = np.asarray(sources, dtype=np.intp)
+        dst = np.asarray(targets, dtype=np.intp)
+
+        hub = np.ones(n_pages)
         for _ in range(self.iterations):
-            # authority(p) = sum of hub scores of crawled pages linking to
-            # p, restricted to relevant p.
-            new_authority = dict.fromkeys(authority, 0.0)
-            for url, links in self._outlinks.items():
-                weight = hub[url]
-                for target in links:
-                    if target in new_authority:
-                        new_authority[target] += weight
+            # authority(p) = sum of hub scores of crawled pages linking
+            # to p, restricted to relevant p.
+            authority = np.bincount(dst, weights=hub[src], minlength=n_relevant)
+            peak = authority.max()
+            if peak > 0.0:
+                authority /= peak
             # hub(p) = sum of authority of the relevant pages p links to.
-            new_hub = dict.fromkeys(hub, 0.0)
-            for url, links in self._outlinks.items():
-                score = 0.0
-                for target in links:
-                    score += new_authority.get(target, 0.0)
-                new_hub[url] = score
+            hub = np.bincount(src, weights=authority[dst], minlength=n_pages)
+            peak = hub.max()
+            if peak > 0.0:
+                hub /= peak
 
-            authority = _normalised(new_authority)
-            hub = _normalised(new_hub)
-
-        return hub
+        return {url: float(hub[index]) for url, index in page_index.items()}
 
     def top_hubs(self) -> dict[str, float]:
         """The strongest hubs (top ``top_fraction`` by score, score > 0)."""
@@ -103,10 +124,3 @@ class Distiller:
                 if score > neighbors.get(target, 0.0):
                     neighbors[target] = score
         return neighbors
-
-
-def _normalised(scores: dict[str, float]) -> dict[str, float]:
-    peak = max(scores.values(), default=0.0)
-    if peak <= 0.0:
-        return scores
-    return {url: score / peak for url, score in scores.items()}

@@ -12,6 +12,19 @@ Two disciplines cover every strategy in the paper:
 
 Both track their peak occupancy, which is the quantity Figures 5-7(a)
 plot.
+
+Heap entries are plain ``(-priority, tiebreak, candidate)`` tuples, so
+every ``heappush``/``heappop`` comparison runs in C.  The ``tiebreak``
+is a per-frontier monotonic counter: it is unique, so two entries always
+order on ``(-priority, tiebreak)`` and the candidate element is *never*
+compared — pop order within a priority band is push order, identically
+on every Python version.  The golden-trace suite (``tests/golden``)
+pins that ordering byte-for-byte.
+
+:class:`ReprioritizableFrontier` reprioritizes with lazy deletion: an
+update pushes a fresh entry in O(log n) and *tombstones* the stale one,
+which pop discards when it surfaces.  Tombstones are compacted once they
+outnumber live entries, bounding the heap at twice the live size.
 """
 
 from __future__ import annotations
@@ -19,9 +32,14 @@ from __future__ import annotations
 import heapq
 from abc import ABC, abstractmethod
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import FrontierError
+
+#: Heap entries of the priority frontiers: ``(-priority, tiebreak,
+#: candidate)``.  The tiebreak counter is unique per frontier, so tuple
+#: comparison never reaches the candidate.
+_HeapEntry = tuple
 
 
 @dataclass(frozen=True, slots=True)
@@ -122,12 +140,6 @@ class FIFOFrontier(Frontier):
         return len(self._queue)
 
 
-@dataclass(order=True, slots=True)
-class _HeapEntry:
-    sort_key: tuple[int, int]
-    candidate: Candidate = field(compare=False)
-
-
 class PriorityFrontier(Frontier):
     """Max-priority queue with FIFO order within equal priorities.
 
@@ -143,16 +155,16 @@ class PriorityFrontier(Frontier):
         self._counter = 0
 
     def push(self, candidate: Candidate) -> None:
-        entry = _HeapEntry(sort_key=(-candidate.priority, self._counter), candidate=candidate)
-        self._counter += 1
-        heapq.heappush(self._heap, entry)
+        counter = self._counter
+        self._counter = counter + 1
+        heapq.heappush(self._heap, (-candidate.priority, counter, candidate))
         self._note_size()
 
     def pop(self) -> Candidate:
         if not self._heap:
             raise FrontierError("pop from empty priority frontier")
         self.pops += 1
-        return heapq.heappop(self._heap).candidate
+        return heapq.heappop(self._heap)[2]
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -165,26 +177,36 @@ class ReprioritizableFrontier(Frontier):
     enqueueing it — the distiller of the original focused-crawling system
     ("the priority values of URLs identified as hubs and their immediate
     neighbors are raised", paper §2.1) and backlink-count ordering (Cho
-    et al.).  Implemented with lazy invalidation: `update_priority`
-    pushes a fresh heap entry and the stale one is discarded at pop time,
-    so updates are O(log n) and pops amortised O(log n).
+    et al.).  Implemented with lazy deletion: ``update_priority`` pushes
+    a fresh heap entry and tombstones the stale one, which ``pop``
+    discards when it reaches the heap top — updates are O(log n), pops
+    amortised O(log n), no re-sort ever.  When tombstones outnumber live
+    entries the heap is compacted in O(live), so memory stays bounded at
+    twice the live queue even under pathological update rates.
 
     Unlike the simpler frontiers, a URL can only be queued once here —
     the class keys its bookkeeping by URL.
     """
+
+    #: Compact only past this many tombstones, so small frontiers never
+    #: pay the rebuild.
+    _COMPACT_MIN = 64
 
     def __init__(self) -> None:
         super().__init__()
         self._heap: list[_HeapEntry] = []
         self._counter = 0
         self._current: dict[str, _HeapEntry] = {}
+        self._stale = 0
 
     def push(self, candidate: Candidate) -> None:
-        if candidate.url in self._current:
-            raise FrontierError(f"{candidate.url!r} is already queued; use update_priority")
-        entry = _HeapEntry(sort_key=(-candidate.priority, self._counter), candidate=candidate)
-        self._counter += 1
-        self._current[candidate.url] = entry
+        url = candidate.url
+        if url in self._current:
+            raise FrontierError(f"{url!r} is already queued; use update_priority")
+        counter = self._counter
+        self._counter = counter + 1
+        entry = (-candidate.priority, counter, candidate)
+        self._current[url] = entry
         heapq.heappush(self._heap, entry)
         self._note_size()
 
@@ -193,39 +215,62 @@ class ReprioritizableFrontier(Frontier):
         stale = self._current.get(url)
         if stale is None:
             return False
-        if -stale.sort_key[0] == priority:
+        if -stale[0] == priority:
             return True  # no change needed
+        old = stale[2]
         candidate = Candidate(
-            url=stale.candidate.url,
+            url=old.url,
             priority=priority,
-            distance=stale.candidate.distance,
-            referrer=stale.candidate.referrer,
+            distance=old.distance,
+            referrer=old.referrer,
         )
-        entry = _HeapEntry(sort_key=(-priority, self._counter), candidate=candidate)
-        self._counter += 1
+        counter = self._counter
+        self._counter = counter + 1
+        entry = (-priority, counter, candidate)
         self._current[url] = entry
         heapq.heappush(self._heap, entry)
+        self._stale += 1
+        if self._stale > self._COMPACT_MIN and self._stale > len(self._current):
+            self._compact()
         return True
+
+    def _compact(self) -> None:
+        """Drop every tombstone by rebuilding the heap from live entries.
+
+        O(live); heapify keeps the ``(-priority, tiebreak)`` order, so
+        pop order is untouched — only dead weight goes.
+        """
+        self._heap = list(self._current.values())
+        heapq.heapify(self._heap)
+        self._stale = 0
+
+    @property
+    def stale_entries(self) -> int:
+        """Tombstoned heap entries awaiting lazy deletion/compaction."""
+        return self._stale
 
     def priority_of(self, url: str) -> int | None:
         """Current priority of a queued URL, or None."""
         entry = self._current.get(url)
         if entry is None:
             return None
-        return -entry.sort_key[0]
+        return -entry[0]
 
     def __contains__(self, url: str) -> bool:
         return url in self._current
 
     def pop(self) -> Candidate:
-        while self._heap:
-            entry = heapq.heappop(self._heap)
-            current = self._current.get(entry.candidate.url)
-            if current is entry:
-                del self._current[entry.candidate.url]
+        heap = self._heap
+        current = self._current
+        while heap:
+            entry = heapq.heappop(heap)
+            candidate = entry[2]
+            if current.get(candidate.url) is entry:
+                del current[candidate.url]
                 self.pops += 1
-                return entry.candidate
-            # else: a stale entry superseded by update_priority — skip.
+                return candidate
+            # A tombstone superseded by update_priority — discard it.
+            self._stale -= 1
         raise FrontierError("pop from empty reprioritizable frontier")
 
     def __len__(self) -> int:

@@ -160,10 +160,15 @@ class Simulator:
             steps = recorder.steps
             frontier_peak = frontier.peak_size
             if instr is not None:
+                instr.flush()
                 instr.gauge("frontier.peak_size", frontier.peak_size)
                 instr.gauge("frontier.pushes", frontier.pushes)
                 instr.gauge("frontier.pops", frontier.pops)
                 instr.count("simulator.pages", steps)
+                cache = self._classifier.cache
+                if cache is not None:
+                    for key, value in cache.stats().items():
+                        instr.gauge(f"classifier.cache.{key}", value)
                 self._classifier.bind_instrumentation(None)
             frontier.close()
 
@@ -179,41 +184,57 @@ class Simulator:
         )
 
     def _crawl_loop(self, frontier, visitor, recorder, scheduled) -> None:
+        # This loop runs once per simulated fetch — the per-page hot
+        # path.  Bound methods and loop-invariant attributes are hoisted
+        # into locals: at production scale the LOAD_ATTR chains cost more
+        # than some of the work they dispatch to.
         config = self._config
         strategy = self._strategy
+        timing = self._timing
+        on_fetch = self._on_fetch
+        max_pages = config.max_pages
+        pop = frontier.pop
+        push = frontier.push
+        fetch = visitor.fetch
+        extract = visitor.extract
+        judge = self._classifier.judge
+        expand = strategy.expand
+        tick = strategy.tick
+        record = recorder.record
+        scheduled_add = scheduled.add
         steps = 0
         while frontier:
-            if config.max_pages is not None and steps >= config.max_pages:
+            if max_pages is not None and steps >= max_pages:
                 break
-            candidate = frontier.pop()
-            response = visitor.fetch(candidate.url)
-            judgment = self._classifier.judge(response)
+            candidate = pop()
+            response = fetch(candidate.url)
+            judgment = judge(response)
             steps += 1
 
             sim_time: float | None = None
-            if self._timing is not None:
-                self._timing.observe_fetch(candidate.url, response.size)
+            if timing is not None:
+                timing.observe_fetch(candidate.url, response.size)
                 # Record the global simulated clock, not this fetch's own
                 # completion: with parallel connections a later-started
                 # fetch can finish earlier, but elapsed time is monotone.
-                sim_time = self._timing.now
+                sim_time = timing.now
 
-            outlinks = visitor.extract(response)
-            for child in strategy.expand(candidate, response, judgment, outlinks):
-                if child.url in scheduled:
-                    continue
-                scheduled.add(child.url)
-                frontier.push(child)
-            strategy.tick(steps, frontier)
+            outlinks = extract(response)
+            for child in expand(candidate, response, judgment, outlinks):
+                url = child.url
+                if url not in scheduled:
+                    scheduled_add(url)
+                    push(child)
+            tick(steps, frontier)
 
-            recorder.record(
+            record(
                 url=candidate.url,
                 judged_relevant=judgment.relevant,
                 queue_size=len(frontier),
                 sim_time=sim_time,
             )
-            if self._on_fetch is not None:
-                self._on_fetch(
+            if on_fetch is not None:
+                on_fetch(
                     CrawlEvent(
                         step=steps,
                         candidate=candidate,

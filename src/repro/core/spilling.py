@@ -85,9 +85,9 @@ class SpillingFrontier(Frontier):
     # -- core queue operations ----------------------------------------------
 
     def push(self, candidate: Candidate) -> None:
-        entry = _HeapEntry(sort_key=(-candidate.priority, self._counter), candidate=candidate)
-        self._counter += 1
-        heapq.heappush(self._heap, entry)
+        counter = self._counter
+        self._counter = counter + 1
+        heapq.heappush(self._heap, (-candidate.priority, counter, candidate))
         if len(self._heap) > self._limit:
             self._spill_coldest()
         if len(self._heap) > self._peak_resident:
@@ -100,7 +100,7 @@ class SpillingFrontier(Frontier):
         if not self._heap:
             raise FrontierError("pop from empty spilling frontier")
         self.pops += 1
-        return heapq.heappop(self._heap).candidate
+        return heapq.heappop(self._heap)[2]
 
     def __len__(self) -> int:
         return len(self._heap) + self._pending_on_disk
@@ -142,18 +142,18 @@ class SpillingFrontier(Frontier):
         """
         started = time.perf_counter() if self._instr is not None else 0.0
         batch = max(1, self._limit // 10)
-        self._heap.sort(key=lambda entry: entry.sort_key)
+        self._heap.sort()
         victims = self._heap[-batch:]
         del self._heap[-batch:]
         heapq.heapify(self._heap)
 
         self._spill_file.seek(0, os.SEEK_END)
-        for entry in victims:
+        for _, _, candidate in victims:
             record = {
-                "u": entry.candidate.url,
-                "p": entry.candidate.priority,
-                "d": entry.candidate.distance,
-                "r": entry.candidate.referrer,
+                "u": candidate.url,
+                "p": candidate.priority,
+                "d": candidate.distance,
+                "r": candidate.referrer,
             }
             self._spill_file.write(json.dumps(record, separators=(",", ":")) + "\n")
         self._spill_file.flush()
@@ -181,11 +181,9 @@ class SpillingFrontier(Frontier):
                 distance=record["d"],
                 referrer=record["r"],
             )
-            entry = _HeapEntry(
-                sort_key=(-candidate.priority, self._counter), candidate=candidate
-            )
-            self._counter += 1
-            heapq.heappush(self._heap, entry)
+            counter = self._counter
+            self._counter = counter + 1
+            heapq.heappush(self._heap, (-candidate.priority, counter, candidate))
             loaded += 1
         self._pending_on_disk -= loaded
         self.reloaded += loaded

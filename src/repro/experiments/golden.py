@@ -1,0 +1,190 @@
+"""Golden crawl traces: the differential gate on engine optimisation.
+
+The simulator is only allowed to get *faster*, never *different*: every
+strategy's value rests on its exact, reproducible fetch ordering (the
+paper's figures are functions of that order, and the limited-distance
+semantics are defined path-by-path).  This module records the complete
+observable behaviour of a crawl — the fetch order and each page's
+relevance verdict — on a small, fully deterministic generated web, and
+serialises it as JSONL.
+
+The checked-in fixtures under ``tests/golden/fixtures/`` are the golden
+reference; ``tests/golden/test_golden_traces.py`` replays every strategy
+against them on each test run, so any hot-path change that perturbs
+orderings — a heap tiebreak regression, a cache returning a stale
+judgment, an interning bug collapsing two URLs — fails tier-1 with the
+first divergent step named.
+
+Regenerate fixtures (only when an ordering change is *intended* and
+reviewed) with::
+
+    python -m repro.experiments.reproduce --regen-golden
+
+Fixture format: line 1 is a JSON header (format name/version, profile,
+scale, strategy, page cap); each further line is one fetch,
+``{"step": n, "url": ..., "relevant": ...}``, in fetch order.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable
+
+from repro.core.strategies import (
+    BreadthFirstStrategy,
+    CrawlStrategy,
+    LimitedDistanceStrategy,
+    SimpleStrategy,
+)
+from repro.errors import ReproError
+from repro.experiments.datasets import Dataset, build_dataset
+from repro.experiments.runner import run_strategy
+from repro.graphgen.profiles import thai_profile
+
+_FORMAT_NAME = "repro-lswc-golden-trace"
+_FORMAT_VERSION = 1
+
+#: Scale of the golden universe — small enough that seven checked-in
+#: traces stay reviewable, big enough that every priority band and
+#: tunneling depth is exercised.
+GOLDEN_SCALE = 0.02
+
+#: Fetches recorded per strategy.  A cap (rather than frontier
+#: exhaustion) keeps fixtures compact, but it must be deep enough that
+#: every pair of pinned strategies has visibly diverged — on the golden
+#: web the last pair (limited-distance N=2 prioritized vs soft-focused)
+#: separates at step 1007, so anything shorter would leave part of the
+#: matrix pinning duplicate traces.
+GOLDEN_MAX_PAGES = 1100
+
+#: Default fixture directory, resolved from the repository layout
+#: (``src/repro/experiments/golden.py`` → repo root → ``tests/golden``).
+GOLDEN_FIXTURE_DIR = Path(__file__).resolve().parents[3] / "tests" / "golden" / "fixtures"
+
+
+def golden_strategies() -> dict[str, Callable[[], CrawlStrategy]]:
+    """The strategy matrix the golden suite pins, by fixture name.
+
+    Breadth-first, both simple modes, and limited-distance N ∈ {1, 2} in
+    both priority modes — one strategy per frontier discipline and
+    priority-band shape the engine supports.
+    """
+    return {
+        "breadth-first": BreadthFirstStrategy,
+        "hard-focused": lambda: SimpleStrategy(mode="hard"),
+        "soft-focused": lambda: SimpleStrategy(mode="soft"),
+        "limited-distance-n1": lambda: LimitedDistanceStrategy(n=1),
+        "limited-distance-n1-prioritized": lambda: LimitedDistanceStrategy(n=1, prioritized=True),
+        "limited-distance-n2": lambda: LimitedDistanceStrategy(n=2),
+        "limited-distance-n2-prioritized": lambda: LimitedDistanceStrategy(n=2, prioritized=True),
+    }
+
+
+def golden_dataset() -> Dataset:
+    """The deterministic web the traces are recorded on.
+
+    Built fresh (no disk cache) from the Thai profile's fixed seed:
+    generation and capture are pure functions of the profile, so every
+    machine and every run constructs byte-identical logs.
+    """
+    return build_dataset(thai_profile().scaled(GOLDEN_SCALE))
+
+
+def record_golden_trace(
+    dataset: Dataset,
+    strategy: CrawlStrategy,
+    max_pages: int = GOLDEN_MAX_PAGES,
+) -> list[dict]:
+    """The exact fetch order + per-page relevance of one crawl.
+
+    Returns one row per fetch, in order:
+    ``{"step": n, "url": str, "relevant": bool}``.
+    """
+    rows: list[dict] = []
+
+    def observe(event) -> None:
+        rows.append(
+            {"step": event.step, "url": event.url, "relevant": event.judgment.relevant}
+        )
+
+    run_strategy(dataset, strategy, max_pages=max_pages, on_fetch=observe)
+    return rows
+
+
+def write_golden_traces(
+    directory: str | Path = GOLDEN_FIXTURE_DIR,
+    dataset: Dataset | None = None,
+    max_pages: int = GOLDEN_MAX_PAGES,
+    progress: Callable[[str], None] | None = None,
+) -> list[Path]:
+    """Record and serialise the full golden matrix into ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    say = progress or (lambda _message: None)
+    if dataset is None:
+        say(f"building golden dataset (thai × {GOLDEN_SCALE}) ...")
+        dataset = golden_dataset()
+
+    written: list[Path] = []
+    for name, factory in golden_strategies().items():
+        say(f"recording {name} ...")
+        rows = record_golden_trace(dataset, factory(), max_pages=max_pages)
+        path = directory / f"{name}.jsonl"
+        header = {
+            "format": _FORMAT_NAME,
+            "version": _FORMAT_VERSION,
+            "profile": dataset.profile.name,
+            "scale": GOLDEN_SCALE,
+            "strategy": name,
+            "max_pages": max_pages,
+            "pages": len(rows),
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            for row in rows:
+                handle.write(json.dumps(row, sort_keys=True) + "\n")
+        written.append(path)
+    say(f"wrote {len(written)} golden traces to {directory}")
+    return written
+
+
+def read_golden_trace(path: str | Path) -> tuple[dict, list[dict]]:
+    """Load one fixture: ``(header, rows)``.
+
+    Raises:
+        ReproError: on a missing/foreign header or unsupported version.
+    """
+    path = Path(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise ReproError(f"{path}: empty golden-trace file")
+        header = json.loads(header_line)
+        if header.get("format") != _FORMAT_NAME:
+            raise ReproError(f"{path}: not a golden trace (format={header.get('format')!r})")
+        if header.get("version") != _FORMAT_VERSION:
+            raise ReproError(f"{path}: unsupported version {header.get('version')!r}")
+        rows = [json.loads(line) for line in handle if line.strip()]
+    return header, rows
+
+
+def first_divergence(expected: list[dict], actual: list[dict]) -> str | None:
+    """Human-readable description of the first trace mismatch, or None.
+
+    The message names the step and both sides' rows — exactly what a CI
+    failure needs to be actionable without re-running locally.
+    """
+    for index, (want, got) in enumerate(zip(expected, actual)):
+        if want != got:
+            return (
+                f"first divergence at step {index + 1}: "
+                f"expected {json.dumps(want, sort_keys=True)}, "
+                f"got {json.dumps(got, sort_keys=True)}"
+            )
+    if len(expected) != len(actual):
+        return (
+            f"trace length mismatch: expected {len(expected)} fetches, "
+            f"got {len(actual)} (first {min(len(expected), len(actual))} agree)"
+        )
+    return None

@@ -120,3 +120,59 @@ def reproduce_all(
         report_path=report_path,
         figures=tuple(produced),
     )
+
+
+def _main(argv: list[str] | None = None) -> int:
+    """``python -m repro.experiments.reproduce`` entry point.
+
+    Besides the full reproduction, this hosts the golden-trace fixture
+    regeneration (``--regen-golden``) so the one sanctioned way to move
+    the differential gate is an explicit, greppable command — see
+    :mod:`repro.experiments.golden` and docs/architecture.md.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.reproduce",
+        description="Reproduce the paper's tables and figures, or regenerate golden traces.",
+    )
+    parser.add_argument(
+        "--regen-golden",
+        nargs="?",
+        const="__default__",
+        default=None,
+        metavar="DIR",
+        help=(
+            "regenerate the golden crawl-trace fixtures (default directory: "
+            "tests/golden/fixtures) instead of running the reproduction"
+        ),
+    )
+    parser.add_argument(
+        "--output-dir", default="reproduction", help="reproduction output directory"
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.25, help="universe scale factor"
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="do not use the on-disk dataset cache"
+    )
+    args = parser.parse_args(argv)
+
+    if args.regen_golden is not None:
+        from repro.experiments.golden import GOLDEN_FIXTURE_DIR, write_golden_traces
+
+        directory = (
+            GOLDEN_FIXTURE_DIR if args.regen_golden == "__default__" else Path(args.regen_golden)
+        )
+        write_golden_traces(directory, progress=print)
+        return 0
+
+    artifacts = reproduce_all(
+        args.output_dir, scale=args.scale, cache=not args.no_cache, progress=print
+    )
+    print(artifacts)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main())

@@ -13,7 +13,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Sequence
 
 from repro.api import run_crawl
-from repro.core.classifier import Classifier, ClassifierMode
+from repro.core.classifier import Classifier, ClassifierCache, ClassifierMode
 from repro.core.events import FetchCallback
 from repro.core.simulator import CrawlResult, SimulationConfig
 from repro.core.strategies.base import CrawlStrategy
@@ -35,24 +35,38 @@ def run_strategy(
     timing: TimingModel | None = None,
     on_fetch: FetchCallback | None = None,
     instrumentation: Instrumentation | None = None,
+    web=None,
+    relevant_urls: frozenset[str] | None = None,
+    classifier_cache: ClassifierCache | None = None,
 ) -> CrawlResult:
     """One strategy, one dataset, one result.
 
     ``sample_interval`` defaults to ~200 samples over the dataset so the
     series resolution scales with dataset size.
+
+    ``web``, ``relevant_urls`` and ``classifier_cache`` exist so
+    :func:`run_strategies` can share run-invariant state across a sweep
+    — a prebuilt virtual web space (with its body-synthesis cache warm),
+    the recall denominator set, and the memoised classifier judgments.
+    Each defaults to per-run construction.
     """
     if sample_interval is None:
         sample_interval = max(1, len(dataset.crawl_log) // 200)
-    needs_bodies = synthesize_bodies or extract_from_body or (
-        ClassifierMode(classifier_mode) if isinstance(classifier_mode, str) else classifier_mode
-    ) in (ClassifierMode.META, ClassifierMode.DETECTOR)
-    web = dataset.web(body_synthesizer=HtmlSynthesizer() if needs_bodies else None)
+    if web is None:
+        needs_bodies = synthesize_bodies or extract_from_body or (
+            ClassifierMode(classifier_mode) if isinstance(classifier_mode, str) else classifier_mode
+        ) in (ClassifierMode.META, ClassifierMode.DETECTOR)
+        web = dataset.web(body_synthesizer=HtmlSynthesizer() if needs_bodies else None)
+    if relevant_urls is None:
+        relevant_urls = dataset.relevant_urls()
     return run_crawl(
         web=web,
         strategy=strategy,
-        classifier=Classifier(dataset.target_language, mode=classifier_mode),
+        classifier=Classifier(
+            dataset.target_language, mode=classifier_mode, cache=classifier_cache
+        ),
         seeds=dataset.seed_urls,
-        relevant_urls=dataset.relevant_urls(),
+        relevant_urls=relevant_urls,
         config=SimulationConfig(
             max_pages=max_pages,
             sample_interval=sample_interval,
@@ -74,7 +88,32 @@ def run_strategies(
     Returns results keyed by strategy name, in input order (dicts
     preserve insertion order, and the figure renderers rely on it for
     stable legends).
+
+    Sweep-invariant state is built once and shared by every run: the
+    virtual web space (a replayed log never changes between strategies),
+    the relevant-URL denominator set, and one
+    :class:`~repro.core.classifier.ClassifierCache` — the same bytes are
+    classified by every strategy in the sweep, so all runs after the
+    first judge almost entirely from cache.  Callers can still override
+    any of the three through ``kwargs``.
     """
+    kwargs.setdefault("relevant_urls", dataset.relevant_urls())
+    kwargs.setdefault("classifier_cache", ClassifierCache())
+    if "web" not in kwargs:
+        classifier_mode = kwargs.get("classifier_mode", ClassifierMode.CHARSET)
+        needs_bodies = (
+            kwargs.get("synthesize_bodies", False)
+            or kwargs.get("extract_from_body", False)
+            or (
+                ClassifierMode(classifier_mode)
+                if isinstance(classifier_mode, str)
+                else classifier_mode
+            )
+            in (ClassifierMode.META, ClassifierMode.DETECTOR)
+        )
+        kwargs["web"] = dataset.web(
+            body_synthesizer=HtmlSynthesizer() if needs_bodies else None
+        )
     results: dict[str, CrawlResult] = {}
     for strategy in strategies:
         results[strategy.name] = run_strategy(dataset, strategy, **kwargs)

@@ -94,6 +94,24 @@ class EventBus:
         for subscriber in self._subscribers:
             subscriber(event)
 
+    def publish_many(self, events: list[TelemetryEvent]) -> None:
+        """Deliver a batch of events, preserving event order.
+
+        Equivalent to ``for e in events: publish(e)`` but with the
+        subscriber list walked once per batch instead of once per event
+        — the dispatch shape the batching :class:`Instrumentation` hub
+        uses to keep instrumented crawls near uninstrumented speed.
+        """
+        subscribers = self._subscribers
+        if len(subscribers) == 1:
+            subscriber = subscribers[0]
+            for event in events:
+                subscriber(event)
+            return
+        for event in events:
+            for subscriber in subscribers:
+                subscriber(event)
+
     def __len__(self) -> int:
         return len(self._subscribers)
 

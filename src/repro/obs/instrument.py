@@ -56,6 +56,14 @@ class Instrumentation:
             flushes and closes it).
         enabled: a disabled hub is ignored by every component that
             receives it — handy for flag-controlled call sites.
+        batch_size: spans per bus dispatch.  At the default of 1 every
+            :meth:`span` publishes synchronously (the historical
+            behaviour); larger values buffer spans and hand them to the
+            bus ``batch_size`` at a time, which keeps instrumented crawl
+            loops within a few percent of uninstrumented ones.  Buffered
+            spans are delivered in publish order; :meth:`flush` (called
+            by the simulator at end of run and by :meth:`close`) drains
+            the buffer, so subscribers always see every span.
     """
 
     def __init__(
@@ -64,10 +72,15 @@ class Instrumentation:
         bus: EventBus | None = None,
         trace_path: str | Path | None = None,
         enabled: bool = True,
+        batch_size: int = 1,
     ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.registry = registry or MetricsRegistry()
         self.bus = bus or EventBus()
         self.enabled = enabled
+        self.batch_size = batch_size
+        self._pending: list[TelemetryEvent] = []
         self.trace: JsonlTraceWriter | None = None
         if trace_path is not None:
             self.trace = JsonlTraceWriter(trace_path)
@@ -100,18 +113,33 @@ class Instrumentation:
         duration_s: float,
         **attrs: Any,
     ) -> None:
-        """Aggregate a duration *and* publish the span on the bus."""
+        """Aggregate a duration *and* publish the span on the bus.
+
+        With ``batch_size > 1`` the span is buffered and dispatched with
+        its batch; call :meth:`flush` to force delivery.
+        """
         self.registry.observe(f"{component}.{name}", duration_s)
-        if self.bus:
-            self.bus.publish(
-                SpanEvent(
-                    component=component,
-                    name=name,
-                    start_s=start_s,
-                    duration_s=duration_s,
-                    attrs=attrs,
-                )
-            )
+        if not self.bus:
+            return
+        event = SpanEvent(
+            component=component,
+            name=name,
+            start_s=start_s,
+            duration_s=duration_s,
+            attrs=attrs,
+        )
+        if self.batch_size == 1:
+            self.bus.publish(event)
+            return
+        self._pending.append(event)
+        if len(self._pending) >= self.batch_size:
+            self.flush()
+
+    def flush(self) -> None:
+        """Deliver any buffered span events to the bus, in order."""
+        if self._pending:
+            pending, self._pending = self._pending, []
+            self.bus.publish_many(pending)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -119,7 +147,8 @@ class Instrumentation:
         return self.registry.render_profile(title)
 
     def close(self) -> None:
-        """Flush and close the owned trace writer, if any."""
+        """Flush buffered spans, then close the owned trace writer."""
+        self.flush()
         if self.trace is not None:
             self.trace.close()
 

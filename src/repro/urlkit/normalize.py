@@ -14,11 +14,40 @@ The normalisations applied are the standard semantics-preserving ones:
 - an empty path becomes ``/``,
 - the fragment is removed,
 - an empty query (trailing ``?``) is dropped.
+
+Because normalised URLs *are* page identities, they are also interned
+(:func:`intern_url`): every equal URL string in the system shares one
+object, so the hash-table probes that dominate the crawl loop —
+``scheduled``-set membership, crawl-log and frontier dict lookups —
+short-circuit on pointer equality instead of comparing characters.
+:func:`normalize_url` additionally memoises its input→output mapping in
+a bounded cache, since crawl graphs present the same href strings many
+times.
 """
 
 from __future__ import annotations
 
+from sys import intern as _intern
+
 from repro.urlkit.parse import SplitUrl, parse_url
+
+#: Upper bound of the normalisation memo; past it the map is simply
+#: reset (the working set of distinct hrefs in one simulation is far
+#: smaller, so the reset is a safety valve, not a working regime).
+_MEMO_MAX = 1 << 18
+
+_memo: dict[str, str] = {}
+
+
+def intern_url(url: str) -> str:
+    """The canonical *object* for an already-normalised URL string.
+
+    Plain :func:`sys.intern`, re-exported under a domain name so call
+    sites say why they intern: two URLs denote the same page iff they
+    normalise to the same string, and interning makes that comparison a
+    pointer check.
+    """
+    return _intern(url)
 
 
 def _resolve_dot_segments(path: str) -> str:
@@ -51,12 +80,23 @@ def normalize_split(split: SplitUrl) -> SplitUrl:
 
 
 def normalize_url(url: str) -> str:
-    """Return the canonical form of ``url``.
+    """Return the canonical, interned form of ``url``.
+
+    Memoised: repeated normalisation of the same href string (the common
+    case when replaying a crawl graph) is one dict probe.  Only
+    successful normalisations are cached — parse errors always re-raise.
 
     Raises:
         UrlError: if the URL cannot be parsed at all.
     """
-    return normalize_split(parse_url(url)).unsplit()
+    cached = _memo.get(url)
+    if cached is not None:
+        return cached
+    normalized = _intern(normalize_split(parse_url(url)).unsplit())
+    if len(_memo) >= _MEMO_MAX:
+        _memo.clear()
+    _memo[url] = normalized
+    return normalized
 
 
 def url_host(url: str) -> str:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.charset.languages import Language, language_of_charset
+from repro.urlkit.normalize import intern_url
 
 #: HTTP status of a successfully fetched page ("OK status (200)" in Table 3).
 STATUS_OK = 200
@@ -49,8 +50,14 @@ class PageRecord:
     size: int = 0
 
     def __post_init__(self) -> None:
-        if not isinstance(self.outlinks, tuple):
-            object.__setattr__(self, "outlinks", tuple(self.outlinks))
+        # Records are where every URL in the system originates, so the
+        # canonical string objects are established here: interning makes
+        # the simulator's scheduled-set and crawl-log lookups compare
+        # pointers, not characters (see repro.urlkit.normalize).
+        object.__setattr__(self, "url", intern_url(self.url))
+        object.__setattr__(
+            self, "outlinks", tuple(intern_url(link) for link in self.outlinks)
+        )
 
     @property
     def ok(self) -> bool:

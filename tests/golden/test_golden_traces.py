@@ -1,0 +1,140 @@
+"""The differential gate: replay every strategy against its golden trace.
+
+These tests are the contract that hot-path optimisation must preserve
+behaviour exactly: the optimised engine replays each strategy on the
+golden dataset and the full fetch sequence — order *and* per-page
+relevance — must match the checked-in fixture step for step.  Any drift
+(a heap tiebreak change, a stale cache entry, an interning collision)
+fails here with the first divergent step named.
+
+On mismatch the actual trace is written to ``tests/golden/diffs/``
+(gitignored) so CI can upload it as an artifact and the divergence can
+be inspected without re-running locally.
+
+Fixtures are regenerated — only for *intended*, reviewed ordering
+changes — with ``python -m repro.experiments.reproduce --regen-golden``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.golden import (
+    GOLDEN_FIXTURE_DIR,
+    GOLDEN_MAX_PAGES,
+    first_divergence,
+    golden_dataset,
+    golden_strategies,
+    read_golden_trace,
+    record_golden_trace,
+)
+
+DIFF_DIR = Path(__file__).parent / "diffs"
+
+
+@pytest.fixture(scope="module")
+def golden_web_dataset():
+    """The golden universe, built once and shared by every replay.
+
+    Deterministic (fixed profile seed, no disk cache) but not free, so
+    one build serves the whole module.
+    """
+    return golden_dataset()
+
+STRATEGY_NAMES = sorted(golden_strategies())
+
+
+def _dump_actual(name: str, rows: list[dict]) -> Path:
+    DIFF_DIR.mkdir(parents=True, exist_ok=True)
+    path = DIFF_DIR / f"{name}.actual.jsonl"
+    with open(path, "w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, sort_keys=True) + "\n")
+    return path
+
+
+class TestFixtureIntegrity:
+    def test_every_strategy_has_a_fixture(self):
+        missing = [
+            name
+            for name in STRATEGY_NAMES
+            if not (GOLDEN_FIXTURE_DIR / f"{name}.jsonl").exists()
+        ]
+        assert not missing, (
+            f"golden fixtures missing for {missing}; regenerate with "
+            "python -m repro.experiments.reproduce --regen-golden"
+        )
+
+    def test_no_orphan_fixtures(self):
+        known = set(STRATEGY_NAMES)
+        orphans = [
+            path.name
+            for path in GOLDEN_FIXTURE_DIR.glob("*.jsonl")
+            if path.stem not in known
+        ]
+        assert not orphans
+
+    @pytest.mark.parametrize("name", STRATEGY_NAMES)
+    def test_header_consistent(self, name):
+        header, rows = read_golden_trace(GOLDEN_FIXTURE_DIR / f"{name}.jsonl")
+        assert header["strategy"] == name
+        assert header["pages"] == len(rows)
+        # Strategies whose frontier exhausts early (hard-focused) record
+        # fewer than the cap; none may exceed it.
+        assert 0 < len(rows) <= GOLDEN_MAX_PAGES
+        assert [row["step"] for row in rows] == list(range(1, len(rows) + 1))
+
+
+class TestGoldenDifferential:
+    @pytest.mark.parametrize("name", STRATEGY_NAMES)
+    def test_trace_matches_golden(self, golden_web_dataset, name):
+        """The optimised engine reproduces the recorded trace exactly."""
+        _, expected = read_golden_trace(GOLDEN_FIXTURE_DIR / f"{name}.jsonl")
+        actual = record_golden_trace(golden_web_dataset, golden_strategies()[name]())
+        divergence = first_divergence(expected, actual)
+        if divergence is not None:
+            dumped = _dump_actual(name, actual)
+            pytest.fail(
+                f"{name}: {divergence}\n"
+                f"actual trace written to {dumped}\n"
+                "If this ordering change is intended, regenerate fixtures with "
+                "python -m repro.experiments.reproduce --regen-golden"
+            )
+
+    def test_traces_distinguish_strategies(self):
+        """The golden web is rich enough that strategies actually differ.
+
+        If all fixtures were identical the differential gate would be
+        vacuous — it could not catch a strategy-dispatch regression.
+        """
+        sequences = {
+            name: tuple(
+                (row["url"], row["relevant"])
+                for _, rows in [read_golden_trace(GOLDEN_FIXTURE_DIR / f"{name}.jsonl")]
+                for row in rows
+            )
+            for name in STRATEGY_NAMES
+        }
+        assert len(set(sequences.values())) == len(sequences)
+
+
+class TestTiebreakDeterminism:
+    """Satellite: the frontier's FIFO tiebreak is an explicit counter.
+
+    Equal-priority candidates must pop in insertion order on every
+    Python version — guaranteed by the monotonic counter in the heap
+    tuples (never by comparing candidates).  Two recordings in one
+    process exercise fresh counter sequences, warm classifier caches,
+    and warm URL-interning tables; identical traces mean none of that
+    state leaks into ordering.
+    """
+
+    @pytest.mark.parametrize("name", ["breadth-first", "soft-focused"])
+    def test_recording_twice_is_identical(self, golden_web_dataset, name):
+        factory = golden_strategies()[name]
+        first = record_golden_trace(golden_web_dataset, factory())
+        second = record_golden_trace(golden_web_dataset, factory())
+        assert first_divergence(first, second) is None

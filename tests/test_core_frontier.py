@@ -122,3 +122,53 @@ class TestPriorityFrontier:
         popped = frontier.pop()
         assert popped.distance == 7
         assert popped.referrer == "http://r.example/"
+
+
+class TestTiebreakCounter:
+    """The explicit FIFO tiebreak in the heap tuples.
+
+    Entries are ``(-priority, tiebreak, candidate)`` with a per-frontier
+    monotonic counter: unique tiebreaks mean tuple comparison never
+    reaches the candidate, so pop order is a pure function of
+    (priority, push sequence) on every Python version.  The golden-trace
+    suite pins the crawl-level consequence; these pin the mechanism.
+    """
+
+    def test_counter_is_monotonic_across_pushes_and_pops(self):
+        frontier = PriorityFrontier()
+        for index in range(3):
+            frontier.push(Candidate(url=f"http://a{index}.example/", priority=1))
+        frontier.pop()
+        frontier.push(Candidate(url="http://late.example/", priority=1))
+        tiebreaks = [entry[1] for entry in frontier._heap]
+        assert len(set(tiebreaks)) == len(tiebreaks)  # unique
+        assert frontier._counter == 4  # never reset by pops
+
+    def test_candidates_are_never_compared(self):
+        """Equal (priority, referrer-free) candidates would raise if the
+        heap ever compared them — Candidate defines no ordering."""
+        frontier = PriorityFrontier()
+        same = dict(priority=7, distance=0, referrer=None)
+        for index in range(100):
+            frontier.push(Candidate(url=f"http://h{index}.example/", **same))
+        popped = [frontier.pop().url for _ in range(100)]
+        assert popped == [f"http://h{index}.example/" for index in range(100)]
+
+    def test_heap_entries_are_plain_tuples(self):
+        frontier = PriorityFrontier()
+        frontier.push(Candidate(url="http://a.example/", priority=2))
+        entry = frontier._heap[0]
+        assert type(entry) is tuple
+        assert entry[0] == -2 and entry[1] == 0
+        assert entry[2].url == "http://a.example/"
+
+    def test_mixed_band_burst_pops_priority_then_insertion(self):
+        frontier = PriorityFrontier()
+        pushes = [("a", 1), ("b", 2), ("c", 1), ("d", 2), ("e", 1), ("f", 2)]
+        for name, priority in pushes:
+            frontier.push(Candidate(url=f"http://{name}.example/", priority=priority))
+        order = [frontier.pop().url for _ in range(len(pushes))]
+        assert order == [
+            "http://b.example/", "http://d.example/", "http://f.example/",
+            "http://a.example/", "http://c.example/", "http://e.example/",
+        ]

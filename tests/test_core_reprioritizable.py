@@ -112,3 +112,74 @@ class TestUpdatePriority:
         for priority in range(2, 10):
             frontier.update_priority("http://a.example/", priority)
         assert frontier.peak_size == 1
+
+
+class TestLazyDeletionAccounting:
+    """The tombstone fast path: O(log n) updates with bounded dead weight."""
+
+    def test_update_tombstones_instead_of_rebuilding(self):
+        frontier = ReprioritizableFrontier()
+        frontier.push(candidate("http://a.example/", 1))
+        frontier.push(candidate("http://b.example/", 2))
+        assert frontier.stale_entries == 0
+        frontier.update_priority("http://a.example/", 9)
+        assert frontier.stale_entries == 1
+        assert len(frontier) == 2  # live view unchanged
+
+    def test_noop_update_creates_no_tombstone(self):
+        frontier = ReprioritizableFrontier()
+        frontier.push(candidate("http://a.example/", 4))
+        assert frontier.update_priority("http://a.example/", 4)
+        assert frontier.stale_entries == 0
+
+    def test_pop_reclaims_surfaced_tombstones(self):
+        frontier = ReprioritizableFrontier()
+        frontier.push(candidate("http://a.example/", 5))
+        frontier.update_priority("http://a.example/", 9)  # old entry is stale
+        assert frontier.stale_entries == 1
+        assert frontier.pop().priority == 9
+        # Draining the frontier surfaces (and discards) the tombstone.
+        with pytest.raises(FrontierError):
+            frontier.pop()
+        assert frontier.stale_entries == 0
+
+    def test_compaction_bounds_heap_under_update_storm(self):
+        frontier = ReprioritizableFrontier()
+        urls = [f"http://p{index}.example/" for index in range(10)]
+        for index, url in enumerate(urls):
+            frontier.push(candidate(url, index))
+        # Hammer one URL with far more updates than there are live
+        # entries; compaction must keep the heap near the live size
+        # instead of letting it grow by one entry per update.
+        for round_number in range(50):
+            for url in urls:
+                frontier.update_priority(url, round_number * 11 % 97)
+        assert len(frontier) == 10
+        assert frontier.stale_entries <= ReprioritizableFrontier._COMPACT_MIN + len(frontier)
+        assert len(frontier._heap) == len(frontier) + frontier.stale_entries
+
+    def test_pop_order_identical_with_and_without_compaction(self):
+        """Compaction is invisible: a frontier driven past the compaction
+        threshold pops in exactly the order of a fresh frontier given the
+        final priorities directly."""
+        urls = [f"http://p{index}.example/" for index in range(12)]
+        final_priority = {url: (index * 7) % 5 for index, url in enumerate(urls)}
+
+        churned = ReprioritizableFrontier()
+        for index, url in enumerate(urls):
+            churned.push(candidate(url, index % 3))
+        for round_number in range(40):  # well past _COMPACT_MIN tombstones
+            for url in urls:
+                churned.update_priority(url, round_number % 7)
+        for url in urls:
+            churned.update_priority(url, final_priority[url])
+
+        direct = ReprioritizableFrontier()
+        for url in urls:
+            direct.push(candidate(url, final_priority[url]))
+
+        churned_order = [churned.pop().url for _ in range(len(urls))]
+        direct_order = [direct.pop().url for _ in range(len(urls))]
+        # Same bands and, within each band, both respect insertion order
+        # of the *last* update — which we issued in the same sequence.
+        assert churned_order == direct_order

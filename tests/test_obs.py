@@ -259,3 +259,124 @@ class TestInstrumentedSimulation:
         ).run()
         assert hub.registry.counter("frontier.spilled") > 0
         assert hub.registry.timer("frontier.spill").count > 0
+
+
+class TestEventBatching:
+    """The batched dispatch path: buffering must never lose or reorder.
+
+    Batching exists purely to amortise per-event bus dispatch in the
+    instrumented crawl loop; the observable contract — every span, in
+    publish order — is identical to ``batch_size=1``.
+    """
+
+    def test_publish_many_preserves_order_single_subscriber(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        events = [CounterEvent(name=f"c{i}") for i in range(5)]
+        bus.publish_many(events)
+        assert seen == events
+
+    def test_publish_many_fans_out_per_event_with_many_subscribers(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(lambda event: seen.append(("first", event.name)))
+        bus.subscribe(lambda event: seen.append(("second", event.name)))
+        bus.publish_many([CounterEvent(name="a"), CounterEvent(name="b")])
+        # Event order outranks subscriber order: all subscribers see "a"
+        # before any sees "b" (same interleave as repeated publish()).
+        assert seen == [("first", "a"), ("second", "a"), ("first", "b"), ("second", "b")]
+
+    def test_batch_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Instrumentation(batch_size=0)
+
+    def test_spans_buffer_until_batch_boundary(self):
+        hub = Instrumentation(batch_size=3)
+        seen = []
+        hub.bus.subscribe(seen.append)
+        for step in (1, 2):
+            hub.span("simulator", "fetch", start_s=0.0, duration_s=0.1, step=step)
+        assert seen == []  # below the boundary: buffered, not delivered
+        hub.span("simulator", "fetch", start_s=0.0, duration_s=0.1, step=3)
+        assert [event.attrs["step"] for event in seen] == [1, 2, 3]
+        # The registry never lags the buffer: aggregation is synchronous.
+        assert hub.registry.timer("simulator.fetch").count == 3
+
+    def test_flush_drains_partial_batch(self):
+        hub = Instrumentation(batch_size=100)
+        seen = []
+        hub.bus.subscribe(seen.append)
+        hub.span("simulator", "fetch", start_s=0.0, duration_s=0.1, step=1)
+        hub.flush()
+        assert [event.attrs["step"] for event in seen] == [1]
+        hub.flush()  # idempotent on an empty buffer
+        assert len(seen) == 1
+
+    def test_close_flushes_pending_spans_to_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Instrumentation(trace_path=path, batch_size=64) as hub:
+            for step in range(5):
+                hub.span("simulator", "fetch", start_s=0.0, duration_s=0.1, step=step)
+        assert [record["step"] for record in read_trace(path)] == list(range(5))
+
+
+class TestInstrumentationOverheadContract:
+    """Satellite contract: exact event accounting per run.
+
+    An instrumented crawl must emit exactly one span event per fetched
+    page (no sampling, no loss from batching), and an uninstrumented
+    crawl must emit zero events — the hot loop takes the no-telemetry
+    branch, it does not publish-and-discard.
+    """
+
+    def test_emitted_events_equal_pages_fetched_exactly(self, tiny_web):
+        hub = Instrumentation(batch_size=32)
+        spans = []
+        hub.bus.subscribe(spans.append)
+        result = crawl(tiny_web, instrumentation=hub)
+        fetch_spans = [e for e in spans if isinstance(e, SpanEvent)]
+        assert len(fetch_spans) == result.pages_crawled
+        assert [e.attrs["step"] for e in fetch_spans] == list(
+            range(1, result.pages_crawled + 1)
+        )
+
+    def test_batched_and_unbatched_runs_emit_identical_span_streams(self, tiny_web):
+        streams = []
+        for batch_size in (1, 16):
+            hub = Instrumentation(batch_size=batch_size)
+            spans = []
+            hub.bus.subscribe(spans.append)
+            crawl(tiny_web, instrumentation=hub)
+            streams.append(
+                [(e.attrs["step"], e.attrs["url"], e.attrs["relevant"]) for e in spans]
+            )
+        assert streams[0] == streams[1]
+
+    def test_no_instrumentation_emits_zero_events(self, tiny_web, monkeypatch):
+        emitted = []
+        monkeypatch.setattr(
+            EventBus, "publish", lambda self, event: emitted.append(event)
+        )
+        monkeypatch.setattr(
+            EventBus, "publish_many", lambda self, events: emitted.extend(events)
+        )
+        crawl(tiny_web, instrumentation=None)
+        assert emitted == []
+
+    def test_classifier_cache_counters_surface_as_gauges(self, tiny_web):
+        from repro.core.classifier import ClassifierCache
+
+        cache = ClassifierCache()
+        hub = Instrumentation()
+        Simulator(
+            web=tiny_web,
+            strategy=BreadthFirstStrategy(),
+            classifier=Classifier(Language.THAI, cache=cache),
+            seed_urls=[SEED],
+            instrumentation=hub,
+        ).run()
+        gauges = hub.registry.gauges
+        assert gauges["classifier.cache.hits"] == cache.hits
+        assert gauges["classifier.cache.misses"] == cache.misses
+        assert cache.hits + cache.misses > 0

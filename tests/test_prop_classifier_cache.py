@@ -1,0 +1,133 @@
+"""Property-based tests: the classifier cache is semantically invisible.
+
+The central invariant of :class:`repro.core.classifier.ClassifierCache`:
+a cached classifier and an uncached classifier agree on every input —
+including repeats, which is exactly when the cache answers instead of
+the detector.  Inputs are drawn both from the charset text generators
+(realistic encoded bodies, per :mod:`tests.test_prop_charset`) and from
+arbitrary binary, so the equivalence holds on well-formed and garbage
+bytes alike.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.charset.languages import Language
+from repro.core.classifier import Classifier, ClassifierCache, ClassifierMode
+from repro.webspace.virtualweb import FetchResponse
+
+from test_prop_charset import text_of
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+sentence_counts = st.integers(min_value=1, max_value=6)
+target_languages = st.sampled_from([Language.THAI, Language.JAPANESE])
+
+#: (text flavor, codec) pairs covering both target languages, a
+#: non-target language, and multi-byte/single-byte/ASCII encodings.
+encoded_flavors = st.sampled_from(
+    [
+        ("thai", "tis_620"),
+        ("japanese", "euc_jp"),
+        ("japanese", "shift_jis"),
+        ("japanese", "utf-8"),
+        ("english", "ascii"),
+    ]
+)
+
+
+def response_with_body(body: bytes) -> FetchResponse:
+    return FetchResponse(
+        url="http://h1.example/p.html",
+        status=200,
+        content_type="text/html",
+        charset=None,
+        outlinks=(),
+        size=len(body),
+        body=body,
+    )
+
+
+def assert_cached_equals_uncached(
+    body: bytes, target: Language, mode: ClassifierMode
+) -> None:
+    cache = ClassifierCache()
+    cached = Classifier(target, mode=mode, cache=cache)
+    uncached = Classifier(target, mode=mode)
+    response = response_with_body(body)
+    expected = uncached.judge(response)
+    # Judge twice: the first call populates, the second must answer from
+    # cache — both must equal the uncached verdict.
+    assert cached.judge(response) == expected
+    assert cached.judge(response) == expected
+    assert cache.hits >= 1
+
+
+class TestCachedEqualsUncached:
+    @given(encoded_flavors, seeds, sentence_counts, target_languages)
+    @settings(max_examples=30, deadline=None)
+    def test_detector_mode_on_generated_text(self, flavor_codec, seed, sentences, target):
+        flavor, codec = flavor_codec
+        body = text_of(flavor, seed, sentences).encode(codec)
+        assert_cached_equals_uncached(body, target, ClassifierMode.DETECTOR)
+
+    @given(st.binary(max_size=300), target_languages)
+    @settings(max_examples=60, deadline=None)
+    def test_detector_mode_on_arbitrary_bytes(self, body, target):
+        assert_cached_equals_uncached(body, target, ClassifierMode.DETECTOR)
+
+    @given(st.binary(max_size=300), target_languages)
+    @settings(max_examples=40, deadline=None)
+    def test_meta_mode_on_arbitrary_bytes(self, body, target):
+        assert_cached_equals_uncached(body, target, ClassifierMode.META)
+
+    @given(
+        st.sampled_from(["TIS-620", "EUC-JP", "Shift_JIS", "utf-8", "windows-874", None]),
+        target_languages,
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_charset_mode_on_declared_charsets(self, charset, target):
+        cache = ClassifierCache()
+        cached = Classifier(target, cache=cache)
+        uncached = Classifier(target)
+        response = FetchResponse(
+            url="http://h1.example/p.html",
+            status=200,
+            content_type="text/html",
+            charset=charset,
+            outlinks=(),
+            size=0,
+        )
+        expected = uncached.judge(response)
+        assert cached.judge(response) == expected
+        assert cached.judge(response) == expected
+        assert cache.hits == 1 and cache.misses == 1
+
+    @given(st.binary(max_size=200), target_languages)
+    @settings(max_examples=30, deadline=None)
+    def test_shared_cache_keeps_languages_and_modes_apart(self, body, target):
+        """One cache serving several classifiers must never cross wires:
+        the key carries (mode, target language), so a THAI verdict can
+        never be replayed to a JAPANESE classifier or across modes."""
+        cache = ClassifierCache()
+        response = response_with_body(body)
+        for mode in (ClassifierMode.META, ClassifierMode.DETECTOR):
+            for language in (Language.THAI, Language.JAPANESE):
+                expected = Classifier(language, mode=mode).judge(response)
+                assert Classifier(language, mode=mode, cache=cache).judge(response) == expected
+
+
+class TestEvictionSoundness:
+    @given(st.lists(st.binary(min_size=1, max_size=30), min_size=1, max_size=30), seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_tiny_cache_still_agrees_under_churn(self, bodies, seed):
+        """Even a 2-entry cache thrashing through evictions stays exact."""
+        cache = ClassifierCache(max_entries=2)
+        cached = Classifier(Language.THAI, mode=ClassifierMode.DETECTOR, cache=cache)
+        uncached = Classifier(Language.THAI, mode=ClassifierMode.DETECTOR)
+        # Revisit in a shuffled order so lookups hit mid-LRU entries.
+        order = list(bodies) + list(reversed(bodies))
+        for body in order:
+            response = response_with_body(body)
+            assert cached.judge(response) == uncached.judge(response)
+        assert len(cache) <= 2
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == len(order)
