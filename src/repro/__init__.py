@@ -60,6 +60,15 @@ from repro.experiments import (
     run_strategies,
     run_strategy,
 )
+from repro.faults import (
+    BreakerPolicy,
+    FaultModel,
+    FaultProfile,
+    HostOutage,
+    ResilienceConfig,
+    RetryPolicy,
+    load_fault_model,
+)
 from repro.graphgen import (
     DatasetProfile,
     HtmlSynthesizer,
@@ -118,6 +127,14 @@ __all__ = [
     "SimpleStrategy",
     "LimitedDistanceStrategy",
     "strategy_by_name",
+    # faults + resilience
+    "FaultProfile",
+    "FaultModel",
+    "HostOutage",
+    "load_fault_model",
+    "RetryPolicy",
+    "BreakerPolicy",
+    "ResilienceConfig",
     # observability
     "Instrumentation",
     "MetricsRegistry",

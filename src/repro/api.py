@@ -37,10 +37,12 @@ from repro.core.parallel import (
     ParallelCrawlSimulator,
     ParallelResult,
 )
+from repro.core.checkpoint import CheckpointState
 from repro.core.simulator import CrawlResult, SimulationConfig, Simulator
 from repro.core.strategies.base import CrawlStrategy
 from repro.core.timing import TimingModel
 from repro.errors import ConfigError
+from repro.faults import FaultModel, ResilienceConfig
 from repro.obs import Instrumentation
 from repro.webspace.virtualweb import VirtualWebSpace
 
@@ -59,6 +61,9 @@ def run_crawl(
     timing: TimingModel | None = None,
     on_fetch: FetchCallback | None = None,
     instrumentation: Instrumentation | None = None,
+    faults: FaultModel | None = None,
+    resilience: ResilienceConfig | None = None,
+    resume_from: CheckpointState | str | None = None,
 ) -> CrawlResult | ParallelResult:
     """Run one crawl session; the single public entry point.
 
@@ -88,6 +93,17 @@ def run_crawl(
             (sequential engine only).
         instrumentation: optional :class:`repro.obs.Instrumentation`
             hub; no-op when omitted.
+        faults: optional :class:`~repro.faults.FaultModel` injected in
+            front of the web space (sequential engine only); attaching
+            one also enables the resilient fetch pipeline.
+        resilience: retry/backoff/circuit-breaker policies
+            (:class:`~repro.faults.ResilienceConfig`); defaults apply
+            whenever ``faults``, checkpointing or ``resume_from`` are
+            in play.
+        resume_from: a checkpoint file path (or loaded
+            :class:`~repro.core.checkpoint.CheckpointState`) to resume
+            the crawl from; the run continues exactly where the
+            checkpointed one stopped.
 
     Returns:
         A :class:`CrawlResult` or :class:`ParallelResult` — either way a
@@ -128,6 +144,10 @@ def run_crawl(
             )
         if timing is not None or on_fetch is not None:
             raise ConfigError("timing= and on_fetch= are sequential-engine features")
+        if faults is not None or resilience is not None or resume_from is not None:
+            raise ConfigError(
+                "faults=, resilience= and resume_from= are sequential-engine features"
+            )
         return ParallelCrawlSimulator(
             web=web,
             strategy_factory=strategy,
@@ -152,4 +172,7 @@ def run_crawl(
         timing=timing,
         on_fetch=on_fetch,
         instrumentation=instrumentation,
+        faults=faults,
+        resilience=resilience,
+        resume_from=resume_from,
     ).run()

@@ -84,6 +84,37 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print a per-component timing table after the run",
     )
+    p_run.add_argument(
+        "--faults",
+        metavar="PROFILE.json",
+        default=None,
+        help="inject faults from a fault-profile JSON file",
+    )
+    p_run.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="override the fault profile's seed",
+    )
+    p_run.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        default=None,
+        help="write a resumable checkpoint to FILE every --checkpoint-every pages",
+    )
+    p_run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="checkpoint period in crawled pages (default 1000; needs --checkpoint)",
+    )
+    p_run.add_argument(
+        "--resume",
+        metavar="FILE",
+        default=None,
+        help="resume the crawl from a checkpoint file",
+    )
     _add_dataset_args(p_run)
 
     p_figure = sub.add_parser("figure", help="regenerate a paper figure")
@@ -139,6 +170,20 @@ def _dispatch(args: argparse.Namespace) -> int:
             except OSError as exc:
                 print(f"error: cannot open trace file: {exc}", file=sys.stderr)
                 return 1
+        faults = None
+        if args.faults is not None:
+            from repro.faults import load_fault_model
+
+            faults = load_fault_model(args.faults)
+            if args.fault_seed is not None:
+                from repro.faults import FaultModel
+
+                faults = FaultModel(
+                    profile=faults.profile,
+                    per_host=faults.per_host,
+                    outages=faults.outages,
+                    seed=args.fault_seed,
+                )
         try:
             result = run_strategy(
                 dataset,
@@ -146,11 +191,25 @@ def _dispatch(args: argparse.Namespace) -> int:
                 classifier_mode=args.classifier,
                 max_pages=args.max_pages,
                 instrumentation=instrumentation,
+                faults=faults,
+                checkpoint_every=args.checkpoint_every if args.checkpoint else None,
+                checkpoint_path=args.checkpoint,
+                resume_from=args.resume,
             )
         finally:
             if instrumentation is not None:
                 instrumentation.close()
         print(render_table(summary_rows({strategy.name: result}), title="Run summary"))
+        if result.resilience is not None:
+            row = {
+                key: value
+                for key, value in result.resilience.items()
+                if key != "faults_injected"
+            }
+            for kind, injected in result.resilience["faults_injected"].items():
+                row[f"faults_{kind}"] = injected
+            print()
+            print(render_table([row], title="Resilience"))
         if instrumentation is not None and args.profile_timings:
             print()
             print(instrumentation.render_profile(title="Per-component profile"))

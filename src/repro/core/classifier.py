@@ -198,6 +198,12 @@ class Classifier:
     def _judge(self, response: FetchResponse) -> Judgment:
         if not response.ok or not response.is_html:
             return _IRRELEVANT
+        if response.truncated:
+            # A truncated/garbled body cannot be classified: its bytes
+            # defeat the charset machines and its META tag may be gone.
+            # Degrade to "irrelevant" — before the cache, so garbage
+            # never shadows the clean judgment of the same content.
+            return _IRRELEVANT
 
         if self.mode is ClassifierMode.ORACLE:
             if response.record is None:

@@ -34,7 +34,8 @@ from abc import ABC, abstractmethod
 from collections import deque
 from dataclasses import dataclass
 
-from repro.errors import FrontierError
+from repro.errors import CheckpointError, FrontierError
+from repro.urlkit.normalize import intern_url
 
 #: Heap entries of the priority frontiers: ``(-priority, tiebreak,
 #: candidate)``.  The tiebreak counter is unique per frontier, so tuple
@@ -60,6 +61,32 @@ class Candidate:
     priority: int = 0
     distance: int = 0
     referrer: str | None = None
+
+
+def candidate_to_dict(candidate: Candidate) -> dict:
+    """Compact JSON form of a candidate (checkpoint serialisation)."""
+    entry: dict = {"u": candidate.url}
+    if candidate.priority:
+        entry["p"] = candidate.priority
+    if candidate.distance:
+        entry["d"] = candidate.distance
+    if candidate.referrer is not None:
+        entry["r"] = candidate.referrer
+    return entry
+
+
+def candidate_from_dict(entry: dict) -> Candidate:
+    """Inverse of :func:`candidate_to_dict`.
+
+    URLs are re-interned on the way in, so a resumed crawl regains the
+    pointer-comparison fast path the original run had.
+    """
+    return Candidate(
+        url=intern_url(entry["u"]),
+        priority=entry.get("p", 0),
+        distance=entry.get("d", 0),
+        referrer=entry.get("r"),
+    )
 
 
 class Frontier(ABC):
@@ -106,6 +133,36 @@ class Frontier(ABC):
         crawl finishes.
         """
 
+    def snapshot(self) -> dict:
+        """Serialisable state for checkpointing.
+
+        The contract is exact: ``restore(snapshot())`` on a fresh
+        frontier of the same class must reproduce the identical pop
+        sequence, operation counters and peak occupancy.  In-memory
+        frontiers implement this; wrappers holding external resources
+        (spilling) raise :class:`~repro.errors.CheckpointError`.
+        """
+        raise CheckpointError(f"{type(self).__name__} does not support checkpointing")
+
+    def restore(self, state: dict) -> None:
+        """Load a :meth:`snapshot` into this (fresh, empty) frontier."""
+        raise CheckpointError(f"{type(self).__name__} does not support checkpointing")
+
+    def _restore_counters(self, state: dict) -> None:
+        self.pushes = state["pushes"]
+        self.pops = state["pops"]
+        self._peak_size = state["peak_size"]
+
+    def _counters_dict(self) -> dict:
+        return {"pushes": self.pushes, "pops": self.pops, "peak_size": self._peak_size}
+
+    def _check_kind(self, state: dict, kind: str) -> None:
+        if state.get("kind") != kind:
+            raise CheckpointError(
+                f"checkpointed frontier kind {state.get('kind')!r} does not match "
+                f"the strategy's {kind!r} frontier — resume with the same strategy"
+            )
+
     def _note_size(self) -> None:
         """Account for one push: op counter + peak occupancy.
 
@@ -139,6 +196,18 @@ class FIFOFrontier(Frontier):
     def __len__(self) -> int:
         return len(self._queue)
 
+    def snapshot(self) -> dict:
+        return {
+            "kind": "fifo",
+            **self._counters_dict(),
+            "queue": [candidate_to_dict(candidate) for candidate in self._queue],
+        }
+
+    def restore(self, state: dict) -> None:
+        self._check_kind(state, "fifo")
+        self._queue = deque(candidate_from_dict(entry) for entry in state["queue"])
+        self._restore_counters(state)
+
 
 class PriorityFrontier(Frontier):
     """Max-priority queue with FIFO order within equal priorities.
@@ -168,6 +237,28 @@ class PriorityFrontier(Frontier):
 
     def __len__(self) -> int:
         return len(self._heap)
+
+    def snapshot(self) -> dict:
+        # Heap entries are serialised in their internal (heap-ordered)
+        # list layout, tiebreaks included, so a restore re-creates the
+        # exact pop sequence without re-heapifying.
+        return {
+            "kind": "priority",
+            **self._counters_dict(),
+            "counter": self._counter,
+            "heap": [
+                [entry[0], entry[1], candidate_to_dict(entry[2])] for entry in self._heap
+            ],
+        }
+
+    def restore(self, state: dict) -> None:
+        self._check_kind(state, "priority")
+        self._heap = [
+            (neg_priority, tiebreak, candidate_from_dict(entry))
+            for neg_priority, tiebreak, entry in state["heap"]
+        ]
+        self._counter = state["counter"]
+        self._restore_counters(state)
 
 
 class ReprioritizableFrontier(Frontier):
@@ -275,3 +366,31 @@ class ReprioritizableFrontier(Frontier):
 
     def __len__(self) -> int:
         return len(self._current)
+
+    def snapshot(self) -> dict:
+        # Only live entries are serialised — tombstones are dead weight
+        # whose omission cannot change pop order, because the live
+        # ``(-priority, tiebreak)`` pairs are unique and total-ordered.
+        return {
+            "kind": "reprioritizable",
+            **self._counters_dict(),
+            "counter": self._counter,
+            "entries": [
+                [entry[0], entry[1], candidate_to_dict(entry[2])]
+                for entry in self._current.values()
+            ],
+        }
+
+    def restore(self, state: dict) -> None:
+        self._check_kind(state, "reprioritizable")
+        self._current = {}
+        heap: list[_HeapEntry] = []
+        for neg_priority, tiebreak, candidate_entry in state["entries"]:
+            entry = (neg_priority, tiebreak, candidate_from_dict(candidate_entry))
+            self._current[entry[2].url] = entry
+            heap.append(entry)
+        heapq.heapify(heap)
+        self._heap = heap
+        self._counter = state["counter"]
+        self._stale = 0
+        self._restore_counters(state)

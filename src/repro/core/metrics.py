@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import CheckpointError
+
 
 @dataclass(slots=True)
 class MetricSeries:
@@ -161,6 +163,46 @@ class MetricsRecorder:
         series.queue_size.append(self._last_queue)
         if self._last_time is not None:
             series.sim_time.append(self._last_time)
+
+    def snapshot(self) -> dict:
+        """Serialisable mid-crawl state (see :mod:`repro.core.checkpoint`).
+
+        The relevant-URL set itself is not serialised — it is a pure
+        function of the dataset and is reconstructed on resume — but its
+        size is, as a cheap consistency check that the resumed run is
+        looking at the same universe.
+        """
+        return {
+            "sample_interval": self._interval,
+            "relevant_total": len(self._relevant_urls),
+            "steps": self._steps,
+            "judged_relevant": self._judged_relevant,
+            "covered": self._covered,
+            "max_queue": self._max_queue,
+            "last_queue": self._last_queue,
+            "last_time": self._last_time,
+            "series": self._series.to_dict(),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Load a :meth:`snapshot` into this (fresh) recorder."""
+        if state["sample_interval"] != self._interval:
+            raise CheckpointError(
+                f"checkpointed sample_interval {state['sample_interval']} does not "
+                f"match the configured {self._interval}; resume with the same config"
+            )
+        if state["relevant_total"] != len(self._relevant_urls):
+            raise CheckpointError(
+                "checkpointed relevant-set size does not match this dataset; "
+                "resume against the web space the checkpoint was taken from"
+            )
+        self._steps = state["steps"]
+        self._judged_relevant = state["judged_relevant"]
+        self._covered = state["covered"]
+        self._max_queue = state["max_queue"]
+        self._last_queue = state["last_queue"]
+        self._last_time = state["last_time"]
+        self._series = MetricSeries.from_dict(state["series"])
 
     def finish(self, strategy: str) -> tuple[MetricSeries, CrawlSummary]:
         """Flush the final sample and return (series, summary)."""

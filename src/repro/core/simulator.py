@@ -20,18 +20,23 @@ Scheduling contract (this is where the paper's discard semantics live):
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Sequence
 
+from repro.core.checkpoint import CheckpointState, read_checkpoint, write_checkpoint
 from repro.core.classifier import Classifier
 from repro.core.events import CrawlEvent, FetchCallback
 from repro.core.metrics import CrawlSummary, MetricsRecorder, MetricSeries
 from repro.core.strategies.base import CrawlStrategy
 from repro.core.timing import TimingModel
 from repro.core.visitor import Visitor
-from repro.errors import SimulationError
+from repro.errors import CheckpointError, ConfigError, SimulationError
+from repro.faults.model import RETRYABLE_FAULTS, FaultModel, FaultyWebSpace
+from repro.faults.resilience import HostBreakers, ResilienceConfig, ResilienceStats
 from repro.obs import Instrumentation
 from repro.obs.instrument import active as _active_instrumentation
+from repro.urlkit.normalize import intern_url, url_site_key
 from repro.webspace.stats import relevant_url_set
 from repro.webspace.virtualweb import VirtualWebSpace
 
@@ -46,11 +51,17 @@ class SimulationConfig:
         sample_interval: metric sampling period in pages.
         extract_from_body: parse outlinks from synthesized HTML instead
             of reading them from the crawl-log record.
+        checkpoint_every: write a resumable checkpoint every this many
+            crawled pages (None = never).  Requires ``checkpoint_path``.
+        checkpoint_path: destination file of the periodic checkpoint
+            (each write atomically replaces the previous one).
     """
 
     max_pages: int | None = None
     sample_interval: int = 500
     extract_from_body: bool = False
+    checkpoint_every: int | None = None
+    checkpoint_path: str | Path | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -69,6 +80,9 @@ class CrawlResult:
     wall_seconds: float
     pages_crawled: int
     frontier_peak: int
+    #: Resilient-pipeline tallies (:meth:`ResilienceStats.to_dict`
+    #: shape) when the run used the resilient loop; None on clean runs.
+    resilience: dict | None = None
 
     @property
     def final_harvest_rate(self) -> float:
@@ -94,8 +108,61 @@ class CrawlResult:
         }
 
 
+@dataclass(slots=True)
+class _ResilientLoopState:
+    """Mutable bookkeeping of the resilient crawl loop.
+
+    Everything in here is part of a checkpoint's ``loop`` section —
+    the loop resumes from these exact values.
+    """
+
+    steps: int = 0
+    pops: int = 0
+    requeues: dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    requeued: int = 0
+    dropped: int = 0
+    breaker_skips: int = 0
+    checkpoints_written: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "steps": self.steps,
+            "pops": self.pops,
+            "requeues": dict(self.requeues),
+            "retries": self.retries,
+            "requeued": self.requeued,
+            "dropped": self.dropped,
+            "breaker_skips": self.breaker_skips,
+            "checkpoints_written": self.checkpoints_written,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "_ResilientLoopState":
+        return cls(
+            steps=data["steps"],
+            pops=data["pops"],
+            requeues={intern_url(url): count for url, count in data["requeues"].items()},
+            retries=data["retries"],
+            requeued=data["requeued"],
+            dropped=data["dropped"],
+            breaker_skips=data["breaker_skips"],
+            checkpoints_written=data["checkpoints_written"],
+        )
+
+
 class Simulator:
-    """Drives one strategy over one virtual web space."""
+    """Drives one strategy over one virtual web space.
+
+    The clean path — no faults, no resilience, no checkpointing — runs
+    the exact hot loops the golden traces pin.  Attaching a
+    :class:`~repro.faults.FaultModel`, a
+    :class:`~repro.faults.ResilienceConfig`, checkpointing, or a resume
+    state routes the run through the resilient loop instead, which adds
+    retry/backoff, per-host circuit breaking, capped requeue and
+    periodic checkpoints — and is trace-identical to the clean loop
+    when no faults fire.
+    """
 
     def __init__(
         self,
@@ -108,6 +175,10 @@ class Simulator:
         timing: TimingModel | None = None,
         on_fetch: FetchCallback | None = None,
         instrumentation: Instrumentation | None = None,
+        faults: FaultModel | None = None,
+        resilience: ResilienceConfig | None = None,
+        resume_from: CheckpointState | str | Path | None = None,
+        record_fault_journal: bool = False,
     ) -> None:
         if not seed_urls:
             raise SimulationError("at least one seed URL is required")
@@ -122,14 +193,42 @@ class Simulator:
         self._timing = timing
         self._on_fetch = on_fetch
         self._instrumentation = instrumentation
+        self._faults = faults
+        self._record_fault_journal = record_fault_journal
+        if isinstance(resume_from, (str, Path)):
+            resume_from = read_checkpoint(resume_from)
+        self._resume_state = resume_from
+        if self._config.checkpoint_every is not None:
+            if self._config.checkpoint_every < 1:
+                raise ConfigError("checkpoint_every must be >= 1")
+            if self._config.checkpoint_path is None:
+                raise ConfigError("checkpoint_every requires checkpoint_path")
+        resilient = (
+            faults is not None
+            or resilience is not None
+            or self._config.checkpoint_every is not None
+            or resume_from is not None
+        )
+        self._resilience = (resilience or ResilienceConfig()) if resilient else None
+        #: The fault-injecting web wrapper of the last run (None on
+        #: clean runs) — tests read its journal and injection tallies.
+        self.faulty_web: FaultyWebSpace | None = None
 
     def run(self) -> CrawlResult:
         """Execute the crawl to frontier exhaustion (or the page cap)."""
         config = self._config
         strategy = self._strategy
         instr = _active_instrumentation(self._instrumentation)
+        web = self._web
+        faulty: FaultyWebSpace | None = None
+        if self._faults is not None:
+            faulty = FaultyWebSpace(
+                web, self._faults, record_journal=self._record_fault_journal
+            )
+            web = faulty
+        self.faulty_web = faulty
         visitor = Visitor(
-            self._web,
+            web,
             extract_from_body=config.extract_from_body,
             instrumentation=instr,
         )
@@ -143,16 +242,33 @@ class Simulator:
             sample_interval=config.sample_interval,
         )
 
+        resilience = self._resilience
+        breakers: HostBreakers | None = None
+        if resilience is not None and resilience.breaker is not None:
+            breakers = HostBreakers(resilience.breaker)
+
         scheduled: set[str] = set()
-        for candidate in strategy.seed_candidates(self._seed_urls):
-            if candidate.url not in scheduled:
-                scheduled.add(candidate.url)
-                frontier.push(candidate)
+        rstate = _ResilientLoopState()
+        resume = self._resume_state
+        if resume is not None:
+            self._apply_resume(
+                resume, strategy, frontier, recorder, visitor, scheduled, faulty, breakers
+            )
+            rstate = _ResilientLoopState.from_dict(resume.loop)
+        else:
+            for candidate in strategy.seed_candidates(self._seed_urls):
+                if candidate.url not in scheduled:
+                    scheduled.add(candidate.url)
+                    frontier.push(candidate)
 
         started = time.perf_counter()
         steps = 0
         try:
-            if instr is None:
+            if resilience is not None:
+                self._crawl_loop_resilient(
+                    frontier, visitor, recorder, scheduled, instr, rstate, breakers
+                )
+            elif instr is None:
                 self._crawl_loop(frontier, visitor, recorder, scheduled)
             else:
                 self._crawl_loop_instrumented(frontier, visitor, recorder, scheduled, instr)
@@ -169,11 +285,29 @@ class Simulator:
                 if cache is not None:
                     for key, value in cache.stats().items():
                         instr.gauge(f"classifier.cache.{key}", value)
+                if breakers is not None:
+                    instr.gauge("breaker.open_hosts", breakers.open_hosts())
+                    instr.gauge("breaker.opened", breakers.opened)
+                if self._faults is not None:
+                    for kind, injected in self._faults.injected.items():
+                        instr.gauge(f"faults.injected.{kind}", injected)
                 self._classifier.bind_instrumentation(None)
             frontier.close()
 
         wall = time.perf_counter() - started
         series, summary = recorder.finish(strategy.name)
+        resilience_dict: dict | None = None
+        if resilience is not None:
+            resilience_dict = ResilienceStats(
+                retries=rstate.retries,
+                requeued=rstate.requeued,
+                dropped=rstate.dropped,
+                fetches_failed=visitor.fetches_failed,
+                breaker_skips=rstate.breaker_skips,
+                breaker_opened=breakers.opened if breakers is not None else 0,
+                checkpoints_written=rstate.checkpoints_written,
+                faults_injected=dict(self._faults.injected) if self._faults else {},
+            ).to_dict()
         return CrawlResult(
             strategy=strategy.name,
             series=series,
@@ -181,7 +315,250 @@ class Simulator:
             wall_seconds=wall,
             pages_crawled=steps,
             frontier_peak=frontier_peak,
+            resilience=resilience_dict,
         )
+
+    def _apply_resume(
+        self,
+        resume: CheckpointState,
+        strategy: CrawlStrategy,
+        frontier,
+        recorder: MetricsRecorder,
+        visitor: Visitor,
+        scheduled: set[str],
+        faulty: FaultyWebSpace | None,
+        breakers: HostBreakers | None,
+    ) -> None:
+        """Load a checkpoint into the freshly built run components."""
+        if resume.strategy and resume.strategy != strategy.name:
+            raise CheckpointError(
+                f"checkpoint was taken by strategy {resume.strategy!r}; "
+                f"cannot resume it with {strategy.name!r}"
+            )
+        frontier.restore(resume.frontier)
+        scheduled.update(intern_url(url) for url in resume.scheduled)
+        recorder.restore(resume.recorder)
+        visitor.restore(resume.visitor)
+        if resume.timing is not None:
+            if self._timing is None:
+                raise CheckpointError(
+                    "checkpoint carries timing state but no timing model is configured"
+                )
+            self._timing.restore(resume.timing)
+        if resume.faults is not None:
+            if faulty is None:
+                raise CheckpointError(
+                    "checkpoint carries fault-injection state but no fault model "
+                    "is configured; resume with the same fault profile"
+                )
+            faulty.restore(resume.faults)
+        if resume.breakers is not None and breakers is not None:
+            breakers.restore(resume.breakers)
+
+    def _write_checkpoint(
+        self,
+        frontier,
+        recorder: MetricsRecorder,
+        scheduled: set[str],
+        visitor: Visitor,
+        faulty: FaultyWebSpace | None,
+        breakers: HostBreakers | None,
+        rstate: _ResilientLoopState,
+    ) -> None:
+        state = CheckpointState(
+            strategy=self._strategy.name,
+            steps=rstate.steps,
+            frontier=frontier.snapshot(),
+            scheduled=list(scheduled),
+            recorder=recorder.snapshot(),
+            visitor=visitor.snapshot(),
+            loop=rstate.to_dict(),
+            timing=self._timing.snapshot() if self._timing is not None else None,
+            faults=faulty.snapshot() if faulty is not None else None,
+            breakers=breakers.snapshot() if breakers is not None else None,
+        )
+        assert self._config.checkpoint_path is not None
+        write_checkpoint(self._config.checkpoint_path, state)
+
+    def _requeue_or_drop(
+        self,
+        candidate,
+        frontier,
+        rstate: _ResilientLoopState,
+        instr,
+    ) -> None:
+        """Put a failed candidate back at its original priority, or drop it.
+
+        The URL stays in ``scheduled`` either way: a dropped URL was
+        genuinely attempted and given up on, so a rediscovery along
+        another path must not resurrect it.
+        """
+        url = candidate.url
+        used = rstate.requeues.get(url, 0)
+        if used < self._resilience.retry.max_requeues:
+            rstate.requeues[url] = used + 1
+            rstate.requeued += 1
+            frontier.push(candidate)
+            if instr is not None:
+                instr.count("frontier.requeued")
+        else:
+            rstate.dropped += 1
+            if instr is not None:
+                instr.count("frontier.dropped")
+
+    def _crawl_loop_resilient(
+        self,
+        frontier,
+        visitor,
+        recorder,
+        scheduled,
+        instr,
+        rstate: _ResilientLoopState,
+        breakers: HostBreakers | None,
+    ) -> None:
+        """The crawl loop with retry, circuit breaking and checkpoints.
+
+        A separate method for the same reason as the instrumented loop:
+        the clean hot path stays untouched.  When no fault fires, every
+        successful step performs the clean loop's operations in the
+        clean loop's order, so a resilient run over a healthy web space
+        is trace-identical to a clean run — the property the golden
+        differential suite pins.
+
+        A failed fetch round (all attempts exhausted on a retryable
+        fault) is *not* a crawl step: the page was never obtained, so it
+        must not dilute harvest rate or advance the page cap.  The
+        candidate is requeued at its original priority until its requeue
+        budget runs out.
+        """
+        config = self._config
+        strategy = self._strategy
+        timing = self._timing
+        on_fetch = self._on_fetch
+        faults = self._faults
+        retry = self._resilience.retry
+        max_pages = config.max_pages
+        max_attempts = retry.max_attempts
+        checkpoint_every = config.checkpoint_every
+        # Same hoisting discipline as the clean loop: this runs once per
+        # simulated fetch, and the no-fault iteration must cost as close
+        # to a clean iteration as the extra bookkeeping allows (the
+        # overhead gate in bench_fault_overhead.py holds it under 5%).
+        pop = frontier.pop
+        push = frontier.push
+        fetch = visitor.fetch
+        extract = visitor.extract
+        judge = self._classifier.judge
+        expand = strategy.expand
+        tick = strategy.tick
+        record = recorder.record
+        scheduled_add = scheduled.add
+        site_of = url_site_key
+        has_faults = faults is not None
+        # Only a fault model can make a fetch fail, and only failures put
+        # hosts on the breaker board — so with no faults attached (and a
+        # board that resumed empty) the board can never populate, and the
+        # per-pop host lookup + breaker gate are provably dead.  Disarm
+        # them up front; a healthy iteration then costs a clean iteration
+        # plus a few counter updates.
+        track_hosts = has_faults or (breakers is not None and breakers.open_hosts() > 0)
+        allow = breakers.allow if breakers is not None and track_hosts else None
+        on_success = breakers.record_success if breakers is not None and track_hosts else None
+        host: str | None = None
+        steps = rstate.steps
+        while frontier:
+            if max_pages is not None and steps >= max_pages:
+                break
+            candidate = pop()
+            rstate.pops += 1
+
+            if track_hosts:
+                host = site_of(candidate.url)
+                if allow is not None and not allow(host, rstate.pops):
+                    rstate.breaker_skips += 1
+                    if instr is not None:
+                        instr.count("breaker.skips")
+                    self._requeue_or_drop(candidate, frontier, rstate, instr)
+                    continue
+
+            response = fetch(candidate.url)
+            if response.fault is not None:
+                attempt = 1
+                while response.fault in RETRYABLE_FAULTS and attempt < max_attempts:
+                    rstate.retries += 1
+                    if instr is not None:
+                        instr.count("visitor.retries")
+                    if timing is not None:
+                        timing.delay_site(candidate.url, retry.backoff_s(attempt))
+                    response = fetch(candidate.url)
+                    attempt += 1
+
+                if response.fault in RETRYABLE_FAULTS:
+                    # Fetch round failed for good — breaker accounting,
+                    # requeue-or-drop, and on to the next candidate.
+                    if breakers is not None:
+                        breakers.record_failure(host, rstate.pops)
+                    self._requeue_or_drop(candidate, frontier, rstate, instr)
+                    continue
+
+            if on_success is not None:
+                on_success(host)
+
+            judgment = judge(response)
+            steps += 1
+
+            sim_time: float | None = None
+            if timing is not None:
+                scale = faults.latency_scale(host) if has_faults else 1.0
+                timing.observe_fetch(candidate.url, response.size, scale)
+                sim_time = timing.now
+
+            outlinks = extract(response)
+            for child in expand(candidate, response, judgment, outlinks):
+                url = child.url
+                if url not in scheduled:
+                    scheduled_add(url)
+                    push(child)
+            tick(steps, frontier)
+
+            record(
+                url=candidate.url,
+                judged_relevant=judgment.relevant,
+                queue_size=len(frontier),
+                sim_time=sim_time,
+            )
+            if on_fetch is not None:
+                on_fetch(
+                    CrawlEvent(
+                        step=steps,
+                        candidate=candidate,
+                        response=response,
+                        judgment=judgment,
+                        queue_size=len(frontier),
+                        scheduled_count=len(scheduled),
+                        sim_time=sim_time,
+                    )
+                )
+            if checkpoint_every is not None and steps % checkpoint_every == 0:
+                # Count the write before serialising so the checkpoint's
+                # own tally includes it — a resumed run then reports the
+                # same total as an uninterrupted one.  ``rstate.steps`` is
+                # only read at serialisation time, so it is synced here
+                # (and at loop exit) instead of every iteration.
+                rstate.steps = steps
+                rstate.checkpoints_written += 1
+                self._write_checkpoint(
+                    frontier,
+                    recorder,
+                    scheduled,
+                    visitor,
+                    self.faulty_web,
+                    breakers,
+                    rstate,
+                )
+                if instr is not None:
+                    instr.count("checkpoint.writes")
+        rstate.steps = steps
 
     def _crawl_loop(self, frontier, visitor, recorder, scheduled) -> None:
         # This loop runs once per simulated fetch — the per-page hot

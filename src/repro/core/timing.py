@@ -46,14 +46,55 @@ class TimingModel:
         self._site_available: dict[str, float] = {}
         self.now = 0.0
 
-    def observe_fetch(self, url: str, size: int) -> float:
-        """Account for one fetch; returns its simulated completion time."""
+    def observe_fetch(self, url: str, size: int, latency_scale: float = 1.0) -> float:
+        """Account for one fetch; returns its simulated completion time.
+
+        ``latency_scale`` multiplies the per-request latency — the hook
+        the fault layer's slow-host model uses (1.0 for healthy hosts,
+        which keeps the arithmetic bit-identical to the unscaled path).
+        """
         site = url_site_key(url)
         slot_free = heapq.heappop(self._slots)
         start = max(slot_free, self._site_available.get(site, 0.0))
-        completion = start + self.latency + size / self.bandwidth
+        latency = self.latency if latency_scale == 1.0 else self.latency * latency_scale
+        completion = start + latency + size / self.bandwidth
         heapq.heappush(self._slots, completion)
         self._site_available[site] = start + self.politeness
         if completion > self.now:
             self.now = completion
         return completion
+
+    def delay_site(self, url: str, seconds: float) -> None:
+        """Push ``url``'s site availability ``seconds`` into the future.
+
+        This is how retry backoff spends *simulated* time: the next
+        request to the site cannot start before the backoff has elapsed
+        on the simulated clock.  Wall time is never slept.
+        """
+        if seconds <= 0:
+            return
+        site = url_site_key(url)
+        base = max(self._site_available.get(site, 0.0), self.now)
+        self._site_available[site] = base + seconds
+
+    # -- checkpoint support --------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serialisable clock state (see :mod:`repro.core.checkpoint`)."""
+        return {
+            "bandwidth": self.bandwidth,
+            "latency": self.latency,
+            "politeness": self.politeness,
+            "slots": list(self._slots),
+            "site_available": dict(self._site_available),
+            "now": self.now,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Load a :meth:`snapshot`; the model resumes mid-crawl exactly."""
+        self.bandwidth = state["bandwidth"]
+        self.latency = state["latency"]
+        self.politeness = state["politeness"]
+        self._slots = list(state["slots"])  # serialised heap-ordered
+        self._site_available = dict(state["site_available"])
+        self.now = state["now"]

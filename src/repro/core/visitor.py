@@ -14,21 +14,29 @@ from __future__ import annotations
 from time import perf_counter
 
 from repro.urlkit.extract import extract_links
-from repro.webspace.virtualweb import FetchResponse, VirtualWebSpace
+from repro.webspace.virtualweb import FetchResponse
 
 
 class Visitor:
     """Fetch-and-extract front end used by the simulator.
 
+    Transfer accounting is honest about failure: a fetch that produced
+    no page — an unknown-URL 404 or an injected fault, both recognisable
+    by ``response.record is None`` — increments :attr:`fetches_failed`
+    instead of :attr:`pages_fetched`/:attr:`bytes_fetched`, so
+    harvest-rate denominators and the ``visitor.bytes`` counter stay
+    meaningful under fault injection.
+
     With an :class:`repro.obs.Instrumentation` attached, the visitor
     times its two operations ("visitor.fetch", "visitor.extract") and
-    counts transferred bytes ("visitor.bytes"); without one, the only
-    cost per call is a ``None`` check.
+    counts transferred bytes ("visitor.bytes") and failed fetches
+    ("visitor.fetches_failed"); without one, the only cost per call is
+    a ``None`` check.
     """
 
     def __init__(
         self,
-        web: VirtualWebSpace,
+        web,
         extract_from_body: bool = False,
         instrumentation=None,
     ) -> None:
@@ -37,9 +45,10 @@ class Visitor:
         self._instr = instrumentation
         self.pages_fetched = 0
         self.bytes_fetched = 0
+        self.fetches_failed = 0
 
     @property
-    def web(self) -> VirtualWebSpace:
+    def web(self):
         return self._web
 
     def fetch(self, url: str) -> FetchResponse:
@@ -51,9 +60,15 @@ class Visitor:
             started = perf_counter()
             response = self._web.fetch(url)
             instr.observe("visitor.fetch", perf_counter() - started)
-            instr.count("visitor.bytes", response.size)
-        self.pages_fetched += 1
-        self.bytes_fetched += response.size
+        if response.record is None:
+            self.fetches_failed += 1
+            if instr is not None:
+                instr.count("visitor.fetches_failed")
+        else:
+            self.pages_fetched += 1
+            self.bytes_fetched += response.size
+            if instr is not None:
+                instr.count("visitor.bytes", response.size)
         return response
 
     def extract(self, response: FetchResponse) -> tuple[str, ...]:
@@ -78,3 +93,17 @@ class Visitor:
         if self._extract_from_body and response.body is not None:
             return tuple(extract_links(response.body, response.url))
         return response.outlinks
+
+    # -- checkpoint support --------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "pages_fetched": self.pages_fetched,
+            "bytes_fetched": self.bytes_fetched,
+            "fetches_failed": self.fetches_failed,
+        }
+
+    def restore(self, state: dict) -> None:
+        self.pages_fetched = state["pages_fetched"]
+        self.bytes_fetched = state["bytes_fetched"]
+        self.fetches_failed = state.get("fetches_failed", 0)

@@ -46,3 +46,7 @@ class SimulationError(ReproError):
 
 class FrontierError(ReproError):
     """A frontier operation violated its contract (e.g. pop from empty)."""
+
+
+class CheckpointError(ReproError):
+    """A crawl checkpoint could not be written, read, or applied."""

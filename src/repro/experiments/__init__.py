@@ -9,10 +9,17 @@
 - :mod:`~repro.experiments.report` — plain-text rendering.
 - :mod:`~repro.experiments.ablations` — locality / classifier / scale
   sweeps beyond the paper.
+- :mod:`~repro.experiments.faultsweep` — harvest/coverage degradation
+  versus fault rate under the resilient fetch pipeline.
 """
 
 from repro.experiments.datasets import Dataset, build_dataset, load_or_build_dataset
 from repro.experiments.export import export_figure_gnuplot, export_figure_json
+from repro.experiments.faultsweep import (
+    FaultSweepPoint,
+    fault_sweep,
+    write_faultsweep_json,
+)
 from repro.experiments.figures import (
     FigureResult,
     figure3,
@@ -46,4 +53,7 @@ __all__ = [
     "reproduce_all",
     "seed_sweep",
     "sweep_summary",
+    "FaultSweepPoint",
+    "fault_sweep",
+    "write_faultsweep_json",
 ]

@@ -1,0 +1,202 @@
+"""Fault sweep: crawl quality degradation versus failure rate.
+
+The paper's evaluation assumes a perfectly reliable web; a national-scale
+archiving crawl does not get one.  This experiment measures how each
+strategy's headline metrics — harvest rate and coverage — degrade as the
+simulated web gets less reliable, with the resilient fetch pipeline
+(retry, circuit breaking, capped requeue) doing its best against each
+fault level.
+
+One sweep point is one ``(strategy, fault_rate)`` run.  ``fault_rate``
+parameterises a :class:`~repro.faults.FaultProfile` where the transient
+error rate equals the sweep rate and timeouts/truncations run at half of
+it — a mix that exercises all three recovery layers.  Fault decisions
+are seeded, so the whole sweep is reproducible.
+
+Output is machine-readable JSON (``write_faultsweep_json``) with one row
+per sweep point, consumed by the CI smoke job and plottable directly::
+
+    python -m repro.experiments.faultsweep --scale 0.05 \
+        --rates 0,0.1,0.2 --output faultsweep.json
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.strategies import (
+    BreadthFirstStrategy,
+    LimitedDistanceStrategy,
+    SimpleStrategy,
+)
+from repro.experiments.datasets import Dataset
+from repro.experiments.runner import run_strategy
+from repro.faults import FaultModel, FaultProfile
+
+DEFAULT_RATES = (0.0, 0.05, 0.1, 0.2, 0.4)
+
+
+def default_strategies():
+    """The paper's strategy set, fresh instances per call."""
+    return (
+        BreadthFirstStrategy(),
+        SimpleStrategy(mode="hard"),
+        SimpleStrategy(mode="soft"),
+        LimitedDistanceStrategy(n=2),
+    )
+
+
+def profile_for_rate(rate: float) -> FaultProfile:
+    """The sweep's fault mix at one sweep rate.
+
+    Transient errors at the full rate, timeouts and truncations at half:
+    retries recover most transients, timeouts burn whole fetch rounds,
+    truncations degrade pages to irrelevant — so the sweep stresses
+    recovery, accounting and classification at once.
+    """
+    return FaultProfile(
+        transient_error_rate=rate,
+        timeout_rate=rate / 2,
+        truncation_rate=rate / 2,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSweepPoint:
+    """One strategy's outcome under one fault rate."""
+
+    strategy: str
+    fault_rate: float
+    pages_crawled: int
+    harvest_rate: float
+    coverage: float
+    fetches_failed: int
+    retries: int
+    requeued: int
+    dropped: int
+    faults_injected: int
+
+    def to_dict(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "fault_rate": self.fault_rate,
+            "pages_crawled": self.pages_crawled,
+            "harvest_rate": round(self.harvest_rate, 4),
+            "coverage": round(self.coverage, 4),
+            "fetches_failed": self.fetches_failed,
+            "retries": self.retries,
+            "requeued": self.requeued,
+            "dropped": self.dropped,
+            "faults_injected": self.faults_injected,
+        }
+
+
+def fault_sweep(
+    dataset: Dataset,
+    rates: tuple[float, ...] = DEFAULT_RATES,
+    strategies=None,
+    max_pages: int | None = None,
+    fault_seed: int = 0,
+) -> list[FaultSweepPoint]:
+    """Measure every strategy at every fault rate.
+
+    The same ``fault_seed`` is used at every sweep point, so two
+    strategies at the same rate face the *same* unreliable web — the
+    per-URL fault decisions agree wherever their crawls overlap.
+    """
+    points: list[FaultSweepPoint] = []
+    for rate in rates:
+        for strategy in strategies if strategies is not None else default_strategies():
+            faults = (
+                FaultModel(profile=profile_for_rate(rate), seed=fault_seed)
+                if rate > 0
+                else None
+            )
+            result = run_strategy(
+                dataset,
+                strategy,
+                max_pages=max_pages,
+                faults=faults,
+            )
+            resilience = result.resilience or {}
+            points.append(
+                FaultSweepPoint(
+                    strategy=strategy.name,
+                    fault_rate=rate,
+                    pages_crawled=result.pages_crawled,
+                    harvest_rate=result.final_harvest_rate,
+                    coverage=result.final_coverage,
+                    fetches_failed=resilience.get("fetches_failed", 0),
+                    retries=resilience.get("retries", 0),
+                    requeued=resilience.get("requeued", 0),
+                    dropped=resilience.get("dropped", 0),
+                    faults_injected=sum(
+                        resilience.get("faults_injected", {}).values()
+                    ),
+                )
+            )
+    return points
+
+
+def write_faultsweep_json(
+    points: list[FaultSweepPoint],
+    path: str | Path,
+    dataset: Dataset | None = None,
+) -> None:
+    """Serialise a sweep to the JSON artifact shape CI uploads."""
+    payload = {
+        "experiment": "faultsweep",
+        "dataset": dataset.name if dataset is not None else None,
+        "dataset_pages": len(dataset.crawl_log) if dataset is not None else None,
+        "points": [point.to_dict() for point in points],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    from repro.experiments.datasets import load_or_build_dataset
+    from repro.experiments.report import render_table
+    from repro.graphgen.profiles import profile_by_name
+
+    parser = argparse.ArgumentParser(
+        description="Harvest/coverage degradation vs fault rate, per strategy"
+    )
+    parser.add_argument("--profile", default="thai", choices=["thai", "japanese", "korean"])
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument(
+        "--rates",
+        default=",".join(str(rate) for rate in DEFAULT_RATES),
+        help="comma-separated fault rates in [0, 1]",
+    )
+    parser.add_argument("--max-pages", type=int, default=None)
+    parser.add_argument("--fault-seed", type=int, default=0)
+    parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--output", default=None, metavar="FILE.json")
+    args = parser.parse_args(argv)
+
+    profile = profile_by_name(args.profile)
+    if args.scale != 1.0:
+        profile = profile.scaled(args.scale)
+    dataset = load_or_build_dataset(profile, cache_dir=None if args.no_cache else "default")
+    rates = tuple(float(token) for token in args.rates.split(",") if token.strip())
+    points = fault_sweep(
+        dataset, rates=rates, max_pages=args.max_pages, fault_seed=args.fault_seed
+    )
+    print(
+        render_table(
+            [point.to_dict() for point in points],
+            title="Fault sweep (harvest/coverage vs fault rate)",
+        )
+    )
+    if args.output:
+        write_faultsweep_json(points, args.output, dataset=dataset)
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

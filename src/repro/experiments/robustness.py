@@ -44,7 +44,14 @@ class SeedRun:
             "harvE_soft": round(self.early_harvest_soft, 3),
             "cov_hard": round(self.coverage_hard, 3),
             "cov_soft": round(self.coverage_soft, 3),
-            "queue_ratio": round(self.queue_ratio_soft_over_hard, 2),
+            # inf (hard strategy never queued anything) has no JSON
+            # representation — json.dump emits the invalid literal
+            # `Infinity` — so serialise it as null.
+            "queue_ratio": (
+                round(self.queue_ratio_soft_over_hard, 2)
+                if math.isfinite(self.queue_ratio_soft_over_hard)
+                else None
+            ),
         }
 
 

@@ -38,6 +38,11 @@ def run_strategy(
     web=None,
     relevant_urls: frozenset[str] | None = None,
     classifier_cache: ClassifierCache | None = None,
+    faults=None,
+    resilience=None,
+    checkpoint_every: int | None = None,
+    checkpoint_path=None,
+    resume_from=None,
 ) -> CrawlResult:
     """One strategy, one dataset, one result.
 
@@ -71,10 +76,15 @@ def run_strategy(
             max_pages=max_pages,
             sample_interval=sample_interval,
             extract_from_body=extract_from_body,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
         ),
         timing=timing,
         on_fetch=on_fetch,
         instrumentation=instrumentation,
+        faults=faults,
+        resilience=resilience,
+        resume_from=resume_from,
     )
 
 

@@ -1,0 +1,409 @@
+"""Deterministic fault injection over the virtual web space.
+
+The paper's simulator assumes every fetch succeeds, but the workload it
+models — national-scale archiving crawls running for weeks — spends a
+meaningful fraction of its requests on hosts that throw transient 5xx
+errors, time out, truncate responses mid-body, or disappear entirely.
+This module injects those failure modes as a *wrapping layer* over
+:class:`~repro.webspace.virtualweb.VirtualWebSpace`, so every engine and
+experiment sees faults through the same unmodified ``fetch`` interface.
+
+Determinism is the design constraint: the same seed and the same fault
+profile must produce the *identical* fault sequence on every run and
+survive checkpoint/resume.  All randomness is therefore derived from
+keyed hashes of stable tokens (URL, host, attempt number) — there is no
+mutable RNG stream to serialise; the only injection state is the
+per-URL attempt counter and the global fetch index, both plain dicts
+that the checkpoint layer snapshots.
+
+Fault kinds (checked in precedence order):
+
+``outage``
+    The URL's host is inside a scheduled :class:`HostOutage` window
+    (measured in global fetch index) — the whole host answers 521.
+``timeout``
+    This *attempt* hangs and is abandoned (status 408).  Timeout draws
+    are per-(URL, attempt), so a retry of a timed-out fetch may succeed.
+``transient``
+    The URL is transiently broken (status 503) and recovers after
+    ``transient_recovery_attempts`` failed attempts — the classic
+    "retry-after" server error.
+``truncate``
+    The fetch "succeeds" but the body comes back truncated and garbled
+    badly enough to defeat charset detection; the response is marked
+    ``truncated`` so the classifier can degrade gracefully.
+
+Slow hosts are not a fault decision but a timing property: a seeded
+fraction of hosts answer with a latency multiplier, surfaced through
+:meth:`FaultModel.latency_scale` and consumed by the
+:class:`~repro.core.timing.TimingModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from hashlib import blake2b
+from pathlib import Path
+from typing import Mapping
+
+from repro.errors import ConfigError
+from repro.urlkit.normalize import url_site_key
+from repro.webspace.page import (
+    STATUS_HOST_DOWN,
+    STATUS_SERVER_ERROR,
+    STATUS_TIMEOUT,
+)
+from repro.webspace.virtualweb import FetchResponse, VirtualWebSpace
+
+#: Fault kinds a resilient fetch pipeline should retry; truncation is a
+#: degraded *success* and is never retried.
+RETRYABLE_FAULTS = frozenset({"transient", "timeout", "outage"})
+
+_FAULT_STATUS = {
+    "transient": STATUS_SERVER_ERROR,
+    "timeout": STATUS_TIMEOUT,
+    "outage": STATUS_HOST_DOWN,
+}
+
+#: Bytes appended to a truncated body: an invalid UTF-8/ISO-2022 mix that
+#: no charset state machine accepts, so detection degrades to UNKNOWN.
+_GARBLE = b"\xfe\xff\x00\x1b$\xfe\x80\x80"
+
+
+def _bare_host(site: str) -> str:
+    """Strip the port from a site key: hosts in fault profiles and
+    outage schedules are written without ports (``seed.co.th``), while
+    :func:`~repro.urlkit.normalize.url_site_key` yields
+    ``seed.co.th:80``."""
+    return site.rsplit(":", 1)[0] if ":" in site else site
+
+
+@dataclass(frozen=True, slots=True)
+class FaultProfile:
+    """Failure rates of one host (or the global default).
+
+    Rates are probabilities in [0, 1]; each draw is an independent keyed
+    hash, so e.g. a URL can be both transiently broken and truncated
+    (the transient error wins until it recovers).
+
+    Attributes:
+        transient_error_rate: fraction of URLs that 503 until they
+            recover.
+        transient_recovery_attempts: failed attempts before a transient
+            URL starts succeeding.
+        timeout_rate: per-attempt probability of a hard timeout.
+        truncation_rate: fraction of URLs whose body arrives truncated
+            and garbled.
+        slow_host_rate: fraction of hosts whose latency is multiplied.
+        slow_host_multiplier: the latency multiplier of a slow host.
+    """
+
+    transient_error_rate: float = 0.0
+    transient_recovery_attempts: int = 2
+    timeout_rate: float = 0.0
+    truncation_rate: float = 0.0
+    slow_host_rate: float = 0.0
+    slow_host_multiplier: float = 10.0
+
+    def __post_init__(self) -> None:
+        for name in ("transient_error_rate", "timeout_rate", "truncation_rate", "slow_host_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"FaultProfile.{name} must be in [0, 1], got {value!r}")
+        if self.transient_recovery_attempts < 1:
+            raise ConfigError("transient_recovery_attempts must be >= 1")
+        if self.slow_host_multiplier < 1.0:
+            raise ConfigError("slow_host_multiplier must be >= 1")
+
+    def to_json_dict(self) -> dict:
+        return {
+            "transient_error_rate": self.transient_error_rate,
+            "transient_recovery_attempts": self.transient_recovery_attempts,
+            "timeout_rate": self.timeout_rate,
+            "truncation_rate": self.truncation_rate,
+            "slow_host_rate": self.slow_host_rate,
+            "slow_host_multiplier": self.slow_host_multiplier,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping) -> "FaultProfile":
+        known = {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(f"unknown fault profile keys: {sorted(unknown)}")
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True, slots=True)
+class HostOutage:
+    """A scheduled whole-host outage over a global fetch-index window.
+
+    The window is half-open: the host is down for fetch indices
+    ``start <= index < end``.  Fetch indices count every simulated fetch
+    *attempt* in the run, which makes outages deterministic regardless
+    of wall time.
+    """
+
+    host: str
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ConfigError(
+                f"outage window must satisfy 0 <= start < end, got [{self.start}, {self.end})"
+            )
+
+    def covers(self, index: int) -> bool:
+        return self.start <= index < self.end
+
+    def to_json_dict(self) -> dict:
+        return {"host": self.host, "start": self.start, "end": self.end}
+
+
+class FaultModel:
+    """Seeded, stateless-by-construction fault decisions.
+
+    Every decision is a pure function of ``(seed, url/host, attempt,
+    fetch_index)``: two models with the same seed and profiles agree on
+    every fault they would ever inject, in any order of queries.  The
+    model still keeps *tallies* (``injected``) for observability, but
+    those never feed back into decisions.
+
+    Args:
+        profile: the global default :class:`FaultProfile`.
+        per_host: overrides keyed by site (as produced by
+            :func:`repro.urlkit.normalize.url_site_key`).
+        outages: scheduled :class:`HostOutage` windows.
+        seed: hash key; same seed ⇒ identical fault sequence.
+    """
+
+    def __init__(
+        self,
+        profile: FaultProfile | None = None,
+        per_host: Mapping[str, FaultProfile] | None = None,
+        outages: tuple[HostOutage, ...] = (),
+        seed: int = 0,
+    ) -> None:
+        self.profile = profile or FaultProfile()
+        # Host matching is port-insensitive: profiles say "seed.co.th",
+        # site keys say "seed.co.th:80" — both normalise to the bare host.
+        self.per_host = {_bare_host(host): prof for host, prof in (per_host or {}).items()}
+        self.outages = tuple(outages)
+        self.seed = seed
+        self._key = blake2b(f"lswc-faults:{seed}".encode(), digest_size=16).digest()
+        self.injected: dict[str, int] = {
+            "transient": 0,
+            "timeout": 0,
+            "outage": 0,
+            "truncate": 0,
+        }
+        self._outages_by_host: dict[str, list[HostOutage]] = {}
+        for outage in self.outages:
+            self._outages_by_host.setdefault(_bare_host(outage.host), []).append(outage)
+
+    # -- derived randomness --------------------------------------------------
+
+    def _unit(self, kind: str, token: str) -> float:
+        """A deterministic uniform draw in [0, 1) for (seed, kind, token)."""
+        digest = blake2b(
+            f"{kind}:{token}".encode(), digest_size=8, key=self._key
+        ).digest()
+        return int.from_bytes(digest, "big") / 2**64
+
+    def profile_for(self, host: str) -> FaultProfile:
+        return self.per_host.get(_bare_host(host), self.profile)
+
+    # -- decisions -----------------------------------------------------------
+
+    def decide(self, url: str, host: str, attempt: int, fetch_index: int) -> str | None:
+        """The fault (if any) injected into this fetch attempt.
+
+        Args:
+            url: the URL being fetched.
+            host: its site key (caller computes it once).
+            attempt: zero-based count of *previous* fetches of this URL.
+            fetch_index: one-based global count of fetch attempts.
+
+        Returns:
+            One of ``"outage"``/``"timeout"``/``"transient"``/
+            ``"truncate"``, or None for a clean fetch.
+        """
+        for outage in self._outages_by_host.get(_bare_host(host), ()):
+            if outage.covers(fetch_index):
+                self.injected["outage"] += 1
+                return "outage"
+        prof = self.profile_for(host)
+        if prof.timeout_rate and self._unit("timeout", f"{url}#{attempt}") < prof.timeout_rate:
+            self.injected["timeout"] += 1
+            return "timeout"
+        if (
+            prof.transient_error_rate
+            and attempt < prof.transient_recovery_attempts
+            and self._unit("transient", url) < prof.transient_error_rate
+        ):
+            self.injected["transient"] += 1
+            return "transient"
+        if prof.truncation_rate and self._unit("truncate", url) < prof.truncation_rate:
+            self.injected["truncate"] += 1
+            return "truncate"
+        return None
+
+    def latency_scale(self, host: str) -> float:
+        """Latency multiplier of ``host`` (1.0 for healthy hosts)."""
+        bare = _bare_host(host)
+        prof = self.profile_for(bare)
+        if prof.slow_host_rate and self._unit("slow", bare) < prof.slow_host_rate:
+            return prof.slow_host_multiplier
+        return 1.0
+
+    @staticmethod
+    def garble(body: bytes) -> bytes:
+        """A deterministically truncated, detection-defeating body."""
+        return body[: max(8, len(body) // 2)] + _GARBLE
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_json_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "global": self.profile.to_json_dict(),
+            "hosts": {host: prof.to_json_dict() for host, prof in sorted(self.per_host.items())},
+            "outages": [outage.to_json_dict() for outage in self.outages],
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping) -> "FaultModel":
+        unknown = set(data) - {"seed", "global", "hosts", "outages"}
+        if unknown:
+            raise ConfigError(f"unknown fault model keys: {sorted(unknown)}")
+        try:
+            outages = tuple(
+                HostOutage(host=o["host"], start=o["start"], end=o["end"])
+                for o in data.get("outages", ())
+            )
+        except (KeyError, TypeError) as exc:
+            raise ConfigError(f"malformed outage entry: {exc}") from exc
+        return cls(
+            profile=FaultProfile.from_json_dict(data.get("global", {})),
+            per_host={
+                host: FaultProfile.from_json_dict(prof)
+                for host, prof in data.get("hosts", {}).items()
+            },
+            outages=outages,
+            seed=data.get("seed", 0),
+        )
+
+
+def load_fault_model(path: str | Path) -> FaultModel:
+    """Read a fault profile JSON file (the ``--faults`` CLI payload)."""
+    import json
+
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ConfigError(f"cannot read fault profile {path}: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ConfigError(f"{path}: fault profile must be a JSON object")
+    return FaultModel.from_json_dict(data)
+
+
+class FaultyWebSpace:
+    """A :class:`VirtualWebSpace` with a :class:`FaultModel` in front.
+
+    Drop-in for the places the engine cares about (``fetch``,
+    ``crawl_log``, ``fetch_count``): the visitor fetches through this
+    wrapper and receives either the clean response, a degraded
+    (truncated) response, or a synthetic failure response whose
+    ``fault`` field names the injected kind.
+
+    Injection state is two counters — the global fetch index (drives
+    outage windows) and per-URL attempt counts (drives transient
+    recovery) — exposed via :meth:`snapshot`/:meth:`restore` so a
+    resumed crawl replays the exact fault sequence the interrupted one
+    would have seen.
+
+    ``journal`` (opt-in) records every injected fault as
+    ``(fetch_index, url, kind)`` tuples — the sequence the determinism
+    tests compare across runs.
+    """
+
+    def __init__(
+        self,
+        web: VirtualWebSpace,
+        model: FaultModel,
+        record_journal: bool = False,
+    ) -> None:
+        self._web = web
+        self.model = model
+        self.fetch_index = 0
+        self._attempts: dict[str, int] = {}
+        self.journal: list[tuple[int, str, str]] | None = [] if record_journal else None
+
+    @property
+    def web(self) -> VirtualWebSpace:
+        return self._web
+
+    @property
+    def crawl_log(self):
+        return self._web.crawl_log
+
+    @property
+    def fetch_count(self) -> int:
+        return self._web.fetch_count
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._web
+
+    def attempts_of(self, url: str) -> int:
+        """How many times ``url`` has been fetched through this wrapper."""
+        return self._attempts.get(url, 0)
+
+    def fetch(self, url: str) -> FetchResponse:
+        """Fetch with fault injection; never raises for injected faults."""
+        self.fetch_index += 1
+        attempt = self._attempts.get(url, 0)
+        self._attempts[url] = attempt + 1
+        host = url_site_key(url)
+        kind = self.model.decide(url, host, attempt, self.fetch_index)
+        if kind is None:
+            return self._web.fetch(url)
+        if self.journal is not None:
+            self.journal.append((self.fetch_index, url, kind))
+        if kind == "truncate":
+            response = self._web.fetch(url)
+            if response.body is None and not response.ok:
+                return response  # nothing to truncate on a failed page
+            body = self.model.garble(response.body) if response.body is not None else None
+            return replace(response, body=body, truncated=True, fault="truncate")
+        return FetchResponse(
+            url=url,
+            status=_FAULT_STATUS[kind],
+            content_type="text/html",
+            charset=None,
+            outlinks=(),
+            size=0,
+            fault=kind,
+        )
+
+    # -- checkpoint support --------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Injection state: enough to replay the exact fault sequence."""
+        return {
+            "seed": self.model.seed,
+            "fetch_index": self.fetch_index,
+            "attempts": dict(self._attempts),
+            "injected": dict(self.model.injected),
+        }
+
+    def restore(self, state: Mapping) -> None:
+        if state.get("seed") != self.model.seed:
+            raise ConfigError(
+                f"checkpoint fault seed {state.get('seed')!r} does not match "
+                f"the configured model seed {self.model.seed!r}"
+            )
+        self.fetch_index = state["fetch_index"]
+        self._attempts = dict(state["attempts"])
+        self.model.injected.update(state.get("injected", {}))

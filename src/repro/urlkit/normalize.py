@@ -104,6 +104,19 @@ def url_host(url: str) -> str:
     return parse_url(url).host
 
 
+#: Memo for :func:`url_site_key` — the timing model, politeness queues,
+#: fault model and resilient crawl loop all ask for a URL's site on the
+#: per-fetch path, and URLs are interned so probes are pointer-fast.
+_site_memo: dict[str, str] = {}
+
+
 def url_site_key(url: str) -> str:
     """The ``host:port`` site key of ``url`` (see :attr:`SplitUrl.site_key`)."""
-    return parse_url(url).site_key
+    cached = _site_memo.get(url)
+    if cached is not None:
+        return cached
+    site = _intern(parse_url(url).site_key)
+    if len(_site_memo) >= _MEMO_MAX:
+        _site_memo.clear()
+    _site_memo[url] = site
+    return site

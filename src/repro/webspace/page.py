@@ -17,6 +17,18 @@ from repro.urlkit.normalize import intern_url
 #: HTTP status of a successfully fetched page ("OK status (200)" in Table 3).
 STATUS_OK = 200
 
+#: Statuses the fault layer (:mod:`repro.faults`) injects.  They live
+#: here, next to :data:`STATUS_OK`, because they are part of the page
+#: vocabulary every layer shares — a visitor must be able to tell a
+#: retryable server condition from a genuine 404 without importing the
+#: fault subsystem.
+STATUS_SERVER_ERROR = 503  #: transient 5xx: retry and the host recovers
+STATUS_TIMEOUT = 408  #: the attempt hung and was abandoned
+STATUS_HOST_DOWN = 521  #: the whole host is inside an outage window
+
+#: Statuses a resilient fetch pipeline should treat as retryable.
+RETRYABLE_STATUSES = frozenset({STATUS_SERVER_ERROR, STATUS_TIMEOUT, STATUS_HOST_DOWN})
+
 #: Content type of pages that participate in link expansion.
 HTML_CONTENT_TYPE = "text/html"
 

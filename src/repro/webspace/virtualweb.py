@@ -43,6 +43,15 @@ class FetchResponse:
     size: int
     body: bytes | None = None
     record: PageRecord | None = None
+    #: True when the fault layer truncated/garbled the body; the
+    #: classifier degrades such pages to "irrelevant" instead of running
+    #: (and failing) charset detection on garbage.
+    truncated: bool = False
+    #: Name of the injected fault ("transient"/"timeout"/"outage"/
+    #: "truncate"), or None for an organic response.  Retryability is
+    #: keyed on this, never on the status code, so trace-captured 5xx
+    #: pages keep their paper semantics (fetched once, judged, counted).
+    fault: str | None = None
 
     @property
     def ok(self) -> bool:

@@ -1,0 +1,321 @@
+"""Checkpoint/resume: serialisation, validation, and the headline
+guarantee — a killed-and-resumed crawl is indistinguishable from an
+uninterrupted one.
+
+The golden-harness differential (resume mid-crawl, compare the full
+fetch sequence against the checked-in fixture) lives in
+``tests/golden/test_golden_resilience.py``; this file covers the tiny-web
+equivalents plus every file-format and mismatch error path.
+"""
+
+import json
+
+import pytest
+
+from repro.charset.languages import Language
+from repro.core.checkpoint import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    CheckpointState,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.core.classifier import Classifier
+from repro.core.frontier import (
+    Candidate,
+    FIFOFrontier,
+    PriorityFrontier,
+    ReprioritizableFrontier,
+)
+from repro.core.metrics import MetricsRecorder
+from repro.core.simulator import SimulationConfig, Simulator
+from repro.core.strategies import BreadthFirstStrategy, SimpleStrategy
+from repro.core.timing import TimingModel
+from repro.errors import CheckpointError, ConfigError
+from repro.faults import FaultModel, FaultProfile
+
+from conftest import SEED, A, C, F
+
+THAI_SET = frozenset({SEED, A, C, F})
+
+FAULTY_PROFILE = FaultProfile(
+    transient_error_rate=0.5, timeout_rate=0.2, truncation_rate=0.3
+)
+
+
+def _state(**overrides) -> CheckpointState:
+    defaults = dict(
+        strategy="breadth-first",
+        steps=3,
+        frontier={"kind": "fifo", "queue": [], "pushes": 0, "pops": 0, "peak": 0},
+        scheduled=[SEED],
+        recorder={},
+        visitor={"pages_fetched": 3, "bytes_fetched": 6144, "fetches_failed": 0},
+        loop={},
+    )
+    defaults.update(overrides)
+    return CheckpointState(**defaults)
+
+
+def simulate(web, **kwargs):
+    kwargs.setdefault("config", SimulationConfig(sample_interval=1))
+    return Simulator(
+        web=web,
+        strategy=BreadthFirstStrategy(),
+        classifier=Classifier(Language.THAI),
+        seed_urls=[SEED],
+        relevant_urls=THAI_SET,
+        **kwargs,
+    )
+
+
+class TestCheckpointFile:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "crawl.ckpt"
+        state = _state(timing={"now": 4.5}, breakers={"hosts": {}})
+        write_checkpoint(path, state)
+        loaded = read_checkpoint(path)
+        assert loaded.strategy == "breadth-first"
+        assert loaded.steps == 3
+        assert loaded.visitor == state.visitor
+        assert loaded.timing == {"now": 4.5}
+        assert loaded.faults is None
+
+    def test_write_replaces_atomically(self, tmp_path):
+        path = tmp_path / "crawl.ckpt"
+        write_checkpoint(path, _state(steps=1))
+        write_checkpoint(path, _state(steps=2))
+        assert read_checkpoint(path).steps == 2
+        assert not path.with_name(path.name + ".tmp").exists()
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            read_checkpoint(tmp_path / "nope.ckpt")
+
+    def test_unwritable_destination(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot write"):
+            write_checkpoint(tmp_path / "missing-dir" / "crawl.ckpt", _state())
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "crawl.ckpt"
+        path.write_text("")
+        with pytest.raises(CheckpointError, match="empty checkpoint"):
+            read_checkpoint(path)
+
+    def test_foreign_format(self, tmp_path):
+        path = tmp_path / "crawl.ckpt"
+        path.write_text('{"format": "something-else", "version": 1}\n')
+        with pytest.raises(CheckpointError, match="not a crawl checkpoint"):
+            read_checkpoint(path)
+
+    def test_unsupported_version(self, tmp_path):
+        path = tmp_path / "crawl.ckpt"
+        path.write_text(
+            json.dumps({"format": FORMAT_NAME, "version": FORMAT_VERSION + 1}) + "\n"
+        )
+        with pytest.raises(CheckpointError, match="unsupported checkpoint version"):
+            read_checkpoint(path)
+
+    def test_malformed_section_line(self, tmp_path):
+        path = tmp_path / "crawl.ckpt"
+        path.write_text(
+            json.dumps({"format": FORMAT_NAME, "version": FORMAT_VERSION}) + "\n"
+            + "not json\n"
+        )
+        with pytest.raises(CheckpointError, match="malformed checkpoint section"):
+            read_checkpoint(path)
+
+    def test_unknown_section(self, tmp_path):
+        path = tmp_path / "crawl.ckpt"
+        path.write_text(
+            json.dumps({"format": FORMAT_NAME, "version": FORMAT_VERSION}) + "\n"
+            + json.dumps({"section": "surprise", "data": {}}) + "\n"
+        )
+        with pytest.raises(CheckpointError, match="unknown section"):
+            read_checkpoint(path)
+
+    def test_missing_required_sections(self, tmp_path):
+        path = tmp_path / "crawl.ckpt"
+        path.write_text(
+            json.dumps({"format": FORMAT_NAME, "version": FORMAT_VERSION}) + "\n"
+            + json.dumps({"section": "frontier", "data": {}}) + "\n"
+        )
+        with pytest.raises(CheckpointError, match="missing sections"):
+            read_checkpoint(path)
+
+
+class TestFrontierSnapshots:
+    def _drain(self, frontier):
+        urls = []
+        while frontier:
+            urls.append(frontier.pop().url)
+        return urls
+
+    @pytest.mark.parametrize(
+        "make", [FIFOFrontier, PriorityFrontier, ReprioritizableFrontier]
+    )
+    def test_roundtrip_preserves_pop_order(self, make):
+        frontier = make()
+        for index, url in enumerate([SEED, A, C, F]):
+            frontier.push(Candidate(url=url, priority=index % 2, distance=index))
+        frontier.pop()
+
+        restored = make()
+        restored.restore(frontier.snapshot())
+        assert self._drain(restored) == self._drain(frontier)
+
+    def test_fifo_rejects_foreign_kind(self):
+        frontier = PriorityFrontier()
+        frontier.push(Candidate(url=SEED))
+        with pytest.raises(CheckpointError, match="kind"):
+            FIFOFrontier().restore(frontier.snapshot())
+
+    def test_reprioritizable_drops_tombstones(self):
+        frontier = ReprioritizableFrontier()
+        frontier.push(Candidate(url=SEED, priority=1))
+        frontier.push(Candidate(url=A, priority=2))
+        frontier.update_priority(SEED, 9)  # leaves a tombstone in the heap
+        restored = ReprioritizableFrontier()
+        restored.restore(frontier.snapshot())
+        assert self._drain(restored) == [SEED, A]
+
+    def test_candidate_fields_survive(self):
+        frontier = PriorityFrontier()
+        frontier.push(Candidate(url=A, priority=3, distance=2, referrer=SEED))
+        restored = PriorityFrontier()
+        restored.restore(frontier.snapshot())
+        candidate = restored.pop()
+        assert (candidate.url, candidate.priority, candidate.distance, candidate.referrer) == (
+            A, 3, 2, SEED,
+        )
+
+
+class TestRecorderSnapshot:
+    def test_restore_validates_sample_interval(self):
+        recorder = MetricsRecorder("x", THAI_SET, sample_interval=2)
+        other = MetricsRecorder("x", THAI_SET, sample_interval=3)
+        with pytest.raises(CheckpointError, match="sample_interval"):
+            other.restore(recorder.snapshot())
+
+    def test_restore_validates_relevant_set_size(self):
+        recorder = MetricsRecorder("x", THAI_SET, sample_interval=2)
+        other = MetricsRecorder("x", frozenset({SEED}), sample_interval=2)
+        with pytest.raises(CheckpointError, match="relevant-set size"):
+            other.restore(recorder.snapshot())
+
+
+class TestKillAndResume:
+    """The guarantee: interrupted + resumed == uninterrupted, exactly."""
+
+    def _uninterrupted(self, tiny_web):
+        simulator = simulate(
+            tiny_web,
+            timing=TimingModel(),
+            faults=FaultModel(profile=FAULTY_PROFILE, seed=42),
+            record_fault_journal=True,
+        )
+        result = simulator.run()
+        return result, simulator.faulty_web
+
+    def test_resume_is_byte_identical(self, tiny_web, tmp_path):
+        full, full_web = self._uninterrupted(tiny_web)
+        path = tmp_path / "crawl.ckpt"
+
+        # "Kill" after 4 pages, checkpointing every 2.
+        simulate(
+            tiny_web,
+            timing=TimingModel(),
+            faults=FaultModel(profile=FAULTY_PROFILE, seed=42),
+            config=SimulationConfig(
+                sample_interval=1, max_pages=4, checkpoint_every=2, checkpoint_path=path
+            ),
+        ).run()
+
+        resumed_sim = simulate(
+            tiny_web,
+            timing=TimingModel(),
+            faults=FaultModel(profile=FAULTY_PROFILE, seed=42),
+            resume_from=path,
+            record_fault_journal=True,
+        )
+        resumed = resumed_sim.run()
+
+        assert resumed.series.to_dict() == full.series.to_dict()
+        assert resumed.pages_crawled == full.pages_crawled
+        assert resumed.summary.simulated_seconds == full.summary.simulated_seconds
+        assert resumed.resilience["fetches_failed"] == full.resilience["fetches_failed"]
+        assert resumed.resilience["faults_injected"] == full.resilience["faults_injected"]
+        # The resumed fault journal is the uninterrupted journal's tail.
+        tail = resumed_sim.faulty_web.journal
+        assert full_web.journal[len(full_web.journal) - len(tail):] == tail
+
+    def test_resume_accepts_loaded_state(self, tiny_web, tmp_path):
+        path = tmp_path / "crawl.ckpt"
+        simulate(
+            tiny_web,
+            config=SimulationConfig(
+                sample_interval=1, max_pages=4, checkpoint_every=2, checkpoint_path=path
+            ),
+        ).run()
+        resumed = simulate(tiny_web, resume_from=read_checkpoint(path)).run()
+        assert resumed.pages_crawled == simulate(tiny_web).run().pages_crawled
+
+    def test_resume_rejects_wrong_strategy(self, tiny_web, tmp_path):
+        path = tmp_path / "crawl.ckpt"
+        simulate(
+            tiny_web,
+            config=SimulationConfig(
+                sample_interval=1, max_pages=4, checkpoint_every=2, checkpoint_path=path
+            ),
+        ).run()
+        with pytest.raises(CheckpointError, match="strategy"):
+            Simulator(
+                web=tiny_web,
+                strategy=SimpleStrategy(mode="hard"),
+                classifier=Classifier(Language.THAI),
+                seed_urls=[SEED],
+                relevant_urls=THAI_SET,
+                config=SimulationConfig(sample_interval=1),
+                resume_from=path,
+            ).run()
+
+    def test_resume_with_faults_requires_fault_model(self, tiny_web, tmp_path):
+        path = tmp_path / "crawl.ckpt"
+        simulate(
+            tiny_web,
+            faults=FaultModel(profile=FAULTY_PROFILE, seed=42),
+            config=SimulationConfig(
+                sample_interval=1, max_pages=4, checkpoint_every=2, checkpoint_path=path
+            ),
+        ).run()
+        with pytest.raises(CheckpointError, match="fault"):
+            simulate(tiny_web, resume_from=path).run()
+
+    def test_resume_rejects_fault_seed_mismatch(self, tiny_web, tmp_path):
+        path = tmp_path / "crawl.ckpt"
+        simulate(
+            tiny_web,
+            faults=FaultModel(profile=FAULTY_PROFILE, seed=42),
+            config=SimulationConfig(
+                sample_interval=1, max_pages=4, checkpoint_every=2, checkpoint_path=path
+            ),
+        ).run()
+        with pytest.raises(ConfigError, match="seed"):
+            simulate(
+                tiny_web, faults=FaultModel(profile=FAULTY_PROFILE, seed=7), resume_from=path
+            ).run()
+
+
+class TestCheckpointConfig:
+    def test_checkpoint_every_requires_path(self, tiny_web):
+        with pytest.raises(ConfigError, match="checkpoint_path"):
+            simulate(tiny_web, config=SimulationConfig(checkpoint_every=10))
+
+    def test_checkpoint_every_must_be_positive(self, tiny_web, tmp_path):
+        with pytest.raises(ConfigError, match=">= 1"):
+            simulate(
+                tiny_web,
+                config=SimulationConfig(
+                    checkpoint_every=0, checkpoint_path=tmp_path / "c.ckpt"
+                ),
+            )

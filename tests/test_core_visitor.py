@@ -16,10 +16,33 @@ class TestFetch:
         assert visitor.bytes_fetched == 4096  # two 2048-byte pages
 
     def test_non_ok_fetch_counts_zero_bytes(self, tiny_web):
+        # DEAD has a crawl-log record (a captured 404): it was genuinely
+        # fetched, so it counts as a page — with zero bytes.
         visitor = Visitor(tiny_web)
         visitor.fetch(DEAD)
         assert visitor.pages_fetched == 1
         assert visitor.bytes_fetched == 0
+        assert visitor.fetches_failed == 0
+
+    def test_unknown_url_counts_as_failed_not_page(self, tiny_web):
+        """A record-less 404 (URL absent from the log) is a *failed*
+        fetch: it must not inflate pages_fetched or the harvest-rate
+        denominator's transfer accounting."""
+        visitor = Visitor(tiny_web)
+        visitor.fetch("http://nowhere.invalid/")
+        assert visitor.pages_fetched == 0
+        assert visitor.bytes_fetched == 0
+        assert visitor.fetches_failed == 1
+
+    def test_snapshot_restore_roundtrip(self, tiny_web):
+        visitor = Visitor(tiny_web)
+        visitor.fetch(SEED)
+        visitor.fetch("http://nowhere.invalid/")
+        restored = Visitor(tiny_web)
+        restored.restore(visitor.snapshot())
+        assert restored.pages_fetched == 1
+        assert restored.bytes_fetched == 2048
+        assert restored.fetches_failed == 1
 
     def test_web_accessor(self, tiny_web):
         assert Visitor(tiny_web).web is tiny_web

@@ -1,0 +1,137 @@
+"""Error-path coverage: malformed inputs and contract violations.
+
+Three families the happy-path suites never touch: crawl-log files that
+are damaged in every way a filesystem can damage them, unknown-page
+lookups through the virtual web space, and frontier misuse.
+"""
+
+import gzip
+import json
+
+import pytest
+
+from repro.core.frontier import (
+    Candidate,
+    FIFOFrontier,
+    PriorityFrontier,
+    ReprioritizableFrontier,
+)
+from repro.errors import CrawlLogError, FrontierError, UnknownPageError
+from repro.webspace.crawllog import CrawlLog
+from repro.webspace.virtualweb import STATUS_UNKNOWN_URL, VirtualWebSpace
+
+from conftest import SEED, A, thai_page
+
+
+def _write_log_lines(path, lines):
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+VALID_HEADER = json.dumps(
+    {"format": "repro-lswc-crawllog", "version": 1, "pages": 1}
+)
+
+
+class TestCrawlLogParsing:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text("")
+        with pytest.raises(CrawlLogError, match="empty crawl-log"):
+            CrawlLog.load(path)
+
+    def test_malformed_header(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        _write_log_lines(path, ["{not json"])
+        with pytest.raises(CrawlLogError, match="malformed header"):
+            CrawlLog.load(path)
+
+    def test_foreign_format(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        _write_log_lines(path, [json.dumps({"format": "csv", "version": 1})])
+        with pytest.raises(CrawlLogError, match="not a crawl-log file"):
+            CrawlLog.load(path)
+
+    def test_unsupported_version(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        _write_log_lines(
+            path, [json.dumps({"format": "repro-lswc-crawllog", "version": 99})]
+        )
+        with pytest.raises(CrawlLogError, match="unsupported version"):
+            CrawlLog.load(path)
+
+    def test_malformed_record_line_names_line_number(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        _write_log_lines(path, [VALID_HEADER, "{truncated"])
+        with pytest.raises(CrawlLogError, match=r":2: malformed record"):
+            CrawlLog.load(path)
+
+    def test_record_missing_required_key(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        _write_log_lines(path, [VALID_HEADER, json.dumps({"charset": "TIS-620"})])
+        with pytest.raises(CrawlLogError, match="malformed record"):
+            CrawlLog.load(path)
+
+    def test_gzip_roundtrip_and_gzip_damage(self, tmp_path):
+        log = CrawlLog([thai_page(SEED)])
+        path = tmp_path / "log.jsonl.gz"
+        log.save(path)
+        assert len(CrawlLog.load(path)) == 1
+        # A truncated gzip stream surfaces as an error, not silence.
+        path.write_bytes(path.read_bytes()[:20])
+        with pytest.raises((CrawlLogError, OSError, EOFError, gzip.BadGzipFile)):
+            CrawlLog.load(path)
+
+    def test_duplicate_record_rejected(self):
+        log = CrawlLog([thai_page(SEED)])
+        with pytest.raises(CrawlLogError, match="duplicate"):
+            log.add(thai_page(SEED))
+
+
+class TestUnknownPage:
+    def test_crawl_log_getitem_raises(self):
+        log = CrawlLog([thai_page(SEED)])
+        with pytest.raises(UnknownPageError) as excinfo:
+            log["http://nowhere.invalid/"]
+        assert excinfo.value.url == "http://nowhere.invalid/"
+
+    def test_unknown_page_error_is_catchable_as_keyerror(self):
+        log = CrawlLog([thai_page(SEED)])
+        with pytest.raises(KeyError):
+            log["http://nowhere.invalid/"]
+
+    def test_fetch_degrades_unknown_urls_to_404(self):
+        """``VirtualWebSpace.fetch`` deliberately does NOT propagate
+        :class:`UnknownPageError` — a live crawler sees a 404, not an
+        exception — while direct log indexing through the web space's
+        crawl log still raises it."""
+        web = VirtualWebSpace(CrawlLog([thai_page(SEED)]))
+        response = web.fetch("http://nowhere.invalid/")
+        assert response.status == STATUS_UNKNOWN_URL
+        assert response.record is None and response.outlinks == ()
+        with pytest.raises(UnknownPageError):
+            web.crawl_log["http://nowhere.invalid/"]
+
+
+class TestFrontierMisuse:
+    @pytest.mark.parametrize(
+        "make", [FIFOFrontier, PriorityFrontier, ReprioritizableFrontier]
+    )
+    def test_pop_from_empty_raises(self, make):
+        with pytest.raises(FrontierError, match="pop from empty"):
+            make().pop()
+
+    @pytest.mark.parametrize(
+        "make", [FIFOFrontier, PriorityFrontier, ReprioritizableFrontier]
+    )
+    def test_pop_after_draining_raises(self, make):
+        frontier = make()
+        frontier.push(Candidate(url=SEED))
+        frontier.pop()
+        with pytest.raises(FrontierError, match="pop from empty"):
+            frontier.pop()
+
+    def test_reprioritizable_double_push_rejected(self):
+        frontier = ReprioritizableFrontier()
+        frontier.push(Candidate(url=A))
+        with pytest.raises(FrontierError, match="already queued"):
+            frontier.push(Candidate(url=A))

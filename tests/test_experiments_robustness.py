@@ -1,11 +1,41 @@
 """Unit tests for the seed-robustness harness."""
 
+import json
+import math
+
 import pytest
 
-from repro.experiments.robustness import measure_seed, seed_sweep, sweep_summary
+from repro.experiments.robustness import SeedRun, measure_seed, seed_sweep, sweep_summary
 from repro.graphgen.profiles import thai_profile
 
 TINY = thai_profile().scaled(0.03)
+
+
+class TestSeedRunSerialisation:
+    def _run(self, queue_ratio):
+        return SeedRun(
+            seed=1,
+            dataset_pages=100,
+            relevance_ratio=0.5,
+            early_harvest_bfs=0.4,
+            early_harvest_hard=0.6,
+            early_harvest_soft=0.5,
+            coverage_hard=0.7,
+            coverage_soft=1.0,
+            queue_ratio_soft_over_hard=queue_ratio,
+        )
+
+    def test_infinite_queue_ratio_serialises_as_null(self):
+        """Regression: ``round(math.inf, 2)`` is still ``inf``, and
+        ``json.dump`` emits the invalid literal ``Infinity`` for it —
+        the sweep artifact must stay valid JSON instead."""
+        data = self._run(math.inf).to_dict()
+        assert data["queue_ratio"] is None
+        payload = json.dumps(data, allow_nan=False)  # raises on inf/nan
+        assert json.loads(payload)["queue_ratio"] is None
+
+    def test_finite_queue_ratio_is_rounded(self):
+        assert self._run(2.345).to_dict()["queue_ratio"] == 2.35
 
 
 class TestSeedSweep:
