@@ -40,8 +40,11 @@ from repro.core import (
     BreadthFirstStrategy,
     Classifier,
     ClassifierMode,
+    CrawlEngine,
     CrawlReport,
     CrawlResult,
+    EngineHook,
+    EngineStage,
     LimitedDistanceStrategy,
     ParallelConfig,
     ParallelCrawlSimulator,
@@ -51,6 +54,9 @@ from repro.core import (
     SimulationConfig,
     Simulator,
     TimingModel,
+    available_strategies,
+    get_strategy,
+    register_strategy,
     strategy_by_name,
 )
 from repro.experiments import (
@@ -126,7 +132,13 @@ __all__ = [
     "BreadthFirstStrategy",
     "SimpleStrategy",
     "LimitedDistanceStrategy",
+    "register_strategy",
+    "get_strategy",
+    "available_strategies",
     "strategy_by_name",
+    "CrawlEngine",
+    "EngineHook",
+    "EngineStage",
     # faults + resilience
     "FaultProfile",
     "FaultModel",

@@ -38,8 +38,10 @@ from repro.core.parallel import (
     ParallelResult,
 )
 from repro.core.checkpoint import CheckpointState
+from repro.core.engine import EngineHook
 from repro.core.simulator import CrawlResult, SimulationConfig, Simulator
 from repro.core.strategies.base import CrawlStrategy
+from repro.core.strategies.registry import get_strategy
 from repro.core.timing import TimingModel
 from repro.errors import ConfigError
 from repro.faults import FaultModel, ResilienceConfig
@@ -53,7 +55,7 @@ def run_crawl(
     *,
     web: VirtualWebSpace | None = None,
     dataset=None,
-    strategy: CrawlStrategy | Callable[[], CrawlStrategy],
+    strategy: CrawlStrategy | Callable[[], CrawlStrategy] | str,
     classifier: Classifier | None = None,
     seeds: Sequence[str] | None = None,
     config: SimulationConfig | ParallelConfig | None = None,
@@ -64,6 +66,7 @@ def run_crawl(
     faults: FaultModel | None = None,
     resilience: ResilienceConfig | None = None,
     resume_from: CheckpointState | str | None = None,
+    hooks: Sequence[EngineHook] = (),
 ) -> CrawlResult | ParallelResult:
     """Run one crawl session; the single public entry point.
 
@@ -75,9 +78,11 @@ def run_crawl(
         dataset: a built :class:`~repro.experiments.datasets.Dataset`;
             supplies ``web``, and defaults for ``classifier``, ``seeds``
             and ``relevant_urls`` in one argument.
-        strategy: a :class:`CrawlStrategy` instance, or a zero-arg
-            factory (class or lambda).  A parallel run *requires* the
-            factory form — each partition gets its own instance.
+        strategy: a :class:`CrawlStrategy` instance, a zero-arg factory
+            (class or lambda), or a registered strategy *name* resolved
+            through :func:`repro.core.strategies.get_strategy`.  A
+            parallel run accepts the factory or name form — each
+            partition builds its own instance.
         classifier: relevance judge; required with ``web``, defaulted to
             the charset classifier of the dataset's target language with
             ``dataset``.
@@ -104,6 +109,9 @@ def run_crawl(
             :class:`~repro.core.checkpoint.CheckpointState`) to resume
             the crawl from; the run continues exactly where the
             checkpointed one stopped.
+        hooks: extra :class:`~repro.core.engine.EngineHook` stage
+            observers attached after the built-in ones (sequential
+            engine only).
 
     Returns:
         A :class:`CrawlResult` or :class:`ParallelResult` — either way a
@@ -138,9 +146,9 @@ def run_crawl(
     if isinstance(config, ParallelConfig):
         if isinstance(strategy, CrawlStrategy):
             raise ConfigError(
-                "a parallel crawl needs a strategy *factory* (a class or "
-                "zero-arg callable), not an instance — each partition "
-                "builds its own"
+                "a parallel crawl needs a strategy *factory* (a class, "
+                "zero-arg callable, or registered name), not an instance "
+                "— each partition builds its own"
             )
         if timing is not None or on_fetch is not None:
             raise ConfigError("timing= and on_fetch= are sequential-engine features")
@@ -148,6 +156,12 @@ def run_crawl(
             raise ConfigError(
                 "faults=, resilience= and resume_from= are sequential-engine features"
             )
+        if hooks:
+            raise ConfigError("hooks= is a sequential-engine feature")
+        if isinstance(strategy, str):
+            name = strategy
+            get_strategy(name)  # fail fast on an unknown name
+            strategy = lambda: get_strategy(name)  # noqa: E731
         return ParallelCrawlSimulator(
             web=web,
             strategy_factory=strategy,
@@ -158,7 +172,9 @@ def run_crawl(
             instrumentation=instrumentation,
         ).run()
 
-    if not isinstance(strategy, CrawlStrategy):
+    if isinstance(strategy, str):
+        strategy = get_strategy(strategy)
+    elif not isinstance(strategy, CrawlStrategy):
         strategy = strategy()
         if not isinstance(strategy, CrawlStrategy):
             raise ConfigError("strategy factory did not produce a CrawlStrategy")
@@ -175,4 +191,5 @@ def run_crawl(
         faults=faults,
         resilience=resilience,
         resume_from=resume_from,
+        hooks=hooks,
     ).run()

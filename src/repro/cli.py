@@ -19,7 +19,7 @@ import argparse
 import sys
 
 from repro.charset.detector import detect_charset
-from repro.core.strategies import strategy_by_name
+from repro.core.strategies import available_strategies, get_strategy
 from repro.errors import ReproError
 from repro.experiments import figures as figures_module
 from repro.experiments.datasets import load_or_build_dataset
@@ -51,10 +51,28 @@ def _dataset_from_args(name: str, args: argparse.Namespace):
     return load_or_build_dataset(profile, cache_dir=cache)
 
 
+class _ListStrategiesAction(argparse.Action):
+    """``--list-strategies``: print the registry and exit (like ``--help``)."""
+
+    def __init__(self, option_strings, dest, **kwargs):
+        super().__init__(option_strings, dest, nargs=0, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        width = max(len(name) for name in available_strategies())
+        for name, description in available_strategies().items():
+            print(f"{name:<{width}}  {description}")
+        parser.exit(0)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="lswc-sim",
         description="Language specific web crawling simulator (DEWS/ICDE 2005 reproduction)",
+    )
+    parser.add_argument(
+        "--list-strategies",
+        action=_ListStrategiesAction,
+        help="list the registered crawl strategies and exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -66,7 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("profile", choices=["thai", "japanese", "korean"])
     p_run.add_argument(
         "strategy",
-        help="breadth-first | hard-focused | soft-focused | limited-distance",
+        help="a registered strategy name (see --list-strategies)",
     )
     p_run.add_argument("--n", type=int, default=2, help="limited-distance parameter N")
     p_run.add_argument("--prioritized", action="store_true", help="prioritized limited distance")
@@ -162,7 +180,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         kwargs = {}
         if args.strategy == "limited-distance":
             kwargs = {"n": args.n, "prioritized": args.prioritized}
-        strategy = strategy_by_name(args.strategy, **kwargs)
+        strategy = get_strategy(args.strategy, **kwargs)
         instrumentation = None
         if args.trace or args.profile_timings:
             try:

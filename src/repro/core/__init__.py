@@ -4,13 +4,22 @@
 - :mod:`~repro.core.classifier` — relevance judgment (paper §3.2).
 - :mod:`~repro.core.visitor` — crawler mechanics over the virtual web.
 - :mod:`~repro.core.strategies` — priority-assignment strategies (§3.3).
-- :mod:`~repro.core.simulator` — the trace-driven main loop (§4).
+- :mod:`~repro.core.engine` — the unified stage-pipeline crawl loop (§4).
+- :mod:`~repro.core.simulator` — the session configurator over the engine.
 - :mod:`~repro.core.metrics` — harvest rate / coverage / queue size (§3.4).
 - :mod:`~repro.core.timing` — optional transfer-delay model (§6 future work).
 """
 
 from repro.core.classifier import Classifier, ClassifierMode
 from repro.core.distiller import Distiller
+from repro.core.engine import (
+    CheckpointHook,
+    CrawlEngine,
+    EngineHook,
+    EngineStage,
+    EngineStep,
+    STAGE_ORDER,
+)
 from repro.core.frontier import (
     Candidate,
     FIFOFrontier,
@@ -36,6 +45,9 @@ from repro.core.strategies import (
     DistilledSoftStrategy,
     LimitedDistanceStrategy,
     SimpleStrategy,
+    available_strategies,
+    get_strategy,
+    register_strategy,
     strategy_by_name,
 )
 from repro.core.timing import TimingModel
@@ -65,7 +77,16 @@ __all__ = [
     "ParallelConfig",
     "ParallelResult",
     "PartitionMode",
+    "register_strategy",
+    "get_strategy",
+    "available_strategies",
     "strategy_by_name",
+    "CrawlEngine",
+    "EngineHook",
+    "EngineStage",
+    "EngineStep",
+    "CheckpointHook",
+    "STAGE_ORDER",
     "Simulator",
     "SimulationConfig",
     "CrawlResult",

@@ -1,0 +1,581 @@
+"""The unified crawl engine: one loop, explicit stages, pluggable hooks.
+
+The paper's simulator is one conceptual machine — fetch, classify by
+charset, extract URLs, prioritize (§4, Figure 2) — and this module is
+its single implementation.  One crawl step is an explicit stage
+pipeline::
+
+    pop → gate (breaker) → fetch → classify → extract → prioritize → schedule
+
+followed by a step epilogue (metrics record, the per-fetch callback,
+hook ``on_step`` dispatch).  Every capability that used to be a forked
+copy of the loop attaches here instead:
+
+- **observability** subscribes to stage timings and step completions
+  (:class:`repro.obs.hooks.StepSpanHook`);
+- **resilience** (retry/backoff, requeue, circuit breakers) is engine
+  policy — it alters control flow, so it is configured, not hooked —
+  while its *accounting* surfaces through hook events
+  (:meth:`EngineHook.on_retry` etc.);
+- **checkpointing** is a step observer (:class:`CheckpointHook`).
+
+Hook dispatch is pay-for-what-you-use: at construction the engine
+compiles, per event, a tuple of the hook methods actually *overridden*
+(``type(hook).on_x is not EngineHook.on_x``).  An event nobody listens
+to costs one ``is not None`` check per step; an empty hook stack costs
+the same as no hook stack.  That is what lets a single loop serve the
+golden-trace fast path and the fully instrumented profile without
+byte-level divergence — the property ``tests/golden`` pins.
+
+The engine is single-step capable (``run(budget=1)``) and takes an
+optional ``router`` replacing the inline schedule stage, which is how
+:class:`repro.core.parallel.ParallelCrawlSimulator` drives one engine
+per partition round-robin.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+from repro.core.events import CrawlEvent, FetchCallback
+from repro.core.frontier import Candidate, Frontier
+from repro.faults.model import RETRYABLE_FAULTS
+from repro.urlkit.normalize import intern_url, url_site_key
+
+if TYPE_CHECKING:
+    from repro.core.classifier import Classifier, Judgment
+    from repro.core.metrics import MetricsRecorder
+    from repro.core.strategies.base import CrawlStrategy
+    from repro.core.timing import TimingModel
+    from repro.core.visitor import Visitor
+    from repro.faults.model import FaultModel
+    from repro.faults.resilience import HostBreakers, RetryPolicy
+    from repro.webspace.virtualweb import FetchResponse
+
+
+class EngineStage(Enum):
+    """The seven stages of one crawl step, in pipeline order."""
+
+    POP = "pop"
+    GATE = "gate"
+    FETCH = "fetch"
+    CLASSIFY = "classify"
+    EXTRACT = "extract"
+    PRIORITIZE = "prioritize"
+    SCHEDULE = "schedule"
+
+
+#: Pipeline order of the stages of one completed step.
+STAGE_ORDER: tuple[EngineStage, ...] = (
+    EngineStage.POP,
+    EngineStage.GATE,
+    EngineStage.FETCH,
+    EngineStage.CLASSIFY,
+    EngineStage.EXTRACT,
+    EngineStage.PRIORITIZE,
+    EngineStage.SCHEDULE,
+)
+
+
+@dataclass(slots=True)
+class EngineStep:
+    """Mutable view of the step in flight, shared with hooks.
+
+    One instance lives for the whole run and is *reused* across steps —
+    hooks must copy out anything they keep.  Fields fill in stage order;
+    a field is only meaningful from its stage onwards (``response`` is
+    None during POP, populated from FETCH).
+    """
+
+    steps: int = 0
+    candidate: Optional[Candidate] = None
+    response: Optional["FetchResponse"] = None
+    judgment: Optional["Judgment"] = None
+    outlinks: Sequence[str] = ()
+    children: Sequence[Candidate] = ()
+    pushed: int = 0
+    sim_time: Optional[float] = None
+    queue_size: int = 0
+    scheduled_count: int = 0
+    #: Wall-clock step start (only set when a hook needs wall time).
+    started_s: float = 0.0
+
+
+class EngineHook:
+    """Typed observer protocol of the engine pipeline.
+
+    Subclass and override only the events you care about — the engine
+    detects overridden methods at construction and never dispatches the
+    rest.  A subclass overriding nothing is exactly free.
+
+    Hooks observe; they must not mutate the frontier, the scheduled set
+    or the strategy.  Control-flow concerns (retry, gating) are engine
+    policy, not hooks.
+    """
+
+    #: Set True when the hook reads :attr:`EngineStep.started_s` — the
+    #: engine then stamps wall-clock time at each step start.
+    needs_wall_clock: bool = False
+
+    def on_stage(self, stage: EngineStage, step: EngineStep) -> None:
+        """A pipeline stage completed for the step in flight."""
+
+    def on_stage_timing(self, stage: EngineStage, seconds: float, step: EngineStep) -> None:
+        """Wall-clock duration of a timed stage (POP / PRIORITIZE / SCHEDULE)."""
+
+    def on_step(self, step: EngineStep) -> None:
+        """A crawl step completed (record + callback already ran)."""
+
+    def on_retry(self, candidate: Candidate, attempt: int) -> None:
+        """A fetch attempt hit a retryable fault; backoff + retry follows."""
+
+    def on_gate_skip(self, candidate: Candidate) -> None:
+        """The gate (an open circuit breaker) refused the candidate."""
+
+    def on_requeue(self, candidate: Candidate) -> None:
+        """A failed candidate went back to the frontier (budget left)."""
+
+    def on_drop(self, candidate: Candidate) -> None:
+        """A failed candidate exhausted its requeue budget."""
+
+
+class CheckpointHook(EngineHook):
+    """Periodic checkpointing as a step observer.
+
+    Calls ``write(step)`` every ``every`` completed steps.  The writer —
+    a closure over the run's components, built by the configurator —
+    owns serialisation; this hook only owns the cadence, which keeps the
+    cadence testable and the engine unaware of checkpoint formats.
+    """
+
+    def __init__(self, every: int, write: Callable[[EngineStep], None]) -> None:
+        self.every = every
+        self.write = write
+
+    def on_step(self, step: EngineStep) -> None:
+        if step.steps % self.every == 0:
+            self.write(step)
+
+
+@dataclass(slots=True)
+class EngineLoopState:
+    """Mutable bookkeeping of the crawl loop.
+
+    Everything in here is part of a checkpoint's ``loop`` section —
+    a resumed engine continues from these exact values.
+    """
+
+    steps: int = 0
+    pops: int = 0
+    requeues: dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    requeued: int = 0
+    dropped: int = 0
+    breaker_skips: int = 0
+    checkpoints_written: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "steps": self.steps,
+            "pops": self.pops,
+            "requeues": dict(self.requeues),
+            "retries": self.retries,
+            "requeued": self.requeued,
+            "dropped": self.dropped,
+            "breaker_skips": self.breaker_skips,
+            "checkpoints_written": self.checkpoints_written,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EngineLoopState":
+        return cls(
+            steps=data["steps"],
+            pops=data["pops"],
+            requeues={intern_url(url): count for url, count in data["requeues"].items()},
+            retries=data["retries"],
+            requeued=data["requeued"],
+            dropped=data["dropped"],
+            breaker_skips=data["breaker_skips"],
+            checkpoints_written=data["checkpoints_written"],
+        )
+
+
+#: Replacement for the inline schedule stage: receives every candidate
+#: the strategy kept and decides which frontier (partition) it enters.
+CandidateRouter = Callable[[Candidate], None]
+
+_HOOK_EVENTS = (
+    "on_stage",
+    "on_stage_timing",
+    "on_step",
+    "on_retry",
+    "on_gate_skip",
+    "on_requeue",
+    "on_drop",
+)
+
+
+class CrawlEngine:
+    """One crawl loop over one frontier, with composable policies.
+
+    The engine owns control flow only.  Components (frontier, visitor,
+    classifier, strategy, recorder) are constructed and wired by a
+    configurator — :class:`repro.core.simulator.Simulator` for
+    sequential runs, :class:`repro.core.parallel.ParallelCrawlSimulator`
+    per partition — which also decides which hooks attach.
+
+    The loop body preserves the exact operation order the golden traces
+    pin: pop → gate → fetch (retry) → judge → timing → extract → expand
+    → schedule → tick → record → callback → hooks.  Optional features
+    are hoisted to local ``None`` checks, so a clean run pays a handful
+    of predictable branches over the dedicated fast path it replaced
+    (gated ≤ 1.05× by ``benchmarks/bench_engine_unification.py``).
+    """
+
+    def __init__(
+        self,
+        *,
+        frontier: Frontier,
+        visitor: "Visitor",
+        classifier: "Classifier",
+        strategy: "CrawlStrategy",
+        scheduled: Optional[set[str]] = None,
+        recorder: Optional["MetricsRecorder"] = None,
+        max_pages: Optional[int] = None,
+        timing: Optional["TimingModel"] = None,
+        on_fetch: Optional[FetchCallback] = None,
+        faults: Optional["FaultModel"] = None,
+        retry: Optional["RetryPolicy"] = None,
+        breakers: Optional["HostBreakers"] = None,
+        hooks: Sequence[EngineHook] = (),
+        loop_state: Optional[EngineLoopState] = None,
+        router: Optional[CandidateRouter] = None,
+        call_tick: bool = True,
+    ) -> None:
+        self.frontier = frontier
+        self.visitor = visitor
+        self.classifier = classifier
+        self.strategy = strategy
+        self.scheduled: set[str] = set() if scheduled is None else scheduled
+        self.recorder = recorder
+        self.max_pages = max_pages
+        self.timing = timing
+        self.on_fetch = on_fetch
+        self.faults = faults
+        self.retry = retry
+        self.breakers = breakers
+        self.state = loop_state if loop_state is not None else EngineLoopState()
+        self.router = router
+        self.call_tick = call_tick
+        self.hooks = tuple(hooks)
+        # Compile per-event dispatch tuples of the *overridden* methods
+        # only; None means "nobody listens" and costs one check per use.
+        dispatch: dict[str, Optional[tuple[Callable, ...]]] = {}
+        for event in _HOOK_EVENTS:
+            base = getattr(EngineHook, event)
+            methods = tuple(
+                getattr(hook, event)
+                for hook in self.hooks
+                if getattr(type(hook), event, base) is not base
+            )
+            dispatch[event] = methods or None
+        self._stage_cbs = dispatch["on_stage"]
+        self._timing_cbs = dispatch["on_stage_timing"]
+        self._step_cbs = dispatch["on_step"]
+        self._retry_cbs = dispatch["on_retry"]
+        self._gate_cbs = dispatch["on_gate_skip"]
+        self._requeue_cbs = dispatch["on_requeue"]
+        self._drop_cbs = dispatch["on_drop"]
+        self._wall = self._timing_cbs is not None or any(
+            hook.needs_wall_clock for hook in self.hooks
+        )
+        #: Step view shared with hooks, reused across iterations.
+        self.step = EngineStep()
+
+    @property
+    def steps(self) -> int:
+        """Completed crawl steps (failed fetch rounds excluded)."""
+        return self.state.steps
+
+    def offer(self, candidate: Candidate) -> bool:
+        """Schedule a candidate unless its URL was already seen here."""
+        if candidate.url in self.scheduled:
+            return False
+        self.scheduled.add(candidate.url)
+        self.frontier.push(candidate)
+        return True
+
+    def seed(self, seed_urls: Sequence[str]) -> None:
+        """Push the strategy's seed candidates through scheduling dedup."""
+        for candidate in self.strategy.seed_candidates(seed_urls):
+            self.offer(candidate)
+
+    def _requeue_or_drop(self, candidate: Candidate) -> None:
+        """Put a failed candidate back at its original priority, or drop it.
+
+        The URL stays in ``scheduled`` either way: a dropped URL was
+        genuinely attempted and given up on, so a rediscovery along
+        another path must not resurrect it.
+        """
+        state = self.state
+        url = candidate.url
+        used = state.requeues.get(url, 0)
+        assert self.retry is not None
+        if used < self.retry.max_requeues:
+            state.requeues[url] = used + 1
+            state.requeued += 1
+            self.frontier.push(candidate)
+            if self._requeue_cbs is not None:
+                for callback in self._requeue_cbs:
+                    callback(candidate)
+        else:
+            state.dropped += 1
+            if self._drop_cbs is not None:
+                for callback in self._drop_cbs:
+                    callback(candidate)
+
+    def run(self, budget: Optional[int] = None) -> int:
+        """Crawl until the frontier drains, the page cap, or ``budget`` steps.
+
+        Returns the number of crawl steps completed by *this* call
+        (``budget=1`` is the single-step mode the parallel driver uses).
+
+        A failed fetch round (all attempts exhausted on a retryable
+        fault) is *not* a crawl step: the page was never obtained, so it
+        must not dilute harvest rate or advance the page cap.  The
+        candidate is requeued at its original priority until its requeue
+        budget runs out.
+        """
+        # This loop runs once per simulated fetch — the per-page hot
+        # path.  Bound methods and loop-invariant attributes are hoisted
+        # into locals: at production scale the LOAD_ATTR chains cost
+        # more than some of the work they dispatch to.
+        frontier = self.frontier
+        visitor = self.visitor
+        strategy = self.strategy
+        scheduled = self.scheduled
+        recorder = self.recorder
+        timing = self.timing
+        on_fetch = self.on_fetch
+        faults = self.faults
+        retry = self.retry
+        breakers = self.breakers
+        state = self.state
+        max_pages = self.max_pages
+        route = self.router
+
+        pop = frontier.pop
+        push = frontier.push
+        fetch = visitor.fetch
+        extract = visitor.extract
+        judge = self.classifier.judge
+        expand = strategy.expand
+        tick = strategy.tick if self.call_tick else None
+        record = recorder.record if recorder is not None else None
+        scheduled_add = scheduled.add
+        site_of = url_site_key
+
+        resilient = retry is not None
+        max_attempts = retry.max_attempts if retry is not None else 0
+        backoff_s = retry.backoff_s if retry is not None else None
+        has_faults = faults is not None
+        # Only a fault model can make a fetch fail, and only failures
+        # put hosts on the breaker board — so with no faults attached
+        # (and a board that resumed empty) the board can never populate,
+        # and the per-pop host lookup + breaker gate are provably dead.
+        # Disarm them up front; a healthy iteration then costs a clean
+        # iteration plus a few counter updates.
+        track_hosts = has_faults or (breakers is not None and breakers.open_hosts() > 0)
+        allow = breakers.allow if breakers is not None and track_hosts else None
+        on_success = breakers.record_success if breakers is not None and track_hosts else None
+
+        stage_cbs = self._stage_cbs
+        timing_cbs = self._timing_cbs
+        step_cbs = self._step_cbs
+        retry_cbs = self._retry_cbs
+        gate_cbs = self._gate_cbs
+        wall = self._wall
+        step = self.step
+        perf = time.perf_counter
+        stage_pop = EngineStage.POP
+        stage_gate = EngineStage.GATE
+        stage_fetch = EngineStage.FETCH
+        stage_classify = EngineStage.CLASSIFY
+        stage_extract = EngineStage.EXTRACT
+        stage_prioritize = EngineStage.PRIORITIZE
+        stage_schedule = EngineStage.SCHEDULE
+
+        host: Optional[str] = None
+        executed = 0
+        steps = state.steps
+        try:
+            while frontier:
+                if max_pages is not None and steps >= max_pages:
+                    break
+                if budget is not None and executed >= budget:
+                    break
+
+                # -- pop ------------------------------------------------
+                if wall:
+                    started = perf()
+                    step.started_s = started
+                    candidate = pop()
+                    if timing_cbs is not None:
+                        now = perf()
+                        for callback in timing_cbs:
+                            callback(stage_pop, now - started, step)
+                else:
+                    candidate = pop()
+                if resilient:
+                    state.pops += 1
+                if stage_cbs is not None:
+                    step.candidate = candidate
+                    for callback in stage_cbs:
+                        callback(stage_pop, step)
+
+                # -- gate (circuit breaker) -----------------------------
+                if track_hosts:
+                    host = site_of(candidate.url)
+                    if allow is not None and not allow(host, state.pops):
+                        state.breaker_skips += 1
+                        if gate_cbs is not None:
+                            for callback in gate_cbs:
+                                callback(candidate)
+                        self._requeue_or_drop(candidate)
+                        continue
+                if stage_cbs is not None:
+                    for callback in stage_cbs:
+                        callback(stage_gate, step)
+
+                # -- fetch (with retry/backoff on retryable faults) -----
+                response = fetch(candidate.url)
+                if response.fault is not None:
+                    attempt = 1
+                    while response.fault in RETRYABLE_FAULTS and attempt < max_attempts:
+                        state.retries += 1
+                        if retry_cbs is not None:
+                            for callback in retry_cbs:
+                                callback(candidate, attempt)
+                        if timing is not None and backoff_s is not None:
+                            timing.delay_site(candidate.url, backoff_s(attempt))
+                        response = fetch(candidate.url)
+                        attempt += 1
+
+                    if response.fault in RETRYABLE_FAULTS:
+                        # Fetch round failed for good — breaker
+                        # accounting, requeue-or-drop, next candidate.
+                        if breakers is not None:
+                            breakers.record_failure(host, state.pops)
+                        self._requeue_or_drop(candidate)
+                        continue
+                if on_success is not None:
+                    on_success(host)
+                if stage_cbs is not None:
+                    step.response = response
+                    for callback in stage_cbs:
+                        callback(stage_fetch, step)
+
+                # -- classify -------------------------------------------
+                judgment = judge(response)
+                steps += 1
+                if stage_cbs is not None:
+                    step.steps = steps
+                    step.judgment = judgment
+                    for callback in stage_cbs:
+                        callback(stage_classify, step)
+
+                sim_time: Optional[float] = None
+                if timing is not None:
+                    scale = faults.latency_scale(host) if has_faults else 1.0
+                    timing.observe_fetch(candidate.url, response.size, scale)
+                    # Record the global simulated clock, not this
+                    # fetch's own completion: with parallel connections
+                    # a later-started fetch can finish earlier, but
+                    # elapsed time is monotone.
+                    sim_time = timing.now
+
+                # -- extract --------------------------------------------
+                outlinks = extract(response)
+                if stage_cbs is not None:
+                    step.outlinks = outlinks
+                    for callback in stage_cbs:
+                        callback(stage_extract, step)
+
+                # -- prioritize (strategy link expansion) ---------------
+                if timing_cbs is not None:
+                    expand_started = perf()
+                    children = expand(candidate, response, judgment, outlinks)
+                    now = perf()
+                    for callback in timing_cbs:
+                        callback(stage_prioritize, now - expand_started, step)
+                else:
+                    children = expand(candidate, response, judgment, outlinks)
+                if stage_cbs is not None:
+                    step.children = children
+                    for callback in stage_cbs:
+                        callback(stage_prioritize, step)
+
+                # -- schedule -------------------------------------------
+                pushed = 0
+                if timing_cbs is not None:
+                    push_started = perf()
+                if route is None:
+                    for child in children:
+                        url = child.url
+                        if url not in scheduled:
+                            scheduled_add(url)
+                            push(child)
+                            pushed += 1
+                else:
+                    for child in children:
+                        route(child)
+                if timing_cbs is not None:
+                    now = perf()
+                    step.pushed = pushed
+                    for callback in timing_cbs:
+                        callback(stage_schedule, now - push_started, step)
+                if tick is not None:
+                    tick(steps, frontier)
+                if stage_cbs is not None:
+                    step.pushed = pushed
+                    for callback in stage_cbs:
+                        callback(stage_schedule, step)
+
+                # -- step epilogue: record, callback, hooks -------------
+                if record is not None:
+                    record(
+                        url=candidate.url,
+                        judged_relevant=judgment.relevant,
+                        queue_size=len(frontier),
+                        sim_time=sim_time,
+                    )
+                if on_fetch is not None:
+                    on_fetch(
+                        CrawlEvent(
+                            step=steps,
+                            candidate=candidate,
+                            response=response,
+                            judgment=judgment,
+                            queue_size=len(frontier),
+                            scheduled_count=len(scheduled),
+                            sim_time=sim_time,
+                        )
+                    )
+                if step_cbs is not None:
+                    step.steps = steps
+                    step.candidate = candidate
+                    step.response = response
+                    step.judgment = judgment
+                    step.sim_time = sim_time
+                    step.pushed = pushed
+                    step.queue_size = len(frontier)
+                    step.scheduled_count = len(scheduled)
+                    for callback in step_cbs:
+                        callback(step)
+                executed += 1
+        finally:
+            state.steps = steps
+        return executed

@@ -32,61 +32,24 @@ from __future__ import annotations
 import heapq
 from abc import ABC, abstractmethod
 from collections import deque
-from dataclasses import dataclass
 
+from repro.core.candidate import Candidate, candidate_from_dict, candidate_to_dict
 from repro.errors import CheckpointError, FrontierError
-from repro.urlkit.normalize import intern_url
+
+__all__ = [
+    "Candidate",
+    "candidate_to_dict",
+    "candidate_from_dict",
+    "Frontier",
+    "FIFOFrontier",
+    "PriorityFrontier",
+    "ReprioritizableFrontier",
+]
 
 #: Heap entries of the priority frontiers: ``(-priority, tiebreak,
 #: candidate)``.  The tiebreak counter is unique per frontier, so tuple
 #: comparison never reaches the candidate.
 _HeapEntry = tuple
-
-
-@dataclass(frozen=True, slots=True)
-class Candidate:
-    """A URL scheduled for crawling, with strategy bookkeeping.
-
-    Attributes:
-        url: normalised URL to fetch.
-        priority: larger pops earlier in a :class:`PriorityFrontier`;
-            ignored by :class:`FIFOFrontier`.
-        distance: number of consecutive irrelevant referrers on the path
-            this URL was discovered through (limited-distance strategies).
-        referrer: URL of the page this candidate was extracted from
-            (None for seeds); kept for tracing and tests.
-    """
-
-    url: str
-    priority: int = 0
-    distance: int = 0
-    referrer: str | None = None
-
-
-def candidate_to_dict(candidate: Candidate) -> dict:
-    """Compact JSON form of a candidate (checkpoint serialisation)."""
-    entry: dict = {"u": candidate.url}
-    if candidate.priority:
-        entry["p"] = candidate.priority
-    if candidate.distance:
-        entry["d"] = candidate.distance
-    if candidate.referrer is not None:
-        entry["r"] = candidate.referrer
-    return entry
-
-
-def candidate_from_dict(entry: dict) -> Candidate:
-    """Inverse of :func:`candidate_to_dict`.
-
-    URLs are re-interned on the way in, so a resumed crawl regains the
-    pointer-comparison fast path the original run had.
-    """
-    return Candidate(
-        url=intern_url(entry["u"]),
-        priority=entry.get("p", 0),
-        distance=entry.get("d", 0),
-        referrer=entry.get("r"),
-    )
 
 
 class Frontier(ABC):

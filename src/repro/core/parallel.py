@@ -35,8 +35,10 @@ from enum import Enum
 from typing import Callable, Sequence
 
 from repro.core.classifier import Classifier
-from repro.core.frontier import Candidate
+from repro.core.engine import CrawlEngine
+from repro.core.events import CrawlEvent
 from repro.core.strategies.base import CrawlStrategy
+from repro.core.visitor import Visitor
 from repro.errors import ConfigError
 from repro.obs import Instrumentation
 from repro.obs.instrument import active as _active_instrumentation
@@ -150,26 +152,17 @@ class ParallelResult:
         }
 
 
-class _Crawler:
-    """One partition's crawler: frontier + dedup + its own strategy."""
-
-    def __init__(self, strategy: CrawlStrategy) -> None:
-        self.strategy = strategy
-        self.frontier = strategy.make_frontier()
-        self.scheduled: set[str] = set()
-        self.pages_crawled = 0
-
-    def offer(self, candidate: Candidate) -> bool:
-        """Schedule a candidate unless its URL was already seen here."""
-        if candidate.url in self.scheduled:
-            return False
-        self.scheduled.add(candidate.url)
-        self.frontier.push(candidate)
-        return True
-
-
 class ParallelCrawlSimulator:
     """Round-robin simulation of ``partitions`` cooperating crawlers.
+
+    Each partition is one :class:`~repro.core.engine.CrawlEngine` over
+    its own frontier, strategy instance and scheduling dedup; this class
+    is the driver that advances the engines one fetch at a time
+    (``engine.run(budget=1)``) and owns the cross-partition concerns —
+    host-hash ownership, link forwarding (EXCHANGE) or dropping
+    (FIREWALL), the global page cap and the message tallies.  Routing
+    replaces the engine's inline schedule stage via its ``router`` hook
+    point.
 
     Prefer configuring through ``config=ParallelConfig(...)``; the
     legacy loose keywords (``partitions=``, ``mode=``, ``max_pages=``)
@@ -212,15 +205,59 @@ class ParallelCrawlSimulator:
             relevant_urls = relevant_url_set(web.crawl_log, classifier.target_language)
         self._relevant = relevant_urls
         self._instrumentation = instrumentation
-        self._crawlers = [_Crawler(strategy_factory()) for _ in range(config.partitions)]
+        self._strategies = [strategy_factory() for _ in range(config.partitions)]
         self._seed_urls = list(seed_urls)
 
     @property
     def config(self) -> ParallelConfig:
         return self._config
 
-    def _owner(self, url: str) -> _Crawler:
-        return self._crawlers[_host_bucket(url, self._config.partitions)]
+    def _build_engines(self, last_event: list[CrawlEvent | None]) -> list[CrawlEngine]:
+        """One engine per partition, wired for driver-controlled stepping.
+
+        The engines share the classifier (and its cache) but own their
+        strategy, frontier, visitor and scheduling dedup.  Each engine's
+        schedule stage is replaced by a router that resolves the child's
+        host-hash owner: own links enter the local frontier, foreign
+        links are forwarded (EXCHANGE, deduped by the owner) or dropped
+        (FIREWALL).  ``last_event`` is a one-slot mailbox the driver
+        reads after each single-step ``run(budget=1)`` — round-robin
+        advances one engine at a time, so one slot suffices.
+        """
+        partitions = self._config.partitions
+        exchange = self._config.mode is PartitionMode.EXCHANGE
+        engines: list[CrawlEngine] = []
+        counters = self._counters
+
+        def capture(event: CrawlEvent) -> None:
+            last_event[0] = event
+
+        def make_router(index: int):
+            def route(child) -> None:
+                owner = engines[_host_bucket(child.url, partitions)]
+                if owner is engines[index]:
+                    owner.offer(child)
+                elif exchange:
+                    if owner.offer(child):
+                        counters["messages"] += 1
+                else:
+                    counters["dropped"] += 1
+
+            return route
+
+        for index, strategy in enumerate(self._strategies):
+            engines.append(
+                CrawlEngine(
+                    frontier=strategy.make_frontier(),
+                    visitor=Visitor(self._web),
+                    classifier=self._classifier,
+                    strategy=strategy,
+                    on_fetch=capture,
+                    router=make_router(index),
+                    call_tick=False,
+                )
+            )
+        return engines
 
     def run(self) -> ParallelResult:
         """Crawl until every partition's frontier drains (or the cap)."""
@@ -228,52 +265,38 @@ class ParallelCrawlSimulator:
         instr = _active_instrumentation(self._instrumentation)
         if instr is not None:
             self._classifier.bind_instrumentation(instr)
-        for crawler in self._crawlers:
+        self._counters = {"messages": 0, "dropped": 0}
+        last_event: list[CrawlEvent | None] = [None]
+        engines = self._build_engines(last_event)
+        partitions = config.partitions
+        for index, engine in enumerate(engines):
             if instr is not None:
-                crawler.strategy.bind_instrumentation(instr)
-            for candidate in crawler.strategy.seed_candidates(self._seed_urls):
-                owner = self._owner(candidate.url)
-                if owner is crawler:
-                    crawler.offer(candidate)
+                engine.strategy.bind_instrumentation(instr)
+            for candidate in engine.strategy.seed_candidates(self._seed_urls):
+                if _host_bucket(candidate.url, partitions) == index:
+                    engine.offer(candidate)
 
-        exchange = config.mode is PartitionMode.EXCHANGE
         total_pages = 0
         covered = 0
-        messages = 0
-        dropped = 0
         perf = time.perf_counter
         active = True
         try:
             while active:
                 active = False
-                for index, crawler in enumerate(self._crawlers):
-                    if not crawler.frontier:
+                for index, engine in enumerate(engines):
+                    if not engine.frontier:
                         continue
                     if config.max_pages is not None and total_pages >= config.max_pages:
                         active = False
                         break
                     active = True
                     step_started = perf()
-                    candidate = crawler.frontier.pop()
-                    response = self._web.fetch(candidate.url)
-                    judgment = self._classifier.judge(response)
-                    crawler.pages_crawled += 1
+                    engine.run(budget=1)
+                    event = last_event[0]
+                    assert event is not None
                     total_pages += 1
-                    if candidate.url in self._relevant:
+                    if event.candidate.url in self._relevant:
                         covered += 1
-
-                    outlinks = response.outlinks
-                    for child in crawler.strategy.expand(
-                        candidate, response, judgment, outlinks
-                    ):
-                        owner = self._owner(child.url)
-                        if owner is crawler:
-                            crawler.offer(child)
-                        elif exchange:
-                            if owner.offer(child):
-                                messages += 1
-                        else:
-                            dropped += 1
                     if instr is not None:
                         instr.span(
                             "parallel",
@@ -282,10 +305,10 @@ class ParallelCrawlSimulator:
                             duration_s=perf() - step_started,
                             step=total_pages,
                             crawler=index,
-                            url=candidate.url,
-                            status=response.status,
-                            relevant=judgment.relevant,
-                            queue_size=len(crawler.frontier),
+                            url=event.candidate.url,
+                            status=event.response.status,
+                            relevant=event.judgment.relevant,
+                            queue_size=len(engine.frontier),
                         )
                 else:
                     continue
@@ -293,11 +316,11 @@ class ParallelCrawlSimulator:
         finally:
             if instr is not None:
                 instr.count("parallel.pages", total_pages)
-                instr.count("parallel.messages", messages)
-                instr.count("parallel.dropped_links", dropped)
+                instr.count("parallel.messages", self._counters["messages"])
+                instr.count("parallel.dropped_links", self._counters["dropped"])
                 instr.gauge(
                     "parallel.peak_frontier",
-                    max(crawler.frontier.peak_size for crawler in self._crawlers),
+                    max(engine.frontier.peak_size for engine in engines),
                 )
                 self._classifier.bind_instrumentation(None)
 
@@ -307,7 +330,7 @@ class ParallelCrawlSimulator:
             pages_crawled=total_pages,
             covered_relevant=covered,
             total_relevant=len(self._relevant),
-            messages_exchanged=messages,
-            dropped_foreign_links=dropped,
-            per_crawler_pages=tuple(crawler.pages_crawled for crawler in self._crawlers),
+            messages_exchanged=self._counters["messages"],
+            dropped_foreign_links=self._counters["dropped"],
+            per_crawler_pages=tuple(engine.steps for engine in engines),
         )

@@ -1,15 +1,19 @@
-"""The Web Crawling Simulator main loop (paper §4, Figure 2).
+"""The Web Crawling Simulator session configurator (paper §4, Figure 2).
 
 "The simulator generates requests for web pages to the virtual web
 space, according to the specified web crawling strategy."  One
 :class:`Simulator` run wires the components of the paper's Figure 2
-together: the **visitor** fetches and extracts, the **classifier**
+together — the **visitor** fetches and extracts, the **classifier**
 judges, the **observer** (strategy) decides link expansion, and the
-**URL queue** orders what comes next.
+**URL queue** orders what comes next — and hands them to the unified
+:class:`~repro.core.engine.CrawlEngine`, which owns the one crawl loop.
+The simulator itself is a thin configurator: it builds the components,
+decides which engine hooks attach (observability, checkpointing), and
+collects the finished run into a :class:`CrawlResult`.
 
 Scheduling contract (this is where the paper's discard semantics live):
 
-- a URL enters the frontier at most once — the simulator keeps a
+- a URL enters the frontier at most once — the engine keeps a
   ``scheduled`` set of everything ever enqueued;
 - a URL *discarded* by the strategy is **not** marked scheduled, so a
   later discovery along a different path may still enqueue it.  That is
@@ -20,23 +24,25 @@ Scheduling contract (this is where the paper's discard semantics live):
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
 
 from repro.core.checkpoint import CheckpointState, read_checkpoint, write_checkpoint
 from repro.core.classifier import Classifier
-from repro.core.events import CrawlEvent, FetchCallback
+from repro.core.engine import CheckpointHook, CrawlEngine, EngineHook, EngineLoopState, EngineStep
+from repro.core.events import FetchCallback
 from repro.core.metrics import CrawlSummary, MetricsRecorder, MetricSeries
 from repro.core.strategies.base import CrawlStrategy
 from repro.core.timing import TimingModel
 from repro.core.visitor import Visitor
 from repro.errors import CheckpointError, ConfigError, SimulationError
-from repro.faults.model import RETRYABLE_FAULTS, FaultModel, FaultyWebSpace
+from repro.faults.model import FaultModel, FaultyWebSpace
 from repro.faults.resilience import HostBreakers, ResilienceConfig, ResilienceStats
 from repro.obs import Instrumentation
+from repro.obs.hooks import ResilienceCountersHook, StepSpanHook
 from repro.obs.instrument import active as _active_instrumentation
-from repro.urlkit.normalize import intern_url, url_site_key
+from repro.urlkit.normalize import intern_url
 from repro.webspace.stats import relevant_url_set
 from repro.webspace.virtualweb import VirtualWebSpace
 
@@ -81,7 +87,8 @@ class CrawlResult:
     pages_crawled: int
     frontier_peak: int
     #: Resilient-pipeline tallies (:meth:`ResilienceStats.to_dict`
-    #: shape) when the run used the resilient loop; None on clean runs.
+    #: shape) when the run used the resilient pipeline; None on clean
+    #: runs.
     resilience: dict | None = None
 
     @property
@@ -108,59 +115,17 @@ class CrawlResult:
         }
 
 
-@dataclass(slots=True)
-class _ResilientLoopState:
-    """Mutable bookkeeping of the resilient crawl loop.
-
-    Everything in here is part of a checkpoint's ``loop`` section —
-    the loop resumes from these exact values.
-    """
-
-    steps: int = 0
-    pops: int = 0
-    requeues: dict[str, int] = field(default_factory=dict)
-    retries: int = 0
-    requeued: int = 0
-    dropped: int = 0
-    breaker_skips: int = 0
-    checkpoints_written: int = 0
-
-    def to_dict(self) -> dict:
-        return {
-            "steps": self.steps,
-            "pops": self.pops,
-            "requeues": dict(self.requeues),
-            "retries": self.retries,
-            "requeued": self.requeued,
-            "dropped": self.dropped,
-            "breaker_skips": self.breaker_skips,
-            "checkpoints_written": self.checkpoints_written,
-        }
-
-    @classmethod
-    def from_dict(cls, data: dict) -> "_ResilientLoopState":
-        return cls(
-            steps=data["steps"],
-            pops=data["pops"],
-            requeues={intern_url(url): count for url, count in data["requeues"].items()},
-            retries=data["retries"],
-            requeued=data["requeued"],
-            dropped=data["dropped"],
-            breaker_skips=data["breaker_skips"],
-            checkpoints_written=data["checkpoints_written"],
-        )
-
-
 class Simulator:
     """Drives one strategy over one virtual web space.
 
     The clean path — no faults, no resilience, no checkpointing — runs
-    the exact hot loops the golden traces pin.  Attaching a
+    the engine with no policies armed and no hooks attached: the exact
+    hot loop the golden traces pin.  Attaching a
     :class:`~repro.faults.FaultModel`, a
     :class:`~repro.faults.ResilienceConfig`, checkpointing, or a resume
-    state routes the run through the resilient loop instead, which adds
+    state arms the engine's resilience policies instead, which add
     retry/backoff, per-host circuit breaking, capped requeue and
-    periodic checkpoints — and is trace-identical to the clean loop
+    periodic checkpoints — and are trace-identical to the clean path
     when no faults fire.
     """
 
@@ -179,6 +144,7 @@ class Simulator:
         resilience: ResilienceConfig | None = None,
         resume_from: CheckpointState | str | Path | None = None,
         record_fault_journal: bool = False,
+        hooks: Sequence[EngineHook] = (),
     ) -> None:
         if not seed_urls:
             raise SimulationError("at least one seed URL is required")
@@ -195,6 +161,7 @@ class Simulator:
         self._instrumentation = instrumentation
         self._faults = faults
         self._record_fault_journal = record_fault_journal
+        self._hooks = tuple(hooks)
         if isinstance(resume_from, (str, Path)):
             resume_from = read_checkpoint(resume_from)
         self._resume_state = resume_from
@@ -219,7 +186,7 @@ class Simulator:
         config = self._config
         strategy = self._strategy
         instr = _active_instrumentation(self._instrumentation)
-        web = self._web
+        web: VirtualWebSpace | FaultyWebSpace = self._web
         faulty: FaultyWebSpace | None = None
         if self._faults is not None:
             faulty = FaultyWebSpace(
@@ -248,30 +215,39 @@ class Simulator:
             breakers = HostBreakers(resilience.breaker)
 
         scheduled: set[str] = set()
-        rstate = _ResilientLoopState()
+        rstate = EngineLoopState()
         resume = self._resume_state
         if resume is not None:
             self._apply_resume(
                 resume, strategy, frontier, recorder, visitor, scheduled, faulty, breakers
             )
-            rstate = _ResilientLoopState.from_dict(resume.loop)
-        else:
-            for candidate in strategy.seed_candidates(self._seed_urls):
-                if candidate.url not in scheduled:
-                    scheduled.add(candidate.url)
-                    frontier.push(candidate)
+            rstate = EngineLoopState.from_dict(resume.loop)
+
+        engine = CrawlEngine(
+            frontier=frontier,
+            visitor=visitor,
+            classifier=self._classifier,
+            strategy=strategy,
+            scheduled=scheduled,
+            recorder=recorder,
+            max_pages=config.max_pages,
+            timing=self._timing,
+            on_fetch=self._on_fetch,
+            faults=self._faults,
+            retry=resilience.retry if resilience is not None else None,
+            breakers=breakers,
+            hooks=self._build_hooks(
+                instr, resilience, frontier, recorder, scheduled, visitor, faulty, breakers, rstate
+            ),
+            loop_state=rstate,
+        )
+        if resume is None:
+            engine.seed(self._seed_urls)
 
         started = time.perf_counter()
         steps = 0
         try:
-            if resilience is not None:
-                self._crawl_loop_resilient(
-                    frontier, visitor, recorder, scheduled, instr, rstate, breakers
-                )
-            elif instr is None:
-                self._crawl_loop(frontier, visitor, recorder, scheduled)
-            else:
-                self._crawl_loop_instrumented(frontier, visitor, recorder, scheduled, instr)
+            engine.run()
         finally:
             steps = recorder.steps
             frontier_peak = frontier.peak_size
@@ -318,6 +294,52 @@ class Simulator:
             resilience=resilience_dict,
         )
 
+    def _build_hooks(
+        self,
+        instr: Instrumentation | None,
+        resilience: ResilienceConfig | None,
+        frontier,
+        recorder: MetricsRecorder,
+        scheduled: set[str],
+        visitor: Visitor,
+        faulty: FaultyWebSpace | None,
+        breakers: HostBreakers | None,
+        rstate: EngineLoopState,
+    ) -> tuple[EngineHook, ...]:
+        """Decide which stage observers this run attaches.
+
+        - Clean instrumented runs get the span/stage-timer profile.
+        - Resilient instrumented runs get the event counters (their
+          per-step cost budget has no room for span assembly).
+        - A configured checkpoint cadence attaches the checkpoint hook,
+          whose writer closure owns serialisation and accounting.
+        - Caller-supplied hooks run last, in the order given.
+        """
+        hooks: list[EngineHook] = []
+        if instr is not None:
+            if resilience is None:
+                hooks.append(StepSpanHook(instr))
+            else:
+                hooks.append(ResilienceCountersHook(instr))
+        checkpoint_every = self._config.checkpoint_every
+        if checkpoint_every is not None:
+
+            def write_periodic(step: EngineStep) -> None:
+                # Count the write before serialising so the checkpoint's
+                # own tally includes it — a resumed run then reports the
+                # same total as an uninterrupted one.
+                rstate.steps = step.steps
+                rstate.checkpoints_written += 1
+                self._write_checkpoint(
+                    frontier, recorder, scheduled, visitor, faulty, breakers, rstate
+                )
+                if instr is not None:
+                    instr.count("checkpoint.writes")
+
+            hooks.append(CheckpointHook(checkpoint_every, write_periodic))
+        hooks.extend(self._hooks)
+        return tuple(hooks)
+
     def _apply_resume(
         self,
         resume: CheckpointState,
@@ -363,7 +385,7 @@ class Simulator:
         visitor: Visitor,
         faulty: FaultyWebSpace | None,
         breakers: HostBreakers | None,
-        rstate: _ResilientLoopState,
+        rstate: EngineLoopState,
     ) -> None:
         state = CheckpointState(
             strategy=self._strategy.name,
@@ -379,329 +401,3 @@ class Simulator:
         )
         assert self._config.checkpoint_path is not None
         write_checkpoint(self._config.checkpoint_path, state)
-
-    def _requeue_or_drop(
-        self,
-        candidate,
-        frontier,
-        rstate: _ResilientLoopState,
-        instr,
-    ) -> None:
-        """Put a failed candidate back at its original priority, or drop it.
-
-        The URL stays in ``scheduled`` either way: a dropped URL was
-        genuinely attempted and given up on, so a rediscovery along
-        another path must not resurrect it.
-        """
-        url = candidate.url
-        used = rstate.requeues.get(url, 0)
-        if used < self._resilience.retry.max_requeues:
-            rstate.requeues[url] = used + 1
-            rstate.requeued += 1
-            frontier.push(candidate)
-            if instr is not None:
-                instr.count("frontier.requeued")
-        else:
-            rstate.dropped += 1
-            if instr is not None:
-                instr.count("frontier.dropped")
-
-    def _crawl_loop_resilient(
-        self,
-        frontier,
-        visitor,
-        recorder,
-        scheduled,
-        instr,
-        rstate: _ResilientLoopState,
-        breakers: HostBreakers | None,
-    ) -> None:
-        """The crawl loop with retry, circuit breaking and checkpoints.
-
-        A separate method for the same reason as the instrumented loop:
-        the clean hot path stays untouched.  When no fault fires, every
-        successful step performs the clean loop's operations in the
-        clean loop's order, so a resilient run over a healthy web space
-        is trace-identical to a clean run — the property the golden
-        differential suite pins.
-
-        A failed fetch round (all attempts exhausted on a retryable
-        fault) is *not* a crawl step: the page was never obtained, so it
-        must not dilute harvest rate or advance the page cap.  The
-        candidate is requeued at its original priority until its requeue
-        budget runs out.
-        """
-        config = self._config
-        strategy = self._strategy
-        timing = self._timing
-        on_fetch = self._on_fetch
-        faults = self._faults
-        retry = self._resilience.retry
-        max_pages = config.max_pages
-        max_attempts = retry.max_attempts
-        checkpoint_every = config.checkpoint_every
-        # Same hoisting discipline as the clean loop: this runs once per
-        # simulated fetch, and the no-fault iteration must cost as close
-        # to a clean iteration as the extra bookkeeping allows (the
-        # overhead gate in bench_fault_overhead.py holds it under 5%).
-        pop = frontier.pop
-        push = frontier.push
-        fetch = visitor.fetch
-        extract = visitor.extract
-        judge = self._classifier.judge
-        expand = strategy.expand
-        tick = strategy.tick
-        record = recorder.record
-        scheduled_add = scheduled.add
-        site_of = url_site_key
-        has_faults = faults is not None
-        # Only a fault model can make a fetch fail, and only failures put
-        # hosts on the breaker board — so with no faults attached (and a
-        # board that resumed empty) the board can never populate, and the
-        # per-pop host lookup + breaker gate are provably dead.  Disarm
-        # them up front; a healthy iteration then costs a clean iteration
-        # plus a few counter updates.
-        track_hosts = has_faults or (breakers is not None and breakers.open_hosts() > 0)
-        allow = breakers.allow if breakers is not None and track_hosts else None
-        on_success = breakers.record_success if breakers is not None and track_hosts else None
-        host: str | None = None
-        steps = rstate.steps
-        while frontier:
-            if max_pages is not None and steps >= max_pages:
-                break
-            candidate = pop()
-            rstate.pops += 1
-
-            if track_hosts:
-                host = site_of(candidate.url)
-                if allow is not None and not allow(host, rstate.pops):
-                    rstate.breaker_skips += 1
-                    if instr is not None:
-                        instr.count("breaker.skips")
-                    self._requeue_or_drop(candidate, frontier, rstate, instr)
-                    continue
-
-            response = fetch(candidate.url)
-            if response.fault is not None:
-                attempt = 1
-                while response.fault in RETRYABLE_FAULTS and attempt < max_attempts:
-                    rstate.retries += 1
-                    if instr is not None:
-                        instr.count("visitor.retries")
-                    if timing is not None:
-                        timing.delay_site(candidate.url, retry.backoff_s(attempt))
-                    response = fetch(candidate.url)
-                    attempt += 1
-
-                if response.fault in RETRYABLE_FAULTS:
-                    # Fetch round failed for good — breaker accounting,
-                    # requeue-or-drop, and on to the next candidate.
-                    if breakers is not None:
-                        breakers.record_failure(host, rstate.pops)
-                    self._requeue_or_drop(candidate, frontier, rstate, instr)
-                    continue
-
-            if on_success is not None:
-                on_success(host)
-
-            judgment = judge(response)
-            steps += 1
-
-            sim_time: float | None = None
-            if timing is not None:
-                scale = faults.latency_scale(host) if has_faults else 1.0
-                timing.observe_fetch(candidate.url, response.size, scale)
-                sim_time = timing.now
-
-            outlinks = extract(response)
-            for child in expand(candidate, response, judgment, outlinks):
-                url = child.url
-                if url not in scheduled:
-                    scheduled_add(url)
-                    push(child)
-            tick(steps, frontier)
-
-            record(
-                url=candidate.url,
-                judged_relevant=judgment.relevant,
-                queue_size=len(frontier),
-                sim_time=sim_time,
-            )
-            if on_fetch is not None:
-                on_fetch(
-                    CrawlEvent(
-                        step=steps,
-                        candidate=candidate,
-                        response=response,
-                        judgment=judgment,
-                        queue_size=len(frontier),
-                        scheduled_count=len(scheduled),
-                        sim_time=sim_time,
-                    )
-                )
-            if checkpoint_every is not None and steps % checkpoint_every == 0:
-                # Count the write before serialising so the checkpoint's
-                # own tally includes it — a resumed run then reports the
-                # same total as an uninterrupted one.  ``rstate.steps`` is
-                # only read at serialisation time, so it is synced here
-                # (and at loop exit) instead of every iteration.
-                rstate.steps = steps
-                rstate.checkpoints_written += 1
-                self._write_checkpoint(
-                    frontier,
-                    recorder,
-                    scheduled,
-                    visitor,
-                    self.faulty_web,
-                    breakers,
-                    rstate,
-                )
-                if instr is not None:
-                    instr.count("checkpoint.writes")
-        rstate.steps = steps
-
-    def _crawl_loop(self, frontier, visitor, recorder, scheduled) -> None:
-        # This loop runs once per simulated fetch — the per-page hot
-        # path.  Bound methods and loop-invariant attributes are hoisted
-        # into locals: at production scale the LOAD_ATTR chains cost more
-        # than some of the work they dispatch to.
-        config = self._config
-        strategy = self._strategy
-        timing = self._timing
-        on_fetch = self._on_fetch
-        max_pages = config.max_pages
-        pop = frontier.pop
-        push = frontier.push
-        fetch = visitor.fetch
-        extract = visitor.extract
-        judge = self._classifier.judge
-        expand = strategy.expand
-        tick = strategy.tick
-        record = recorder.record
-        scheduled_add = scheduled.add
-        steps = 0
-        while frontier:
-            if max_pages is not None and steps >= max_pages:
-                break
-            candidate = pop()
-            response = fetch(candidate.url)
-            judgment = judge(response)
-            steps += 1
-
-            sim_time: float | None = None
-            if timing is not None:
-                timing.observe_fetch(candidate.url, response.size)
-                # Record the global simulated clock, not this fetch's own
-                # completion: with parallel connections a later-started
-                # fetch can finish earlier, but elapsed time is monotone.
-                sim_time = timing.now
-
-            outlinks = extract(response)
-            for child in expand(candidate, response, judgment, outlinks):
-                url = child.url
-                if url not in scheduled:
-                    scheduled_add(url)
-                    push(child)
-            tick(steps, frontier)
-
-            record(
-                url=candidate.url,
-                judged_relevant=judgment.relevant,
-                queue_size=len(frontier),
-                sim_time=sim_time,
-            )
-            if on_fetch is not None:
-                on_fetch(
-                    CrawlEvent(
-                        step=steps,
-                        candidate=candidate,
-                        response=response,
-                        judgment=judgment,
-                        queue_size=len(frontier),
-                        scheduled_count=len(scheduled),
-                        sim_time=sim_time,
-                    )
-                )
-
-    def _crawl_loop_instrumented(self, frontier, visitor, recorder, scheduled, instr) -> None:
-        """The crawl loop with per-component timing and per-fetch spans.
-
-        Kept as a separate method (instead of ``if`` guards sprinkled
-        through :meth:`_crawl_loop`) so the uninstrumented path stays
-        byte-for-byte what the micro benchmarks measure.  The visitor
-        and classifier time themselves; this loop adds the frontier and
-        strategy timers and publishes exactly one
-        :class:`~repro.obs.SpanEvent` per fetch — the record the JSONL
-        trace exporter writes.
-        """
-        config = self._config
-        strategy = self._strategy
-        registry = instr.registry
-        perf = time.perf_counter
-        steps = 0
-        while frontier:
-            if config.max_pages is not None and steps >= config.max_pages:
-                break
-            step_started = perf()
-            candidate = frontier.pop()
-            registry.observe("frontier.pop", perf() - step_started)
-
-            response = visitor.fetch(candidate.url)
-            judgment = self._classifier.judge(response)
-            steps += 1
-
-            sim_time: float | None = None
-            if self._timing is not None:
-                self._timing.observe_fetch(candidate.url, response.size)
-                sim_time = self._timing.now
-
-            outlinks = visitor.extract(response)
-
-            expand_started = perf()
-            children = strategy.expand(candidate, response, judgment, outlinks)
-            registry.observe("strategy.expand", perf() - expand_started)
-
-            push_started = perf()
-            pushed = 0
-            for child in children:
-                if child.url in scheduled:
-                    continue
-                scheduled.add(child.url)
-                frontier.push(child)
-                pushed += 1
-            registry.observe("frontier.push", perf() - push_started)
-            if pushed:
-                registry.add("frontier.pushed", pushed)
-            strategy.tick(steps, frontier)
-
-            recorder.record(
-                url=candidate.url,
-                judged_relevant=judgment.relevant,
-                queue_size=len(frontier),
-                sim_time=sim_time,
-            )
-            instr.span(
-                "simulator",
-                "fetch",
-                start_s=step_started,
-                duration_s=perf() - step_started,
-                step=steps,
-                url=candidate.url,
-                status=response.status,
-                relevant=judgment.relevant,
-                queue_size=len(frontier),
-                scheduled=len(scheduled),
-                sim_time=sim_time,
-            )
-            if self._on_fetch is not None:
-                self._on_fetch(
-                    CrawlEvent(
-                        step=steps,
-                        candidate=candidate,
-                        response=response,
-                        judgment=judgment,
-                        queue_size=len(frontier),
-                        scheduled_count=len(scheduled),
-                        sim_time=sim_time,
-                    )
-                )

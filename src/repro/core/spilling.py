@@ -27,7 +27,13 @@ import tempfile
 import time
 from dataclasses import dataclass
 
-from repro.core.frontier import Candidate, Frontier, _HeapEntry
+from repro.core.frontier import (
+    Candidate,
+    Frontier,
+    _HeapEntry,
+    candidate_from_dict,
+    candidate_to_dict,
+)
 from repro.core.strategies.base import CrawlStrategy
 from repro.errors import FrontierError
 
@@ -149,12 +155,7 @@ class SpillingFrontier(Frontier):
 
         self._spill_file.seek(0, os.SEEK_END)
         for _, _, candidate in victims:
-            record = {
-                "u": candidate.url,
-                "p": candidate.priority,
-                "d": candidate.distance,
-                "r": candidate.referrer,
-            }
+            record = candidate_to_dict(candidate)
             self._spill_file.write(json.dumps(record, separators=(",", ":")) + "\n")
         self._spill_file.flush()
         self._pending_on_disk += len(victims)
@@ -174,13 +175,7 @@ class SpillingFrontier(Frontier):
             if not line:
                 break
             self._read_offset = self._spill_file.tell()
-            record = json.loads(line)
-            candidate = Candidate(
-                url=record["u"],
-                priority=record["p"],
-                distance=record["d"],
-                referrer=record["r"],
-            )
+            candidate = candidate_from_dict(json.loads(line))
             counter = self._counter
             self._counter = counter + 1
             heapq.heappush(self._heap, (-candidate.priority, counter, candidate))

@@ -3,8 +3,10 @@
 Every strategy is a :class:`~repro.core.strategies.base.CrawlStrategy`:
 it chooses the frontier discipline, stamps seed candidates, and decides —
 per crawled page — which extracted URLs enter the queue and at what
-priority.  The registry at the bottom maps the names used by the CLI,
-benchmarks and experiment configs to constructors.
+priority.  The names used by the CLI, benchmarks and experiment configs
+resolve through the shared :mod:`~repro.core.strategies.registry`
+(:func:`get_strategy` / :func:`register_strategy`); the paper's
+strategies are registered here.
 """
 
 from repro.core.strategies.backlink import BacklinkCountStrategy
@@ -14,9 +16,13 @@ from repro.core.strategies.combined import hard_limited_strategy, soft_limited_s
 from repro.core.strategies.context_graph import ContextGraphStrategy
 from repro.core.strategies.distilled import DistilledSoftStrategy
 from repro.core.strategies.limited_distance import LimitedDistanceStrategy
+from repro.core.strategies.registry import (
+    available_strategies,
+    get_strategy,
+    iter_strategy_names,
+    register_strategy,
+)
 from repro.core.strategies.simple import SimpleStrategy
-
-from repro.errors import ConfigError
 
 __all__ = [
     "CrawlStrategy",
@@ -28,30 +34,42 @@ __all__ = [
     "ContextGraphStrategy",
     "hard_limited_strategy",
     "soft_limited_strategy",
+    "register_strategy",
+    "get_strategy",
+    "available_strategies",
+    "iter_strategy_names",
     "strategy_by_name",
 ]
 
-_SIMPLE_FACTORIES = {
-    "breadth-first": BreadthFirstStrategy,
-    "limited-distance": LimitedDistanceStrategy,
-    "distilled-soft": DistilledSoftStrategy,
-    "backlink-count": BacklinkCountStrategy,
-}
+register_strategy(
+    "breadth-first",
+    BreadthFirstStrategy,
+    description="FIFO baseline: crawl in discovery order (paper §3.3.1)",
+)
+register_strategy(
+    "soft-focused",
+    description="follow every link, relevant parents first (paper §3.3.2)",
+)(lambda **params: SimpleStrategy(mode="soft", **params))
+register_strategy(
+    "hard-focused",
+    description="follow links from relevant pages only (paper §3.3.2)",
+)(lambda **params: SimpleStrategy(mode="hard", **params))
+register_strategy(
+    "limited-distance",
+    LimitedDistanceStrategy,
+    description="tunnel up to n irrelevant hops (params: n, prioritized; paper §3.3.3)",
+)
+register_strategy(
+    "distilled-soft",
+    DistilledSoftStrategy,
+    description="soft-focused with topic-distillation hub boosts",
+)
+register_strategy(
+    "backlink-count",
+    BacklinkCountStrategy,
+    description="prioritise by observed in-link count",
+)
 
-
-def strategy_by_name(name: str, **kwargs) -> CrawlStrategy:
-    """Construct a strategy from its registry name.
-
-    Recognised names: ``breadth-first``, ``hard-focused``,
-    ``soft-focused``, ``limited-distance`` (kwarg ``n``, optional
-    ``prioritized=True``), ``distilled-soft``, ``backlink-count``.
-    """
-    if name == "hard-focused":
-        return SimpleStrategy(mode="hard", **kwargs)
-    if name == "soft-focused":
-        return SimpleStrategy(mode="soft", **kwargs)
-    factory = _SIMPLE_FACTORIES.get(name)
-    if factory is None:
-        known = ["hard-focused", "soft-focused", *sorted(_SIMPLE_FACTORIES)]
-        raise ConfigError(f"unknown strategy {name!r}; expected one of {', '.join(known)}")
-    return factory(**kwargs)
+#: Backwards-compatible alias of :func:`get_strategy` (the pre-registry
+#: entry point's name).
+strategy_by_name = get_strategy

@@ -16,10 +16,14 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING
 
 from repro.core.classifier import Judgment
 from repro.core.frontier import Candidate, Frontier
 from repro.webspace.virtualweb import FetchResponse
+
+if TYPE_CHECKING:
+    from repro.obs import Instrumentation
 
 
 class CrawlStrategy(ABC):
@@ -30,9 +34,9 @@ class CrawlStrategy(ABC):
 
     #: Per-run telemetry hub, bound by the simulator before
     #: ``make_frontier`` (None on uninstrumented runs).
-    instrumentation = None
+    instrumentation: Instrumentation | None = None
 
-    def bind_instrumentation(self, instrumentation) -> None:
+    def bind_instrumentation(self, instrumentation: Instrumentation | None) -> None:
         """Attach a :class:`repro.obs.Instrumentation` for the next run.
 
         The simulator calls this before ``make_frontier`` on

@@ -1,0 +1,77 @@
+"""The strategy registry: one name→factory table for the whole repo.
+
+Before this module, api.py, cli.py, the experiment runners and the
+reproduction scripts each kept their own strategy-construction table —
+N copies of the same mapping, drifting independently.  Now every entry
+point resolves strategy names through :func:`get_strategy`, and the CLI
+lists what is available from :func:`available_strategies`.
+
+Registering is open: packs and experiments can add their own named
+strategies with :func:`register_strategy` (or the decorator form) and
+have them reachable from the CLI and config files immediately.
+Strategies whose constructors need run-specific objects (for example
+:class:`~repro.core.strategies.context_graph.ContextGraphStrategy`,
+which needs the link database and seed set) are deliberately *not*
+registered — a name must be constructible from plain parameters alone.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.core.strategies.base import CrawlStrategy
+from repro.errors import ConfigError
+
+#: A registered factory: plain keyword parameters in, strategy out.
+StrategyFactory = Callable[..., CrawlStrategy]
+
+_REGISTRY: dict[str, tuple[StrategyFactory, str]] = {}
+
+
+def register_strategy(
+    name: str,
+    factory: StrategyFactory | None = None,
+    *,
+    description: str = "",
+) -> StrategyFactory | Callable[[StrategyFactory], StrategyFactory]:
+    """Register ``factory`` under ``name``; also usable as a decorator.
+
+    Re-registering a name replaces the previous entry (last writer
+    wins), so a pack can override a built-in under the same name.
+    """
+
+    def _register(fn: StrategyFactory) -> StrategyFactory:
+        _REGISTRY[name] = (fn, description)
+        return fn
+
+    if factory is None:
+        return _register
+    return _register(factory)
+
+
+def get_strategy(name: str, **params: Any) -> CrawlStrategy:
+    """Construct a registered strategy from its name.
+
+    Unknown names and parameters the factory does not accept both raise
+    :class:`~repro.errors.ConfigError` — the message names the available
+    strategies so a typo is self-diagnosing.
+    """
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigError(f"unknown strategy {name!r}; expected one of {known}")
+    factory, _ = entry
+    try:
+        return factory(**params)
+    except TypeError as exc:
+        raise ConfigError(f"invalid parameters for strategy {name!r}: {exc}") from None
+
+
+def available_strategies() -> dict[str, str]:
+    """Mapping of registered name → one-line description, sorted by name."""
+    return {name: _REGISTRY[name][1] for name in sorted(_REGISTRY)}
+
+
+def iter_strategy_names() -> Iterator[str]:
+    """Registered names in sorted order."""
+    return iter(sorted(_REGISTRY))

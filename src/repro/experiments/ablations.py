@@ -17,7 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.classifier import ClassifierMode
-from repro.core.strategies import BreadthFirstStrategy, SimpleStrategy
 from repro.experiments.datasets import Dataset, build_dataset
 from repro.experiments.runner import run_strategy
 from repro.graphgen.config import DatasetProfile
@@ -49,9 +48,9 @@ class AblationRow:
 
 def _measure(dataset: Dataset, label: str) -> AblationRow:
     early_at = max(1, len(dataset.crawl_log) // 5)
-    hard = run_strategy(dataset, SimpleStrategy(mode="hard"))
-    soft = run_strategy(dataset, SimpleStrategy(mode="soft"))
-    bfs = run_strategy(dataset, BreadthFirstStrategy())
+    hard = run_strategy(dataset, "hard-focused")
+    soft = run_strategy(dataset, "soft-focused")
+    bfs = run_strategy(dataset, "breadth-first")
     return AblationRow(
         label=label,
         early_harvest_hard=hard.series.harvest_at(early_at),
@@ -105,7 +104,7 @@ def classifier_sweep(dataset: Dataset) -> list[dict]:
     """
     rows = []
     for mode in (ClassifierMode.CHARSET, ClassifierMode.META, ClassifierMode.DETECTOR, ClassifierMode.ORACLE):
-        result = run_strategy(dataset, SimpleStrategy(mode="hard"), classifier_mode=mode)
+        result = run_strategy(dataset, "hard-focused", classifier_mode=mode)
         rows.append(
             {
                 "classifier": mode.value,

@@ -26,11 +26,7 @@ import json
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.core.strategies import (
-    BreadthFirstStrategy,
-    LimitedDistanceStrategy,
-    SimpleStrategy,
-)
+from repro.core.strategies import get_strategy
 from repro.experiments.datasets import Dataset
 from repro.experiments.runner import run_strategy
 from repro.faults import FaultModel, FaultProfile
@@ -41,10 +37,10 @@ DEFAULT_RATES = (0.0, 0.05, 0.1, 0.2, 0.4)
 def default_strategies():
     """The paper's strategy set, fresh instances per call."""
     return (
-        BreadthFirstStrategy(),
-        SimpleStrategy(mode="hard"),
-        SimpleStrategy(mode="soft"),
-        LimitedDistanceStrategy(n=2),
+        get_strategy("breadth-first"),
+        get_strategy("hard-focused"),
+        get_strategy("soft-focused"),
+        get_strategy("limited-distance", n=2),
     )
 
 

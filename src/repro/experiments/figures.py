@@ -23,11 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.core.metrics import MetricSeries
 from repro.core.simulator import CrawlResult
-from repro.core.strategies import (
-    BreadthFirstStrategy,
-    LimitedDistanceStrategy,
-    SimpleStrategy,
-)
+from repro.core.strategies import get_strategy
 from repro.experiments.datasets import Dataset
 from repro.experiments.runner import run_strategies
 
@@ -59,12 +55,9 @@ class FigureResult:
 
 
 def _simple_strategy_runs(dataset: Dataset, **kwargs) -> dict[str, CrawlResult]:
-    strategies = [
-        BreadthFirstStrategy(),
-        SimpleStrategy(mode="hard"),
-        SimpleStrategy(mode="soft"),
-    ]
-    return run_strategies(dataset, strategies, **kwargs)
+    return run_strategies(
+        dataset, ["breadth-first", "hard-focused", "soft-focused"], **kwargs
+    )
 
 
 def figure3(dataset: Dataset, **kwargs) -> FigureResult:
@@ -107,7 +100,7 @@ def figure5(dataset: Dataset, **kwargs) -> FigureResult:
 def _limited_distance_runs(
     dataset: Dataset, prioritized: bool, ns: tuple[int, ...], **kwargs
 ) -> dict[str, CrawlResult]:
-    strategies = [LimitedDistanceStrategy(n=n, prioritized=prioritized) for n in ns]
+    strategies = [get_strategy("limited-distance", n=n, prioritized=prioritized) for n in ns]
     return run_strategies(dataset, strategies, **kwargs)
 
 

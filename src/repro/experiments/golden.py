@@ -31,12 +31,7 @@ import json
 from pathlib import Path
 from typing import Callable
 
-from repro.core.strategies import (
-    BreadthFirstStrategy,
-    CrawlStrategy,
-    LimitedDistanceStrategy,
-    SimpleStrategy,
-)
+from repro.core.strategies import CrawlStrategy, get_strategy
 from repro.errors import ReproError
 from repro.experiments.datasets import Dataset, build_dataset
 from repro.experiments.runner import run_strategy
@@ -70,14 +65,17 @@ def golden_strategies() -> dict[str, Callable[[], CrawlStrategy]]:
     both priority modes — one strategy per frontier discipline and
     priority-band shape the engine supports.
     """
+    def limited(n: int, prioritized: bool = False) -> Callable[[], CrawlStrategy]:
+        return lambda: get_strategy("limited-distance", n=n, prioritized=prioritized)
+
     return {
-        "breadth-first": BreadthFirstStrategy,
-        "hard-focused": lambda: SimpleStrategy(mode="hard"),
-        "soft-focused": lambda: SimpleStrategy(mode="soft"),
-        "limited-distance-n1": lambda: LimitedDistanceStrategy(n=1),
-        "limited-distance-n1-prioritized": lambda: LimitedDistanceStrategy(n=1, prioritized=True),
-        "limited-distance-n2": lambda: LimitedDistanceStrategy(n=2),
-        "limited-distance-n2-prioritized": lambda: LimitedDistanceStrategy(n=2, prioritized=True),
+        "breadth-first": lambda: get_strategy("breadth-first"),
+        "hard-focused": lambda: get_strategy("hard-focused"),
+        "soft-focused": lambda: get_strategy("soft-focused"),
+        "limited-distance-n1": limited(1),
+        "limited-distance-n1-prioritized": limited(1, prioritized=True),
+        "limited-distance-n2": limited(2),
+        "limited-distance-n2-prioritized": limited(2, prioritized=True),
     }
 
 

@@ -12,7 +12,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.core.strategies import BreadthFirstStrategy, SimpleStrategy
 from repro.experiments.datasets import build_dataset
 from repro.experiments.runner import run_strategy
 from repro.graphgen.config import DatasetProfile
@@ -60,9 +59,9 @@ def measure_seed(profile: DatasetProfile, seed: int) -> SeedRun:
     dataset = build_dataset(profile.with_seed(seed))
     early = max(1, len(dataset.crawl_log) // 7)
 
-    bfs = run_strategy(dataset, BreadthFirstStrategy())
-    hard = run_strategy(dataset, SimpleStrategy(mode="hard"))
-    soft = run_strategy(dataset, SimpleStrategy(mode="soft"))
+    bfs = run_strategy(dataset, "breadth-first")
+    hard = run_strategy(dataset, "hard-focused")
+    soft = run_strategy(dataset, "soft-focused")
 
     return SeedRun(
         seed=seed,

@@ -14,9 +14,11 @@ from collections.abc import Iterable, Sequence
 
 from repro.api import run_crawl
 from repro.core.classifier import Classifier, ClassifierCache, ClassifierMode
+from repro.core.engine import EngineHook
 from repro.core.events import FetchCallback
 from repro.core.simulator import CrawlResult, SimulationConfig
 from repro.core.strategies.base import CrawlStrategy
+from repro.core.strategies.registry import get_strategy
 from repro.core.summary import CrawlReport
 from repro.core.timing import TimingModel
 from repro.experiments.datasets import Dataset
@@ -26,7 +28,7 @@ from repro.obs import Instrumentation
 
 def run_strategy(
     dataset: Dataset,
-    strategy: CrawlStrategy,
+    strategy: CrawlStrategy | str,
     classifier_mode: ClassifierMode | str = ClassifierMode.CHARSET,
     max_pages: int | None = None,
     sample_interval: int | None = None,
@@ -43,8 +45,12 @@ def run_strategy(
     checkpoint_every: int | None = None,
     checkpoint_path=None,
     resume_from=None,
+    hooks: Sequence[EngineHook] = (),
 ) -> CrawlResult:
     """One strategy, one dataset, one result.
+
+    ``strategy`` is an instance or a registered name
+    (:func:`repro.core.strategies.get_strategy` resolves names).
 
     ``sample_interval`` defaults to ~200 samples over the dataset so the
     series resolution scales with dataset size.
@@ -55,6 +61,8 @@ def run_strategy(
     the recall denominator set, and the memoised classifier judgments.
     Each defaults to per-run construction.
     """
+    if isinstance(strategy, str):
+        strategy = get_strategy(strategy)
     if sample_interval is None:
         sample_interval = max(1, len(dataset.crawl_log) // 200)
     if web is None:
@@ -85,12 +93,13 @@ def run_strategy(
         faults=faults,
         resilience=resilience,
         resume_from=resume_from,
+        hooks=hooks,
     )
 
 
 def run_strategies(
     dataset: Dataset,
-    strategies: Iterable[CrawlStrategy],
+    strategies: Iterable[CrawlStrategy | str],
     **kwargs,
 ) -> dict[str, CrawlResult]:
     """Run several strategies under identical conditions.
@@ -126,6 +135,8 @@ def run_strategies(
         )
     results: dict[str, CrawlResult] = {}
     for strategy in strategies:
+        if isinstance(strategy, str):
+            strategy = get_strategy(strategy)
         results[strategy.name] = run_strategy(dataset, strategy, **kwargs)
     return results
 

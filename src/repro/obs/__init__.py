@@ -27,6 +27,7 @@ from repro.obs.events import (
     SpanEvent,
     TelemetryEvent,
 )
+from repro.obs.hooks import ResilienceCountersHook, StepSpanHook
 from repro.obs.instrument import Instrumentation, active
 from repro.obs.registry import MetricsRegistry, TimerStat
 from repro.obs.trace import JsonlTraceWriter, event_to_dict, iter_trace, read_trace
@@ -45,4 +46,6 @@ __all__ = [
     "iter_trace",
     "Instrumentation",
     "active",
+    "StepSpanHook",
+    "ResilienceCountersHook",
 ]

@@ -306,6 +306,93 @@ class TestKillAndResume:
             ).run()
 
 
+class _KillSignal(BaseException):
+    """Simulated hard kill (BaseException so nothing swallows it)."""
+
+
+class _BackoffKillTimingModel(TimingModel):
+    """A timing model that 'kills the process' at a chosen backoff.
+
+    ``delay_site`` is only ever called by the engine's retry path —
+    between a failed fetch attempt and its retry — so raising from the
+    N-th call interrupts the crawl exactly at the backoff boundary,
+    with the in-flight candidate's attempt half-done.
+    """
+
+    def __init__(self, kill_at_backoff: int | None = None) -> None:
+        super().__init__()
+        self.backoffs_seen = 0
+        self.kill_at_backoff = kill_at_backoff
+
+    def delay_site(self, url: str, seconds: float) -> None:
+        self.backoffs_seen += 1
+        if self.kill_at_backoff is not None and self.backoffs_seen == self.kill_at_backoff:
+            raise _KillSignal()
+        super().delay_site(url, seconds)
+
+
+class TestBackoffBoundaryKill:
+    """A checkpoint on disk must stay consistent when the crawl dies
+    mid-retry-backoff: resuming must replay the in-flight candidate's
+    whole fetch round, never double-count its attempts."""
+
+    def _run(self, tiny_web, timing, path=None, resume_from=None):
+        config = SimulationConfig(sample_interval=1)
+        if path is not None:
+            config = SimulationConfig(
+                sample_interval=1, checkpoint_every=1, checkpoint_path=path
+            )
+        simulator = simulate(
+            tiny_web,
+            timing=timing,
+            faults=FaultModel(profile=FAULTY_PROFILE, seed=42),
+            record_fault_journal=True,
+            config=config,
+            resume_from=resume_from,
+        )
+        return simulator.run(), simulator
+
+    def test_kill_at_every_backoff_boundary_resumes_identically(self, tiny_web, tmp_path):
+        reference_timing = _BackoffKillTimingModel()
+        full, _ = self._run(tiny_web, reference_timing)
+        assert reference_timing.backoffs_seen > 0, "profile must exercise retries"
+        assert full.resilience["retries"] > 0
+
+        for kill_at in range(1, reference_timing.backoffs_seen + 1):
+            path = tmp_path / f"kill{kill_at}.ckpt"
+            with pytest.raises(_KillSignal):
+                self._run(tiny_web, _BackoffKillTimingModel(kill_at), path=path)
+            assert path.exists(), "cadence=1 must have checkpointed before the kill"
+
+            resumed, _ = self._run(tiny_web, TimingModel(), resume_from=path)
+            assert resumed.pages_crawled == full.pages_crawled, f"kill_at={kill_at}"
+            assert resumed.series.to_dict() == full.series.to_dict(), f"kill_at={kill_at}"
+            for key in ("retries", "requeued", "dropped", "fetches_failed"):
+                assert resumed.resilience[key] == full.resilience[key], (
+                    f"kill_at={kill_at}: {key} double-counted across the "
+                    f"backoff-boundary resume"
+                )
+
+    def test_checkpoint_written_before_kill_has_step_consistent_loop_state(
+        self, tiny_web, tmp_path
+    ):
+        # The on-disk loop section must describe a step boundary: its
+        # retry/requeue tallies were serialised at the last completed
+        # step, not mid-flight.
+        path = tmp_path / "mid.ckpt"
+        with pytest.raises(_KillSignal):
+            self._run(tiny_web, _BackoffKillTimingModel(1), path=path)
+        state = read_checkpoint(path)
+        assert state.steps >= 1
+        assert state.loop["steps"] == state.steps
+        # The in-flight candidate's interrupted attempt is absent from
+        # the serialised tallies (retries recorded in memory after the
+        # write must not leak into the file).
+        uninterrupted_timing = _BackoffKillTimingModel()
+        full, _ = self._run(tiny_web, uninterrupted_timing)
+        assert state.loop["retries"] <= full.resilience["retries"]
+
+
 class TestCheckpointConfig:
     def test_checkpoint_every_requires_path(self, tiny_web):
         with pytest.raises(ConfigError, match="checkpoint_path"):

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.core.strategies import available_strategies
 
 
 class TestParser:
@@ -65,6 +66,14 @@ class TestExecution:
         assert code == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_unknown_strategy_error_names_available_options(self, capsys):
+        code = main(["run", "thai", "teleport", "--scale", "0.03", "--no-cache"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "unknown strategy 'teleport'" in err
+        for name in available_strategies():
+            assert name in err
+
     def test_detect_on_file(self, tmp_path, capsys):
         path = tmp_path / "thai.txt"
         path.write_bytes("ภาษาไทยมีวรรณยุกต์และสระ".encode("tis_620"))
@@ -96,6 +105,17 @@ class TestReproduceCommand:
         assert (tmp_path / "out" / "gnuplot" / "fig3.gp").exists()
         out = capsys.readouterr().out
         assert "REPORT.md" in out
+
+
+class TestListStrategies:
+    def test_lists_every_registered_strategy_and_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--list-strategies"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for name, description in available_strategies().items():
+            assert name in out
+            assert description in out
 
 
 class TestExtendedStrategyNames:

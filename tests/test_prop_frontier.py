@@ -1,9 +1,11 @@
 """Property-based tests for the frontier implementations."""
 
+import json
 from collections import Counter
 
 from hypothesis import given, strategies as st
 
+from repro.core.candidate import candidate_from_dict, candidate_to_dict
 from repro.core.frontier import Candidate, FIFOFrontier, PriorityFrontier
 
 pushes = st.lists(
@@ -77,6 +79,43 @@ class TestOrdering:
         for earlier, later in zip(popped, popped[1:]):
             if earlier.priority == later.priority:
                 assert arrival[earlier.url] < arrival[later.url]
+
+
+#: Arbitrary candidates, including the sparse defaults the wire format
+#: omits and URL-ish referrers.
+candidates = st.builds(
+    Candidate,
+    url=st.integers(min_value=0, max_value=9999).map(lambda n: f"http://h{n}.example/p"),
+    priority=st.integers(min_value=-100, max_value=100),
+    distance=st.integers(min_value=0, max_value=50),
+    referrer=st.one_of(
+        st.none(),
+        st.integers(min_value=0, max_value=9999).map(lambda n: f"http://h{n}.example/r"),
+    ),
+)
+
+
+class TestCandidateSerialization:
+    """The one shared round-trip every persister uses (frontier
+    snapshots, checkpoint state, spill files)."""
+
+    @given(candidates)
+    def test_round_trip_is_identity(self, c):
+        assert candidate_from_dict(candidate_to_dict(c)) == c
+
+    @given(candidates)
+    def test_round_trip_survives_json(self, c):
+        # The actual persistence path serialises through JSON text.
+        wire = json.dumps(candidate_to_dict(c), separators=(",", ":"))
+        assert candidate_from_dict(json.loads(wire)) == c
+
+    @given(candidates)
+    def test_wire_form_is_sparse(self, c):
+        entry = candidate_to_dict(c)
+        assert entry["u"] == c.url
+        assert ("p" in entry) == bool(c.priority)
+        assert ("d" in entry) == bool(c.distance)
+        assert ("r" in entry) == (c.referrer is not None)
 
 
 class TestInterleaved:
