@@ -59,6 +59,7 @@ from repro.core import (
     register_strategy,
     strategy_by_name,
 )
+from repro.exec import DatasetSpec, RunSpec, SweepExecutor
 from repro.experiments import (
     Dataset,
     build_dataset,
@@ -154,6 +155,10 @@ __all__ = [
     "SpanEvent",
     "JsonlTraceWriter",
     "read_trace",
+    # sweep executor
+    "SweepExecutor",
+    "DatasetSpec",
+    "RunSpec",
     # experiments
     "Dataset",
     "build_dataset",

@@ -99,8 +99,8 @@ def run_crawl(
         instrumentation: optional :class:`repro.obs.Instrumentation`
             hub; no-op when omitted.
         faults: optional :class:`~repro.faults.FaultModel` injected in
-            front of the web space (sequential engine only); attaching
-            one also enables the resilient fetch pipeline.
+            front of the web space; attaching one also enables the
+            resilient fetch pipeline (both engines).
         resilience: retry/backoff/circuit-breaker policies
             (:class:`~repro.faults.ResilienceConfig`); defaults apply
             whenever ``faults``, checkpointing or ``resume_from`` are
@@ -152,10 +152,8 @@ def run_crawl(
             )
         if timing is not None or on_fetch is not None:
             raise ConfigError("timing= and on_fetch= are sequential-engine features")
-        if faults is not None or resilience is not None or resume_from is not None:
-            raise ConfigError(
-                "faults=, resilience= and resume_from= are sequential-engine features"
-            )
+        if resume_from is not None:
+            raise ConfigError("resume_from= is a sequential-engine feature")
         if hooks:
             raise ConfigError("hooks= is a sequential-engine feature")
         if isinstance(strategy, str):
@@ -170,6 +168,8 @@ def run_crawl(
             config=config,
             relevant_urls=relevant_urls,
             instrumentation=instrumentation,
+            faults=faults,
+            resilience=resilience,
         ).run()
 
     if isinstance(strategy, str):

@@ -139,6 +139,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_figure.add_argument("number", choices=sorted(_FIGURES))
     p_figure.add_argument("--dataset", default=None, help="thai (default) or japanese")
     p_figure.add_argument("--chart", action="store_true", help="also draw ASCII charts")
+    p_figure.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fan the figure's strategy sweep out to N worker processes "
+        "(0 = serial, default; results are identical either way)",
+    )
     _add_dataset_args(p_figure)
 
     p_analyze = sub.add_parser("analyze", help="language locality + degree structure of a dataset")
@@ -151,6 +159,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_reproduce.add_argument("output_dir")
     p_reproduce.add_argument("--scale", type=float, default=0.25)
     p_reproduce.add_argument("--no-cache", action="store_true")
+    p_reproduce.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker processes per figure sweep (0 = serial, default)",
+    )
 
     p_detect = sub.add_parser("detect", help="detect the charset of a local file")
     p_detect.add_argument("path")
@@ -238,7 +253,7 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "figure":
         default_dataset = "japanese" if args.number == "4" else "thai"
         dataset = _dataset_from_args(args.dataset or default_dataset, args)
-        figure = _FIGURES[args.number](dataset)
+        figure = _FIGURES[args.number](dataset, workers=args.workers)
         print(render_figure(figure))
         if args.chart:
             for metric in figure.panels:
@@ -268,6 +283,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             scale=args.scale,
             cache=not args.no_cache,
             progress=print,
+            workers=args.workers,
         )
         print(artifacts)
         return 0

@@ -14,10 +14,18 @@ the standard model on top of the simulator:
   but pages whose only inlinks cross partitions become unreachable.
 - :attr:`PartitionMode.EXCHANGE`: cross-partition links are forwarded
   to their owner — full reachability at the cost of inter-crawler
-  communication, which this simulation counts.
+  communication, which this simulation counts.  *Every* forward is a
+  message (``messages_exchanged``); how many of them the owner's dedup
+  actually admitted to its frontier is tallied separately
+  (``messages_accepted``).
 
 Crawlers advance round-robin one fetch at a time, so the global crawl
-order interleaves fairly and results are deterministic.
+order interleaves fairly and results are deterministic.  Crawls over a
+:class:`~repro.faults.FaultyWebSpace` are supported via the ``faults=``
+/ ``resilience=`` keywords — each engine gets the retry/breaker
+machinery, and the driver reconciles its page tallies against the
+engine's completed-step count, so a step that ends in retry exhaustion
+or a breaker gate skip is never counted as a fetched page.
 
 Run-level knobs live in :class:`ParallelConfig` (mirroring
 :class:`~repro.core.simulator.SimulationConfig`); the loose
@@ -40,9 +48,11 @@ from repro.core.events import CrawlEvent
 from repro.core.strategies.base import CrawlStrategy
 from repro.core.visitor import Visitor
 from repro.errors import ConfigError
+from repro.faults.model import FaultModel, FaultyWebSpace
+from repro.faults.resilience import HostBreakers, ResilienceConfig
 from repro.obs import Instrumentation
 from repro.obs.instrument import active as _active_instrumentation
-from repro.webspace.query import _host_bucket
+from repro.webspace.query import host_bucket
 from repro.webspace.stats import relevant_url_set
 from repro.webspace.virtualweb import VirtualWebSpace
 
@@ -122,6 +132,7 @@ class ParallelResult:
     covered_relevant: int
     total_relevant: int
     messages_exchanged: int
+    messages_accepted: int
     dropped_foreign_links: int
     per_crawler_pages: tuple[int, ...]
 
@@ -147,6 +158,7 @@ class ParallelResult:
             "pages_crawled": self.pages_crawled,
             "coverage": self.coverage,
             "messages_exchanged": self.messages_exchanged,
+            "messages_accepted": self.messages_accepted,
             "dropped_foreign_links": self.dropped_foreign_links,
             "balance": self.balance,
         }
@@ -183,6 +195,8 @@ class ParallelCrawlSimulator:
         relevant_urls: frozenset[str] | None = None,
         max_pages: int | None = None,
         instrumentation: Instrumentation | None = None,
+        faults: FaultModel | None = None,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         if config is not None:
             if partitions is not None or mode is not None or max_pages is not None:
@@ -205,6 +219,13 @@ class ParallelCrawlSimulator:
             relevant_urls = relevant_url_set(web.crawl_log, classifier.target_language)
         self._relevant = relevant_urls
         self._instrumentation = instrumentation
+        self._faults = faults
+        # Mirror Simulator: an explicit resilience config arms the
+        # machinery on its own; a fault model without one gets defaults
+        # (a faulty web with no retry policy would crash the engine's
+        # requeue path).
+        resilient = faults is not None or resilience is not None
+        self._resilience = (resilience or ResilienceConfig()) if resilient else None
         self._strategies = [strategy_factory() for _ in range(config.partitions)]
         self._seed_urls = list(seed_urls)
 
@@ -220,9 +241,19 @@ class ParallelCrawlSimulator:
         schedule stage is replaced by a router that resolves the child's
         host-hash owner: own links enter the local frontier, foreign
         links are forwarded (EXCHANGE, deduped by the owner) or dropped
-        (FIREWALL).  ``last_event`` is a one-slot mailbox the driver
-        reads after each single-step ``run(budget=1)`` — round-robin
-        advances one engine at a time, so one slot suffices.
+        (FIREWALL).  Forwarding *is* the message — the owner's dedup
+        verdict only decides the ``accepted`` tally.  ``last_event`` is
+        a one-slot mailbox the driver clears before and reads after each
+        single-step ``run(budget=1)`` — round-robin advances one engine
+        at a time, so one slot suffices.
+
+        With a fault model attached, all engines fetch through one
+        shared :class:`~repro.faults.FaultyWebSpace` (host partitioning
+        makes per-host fault state crawler-disjoint anyway, and sharing
+        keeps the injection sequence identical to a serial crawl of the
+        same pop order); retry policy is shared, circuit-breaker boards
+        are per-engine because cooldowns are keyed on the local
+        engine's pop clock.
         """
         partitions = self._config.partitions
         exchange = self._config.mode is PartitionMode.EXCHANGE
@@ -234,25 +265,35 @@ class ParallelCrawlSimulator:
 
         def make_router(index: int):
             def route(child) -> None:
-                owner = engines[_host_bucket(child.url, partitions)]
+                owner = engines[host_bucket(child.url, partitions)]
                 if owner is engines[index]:
                     owner.offer(child)
                 elif exchange:
+                    counters["messages"] += 1
                     if owner.offer(child):
-                        counters["messages"] += 1
+                        counters["accepted"] += 1
                 else:
                     counters["dropped"] += 1
 
             return route
 
+        web: VirtualWebSpace | FaultyWebSpace = self._web
+        if self._faults is not None:
+            web = FaultyWebSpace(self._web, self._faults)
+        resilience = self._resilience
+        retry = resilience.retry if resilience is not None else None
         for index, strategy in enumerate(self._strategies):
+            breakers = HostBreakers(resilience.breaker) if resilience is not None else None
             engines.append(
                 CrawlEngine(
                     frontier=strategy.make_frontier(),
-                    visitor=Visitor(self._web),
+                    visitor=Visitor(web),
                     classifier=self._classifier,
                     strategy=strategy,
                     on_fetch=capture,
+                    faults=self._faults,
+                    retry=retry,
+                    breakers=breakers,
                     router=make_router(index),
                     call_tick=False,
                 )
@@ -265,7 +306,7 @@ class ParallelCrawlSimulator:
         instr = _active_instrumentation(self._instrumentation)
         if instr is not None:
             self._classifier.bind_instrumentation(instr)
-        self._counters = {"messages": 0, "dropped": 0}
+        self._counters = {"messages": 0, "accepted": 0, "dropped": 0}
         last_event: list[CrawlEvent | None] = [None]
         engines = self._build_engines(last_event)
         partitions = config.partitions
@@ -273,7 +314,7 @@ class ParallelCrawlSimulator:
             if instr is not None:
                 engine.strategy.bind_instrumentation(instr)
             for candidate in engine.strategy.seed_candidates(self._seed_urls):
-                if _host_bucket(candidate.url, partitions) == index:
+                if host_bucket(candidate.url, partitions) == index:
                     engine.offer(candidate)
 
         total_pages = 0
@@ -291,10 +332,19 @@ class ParallelCrawlSimulator:
                         break
                     active = True
                     step_started = perf()
-                    engine.run(budget=1)
+                    # Clear the mailbox so a step that completes no
+                    # fetch (retry exhaustion / breaker gate skips
+                    # draining the frontier) cannot leave a stale event
+                    # behind to be double-counted; reconcile against the
+                    # engine's own completed-step count.
+                    last_event[0] = None
+                    advanced = engine.run(budget=1)
                     event = last_event[0]
+                    if not advanced:
+                        assert event is None
+                        continue
                     assert event is not None
-                    total_pages += 1
+                    total_pages += advanced
                     if event.candidate.url in self._relevant:
                         covered += 1
                     if instr is not None:
@@ -317,6 +367,7 @@ class ParallelCrawlSimulator:
             if instr is not None:
                 instr.count("parallel.pages", total_pages)
                 instr.count("parallel.messages", self._counters["messages"])
+                instr.count("parallel.messages_accepted", self._counters["accepted"])
                 instr.count("parallel.dropped_links", self._counters["dropped"])
                 instr.gauge(
                     "parallel.peak_frontier",
@@ -331,6 +382,7 @@ class ParallelCrawlSimulator:
             covered_relevant=covered,
             total_relevant=len(self._relevant),
             messages_exchanged=self._counters["messages"],
+            messages_accepted=self._counters["accepted"],
             dropped_foreign_links=self._counters["dropped"],
             per_crawler_pages=tuple(engine.steps for engine in engines),
         )

@@ -24,7 +24,12 @@ from collections import OrderedDict, deque
 from collections.abc import Iterable
 
 from repro.core.classifier import Judgment
-from repro.core.frontier import Candidate, Frontier
+from repro.core.frontier import (
+    Candidate,
+    Frontier,
+    candidate_from_dict,
+    candidate_to_dict,
+)
 from repro.core.strategies.base import CrawlStrategy
 from repro.errors import FrontierError, UrlError
 from repro.urlkit.normalize import url_site_key
@@ -87,6 +92,31 @@ class HostQueueFrontier(Frontier):
     def site_count(self) -> int:
         """Number of sites currently holding queued URLs."""
         return sum(1 for queue in self._queues.values() if queue)
+
+    def snapshot(self) -> dict:
+        # Queues are serialised in discovery (insertion) order and the
+        # rotation verbatim — stale entries for drained sites included —
+        # so a restore reproduces the exact round-robin pop sequence,
+        # not merely the same membership.
+        return {
+            "kind": "host-queue",
+            **self._counters_dict(),
+            "queues": [
+                [site, [candidate_to_dict(candidate) for candidate in queue]]
+                for site, queue in self._queues.items()
+            ],
+            "rotation": list(self._rotation),
+        }
+
+    def restore(self, state: dict) -> None:
+        self._check_kind(state, "host-queue")
+        self._queues = OrderedDict(
+            (site, deque(candidate_from_dict(entry) for entry in entries))
+            for site, entries in state["queues"]
+        )
+        self._rotation = deque(state["rotation"])
+        self._size = sum(len(queue) for queue in self._queues.values())
+        self._restore_counters(state)
 
 
 class PoliteOrderingStrategy(CrawlStrategy):

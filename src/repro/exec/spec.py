@@ -1,0 +1,329 @@
+"""Picklable task specs and the worker-side run function.
+
+A sweep fans *independent runs* out to worker processes; what crosses
+the process boundary is never a live object graph (web spaces, caches
+and strategies hold unpicklable or mutable state) but a **spec**: the
+recipe to rebuild the run from scratch, deterministically.
+
+Picklability rules — everything in a spec must be
+
+- **frozen**: specs are dataclasses with ``frozen=True``; workers key
+  their caches on them, so hashability matters;
+- **constructive**: a registry *name* plus plain keyword parameters,
+  not a strategy instance; a :class:`~repro.graphgen.config.DatasetProfile`
+  plus capture parameters, not a built dataset; a
+  :class:`~repro.faults.FaultProfile` plus seed, not a live
+  :class:`~repro.faults.FaultModel` (whose injection counters mutate);
+- **process-independent**: nothing derived from ``id()``, ``hash()``
+  or iteration order of unsorted containers.  Partition ownership in
+  particular goes through :func:`repro.webspace.query.host_bucket`
+  (keyed FNV-1a), never Python's salted ``hash``.
+
+Workers rebuild the expensive run-invariant state — the dataset, its
+virtual web space, the recall denominator and a classifier cache —
+once per process via :func:`_sweep_cache`, keyed by
+:class:`DatasetSpec`: the per-worker equivalent of
+:func:`~repro.experiments.runner.run_strategies`' sweep-invariant
+sharing.  Results come back as ``to_dict()``-level payloads
+(:func:`result_to_payload`) and are rehydrated driver-side
+(:func:`result_from_payload`), so nothing engine-internal needs to
+pickle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.core.metrics import CrawlSummary, MetricSeries
+from repro.core.simulator import CrawlResult
+from repro.errors import ConfigError
+from repro.faults.model import FaultProfile
+from repro.graphgen.config import DatasetProfile
+from repro.webspace.query import host_bucket
+
+if TYPE_CHECKING:
+    from repro.core.parallel import ParallelResult
+    from repro.experiments.datasets import Dataset
+
+__all__ = [
+    "DatasetSpec",
+    "RunSpec",
+    "execute_run",
+    "result_to_payload",
+    "result_from_payload",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetSpec:
+    """Recipe to rebuild a :class:`~repro.experiments.datasets.Dataset`.
+
+    ``capture_kind="none"`` wraps the raw universe with no capture crawl
+    (the ablations' comparison basis); the other kinds replay the
+    dataset pipeline, reading the shared disk cache when ``use_cache``
+    is set — a worker of a sweep whose driver already built the dataset
+    then pays one cache read, not a rebuild.
+    """
+
+    profile: DatasetProfile
+    capture_kind: str
+    capture_n: int
+    use_cache: bool = True
+
+    @classmethod
+    def from_dataset(cls, dataset: "Dataset", use_cache: bool = True) -> "DatasetSpec":
+        return cls(
+            profile=dataset.profile,
+            capture_kind=dataset.capture_kind,
+            capture_n=dataset.capture_n,
+            use_cache=use_cache,
+        )
+
+    def build(self) -> "Dataset":
+        # Local imports: repro.experiments modules import repro.exec at
+        # module level (for SweepExecutor); the spec layer imports them
+        # lazily to keep the dependency acyclic.
+        if self.capture_kind == "none":
+            from repro.experiments.ablations import universe_dataset
+
+            return universe_dataset(self.profile)
+        if self.use_cache:
+            from repro.experiments.datasets import load_or_build_dataset
+
+            return load_or_build_dataset(self.profile, self.capture_kind, self.capture_n)
+        from repro.experiments.datasets import build_dataset
+
+        return build_dataset(self.profile, self.capture_kind, self.capture_n)
+
+
+@dataclass(frozen=True, slots=True)
+class RunSpec:
+    """One independent crawl run, as plain (picklable) parameters.
+
+    ``strategy`` is a registry name resolved through
+    :func:`repro.core.strategies.get_strategy` in the worker; ``params``
+    is its keyword arguments as a sorted tuple of pairs (tuples keep the
+    spec hashable).  A ``fault_profile`` makes the worker build a fresh
+    :class:`~repro.faults.FaultModel` seeded with ``fault_seed`` — the
+    model itself never crosses the boundary, so its injection counters
+    cannot leak between runs.
+
+    ``partitions`` switches the run to the partitioned engine
+    (:class:`~repro.core.parallel.ParallelCrawlSimulator`) under
+    ``partition_mode``; ``seed_owners`` then carries the driver's
+    expected seed → partition assignment (:meth:`for_parallel` computes
+    it with :func:`~repro.webspace.query.host_bucket`), which the worker
+    re-derives and verifies — a cheap guard that driver and worker agree
+    on partition ownership before any pages are fetched.
+    """
+
+    dataset: DatasetSpec
+    strategy: str
+    params: tuple[tuple[str, Any], ...] = ()
+    classifier_mode: str = "charset"
+    max_pages: int | None = None
+    sample_interval: int | None = None
+    extract_from_body: bool = False
+    synthesize_bodies: bool = False
+    fault_profile: FaultProfile | None = None
+    fault_seed: int = 0
+    partitions: int | None = None
+    partition_mode: str = "exchange"
+    seed_owners: tuple[tuple[str, int], ...] | None = None
+
+    @classmethod
+    def for_parallel(
+        cls,
+        dataset: "Dataset",
+        strategy: str,
+        partitions: int,
+        partition_mode: str = "exchange",
+        **kwargs: Any,
+    ) -> "RunSpec":
+        """A partition-aware spec: seed ownership is pinned driver-side."""
+        return cls(
+            dataset=DatasetSpec.from_dataset(dataset),
+            strategy=strategy,
+            partitions=partitions,
+            partition_mode=partition_mode,
+            seed_owners=tuple(
+                (url, host_bucket(url, partitions)) for url in dataset.seed_urls
+            ),
+            **kwargs,
+        )
+
+
+class _SweepCache:
+    """Run-invariant state shared by every run of one dataset spec."""
+
+    def __init__(self, dataset: "Dataset") -> None:
+        from repro.core.classifier import ClassifierCache
+
+        self.dataset = dataset
+        self.relevant_urls = dataset.relevant_urls()
+        self.classifier_cache = ClassifierCache()
+        self._webs: dict[bool, Any] = {}
+
+    def web(self, needs_bodies: bool):
+        web = self._webs.get(needs_bodies)
+        if web is None:
+            if needs_bodies:
+                from repro.graphgen.htmlsynth import HtmlSynthesizer
+
+                web = self.dataset.web(body_synthesizer=HtmlSynthesizer())
+            else:
+                web = self.dataset.web()
+            self._webs[needs_bodies] = web
+        return web
+
+
+#: Per-process cache: each worker rebuilds a dataset's run-invariant
+#: state once and reuses it for every spec that names the same dataset.
+_PROCESS_CACHE: dict[DatasetSpec, _SweepCache] = {}
+
+
+def _sweep_cache(spec: DatasetSpec) -> _SweepCache:
+    cache = _PROCESS_CACHE.get(spec)
+    if cache is None:
+        cache = _SweepCache(spec.build())
+        _PROCESS_CACHE[spec] = cache
+    return cache
+
+
+def result_to_payload(result: CrawlResult) -> dict:
+    """Flatten a :class:`CrawlResult` to plain JSON-able dicts."""
+    return {
+        "kind": "crawl",
+        "strategy": result.strategy,
+        "series": result.series.to_dict(),
+        "summary": asdict(result.summary),
+        "wall_seconds": result.wall_seconds,
+        "pages_crawled": result.pages_crawled,
+        "frontier_peak": result.frontier_peak,
+        "resilience": result.resilience,
+    }
+
+
+def result_from_payload(payload: dict) -> "CrawlResult | ParallelResult":
+    """Rehydrate a worker's payload into the result it flattened."""
+    if payload.get("kind") == "parallel":
+        from repro.core.parallel import ParallelResult, PartitionMode
+
+        return ParallelResult(
+            mode=PartitionMode(payload["mode"]),
+            partitions=payload["partitions"],
+            pages_crawled=payload["pages_crawled"],
+            covered_relevant=payload["covered_relevant"],
+            total_relevant=payload["total_relevant"],
+            messages_exchanged=payload["messages_exchanged"],
+            messages_accepted=payload["messages_accepted"],
+            dropped_foreign_links=payload["dropped_foreign_links"],
+            per_crawler_pages=tuple(payload["per_crawler_pages"]),
+        )
+    return CrawlResult(
+        strategy=payload["strategy"],
+        series=MetricSeries.from_dict(payload["series"]),
+        summary=CrawlSummary(**payload["summary"]),
+        wall_seconds=payload["wall_seconds"],
+        pages_crawled=payload["pages_crawled"],
+        frontier_peak=payload["frontier_peak"],
+        resilience=payload["resilience"],
+    )
+
+
+def execute_run(spec: RunSpec) -> dict:
+    """Worker entry point: rebuild, run, flatten.
+
+    Module-level (and therefore picklable by reference) so
+    :class:`~repro.exec.executor.SweepExecutor` can ship it to a
+    :class:`~concurrent.futures.ProcessPoolExecutor` directly.
+    """
+    from repro.core.classifier import ClassifierMode
+    from repro.core.strategies.registry import get_strategy
+    from repro.faults.model import FaultModel
+
+    ctx = _sweep_cache(spec.dataset)
+    mode = ClassifierMode(spec.classifier_mode)
+    faults = (
+        FaultModel(profile=spec.fault_profile, seed=spec.fault_seed)
+        if spec.fault_profile is not None
+        else None
+    )
+
+    if spec.partitions is not None:
+        return _execute_parallel(spec, ctx, faults)
+
+    from repro.experiments.runner import run_strategy
+
+    needs_bodies = (
+        spec.synthesize_bodies
+        or spec.extract_from_body
+        or mode in (ClassifierMode.META, ClassifierMode.DETECTOR)
+    )
+    result = run_strategy(
+        ctx.dataset,
+        get_strategy(spec.strategy, **dict(spec.params)),
+        classifier_mode=mode,
+        max_pages=spec.max_pages,
+        sample_interval=spec.sample_interval,
+        extract_from_body=spec.extract_from_body,
+        web=ctx.web(needs_bodies),
+        relevant_urls=ctx.relevant_urls,
+        classifier_cache=ctx.classifier_cache,
+        faults=faults,
+    )
+    return result_to_payload(result)
+
+
+def _execute_parallel(spec: RunSpec, ctx: _SweepCache, faults) -> dict:
+    from repro.api import run_crawl
+    from repro.core.parallel import ParallelConfig, PartitionMode
+    from repro.core.strategies.registry import get_strategy
+
+    partitions = spec.partitions
+    assert partitions is not None
+    if spec.seed_owners is not None:
+        # Re-derive the driver's partition plan; host_bucket is process-
+        # independent, so any disagreement means the spec was built for
+        # a different partition count (or a corrupted transfer) — fail
+        # before fetching anything.
+        derived = tuple(
+            (url, host_bucket(url, partitions)) for url, _ in spec.seed_owners
+        )
+        if derived != spec.seed_owners:
+            raise ConfigError(
+                "seed partition ownership diverged between driver and worker: "
+                f"expected {spec.seed_owners!r}, derived {derived!r}"
+            )
+    result = run_crawl(
+        web=ctx.web(False),
+        strategy=lambda: get_strategy(spec.strategy, **dict(spec.params)),
+        classifier=_classifier_for(ctx.dataset, spec.classifier_mode),
+        seeds=ctx.dataset.seed_urls,
+        relevant_urls=ctx.relevant_urls,
+        config=ParallelConfig(
+            partitions=partitions,
+            mode=PartitionMode(spec.partition_mode),
+            max_pages=spec.max_pages,
+        ),
+        faults=faults,
+    )
+    return {
+        "kind": "parallel",
+        "mode": result.mode.value,
+        "partitions": result.partitions,
+        "pages_crawled": result.pages_crawled,
+        "covered_relevant": result.covered_relevant,
+        "total_relevant": result.total_relevant,
+        "messages_exchanged": result.messages_exchanged,
+        "messages_accepted": result.messages_accepted,
+        "dropped_foreign_links": result.dropped_foreign_links,
+        "per_crawler_pages": list(result.per_crawler_pages),
+    }
+
+
+def _classifier_for(dataset: "Dataset", classifier_mode: str):
+    from repro.core.classifier import Classifier
+
+    return Classifier(dataset.target_language, mode=classifier_mode)

@@ -14,9 +14,11 @@ Three studies the paper motivates but does not run:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 from repro.core.classifier import ClassifierMode
+from repro.exec import DatasetSpec, RunSpec, SweepExecutor
 from repro.experiments.datasets import Dataset, build_dataset
 from repro.experiments.runner import run_strategy
 from repro.graphgen.config import DatasetProfile
@@ -78,51 +80,91 @@ def universe_dataset(profile: DatasetProfile) -> Dataset:
     )
 
 
+def _measure_locality(base_profile: DatasetProfile, locality: float) -> AblationRow:
+    """One locality row; module-level so a worker process can run it."""
+    dataset = universe_dataset(base_profile.with_locality(locality))
+    return _measure(dataset, label=f"locality={locality:g}")
+
+
+def _measure_scale(base_profile: DatasetProfile, scale: float) -> AblationRow:
+    """One scale row; module-level so a worker process can run it."""
+    dataset = build_dataset(base_profile.scaled(scale))
+    return _measure(dataset, label=f"scale={scale:g}")
+
+
 def locality_sweep(
     base_profile: DatasetProfile,
     localities: tuple[float, ...] = DEFAULT_LOCALITIES,
+    workers: int = 0,
 ) -> list[AblationRow]:
     """A1: how language locality drives focused-crawling gains.
 
     Runs on raw universes (identical page mix across localities), so a
     change in focused-vs-breadth-first separation is attributable to the
-    link structure alone.
+    link structure alone.  Each row is an independent universe, so
+    ``workers > 0`` fans rows out over a
+    :class:`~repro.exec.SweepExecutor` process pool.
     """
-    rows = []
-    for locality in localities:
-        dataset = universe_dataset(base_profile.with_locality(locality))
-        rows.append(_measure(dataset, label=f"locality={locality:g}"))
-    return rows
+    return SweepExecutor(workers).map(
+        functools.partial(_measure_locality, base_profile), localities
+    )
 
 
-def classifier_sweep(dataset: Dataset) -> list[dict]:
+_CLASSIFIER_SWEEP_MODES = (
+    ClassifierMode.CHARSET,
+    ClassifierMode.META,
+    ClassifierMode.DETECTOR,
+    ClassifierMode.ORACLE,
+)
+
+
+def _classifier_row(mode: ClassifierMode, result) -> dict:
+    return {
+        "classifier": mode.value,
+        "pages_crawled": result.pages_crawled,
+        "final_harvest_rate": round(result.final_harvest_rate, 3),
+        "coverage_of_charset_set": round(result.final_coverage, 3),
+    }
+
+
+def classifier_sweep(dataset: Dataset, workers: int = 0) -> list[dict]:
     """A2: harvest/coverage of hard-focused under each classifier mode.
 
     Harvest is judged by the classifier under test while coverage is
     measured against the charset-based reference set, so the rows
-    directly expose classifier disagreement.
+    directly expose classifier disagreement.  ``workers > 0`` runs the
+    modes as :class:`~repro.exec.RunSpec` tasks over a process pool —
+    each worker rebuilds the dataset from its spec rather than
+    pickling the crawl log.
     """
+    if workers:
+        spec = DatasetSpec.from_dataset(dataset)
+        specs = [
+            RunSpec(dataset=spec, strategy="hard-focused", classifier_mode=mode.value)
+            for mode in _CLASSIFIER_SWEEP_MODES
+        ]
+        results = SweepExecutor(workers).run(specs)
+        return [
+            _classifier_row(mode, result)
+            for mode, result in zip(_CLASSIFIER_SWEEP_MODES, results)
+        ]
     rows = []
-    for mode in (ClassifierMode.CHARSET, ClassifierMode.META, ClassifierMode.DETECTOR, ClassifierMode.ORACLE):
+    for mode in _CLASSIFIER_SWEEP_MODES:
         result = run_strategy(dataset, "hard-focused", classifier_mode=mode)
-        rows.append(
-            {
-                "classifier": mode.value,
-                "pages_crawled": result.pages_crawled,
-                "final_harvest_rate": round(result.final_harvest_rate, 3),
-                "coverage_of_charset_set": round(result.final_coverage, 3),
-            }
-        )
+        rows.append(_classifier_row(mode, result))
     return rows
 
 
 def scale_sweep(
     base_profile: DatasetProfile,
     scales: tuple[float, ...] = DEFAULT_SCALES,
+    workers: int = 0,
 ) -> list[AblationRow]:
-    """A3: shape stability across dataset sizes."""
-    rows = []
-    for scale in scales:
-        dataset = build_dataset(base_profile.scaled(scale))
-        rows.append(_measure(dataset, label=f"scale={scale:g}"))
-    return rows
+    """A3: shape stability across dataset sizes.
+
+    ``workers > 0`` builds and measures each scale in its own worker
+    process.
+    """
+    return SweepExecutor(workers).map(
+        functools.partial(_measure_scale, base_profile), scales
+    )

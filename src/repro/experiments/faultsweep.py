@@ -27,20 +27,28 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.strategies import get_strategy
+from repro.errors import ConfigError
+from repro.exec import DatasetSpec, RunSpec, SweepExecutor
 from repro.experiments.datasets import Dataset
 from repro.experiments.runner import run_strategy
 from repro.faults import FaultModel, FaultProfile
 
 DEFAULT_RATES = (0.0, 0.05, 0.1, 0.2, 0.4)
 
+#: The paper's strategy set as picklable ``(registry name, params)``
+#: pairs — the form a ``workers > 0`` sweep ships to worker processes.
+DEFAULT_STRATEGY_SPECS = (
+    ("breadth-first", {}),
+    ("hard-focused", {}),
+    ("soft-focused", {}),
+    ("limited-distance", {"n": 2}),
+)
+
 
 def default_strategies():
     """The paper's strategy set, fresh instances per call."""
-    return (
-        get_strategy("breadth-first"),
-        get_strategy("hard-focused"),
-        get_strategy("soft-focused"),
-        get_strategy("limited-distance", n=2),
+    return tuple(
+        get_strategy(name, **params) for name, params in DEFAULT_STRATEGY_SPECS
     )
 
 
@@ -89,19 +97,45 @@ class FaultSweepPoint:
         }
 
 
+def _sweep_point(strategy_name: str, rate: float, result) -> FaultSweepPoint:
+    """One sweep row from a finished run — shared by both backends."""
+    resilience = result.resilience or {}
+    return FaultSweepPoint(
+        strategy=strategy_name,
+        fault_rate=rate,
+        pages_crawled=result.pages_crawled,
+        harvest_rate=result.final_harvest_rate,
+        coverage=result.final_coverage,
+        fetches_failed=resilience.get("fetches_failed", 0),
+        retries=resilience.get("retries", 0),
+        requeued=resilience.get("requeued", 0),
+        dropped=resilience.get("dropped", 0),
+        faults_injected=sum(resilience.get("faults_injected", {}).values()),
+    )
+
+
 def fault_sweep(
     dataset: Dataset,
     rates: tuple[float, ...] = DEFAULT_RATES,
     strategies=None,
     max_pages: int | None = None,
     fault_seed: int = 0,
+    workers: int = 0,
 ) -> list[FaultSweepPoint]:
     """Measure every strategy at every fault rate.
 
     The same ``fault_seed`` is used at every sweep point, so two
     strategies at the same rate face the *same* unreliable web — the
     per-URL fault decisions agree wherever their crawls overlap.
+
+    ``workers > 0`` distributes the (strategy × rate) grid over a
+    :class:`~repro.exec.SweepExecutor` process pool; ``strategies``
+    must then be ``(name, params)`` pairs or plain registry names
+    (defaulting to :data:`DEFAULT_STRATEGY_SPECS`), and the returned
+    points are identical to the serial sweep's.
     """
+    if workers:
+        return _fault_sweep_workers(dataset, rates, strategies, max_pages, fault_seed, workers)
     points: list[FaultSweepPoint] = []
     for rate in rates:
         for strategy in strategies if strategies is not None else default_strategies():
@@ -116,24 +150,50 @@ def fault_sweep(
                 max_pages=max_pages,
                 faults=faults,
             )
-            resilience = result.resilience or {}
-            points.append(
-                FaultSweepPoint(
-                    strategy=strategy.name,
-                    fault_rate=rate,
-                    pages_crawled=result.pages_crawled,
-                    harvest_rate=result.final_harvest_rate,
-                    coverage=result.final_coverage,
-                    fetches_failed=resilience.get("fetches_failed", 0),
-                    retries=resilience.get("retries", 0),
-                    requeued=resilience.get("requeued", 0),
-                    dropped=resilience.get("dropped", 0),
-                    faults_injected=sum(
-                        resilience.get("faults_injected", {}).values()
-                    ),
+            points.append(_sweep_point(strategy.name, rate, result))
+    return points
+
+
+def _fault_sweep_workers(
+    dataset: Dataset,
+    rates: tuple[float, ...],
+    strategies,
+    max_pages: int | None,
+    fault_seed: int,
+    workers: int,
+) -> list[FaultSweepPoint]:
+    if strategies is None:
+        strategies = DEFAULT_STRATEGY_SPECS
+    dataset_spec = DatasetSpec.from_dataset(dataset)
+    labels: list[tuple[str, float]] = []
+    specs: list[RunSpec] = []
+    for rate in rates:
+        for strategy in strategies:
+            if isinstance(strategy, tuple):
+                name, params = strategy
+            elif isinstance(strategy, str):
+                name, params = strategy, {}
+            else:
+                raise ConfigError(
+                    "fault_sweep(workers>0) needs registry-name strategies (a "
+                    f"name or (name, params) pair), got instance {strategy!r}"
+                )
+            labels.append((get_strategy(name, **params).name, rate))
+            specs.append(
+                RunSpec(
+                    dataset=dataset_spec,
+                    strategy=name,
+                    params=tuple(sorted(params.items())),
+                    max_pages=max_pages,
+                    fault_profile=profile_for_rate(rate) if rate > 0 else None,
+                    fault_seed=fault_seed,
                 )
             )
-    return points
+    results = SweepExecutor(workers).run(specs)
+    return [
+        _sweep_point(name, rate, result)
+        for (name, rate), result in zip(labels, results)
+    ]
 
 
 def write_faultsweep_json(
@@ -172,6 +232,13 @@ def main(argv=None) -> int:
     parser.add_argument("--fault-seed", type=int, default=0)
     parser.add_argument("--no-cache", action="store_true")
     parser.add_argument("--output", default=None, metavar="FILE.json")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fan sweep points out to N worker processes (0 = serial, default)",
+    )
     args = parser.parse_args(argv)
 
     profile = profile_by_name(args.profile)
@@ -180,7 +247,11 @@ def main(argv=None) -> int:
     dataset = load_or_build_dataset(profile, cache_dir=None if args.no_cache else "default")
     rates = tuple(float(token) for token in args.rates.split(",") if token.strip())
     points = fault_sweep(
-        dataset, rates=rates, max_pages=args.max_pages, fault_seed=args.fault_seed
+        dataset,
+        rates=rates,
+        max_pages=args.max_pages,
+        fault_seed=args.fault_seed,
+        workers=args.workers,
     )
     print(
         render_table(

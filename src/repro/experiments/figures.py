@@ -23,7 +23,6 @@ from dataclasses import dataclass, field
 
 from repro.core.metrics import MetricSeries
 from repro.core.simulator import CrawlResult
-from repro.core.strategies import get_strategy
 from repro.experiments.datasets import Dataset
 from repro.experiments.runner import run_strategies
 
@@ -100,7 +99,9 @@ def figure5(dataset: Dataset, **kwargs) -> FigureResult:
 def _limited_distance_runs(
     dataset: Dataset, prioritized: bool, ns: tuple[int, ...], **kwargs
 ) -> dict[str, CrawlResult]:
-    strategies = [get_strategy("limited-distance", n=n, prioritized=prioritized) for n in ns]
+    # (name, params) pairs rather than instances, so a caller-supplied
+    # workers= can ship the sweep to worker processes.
+    strategies = [("limited-distance", {"n": n, "prioritized": prioritized}) for n in ns]
     return run_strategies(dataset, strategies, **kwargs)
 
 

@@ -55,6 +55,7 @@ def reproduce_all(
     scale: float = 0.25,
     cache: bool = True,
     progress: Callable[[str], None] | None = None,
+    workers: int = 0,
 ) -> ReproductionArtifacts:
     """Regenerate every table and figure into ``output_dir``.
 
@@ -63,6 +64,8 @@ def reproduce_all(
         scale: universe scale factor relative to the calibrated profiles.
         cache: reuse/populate the on-disk dataset cache.
         progress: optional callback receiving one-line status messages.
+        workers: fan each figure's strategy sweep out to this many
+            worker processes (0 = serial; outputs are identical).
     """
     output_dir = Path(output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
@@ -94,7 +97,7 @@ def reproduce_all(
     produced: list[str] = []
     for figure_id, producer, dataset_name in _figure_producers():
         say(f"figure {figure_id} ({dataset_name} dataset) ...")
-        figure = producer(datasets[dataset_name])
+        figure = producer(datasets[dataset_name], workers=workers)
         text = render_figure(figure)
         (output_dir / f"fig{figure_id}.txt").write_text(text)
         export_figure_json(figure, output_dir / f"fig{figure_id}.json")
@@ -156,6 +159,13 @@ def _main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-cache", action="store_true", help="do not use the on-disk dataset cache"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker processes per figure sweep (0 = serial, default)",
+    )
     args = parser.parse_args(argv)
 
     if args.regen_golden is not None:
@@ -168,7 +178,11 @@ def _main(argv: list[str] | None = None) -> int:
         return 0
 
     artifacts = reproduce_all(
-        args.output_dir, scale=args.scale, cache=not args.no_cache, progress=print
+        args.output_dir,
+        scale=args.scale,
+        cache=not args.no_cache,
+        progress=print,
+        workers=args.workers,
     )
     print(artifacts)
     return 0

@@ -9,9 +9,11 @@ asserts the paper's orderings hold for *every* seed, not on average.
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass
 
+from repro.exec import SweepExecutor
 from repro.experiments.datasets import build_dataset
 from repro.experiments.runner import run_strategy
 from repro.graphgen.config import DatasetProfile
@@ -80,9 +82,21 @@ def measure_seed(profile: DatasetProfile, seed: int) -> SeedRun:
     )
 
 
-def seed_sweep(profile: DatasetProfile, seeds: tuple[int, ...] = DEFAULT_SEEDS) -> list[SeedRun]:
-    """Headline measurements for each seed."""
-    return [measure_seed(profile, seed) for seed in seeds]
+def seed_sweep(
+    profile: DatasetProfile,
+    seeds: tuple[int, ...] = DEFAULT_SEEDS,
+    workers: int = 0,
+) -> list[SeedRun]:
+    """Headline measurements for each seed.
+
+    Seed runs are fully independent (each builds its own universe), so
+    ``workers > 0`` fans them out over a
+    :class:`~repro.exec.SweepExecutor` process pool;
+    :func:`measure_seed` is a module-level function of picklable
+    arguments, and :class:`SeedRun` rows come back in seed order either
+    way.
+    """
+    return SweepExecutor(workers).map(functools.partial(measure_seed, profile), seeds)
 
 
 def sweep_summary(runs: list[SeedRun]) -> dict[str, dict[str, float]]:

@@ -21,9 +21,30 @@ from repro.core.strategies.base import CrawlStrategy
 from repro.core.strategies.registry import get_strategy
 from repro.core.summary import CrawlReport
 from repro.core.timing import TimingModel
+from repro.errors import ConfigError
+from repro.exec import DatasetSpec, RunSpec, SweepExecutor
 from repro.experiments.datasets import Dataset
 from repro.graphgen.htmlsynth import HtmlSynthesizer
 from repro.obs import Instrumentation
+
+#: A sweep strategy reference: an instance, a registry name, or a
+#: ``(name, params)`` pair — the last two forms are picklable and thus
+#: the only ones a ``workers > 0`` sweep accepts.
+StrategyRef = CrawlStrategy | str | tuple[str, dict]
+
+#: ``run_strategy`` keywords a worker task spec can carry.  Everything
+#: else either holds live cross-run state (web, caches, hooks,
+#: callbacks) or is checkpoint plumbing — both are meaningless across a
+#: process boundary, so ``workers > 0`` rejects them loudly.
+_SPECABLE_KWARGS = frozenset(
+    {
+        "classifier_mode",
+        "max_pages",
+        "sample_interval",
+        "extract_from_body",
+        "synthesize_bodies",
+    }
+)
 
 
 def run_strategy(
@@ -99,7 +120,8 @@ def run_strategy(
 
 def run_strategies(
     dataset: Dataset,
-    strategies: Iterable[CrawlStrategy | str],
+    strategies: Iterable[StrategyRef],
+    workers: int = 0,
     **kwargs,
 ) -> dict[str, CrawlResult]:
     """Run several strategies under identical conditions.
@@ -115,7 +137,17 @@ def run_strategies(
     classified by every strategy in the sweep, so all runs after the
     first judge almost entirely from cache.  Callers can still override
     any of the three through ``kwargs``.
+
+    ``workers > 0`` fans the runs out over a
+    :class:`~repro.exec.SweepExecutor` process pool: each strategy must
+    then be a registry name (or ``(name, params)`` pair) and ``kwargs``
+    restricted to picklable run parameters; per-worker rebuilds of the
+    sweep-invariant state replace the in-process sharing, and results
+    are byte-identical to ``workers=0`` (pinned by
+    ``tests/test_exec_sweep.py``).
     """
+    if workers:
+        return _run_strategies_workers(dataset, strategies, workers, kwargs)
     kwargs.setdefault("relevant_urls", dataset.relevant_urls())
     kwargs.setdefault("classifier_cache", ClassifierCache())
     if "web" not in kwargs:
@@ -135,10 +167,70 @@ def run_strategies(
         )
     results: dict[str, CrawlResult] = {}
     for strategy in strategies:
-        if isinstance(strategy, str):
-            strategy = get_strategy(strategy)
+        strategy = _resolve_strategy(strategy)
         results[strategy.name] = run_strategy(dataset, strategy, **kwargs)
     return results
+
+
+def _resolve_strategy(strategy: StrategyRef) -> CrawlStrategy:
+    if isinstance(strategy, tuple):
+        name, params = strategy
+        return get_strategy(name, **params)
+    if isinstance(strategy, str):
+        return get_strategy(strategy)
+    return strategy
+
+
+def _run_strategies_workers(
+    dataset: Dataset,
+    strategies: Iterable[StrategyRef],
+    workers: int,
+    kwargs: dict,
+) -> dict[str, CrawlResult]:
+    unsupported = sorted(set(kwargs) - _SPECABLE_KWARGS)
+    if unsupported:
+        raise ConfigError(
+            f"run_strategies(workers={workers}) cannot ship {', '.join(unsupported)} "
+            "to worker processes; supported sweep keywords are "
+            f"{', '.join(sorted(_SPECABLE_KWARGS))} — pass workers=0 for the rest"
+        )
+    classifier_mode = kwargs.get("classifier_mode", ClassifierMode.CHARSET)
+    mode = (
+        ClassifierMode(classifier_mode)
+        if isinstance(classifier_mode, str)
+        else classifier_mode
+    )
+    dataset_spec = DatasetSpec.from_dataset(dataset)
+    names: list[str] = []
+    specs: list[RunSpec] = []
+    for strategy in strategies:
+        if isinstance(strategy, tuple):
+            name, params = strategy
+        elif isinstance(strategy, str):
+            name, params = strategy, {}
+        else:
+            raise ConfigError(
+                "a workers>0 sweep needs registry-name strategies (a name or "
+                f"(name, params) pair), got instance {strategy!r} — strategy "
+                "objects hold run state and do not cross process boundaries"
+            )
+        # Constructing driver-side both fails fast on bad names/params
+        # and yields the result key (e.g. "limited-distance(n=2)").
+        names.append(get_strategy(name, **params).name)
+        specs.append(
+            RunSpec(
+                dataset=dataset_spec,
+                strategy=name,
+                params=tuple(sorted(params.items())),
+                classifier_mode=mode.value,
+                max_pages=kwargs.get("max_pages"),
+                sample_interval=kwargs.get("sample_interval"),
+                extract_from_body=kwargs.get("extract_from_body", False),
+                synthesize_bodies=kwargs.get("synthesize_bodies", False),
+            )
+        )
+    results = SweepExecutor(workers).run(specs)
+    return dict(zip(names, results))
 
 
 def summary_rows(results: dict[str, CrawlReport]) -> list[dict]:

@@ -23,6 +23,7 @@ from repro.webspace.page import HTML_CONTENT_TYPE, STATUS_OK, PageRecord
 from repro.webspace.query import (
     diff_logs,
     filter_log,
+    host_bucket,
     host_partition,
     merge_logs,
     sample_log,
@@ -44,5 +45,6 @@ __all__ = [
     "merge_logs",
     "sample_log",
     "diff_logs",
+    "host_bucket",
     "host_partition",
 ]

@@ -138,15 +138,25 @@ def host_partition(crawl_log: CrawlLog, partitions: int) -> list[CrawlLog]:
         raise CrawlLogError("partitions must be >= 1")
     buckets: list[list[PageRecord]] = [[] for _ in range(partitions)]
     for record in crawl_log:
-        index = _host_bucket(record.url, partitions)
+        index = host_bucket(record.url, partitions)
         buckets[index].append(record)
     return [CrawlLog(bucket) for bucket in buckets]
 
 
-def _host_bucket(url: str, partitions: int) -> int:
-    """Stable host → partition mapping (FNV-1a over the host string)."""
+def host_bucket(url: str, partitions: int) -> int:
+    """Stable host → partition mapping (FNV-1a over the host string).
+
+    Process-independent by construction (unlike Python's ``hash``, which
+    is salted per interpreter), so partition ownership agrees between a
+    driver and its worker processes — :mod:`repro.core.parallel` and the
+    :mod:`repro.exec` task specs both rely on this.
+    """
     host = url_host(url)
     digest = 2166136261
     for char in host.encode("ascii", errors="replace"):
         digest = ((digest ^ char) * 16777619) & 0xFFFFFFFF
     return digest % partitions
+
+
+#: Deprecated private alias; use :func:`host_bucket`.
+_host_bucket = host_bucket

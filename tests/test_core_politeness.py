@@ -12,7 +12,7 @@ from repro.core.politeness import (
 )
 from repro.core.simulator import SimulationConfig, Simulator
 from repro.core.strategies import BreadthFirstStrategy, SimpleStrategy
-from repro.errors import FrontierError
+from repro.errors import CheckpointError, FrontierError
 
 from conftest import SEED
 
@@ -75,6 +75,119 @@ class TestHostQueueFrontier:
         frontier = HostQueueFrontier()
         frontier.push(Candidate(url="not a real url"))
         assert frontier.pop().url == "not a real url"
+
+
+class TestHostQueueSnapshot:
+    """snapshot/restore must reproduce the exact pop sequence, not just
+    queue membership — the rotation (stale entries included) is state."""
+
+    def _drain(self, frontier):
+        return [frontier.pop().url for _ in range(len(frontier))]
+
+    def test_roundtrip_preserves_pop_sequence(self):
+        frontier = HostQueueFrontier()
+        for url in [
+            "http://a.example/p0",
+            "http://b.example/p0",
+            "http://a.example/p1",
+            "http://c.example/p0",
+            "http://b.example/p1",
+        ]:
+            frontier.push(candidate(url))
+        frontier.pop()  # mid-rotation: a served, b at the head
+
+        restored = HostQueueFrontier()
+        restored.restore(frontier.snapshot())
+        assert self._drain(restored) == self._drain(frontier)
+
+    def test_roundtrip_with_drained_site_reentry(self):
+        # A drained site that re-enters the rotation later must keep its
+        # back-of-the-line position across the round-trip.
+        frontier = HostQueueFrontier()
+        frontier.push(candidate("http://a.example/p0"))
+        frontier.push(candidate("http://b.example/p0"))
+        frontier.pop()  # a drains and leaves the rotation
+        frontier.push(candidate("http://a.example/p1"))  # re-enters after b
+
+        restored = HostQueueFrontier()
+        restored.restore(frontier.snapshot())
+        assert self._drain(restored) == [
+            "http://b.example/p0",
+            "http://a.example/p1",
+        ]
+
+    def test_roundtrip_then_push_behaves_identically(self):
+        frontier = HostQueueFrontier()
+        for index in range(3):
+            frontier.push(candidate(f"http://h{index}.example/p0"))
+        frontier.pop()
+
+        restored = HostQueueFrontier()
+        restored.restore(frontier.snapshot())
+        for target in (frontier, restored):
+            target.push(candidate("http://h0.example/p1"))
+            target.push(candidate("http://new.example/p0"))
+        assert self._drain(restored) == self._drain(frontier)
+
+    def test_counters_survive_roundtrip(self):
+        frontier = HostQueueFrontier()
+        for index in range(4):
+            frontier.push(candidate(f"http://h{index}.example/"))
+        frontier.pop()
+        frontier.pop()
+
+        restored = HostQueueFrontier()
+        restored.restore(frontier.snapshot())
+        assert len(restored) == 2
+        assert restored.pops == 2
+        assert restored.peak_size == 4
+
+    def test_candidate_fields_survive(self):
+        frontier = HostQueueFrontier()
+        frontier.push(
+            Candidate(url="http://a.example/p", priority=3, distance=2, referrer=SEED)
+        )
+        restored = HostQueueFrontier()
+        restored.restore(frontier.snapshot())
+        popped = restored.pop()
+        assert (popped.url, popped.priority, popped.distance, popped.referrer) == (
+            "http://a.example/p", 3, 2, SEED,
+        )
+
+    def test_rejects_foreign_kind(self):
+        from repro.core.frontier import FIFOFrontier
+
+        fifo = FIFOFrontier()
+        fifo.push(candidate(SEED))
+        with pytest.raises(CheckpointError, match="kind"):
+            HostQueueFrontier().restore(fifo.snapshot())
+
+
+class TestPoliteKillResume:
+    """A polite crawl killed mid-run and resumed from its checkpoint
+    fetches exactly what the uninterrupted crawl would have."""
+
+    def test_kill_and_resume_matches_uninterrupted(self, thai_dataset, tmp_path):
+        from repro.experiments.runner import run_strategy
+
+        def fetched(**kwargs):
+            urls: list[str] = []
+            run_strategy(
+                thai_dataset,
+                PoliteOrderingStrategy(BreadthFirstStrategy()),
+                sample_interval=10_000,
+                on_fetch=lambda event: urls.append(event.url),
+                **kwargs,
+            )
+            return urls
+
+        full = fetched(max_pages=300)
+        path = tmp_path / "polite.ckpt"
+        # "Kill" at 160 pages with a checkpoint every 50: the last
+        # checkpoint on disk holds the first 150 fetches.
+        killed = fetched(max_pages=160, checkpoint_every=50, checkpoint_path=path)
+        resumed = fetched(resume_from=path, max_pages=300)
+        assert killed[:150] + resumed == full
 
 
 class TestMaxSameSiteRun:

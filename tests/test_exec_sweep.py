@@ -1,0 +1,155 @@
+"""The sweep executor: the serial/parallel differential and spec hygiene.
+
+The executor's contract is that ``workers > 0`` is *invisible* in the
+results — byte-identical to the serial path, merged in submission
+order.  These tests pin that differential for every wired sweep entry
+point, plus the loud failures for things that cannot cross a process
+boundary.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.strategies import BreadthFirstStrategy
+from repro.errors import ConfigError
+from repro.exec import DatasetSpec, RunSpec, SweepExecutor, execute_run
+from repro.exec.spec import result_from_payload
+from repro.experiments.faultsweep import fault_sweep
+from repro.experiments.runner import run_strategies
+
+SWEEP = ["breadth-first", "hard-focused", ("limited-distance", {"n": 2})]
+
+
+def canonical(results: dict) -> str:
+    """Results as sorted JSON (wall_seconds excluded by construction)."""
+    return json.dumps(
+        {
+            name: {
+                "series": result.series.to_dict(),
+                "summary": dataclasses.asdict(result.summary),
+                "resilience": result.resilience,
+            }
+            for name, result in results.items()
+        },
+        sort_keys=True,
+    )
+
+
+def _double(value: int) -> int:
+    return value * 2
+
+
+class TestExecutor:
+    def test_serial_map_runs_in_process(self):
+        executor = SweepExecutor(0)
+        assert not executor.parallel
+        assert executor.map(_double, [3, 1, 2]) == [6, 2, 4]
+
+    def test_parallel_map_preserves_submission_order(self):
+        executor = SweepExecutor(2)
+        assert executor.parallel
+        assert executor.map(_double, range(8)) == [0, 2, 4, 6, 8, 10, 12, 14]
+
+    def test_single_item_skips_the_pool(self):
+        # One task gains nothing from a pool; the executor stays serial.
+        assert SweepExecutor(4).map(_double, [21]) == [42]
+
+    def test_rejects_negative_workers(self):
+        with pytest.raises(ConfigError):
+            SweepExecutor(-1)
+
+
+class TestRunStrategiesDifferential:
+    def test_workers_match_serial_byte_for_byte(self, thai_dataset):
+        serial = run_strategies(thai_dataset, SWEEP, max_pages=300)
+        parallel = run_strategies(thai_dataset, SWEEP, max_pages=300, workers=2)
+        assert list(serial) == list(parallel)  # key order = input order
+        assert canonical(serial) == canonical(parallel)
+
+    def test_rejects_strategy_instances(self, thai_dataset):
+        with pytest.raises(ConfigError, match="registry-name"):
+            run_strategies(thai_dataset, [BreadthFirstStrategy()], workers=2)
+
+    def test_rejects_unspecable_kwargs(self, thai_dataset):
+        with pytest.raises(ConfigError, match="on_fetch"):
+            run_strategies(
+                thai_dataset,
+                ["breadth-first"],
+                workers=2,
+                on_fetch=lambda event: None,
+            )
+
+    def test_rejects_unknown_strategy_driver_side(self, thai_dataset):
+        # Bad names must fail before any worker is spawned.
+        with pytest.raises(Exception):
+            run_strategies(thai_dataset, ["no-such-strategy"], workers=2)
+
+
+class TestFaultSweepDifferential:
+    def test_workers_match_serial(self, thai_dataset):
+        serial = fault_sweep(thai_dataset, rates=(0.0, 0.2), max_pages=150)
+        parallel = fault_sweep(
+            thai_dataset, rates=(0.0, 0.2), max_pages=150, workers=2
+        )
+        assert json.dumps(
+            [point.to_dict() for point in serial], sort_keys=True
+        ) == json.dumps([point.to_dict() for point in parallel], sort_keys=True)
+
+
+class TestSpecs:
+    def test_dataset_spec_rebuilds_the_same_dataset(self, thai_dataset):
+        spec = DatasetSpec.from_dataset(thai_dataset, use_cache=False)
+        rebuilt = spec.build()
+        assert rebuilt.name == thai_dataset.name
+        assert rebuilt.seed_urls == thai_dataset.seed_urls
+        assert len(rebuilt.crawl_log) == len(thai_dataset.crawl_log)
+        assert rebuilt.relevant_urls() == thai_dataset.relevant_urls()
+
+    def test_specs_are_hashable(self, thai_dataset):
+        spec = RunSpec(
+            dataset=DatasetSpec.from_dataset(thai_dataset),
+            strategy="breadth-first",
+        )
+        assert spec in {spec}
+
+    def test_parallel_spec_matches_workers(self, thai_dataset):
+        spec = RunSpec.for_parallel(
+            dataset=thai_dataset,
+            strategy="hard-focused",
+            partitions=2,
+            max_pages=200,
+        )
+        serial = SweepExecutor(0).run([spec])
+        parallel = SweepExecutor(2).run([spec])
+        assert [r.to_dict() for r in serial] == [r.to_dict() for r in parallel]
+        result = serial[0]
+        assert result.pages_crawled == sum(result.per_crawler_pages)
+
+    def test_parallel_spec_guards_partition_plan(self, thai_dataset):
+        spec = RunSpec.for_parallel(
+            dataset=thai_dataset, strategy="breadth-first", partitions=2
+        )
+        assert spec.seed_owners
+        tampered = dataclasses.replace(
+            spec,
+            seed_owners=tuple(
+                (url, 1 - bucket) for url, bucket in spec.seed_owners
+            ),
+        )
+        with pytest.raises(ConfigError, match="partition"):
+            execute_run(tampered)
+
+    def test_payload_roundtrip(self, thai_dataset):
+        spec = RunSpec(
+            dataset=DatasetSpec.from_dataset(thai_dataset),
+            strategy="breadth-first",
+            max_pages=100,
+        )
+        payload = execute_run(spec)
+        result = result_from_payload(payload)
+        assert result.strategy == "breadth-first"
+        assert result.pages_crawled == 100
+        # The payload is what crosses the process boundary: plain JSON.
+        json.dumps(payload)

@@ -88,6 +88,27 @@ class TestHostQueueProperties:
             popped_per_site.setdefault(c.url.split("/p")[0], []).append(c.url)
         assert popped_per_site == pushed_per_site
 
+    @given(pushes, st.integers(min_value=0, max_value=80), pushes)
+    @settings(max_examples=40, deadline=None)
+    def test_snapshot_roundtrip_preserves_pop_sequence(self, items, prepops, extra):
+        """Round-trip at an arbitrary mid-crawl point: the restored
+        frontier pops the identical sequence, even under further pushes
+        (rotation state — stale entries included — must survive)."""
+        frontier = HostQueueFrontier()
+        for item in items:
+            frontier.push(candidate(*item))
+        for _ in range(min(prepops, len(items))):
+            frontier.pop()
+
+        restored = HostQueueFrontier()
+        restored.restore(frontier.snapshot())
+        for target in (frontier, restored):
+            for item in extra:
+                target.push(candidate(*item))
+        assert [restored.pop().url for _ in range(len(restored))] == [
+            frontier.pop().url for _ in range(len(frontier))
+        ]
+
     @given(pushes)
     @settings(max_examples=30, deadline=None)
     def test_no_site_starved_while_all_loaded(self, items):
