@@ -16,7 +16,8 @@ from collections.abc import Iterable
 from repro import (
     BreadthFirstStrategy,
     SimpleStrategy,
-    SimulationConfig,
+    CrawlRequest,
+    SessionConfig,
     build_dataset,
     run_crawl,
     thai_profile,
@@ -79,9 +80,9 @@ def main() -> None:
     dataset = build_dataset(thai_profile().scaled(0.125))
     early = len(dataset.crawl_log) // 5
 
-    config = SimulationConfig(sample_interval=max(1, len(dataset.crawl_log) // 200))
+    config = SessionConfig(sample_interval=max(1, len(dataset.crawl_log) // 200))
     results = {
-        strategy.name: run_crawl(dataset=dataset, strategy=strategy, config=config)
+        strategy.name: run_crawl(CrawlRequest(dataset=dataset, strategy=strategy), config=config)
         for strategy in (
             BreadthFirstStrategy(),
             SimpleStrategy(mode="soft"),

@@ -16,6 +16,7 @@ from repro import (
     ParallelConfig,
     PartitionMode,
     build_dataset,
+    CrawlRequest,
     run_crawl,
     thai_profile,
 )
@@ -31,8 +32,7 @@ def main() -> None:
     for mode in (PartitionMode.FIREWALL, PartitionMode.EXCHANGE):
         for partitions in (2, 4, 8):
             result = run_crawl(
-                dataset=dataset,
-                strategy=BreadthFirstStrategy,
+                CrawlRequest(dataset=dataset, strategy=BreadthFirstStrategy),
                 config=ParallelConfig(partitions=partitions, mode=mode),
             )
             rows.append(

@@ -19,7 +19,8 @@ mean same-site burst of ~1, and a realistic simulated wall-clock.
 
 from repro import (
     SimpleStrategy,
-    SimulationConfig,
+    CrawlRequest,
+    SessionConfig,
     TimingModel,
     build_dataset,
     run_crawl,
@@ -34,11 +35,12 @@ MEMORY_LIMIT = 500
 def crawl(dataset, strategy, timing=None):
     urls = []
     result = run_crawl(
-        dataset=dataset,
-        strategy=strategy,
-        config=SimulationConfig(sample_interval=500),
-        timing=timing,
-        on_fetch=lambda event: urls.append(event.url),
+        CrawlRequest(dataset=dataset, strategy=strategy),
+        config=SessionConfig(
+            sample_interval=500,
+            timing=timing,
+            on_fetch=lambda event: urls.append(event.url),
+        ),
     )
     return result, urls
 

@@ -12,7 +12,8 @@ harvest penalty, so the frontier becomes a pure memory/coverage dial.
 from repro import (
     LimitedDistanceStrategy,
     SimpleStrategy,
-    SimulationConfig,
+    CrawlRequest,
+    SessionConfig,
     build_dataset,
     run_crawl,
     thai_profile,
@@ -22,8 +23,8 @@ from repro.experiments.report import render_table
 NS = (1, 2, 3, 4)
 
 
-def _config(dataset) -> SimulationConfig:
-    return SimulationConfig(sample_interval=max(1, len(dataset.crawl_log) // 200))
+def _config(dataset) -> SessionConfig:
+    return SessionConfig(sample_interval=max(1, len(dataset.crawl_log) // 200))
 
 
 def sweep(dataset, prioritized: bool) -> list[dict]:
@@ -31,8 +32,10 @@ def sweep(dataset, prioritized: bool) -> list[dict]:
     rows = []
     for n in NS:
         result = run_crawl(
-            dataset=dataset,
-            strategy=LimitedDistanceStrategy(n=n, prioritized=prioritized),
+            CrawlRequest(
+                dataset=dataset,
+                strategy=LimitedDistanceStrategy(n=n, prioritized=prioritized),
+            ),
             config=_config(dataset),
         )
         rows.append(
@@ -51,7 +54,8 @@ def main() -> None:
     dataset = build_dataset(thai_profile().scaled(0.125))
 
     soft = run_crawl(
-        dataset=dataset, strategy=SimpleStrategy(mode="soft"), config=_config(dataset)
+        CrawlRequest(dataset=dataset, strategy=SimpleStrategy(mode="soft")),
+        config=_config(dataset),
     )
     print(
         f"Reference (soft-focused, unbounded queue): coverage "

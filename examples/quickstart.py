@@ -11,7 +11,8 @@ for each: harvest rate, coverage, and peak URL-queue size.
 from repro import (
     BreadthFirstStrategy,
     SimpleStrategy,
-    SimulationConfig,
+    CrawlRequest,
+    SessionConfig,
     build_dataset,
     run_crawl,
     thai_profile,
@@ -29,9 +30,9 @@ def main() -> None:
         f"(relevance ratio {stats.relevance_ratio:.0%})\n"
     )
 
-    config = SimulationConfig(sample_interval=max(1, len(dataset.crawl_log) // 200))
+    config = SessionConfig(sample_interval=max(1, len(dataset.crawl_log) // 200))
     for strategy in (BreadthFirstStrategy(), SimpleStrategy(mode="soft")):
-        result = run_crawl(dataset=dataset, strategy=strategy, config=config)
+        result = run_crawl(CrawlRequest(dataset=dataset, strategy=strategy), config=config)
         early = len(dataset.crawl_log) // 5
         print(f"{strategy.name}")
         print(f"  pages crawled        {result.pages_crawled}")

@@ -15,7 +15,8 @@ from repro import (
     BreadthFirstStrategy,
     LimitedDistanceStrategy,
     SimpleStrategy,
-    SimulationConfig,
+    CrawlRequest,
+    SessionConfig,
     build_dataset,
     run_crawl,
     thai_profile,
@@ -36,9 +37,9 @@ def main() -> None:
         LimitedDistanceStrategy(n=2, prioritized=True),
         LimitedDistanceStrategy(n=3, prioritized=True),
     ]
-    config = SimulationConfig(sample_interval=max(1, len(dataset.crawl_log) // 200))
+    config = SessionConfig(sample_interval=max(1, len(dataset.crawl_log) // 200))
     results = {
-        strategy.name: run_crawl(dataset=dataset, strategy=strategy, config=config)
+        strategy.name: run_crawl(CrawlRequest(dataset=dataset, strategy=strategy), config=config)
         for strategy in strategies
     }
 

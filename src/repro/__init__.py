@@ -16,15 +16,18 @@ The package implements the paper's full stack from scratch:
 
 Quickstart::
 
-    from repro import SimpleStrategy, build_dataset, run_crawl, thai_profile
+    from repro import CrawlRequest, build_dataset, run_crawl, thai_profile
 
     dataset = build_dataset(thai_profile().scaled(0.1))
-    result = run_crawl(dataset=dataset, strategy=SimpleStrategy(mode="soft"))
+    result = run_crawl(CrawlRequest(dataset=dataset, strategy="soft-focused"))
     print(result.coverage, result.summary.max_queue_size)
 
-``run_crawl`` is the session API: one keyword-only entry point driving
-the sequential and the partitioned engines alike (:mod:`repro.api`),
-with optional telemetry from :mod:`repro.obs`.
+``run_crawl`` is the session API: a :class:`CrawlRequest` names the
+workload, a :class:`SessionConfig` shapes the run, and the same pair
+drives the sequential and the partitioned engines alike
+(:mod:`repro.api`), with optional telemetry from :mod:`repro.obs`.
+Long-lived, budget-stepped crawls use :class:`CrawlSession` directly or
+the session server in :mod:`repro.serve`.
 """
 
 from repro.api import run_crawl
@@ -42,7 +45,9 @@ from repro.core import (
     ClassifierMode,
     CrawlEngine,
     CrawlReport,
+    CrawlRequest,
     CrawlResult,
+    CrawlSession,
     EngineHook,
     EngineStage,
     LimitedDistanceStrategy,
@@ -50,10 +55,13 @@ from repro.core import (
     ParallelCrawlSimulator,
     ParallelResult,
     PartitionMode,
+    SessionConfig,
+    SessionStatus,
     SimpleStrategy,
     SimulationConfig,
     Simulator,
     TimingModel,
+    report_payload,
     available_strategies,
     get_strategy,
     register_strategy,
@@ -118,6 +126,11 @@ __all__ = [
     "HtmlSynthesizer",
     # session API
     "run_crawl",
+    "CrawlRequest",
+    "CrawlSession",
+    "SessionConfig",
+    "SessionStatus",
+    "report_payload",
     # core
     "Simulator",
     "SimulationConfig",

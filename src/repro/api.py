@@ -1,117 +1,140 @@
 """The unified crawl-session API: one entry point for every workload.
 
-``run_crawl`` is the documented public way to run a simulation.  It
-drives both engines — the sequential
-:class:`~repro.core.simulator.Simulator` and the partitioned
-:class:`~repro.core.parallel.ParallelCrawlSimulator` — selected by the
-type of ``config``, and threads the optional extras (timing model,
-per-fetch callback, telemetry) through uniformly, so new workloads stop
-re-plumbing their own constructors::
+``run_crawl`` is the documented public way to run a simulation.  A call
+names **what** to crawl with a :class:`~repro.core.session.CrawlRequest`
+and **how** to run it with a :class:`~repro.core.session.SessionConfig`
+— the same two objects the serving layer (:mod:`repro.serve`) speaks
+over the wire — and drives both engines: the sequential
+:class:`~repro.core.session.CrawlSession` and the partitioned
+:class:`~repro.core.parallel.ParallelCrawlSimulator`, selected by the
+``config``::
 
-    from repro import run_crawl, SimpleStrategy
+    from repro import CrawlRequest, run_crawl
 
     # sequential, from a built dataset
-    result = run_crawl(dataset=dataset, strategy=SimpleStrategy(mode="soft"))
+    result = run_crawl(CrawlRequest(dataset=dataset, strategy="soft-focused"))
 
     # partitioned: a ParallelConfig selects the parallel engine
-    from repro import ParallelConfig, PartitionMode, BreadthFirstStrategy
+    from repro import ParallelConfig, PartitionMode
     result = run_crawl(
-        dataset=dataset,
-        strategy=BreadthFirstStrategy,
+        CrawlRequest(dataset=dataset, strategy="breadth-first"),
         config=ParallelConfig(partitions=4, mode=PartitionMode.EXCHANGE),
     )
 
 Both calls return an object satisfying the
 :class:`~repro.core.summary.CrawlReport` protocol, so downstream report
 code does not care which engine ran.
+
+The pre-session keyword surface (``run_crawl(web=..., strategy=...,
+timing=..., ...)``) still works but is deprecated: it emits a
+:class:`DeprecationWarning` and is folded into a request/config pair
+internally, so both spellings produce identical reports.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+import warnings
+from typing import Any
 
-from repro.core.classifier import Classifier, ClassifierMode
-from repro.core.events import FetchCallback
 from repro.core.parallel import (
     ParallelConfig,
     ParallelCrawlSimulator,
     ParallelResult,
 )
-from repro.core.checkpoint import CheckpointState
-from repro.core.engine import EngineHook
-from repro.core.simulator import CrawlResult, SimulationConfig, Simulator
-from repro.core.strategies.base import CrawlStrategy
-from repro.core.strategies.registry import get_strategy
-from repro.core.timing import TimingModel
+from repro.core.session import (
+    CrawlRequest,
+    CrawlResult,
+    CrawlSession,
+    SessionConfig,
+    SimulationConfig,
+)
 from repro.errors import ConfigError
-from repro.faults import FaultModel, ResilienceConfig
-from repro.obs import Instrumentation
-from repro.webspace.virtualweb import VirtualWebSpace
 
 __all__ = ["run_crawl"]
 
+#: The legacy keywords that name the *workload* (CrawlRequest fields).
+_REQUEST_KEYS = ("strategy", "web", "dataset", "classifier", "seeds", "relevant_urls")
+#: The legacy keywords that name the *run shape* (SessionConfig fields).
+_CONFIG_KEYS = (
+    "timing",
+    "on_fetch",
+    "instrumentation",
+    "faults",
+    "resilience",
+    "resume_from",
+    "hooks",
+    "record_fault_journal",
+)
+
+
+def _from_legacy_kwargs(
+    config: SessionConfig | SimulationConfig | ParallelConfig | None,
+    legacy: dict[str, Any],
+) -> tuple[CrawlRequest, SessionConfig | SimulationConfig | ParallelConfig | None]:
+    """Fold the deprecated loose-keyword surface into a request/config pair."""
+    unknown = set(legacy) - set(_REQUEST_KEYS) - set(_CONFIG_KEYS)
+    if unknown:
+        raise TypeError(
+            f"run_crawl() got unexpected keyword arguments: {sorted(unknown)}"
+        )
+    if "strategy" not in legacy:
+        raise ConfigError("run_crawl needs a request= (or a legacy strategy= keyword)")
+    warnings.warn(
+        "passing run_crawl() loose keywords (web=, strategy=, timing=, ...) is "
+        "deprecated; pass run_crawl(CrawlRequest(...), config=SessionConfig(...))",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    request = CrawlRequest(**{k: legacy[k] for k in _REQUEST_KEYS if k in legacy})
+    extras = {k: legacy[k] for k in _CONFIG_KEYS if k in legacy}
+    if "hooks" in extras:
+        extras["hooks"] = tuple(extras["hooks"])
+    if extras:
+        if isinstance(config, SessionConfig):
+            raise ConfigError(
+                "pass run-shaping keywords inside the SessionConfig, "
+                "not alongside one"
+            )
+        if isinstance(config, ParallelConfig):
+            # Preserve the historical sequential-only diagnostics.
+            if extras.get("timing") is not None or extras.get("on_fetch") is not None:
+                raise ConfigError("timing= and on_fetch= are sequential-engine features")
+            if extras.get("resume_from") is not None:
+                raise ConfigError("resume_from= is a sequential-engine feature")
+            if extras.get("hooks"):
+                raise ConfigError("hooks= is a sequential-engine feature")
+            return request, SessionConfig(
+                parallel=config,
+                instrumentation=extras.get("instrumentation"),
+                faults=extras.get("faults"),
+                resilience=extras.get("resilience"),
+            )
+        base = config or SimulationConfig()
+        return request, SessionConfig.from_simulation(base, **extras)
+    return request, config
+
 
 def run_crawl(
+    request: CrawlRequest | None = None,
     *,
-    web: VirtualWebSpace | None = None,
-    dataset=None,
-    strategy: CrawlStrategy | Callable[[], CrawlStrategy] | str,
-    classifier: Classifier | None = None,
-    seeds: Sequence[str] | None = None,
-    config: SimulationConfig | ParallelConfig | None = None,
-    relevant_urls: frozenset[str] | None = None,
-    timing: TimingModel | None = None,
-    on_fetch: FetchCallback | None = None,
-    instrumentation: Instrumentation | None = None,
-    faults: FaultModel | None = None,
-    resilience: ResilienceConfig | None = None,
-    resume_from: CheckpointState | str | None = None,
-    hooks: Sequence[EngineHook] = (),
+    config: SessionConfig | SimulationConfig | ParallelConfig | None = None,
+    **legacy: Any,
 ) -> CrawlResult | ParallelResult:
     """Run one crawl session; the single public entry point.
 
-    Keyword-only by design: every call site names what it configures.
-
     Args:
-        web: the virtual web space to crawl.  Mutually exclusive with
-            ``dataset``.
-        dataset: a built :class:`~repro.experiments.datasets.Dataset`;
-            supplies ``web``, and defaults for ``classifier``, ``seeds``
-            and ``relevant_urls`` in one argument.
-        strategy: a :class:`CrawlStrategy` instance, a zero-arg factory
-            (class or lambda), or a registered strategy *name* resolved
-            through :func:`repro.core.strategies.get_strategy`.  A
-            parallel run accepts the factory or name form — each
-            partition builds its own instance.
-        classifier: relevance judge; required with ``web``, defaulted to
-            the charset classifier of the dataset's target language with
-            ``dataset``.
-        seeds: seed URLs; required with ``web``, defaulted to the
-            dataset's captured seeds with ``dataset``.
-        config: :class:`SimulationConfig` (or None) runs the sequential
-            simulator; a :class:`ParallelConfig` runs the partitioned
-            one.
-        relevant_urls: explicit-recall denominator; precomputed from the
-            crawl log when omitted.
-        timing: optional transfer-delay model (sequential engine only).
-        on_fetch: optional per-fetch :class:`CrawlEvent` callback
-            (sequential engine only).
-        instrumentation: optional :class:`repro.obs.Instrumentation`
-            hub; no-op when omitted.
-        faults: optional :class:`~repro.faults.FaultModel` injected in
-            front of the web space; attaching one also enables the
-            resilient fetch pipeline (both engines).
-        resilience: retry/backoff/circuit-breaker policies
-            (:class:`~repro.faults.ResilienceConfig`); defaults apply
-            whenever ``faults``, checkpointing or ``resume_from`` are
-            in play.
-        resume_from: a checkpoint file path (or loaded
-            :class:`~repro.core.checkpoint.CheckpointState`) to resume
-            the crawl from; the run continues exactly where the
-            checkpointed one stopped.
-        hooks: extra :class:`~repro.core.engine.EngineHook` stage
-            observers attached after the built-in ones (sequential
-            engine only).
+        request: the workload — space (``web`` or ``dataset``),
+            strategy, classifier, seeds, recall denominator — as a
+            :class:`CrawlRequest`.
+        config: how to run it.  A :class:`SessionConfig` (or a bare
+            :class:`SimulationConfig`, upgraded internally, or None)
+            runs the sequential engine; a :class:`ParallelConfig` — or a
+            ``SessionConfig`` carrying one in its ``parallel`` field —
+            runs the partitioned one.
+        **legacy: the deprecated pre-session keyword surface
+            (``web=``, ``strategy=``, ``timing=``, ``faults=``, ...).
+            Emits :class:`DeprecationWarning` and produces a report
+            identical to the equivalent request/config call.
 
     Returns:
         A :class:`CrawlResult` or :class:`ParallelResult` — either way a
@@ -120,76 +143,55 @@ def run_crawl(
     Raises:
         ConfigError: on contradictory or incomplete session arguments.
     """
-    if dataset is not None:
-        if web is not None:
-            raise ConfigError("pass either web= or dataset=, not both")
-        if classifier is None:
-            classifier = Classifier(dataset.target_language)
-        if classifier.mode in (ClassifierMode.META, ClassifierMode.DETECTOR):
-            # Body-reading classifiers need synthesized HTML to judge.
-            from repro.graphgen.htmlsynth import HtmlSynthesizer
+    if request is not None and legacy:
+        raise ConfigError(
+            "pass either a CrawlRequest or the legacy loose keywords, not both"
+        )
+    if request is None:
+        request, config = _from_legacy_kwargs(config, legacy)
+    if not isinstance(request, CrawlRequest):
+        raise ConfigError(
+            f"run_crawl needs a CrawlRequest, got {type(request).__name__}"
+        )
 
-            web = dataset.web(body_synthesizer=HtmlSynthesizer())
-        else:
-            web = dataset.web()
-        if seeds is None:
-            seeds = dataset.seed_urls
-        if relevant_urls is None:
-            relevant_urls = dataset.relevant_urls()
-    if web is None:
-        raise ConfigError("run_crawl needs a web= space or a dataset=")
-    if classifier is None:
-        raise ConfigError("run_crawl needs a classifier= (or a dataset= to default from)")
-    if seeds is None:
-        raise ConfigError("run_crawl needs seeds= (or a dataset= to default from)")
-
+    parallel: ParallelConfig | None = None
+    session_config: SessionConfig
     if isinstance(config, ParallelConfig):
-        if isinstance(strategy, CrawlStrategy):
-            raise ConfigError(
-                "a parallel crawl needs a strategy *factory* (a class, "
-                "zero-arg callable, or registered name), not an instance "
-                "— each partition builds its own"
-            )
-        if timing is not None or on_fetch is not None:
+        parallel = config
+        session_config = SessionConfig(parallel=config)
+    elif isinstance(config, SimulationConfig):
+        session_config = SessionConfig.from_simulation(config)
+    elif config is None:
+        session_config = SessionConfig()
+    elif isinstance(config, SessionConfig):
+        parallel = config.parallel
+        session_config = config
+    else:
+        raise ConfigError(
+            "config= must be a SessionConfig, SimulationConfig or ParallelConfig, "
+            f"got {type(config).__name__}"
+        )
+
+    if parallel is not None:
+        if session_config.timing is not None or session_config.on_fetch is not None:
             raise ConfigError("timing= and on_fetch= are sequential-engine features")
-        if resume_from is not None:
+        if session_config.resume_from is not None:
             raise ConfigError("resume_from= is a sequential-engine feature")
-        if hooks:
+        if session_config.hooks:
             raise ConfigError("hooks= is a sequential-engine feature")
-        if isinstance(strategy, str):
-            name = strategy
-            get_strategy(name)  # fail fast on an unknown name
-            strategy = lambda: get_strategy(name)  # noqa: E731
+        factory = request.strategy_factory()
+        resolved = request.resolve()
+        assert resolved.web is not None and resolved.classifier is not None
         return ParallelCrawlSimulator(
-            web=web,
-            strategy_factory=strategy,
-            classifier=classifier,
-            seed_urls=list(seeds),
-            config=config,
-            relevant_urls=relevant_urls,
-            instrumentation=instrumentation,
-            faults=faults,
-            resilience=resilience,
+            web=resolved.web,
+            strategy_factory=factory,
+            classifier=resolved.classifier,
+            seed_urls=list(resolved.seeds or ()),
+            config=parallel,
+            relevant_urls=resolved.relevant_urls,
+            instrumentation=session_config.instrumentation,
+            faults=session_config.faults,
+            resilience=session_config.resilience,
         ).run()
 
-    if isinstance(strategy, str):
-        strategy = get_strategy(strategy)
-    elif not isinstance(strategy, CrawlStrategy):
-        strategy = strategy()
-        if not isinstance(strategy, CrawlStrategy):
-            raise ConfigError("strategy factory did not produce a CrawlStrategy")
-    return Simulator(
-        web=web,
-        strategy=strategy,
-        classifier=classifier,
-        seed_urls=list(seeds),
-        relevant_urls=relevant_urls,
-        config=config,
-        timing=timing,
-        on_fetch=on_fetch,
-        instrumentation=instrumentation,
-        faults=faults,
-        resilience=resilience,
-        resume_from=resume_from,
-        hooks=hooks,
-    ).run()
+    return CrawlSession(request, session_config).run()

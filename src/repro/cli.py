@@ -11,6 +11,9 @@ Subcommands map onto the experiment harness:
 - ``lswc-sim analyze thai`` — measure the paper's §3 language-locality
   evidence and the degree structure of a dataset.
 - ``lswc-sim detect FILE`` — run the charset detector on a local file.
+- ``lswc-sim serve`` — the crawl-session server: JSON commands over
+  stdio (or ``--http``), with ``--load S M`` running the synthetic
+  load generator instead.
 """
 
 from __future__ import annotations
@@ -170,6 +173,61 @@ def build_parser() -> argparse.ArgumentParser:
     p_detect = sub.add_parser("detect", help="detect the charset of a local file")
     p_detect.add_argument("path")
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the crawl-session server (JSON over stdio, or HTTP)",
+    )
+    p_serve.add_argument(
+        "--http",
+        metavar="HOST:PORT",
+        default=None,
+        help="serve HTTP on HOST:PORT instead of JSON lines on stdio",
+    )
+    p_serve.add_argument(
+        "--spool-dir",
+        metavar="DIR",
+        default=None,
+        help="directory for eviction spools (default: a temp directory)",
+    )
+    p_serve.add_argument(
+        "--max-resident",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evict least-recently-used sessions beyond N resident (default: unbounded)",
+    )
+    p_serve.add_argument(
+        "--base-seed",
+        type=int,
+        default=None,
+        help="base of the deterministic per-session dataset seeds",
+    )
+    p_serve.add_argument(
+        "--load",
+        nargs="+",
+        metavar="PROFILE",
+        default=None,
+        help="run the synthetic load generator instead of serving "
+        "(profiles: S M L XL)",
+    )
+    p_serve.add_argument(
+        "--load-seed",
+        type=int,
+        default=None,
+        help="workload seed for --load (default 42)",
+    )
+    p_serve.add_argument(
+        "--bench-out",
+        metavar="FILE.json",
+        default=None,
+        help="with --load: write BENCH_serve_load.json-style metrics to FILE",
+    )
+    p_serve.add_argument(
+        "--check-determinism",
+        action="store_true",
+        help="with --load: run each profile twice and require identical digests",
+    )
+
     return parser
 
 
@@ -294,7 +352,71 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(f"charset={result.charset} confidence={result.confidence:.2f} language={result.language}")
         return 0
 
+    if args.command == "serve":
+        return _serve(args)
+
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _serve(args: argparse.Namespace) -> int:
+    import json
+    import tempfile
+
+    from repro.serve import (
+        ProtocolHandler,
+        SessionManager,
+        make_http_server,
+        run_bench,
+        serve_stdio,
+    )
+    from repro.serve.protocol import DEFAULT_BASE_SEED
+
+    if args.load is not None:
+        bench = run_bench(
+            profiles=list(args.load),
+            seed=args.load_seed if args.load_seed is not None else 42,
+            spool_dir=args.spool_dir,
+            out_path=args.bench_out,
+            check_determinism=args.check_determinism,
+        )
+        print(json.dumps(bench, indent=2, sort_keys=True))
+        if args.bench_out:
+            print(f"bench written to {args.bench_out}", file=sys.stderr)
+        return 0
+
+    spool_dir = args.spool_dir
+    tmp_spool = None
+    if spool_dir is None:
+        tmp_spool = tempfile.TemporaryDirectory(prefix="lswc-serve-")
+        spool_dir = tmp_spool.name
+    manager = SessionManager(spool_dir=spool_dir, max_resident=args.max_resident)
+    handler = ProtocolHandler(
+        manager,
+        base_seed=args.base_seed if args.base_seed is not None else DEFAULT_BASE_SEED,
+    )
+    try:
+        if args.http is not None:
+            host, _, port = args.http.rpartition(":")
+            server = make_http_server(handler, host or "127.0.0.1", int(port))
+            print(
+                f"serving crawl sessions on http://{server.server_address[0]}"
+                f":{server.server_address[1]}/ (POST JSON commands)",
+                file=sys.stderr,
+            )
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:
+                pass
+            finally:
+                server.server_close()
+                manager.close_all()
+            return 0
+        serve_stdio(handler, sys.stdin, sys.stdout)
+        manager.close_all()
+        return 0
+    finally:
+        if tmp_spool is not None:
+            tmp_spool.cleanup()
 
 
 if __name__ == "__main__":

@@ -5,7 +5,8 @@
 - :mod:`~repro.core.visitor` — crawler mechanics over the virtual web.
 - :mod:`~repro.core.strategies` — priority-assignment strategies (§3.3).
 - :mod:`~repro.core.engine` — the unified stage-pipeline crawl loop (§4).
-- :mod:`~repro.core.simulator` — the session configurator over the engine.
+- :mod:`~repro.core.session` — the crawl-session lifecycle over the engine.
+- :mod:`~repro.core.simulator` — the one-shot face of a session.
 - :mod:`~repro.core.metrics` — harvest rate / coverage / queue size (§3.4).
 - :mod:`~repro.core.timing` — optional transfer-delay model (§6 future work).
 """
@@ -35,7 +36,16 @@ from repro.core.parallel import (
     PartitionMode,
 )
 from repro.core.politeness import HostQueueFrontier, PoliteOrderingStrategy
-from repro.core.simulator import CrawlResult, SimulationConfig, Simulator
+from repro.core.session import (
+    CrawlRequest,
+    CrawlResult,
+    CrawlSession,
+    SessionConfig,
+    SessionStatus,
+    SimulationConfig,
+    report_payload,
+)
+from repro.core.simulator import Simulator
 from repro.core.spilling import SpillingFrontier, SpillingStrategy
 from repro.core.summary import CrawlReport
 from repro.core.strategies import (
@@ -90,6 +100,11 @@ __all__ = [
     "Simulator",
     "SimulationConfig",
     "CrawlResult",
+    "CrawlRequest",
+    "CrawlSession",
+    "SessionConfig",
+    "SessionStatus",
+    "report_payload",
     "CrawlReport",
     "MetricSeries",
     "CrawlSummary",

@@ -1,0 +1,734 @@
+"""Crawl sessions: the lifecycle object every sequential run flows through.
+
+The paper runs crawls as one-shot batch simulations; a serving system
+runs them as *sessions* — long-lived, budget-stepped, evictable.  This
+module is the session layer both shapes share:
+
+- :class:`CrawlRequest` says **what** to crawl (web space or dataset,
+  strategy, classifier, seeds, recall denominator);
+- :class:`SessionConfig` says **how** to run it (page cap, sampling,
+  checkpointing, timing, faults, resilience, telemetry, resume state);
+- :class:`CrawlSession` is the lifecycle — ``open → step(budget) →
+  status/report → close`` — layered directly on
+  :meth:`repro.core.engine.CrawlEngine.run`'s budgeted stepping.
+
+One-shot callers (:func:`repro.api.run_crawl`, the
+:class:`~repro.core.simulator.Simulator` configurator) are thin
+wrappers: open, step to exhaustion, report, close.  The serving layer
+(:mod:`repro.serve`) holds sessions open across requests and *evicts*
+idle ones through :meth:`CrawlSession.snapshot` — the same
+:class:`~repro.core.checkpoint.CheckpointState` machinery the kill/
+resume differential suite pins, so an evicted-and-resumed session
+replays byte-identical to one that never left memory.
+
+``SimulationConfig`` and ``CrawlResult`` live here (they are session
+vocabulary) and stay importable from :mod:`repro.core.simulator`, their
+historical home.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
+
+from repro.core.checkpoint import CheckpointState, read_checkpoint, write_checkpoint
+from repro.core.classifier import Classifier, ClassifierMode
+from repro.core.engine import (
+    CheckpointHook,
+    CrawlEngine,
+    EngineHook,
+    EngineLoopState,
+    EngineStep,
+)
+from repro.core.events import FetchCallback
+from repro.core.metrics import CrawlSummary, MetricsRecorder, MetricSeries
+from repro.core.strategies.base import CrawlStrategy
+from repro.core.strategies.registry import get_strategy
+from repro.core.timing import TimingModel
+from repro.core.visitor import Visitor
+from repro.errors import CheckpointError, ConfigError, SessionError, SimulationError
+from repro.faults.model import FaultModel, FaultyWebSpace
+from repro.faults.resilience import HostBreakers, ResilienceConfig, ResilienceStats
+from repro.obs import Instrumentation
+from repro.obs.hooks import ResilienceCountersHook, StepSpanHook
+from repro.obs.instrument import active as _active_instrumentation
+from repro.urlkit.normalize import intern_url
+from repro.webspace.stats import relevant_url_set
+from repro.webspace.virtualweb import VirtualWebSpace
+
+if TYPE_CHECKING:
+    from repro.core.parallel import ParallelConfig
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationConfig:
+    """Run-level knobs independent of the strategy under test.
+
+    Attributes:
+        max_pages: stop after this many fetches (None = run the frontier
+            dry, the paper's setting).
+        sample_interval: metric sampling period in pages.
+        extract_from_body: parse outlinks from synthesized HTML instead
+            of reading them from the crawl-log record.
+        checkpoint_every: write a resumable checkpoint every this many
+            crawled pages (None = never).  Requires ``checkpoint_path``.
+        checkpoint_path: destination file of the periodic checkpoint
+            (each write atomically replaces the previous one).
+    """
+
+    max_pages: int | None = None
+    sample_interval: int = 500
+    extract_from_body: bool = False
+    checkpoint_every: int | None = None
+    checkpoint_path: str | Path | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class CrawlResult:
+    """Everything a finished simulation reports.
+
+    Satisfies the :class:`repro.core.summary.CrawlReport` protocol
+    (``pages_crawled`` / ``coverage`` / ``to_dict``), the shape shared
+    with :class:`repro.core.parallel.ParallelResult` so report code can
+    render either without isinstance checks.
+    """
+
+    strategy: str
+    series: MetricSeries
+    summary: CrawlSummary
+    wall_seconds: float
+    pages_crawled: int
+    frontier_peak: int
+    #: Resilient-pipeline tallies (:meth:`ResilienceStats.to_dict`
+    #: shape) when the run used the resilient pipeline; None on clean
+    #: runs.
+    resilience: dict | None = None
+
+    @property
+    def final_harvest_rate(self) -> float:
+        return self.summary.final_harvest_rate
+
+    @property
+    def final_coverage(self) -> float:
+        return self.summary.final_coverage
+
+    @property
+    def coverage(self) -> float:
+        """Protocol alias of :attr:`final_coverage`."""
+        return self.summary.final_coverage
+
+    def to_dict(self) -> dict:
+        """Report-friendly flat summary (the run's headline numbers)."""
+        return {
+            "strategy": self.strategy,
+            "pages_crawled": self.summary.pages_crawled,
+            "final_harvest_rate": self.summary.final_harvest_rate,
+            "final_coverage": self.summary.final_coverage,
+            "max_queue_size": self.summary.max_queue_size,
+        }
+
+
+def report_payload(result: CrawlResult) -> dict:
+    """The deterministic report of a run, as plain JSON-able dicts.
+
+    This is the payload "byte-identical" claims are made over: the
+    headline numbers, the full summary, and the sampled series — every
+    field a function of the crawl's fetch sequence alone.  Wall-clock
+    time and infrastructure tallies (checkpoint writes, whether the
+    resilient pipeline happened to be armed) are deliberately excluded:
+    a session that was evicted and resumed must produce the same payload
+    as a one-shot run, and those fields are properties of the serving
+    infrastructure, not of the crawl.
+    """
+    return {
+        "result": result.to_dict(),
+        "summary": asdict(result.summary),
+        "series": result.series.to_dict(),
+    }
+
+
+@dataclass(frozen=True)
+class CrawlRequest:
+    """What to crawl: the workload half of a session, in one object.
+
+    Exactly one of ``web`` / ``dataset`` supplies the space.  A
+    ``dataset`` also defaults ``classifier`` (the charset classifier of
+    its target language), ``seeds`` (the captured seed list) and
+    ``relevant_urls`` (the explicit-recall denominator).
+
+    ``strategy`` is a :class:`CrawlStrategy` instance, a zero-arg
+    factory, or a registered name (``params`` are the name's constructor
+    keywords, e.g. ``CrawlRequest(strategy="limited-distance",
+    params={"n": 2})``).
+    """
+
+    strategy: CrawlStrategy | Callable[[], CrawlStrategy] | str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    web: VirtualWebSpace | None = None
+    dataset: Any = None
+    classifier: Classifier | None = None
+    seeds: Sequence[str] | None = None
+    relevant_urls: frozenset[str] | None = None
+
+    def build_strategy(self) -> CrawlStrategy:
+        """Resolve ``strategy`` to an instance (registry names allowed)."""
+        strategy = self.strategy
+        if isinstance(strategy, str):
+            return get_strategy(strategy, **dict(self.params))
+        if self.params:
+            raise ConfigError("params= only combines with a registry-name strategy")
+        if isinstance(strategy, CrawlStrategy):
+            return strategy
+        built = strategy()
+        if not isinstance(built, CrawlStrategy):
+            raise ConfigError("strategy factory did not produce a CrawlStrategy")
+        return built
+
+    def strategy_factory(self) -> Callable[[], CrawlStrategy]:
+        """Resolve ``strategy`` to a per-partition factory (parallel runs)."""
+        strategy = self.strategy
+        if isinstance(strategy, CrawlStrategy):
+            raise ConfigError(
+                "a parallel crawl needs a strategy *factory* (a class, "
+                "zero-arg callable, or registered name), not an instance "
+                "— each partition builds its own"
+            )
+        if isinstance(strategy, str):
+            name, params = strategy, dict(self.params)
+            get_strategy(name, **params)  # fail fast on an unknown name
+            return lambda: get_strategy(name, **params)
+        return strategy
+
+    def resolve(self) -> "CrawlRequest":
+        """A copy with every dataset default applied and validated.
+
+        Building the web space is the expensive part of a session, so
+        sessions call this from :meth:`CrawlSession.open`, not at
+        construction.
+        """
+        web = self.web
+        classifier = self.classifier
+        seeds = self.seeds
+        relevant_urls = self.relevant_urls
+        if self.dataset is not None:
+            if web is not None:
+                raise ConfigError("pass either web= or dataset=, not both")
+            if classifier is None:
+                classifier = Classifier(self.dataset.target_language)
+            if classifier.mode in (ClassifierMode.META, ClassifierMode.DETECTOR):
+                # Body-reading classifiers need synthesized HTML to judge.
+                from repro.graphgen.htmlsynth import HtmlSynthesizer
+
+                web = self.dataset.web(body_synthesizer=HtmlSynthesizer())
+            else:
+                web = self.dataset.web()
+            if seeds is None:
+                seeds = tuple(self.dataset.seed_urls)
+            if relevant_urls is None:
+                relevant_urls = self.dataset.relevant_urls()
+        if web is None:
+            raise ConfigError("a crawl session needs a web= space or a dataset=")
+        if classifier is None:
+            raise ConfigError(
+                "a crawl session needs a classifier= (or a dataset= to default from)"
+            )
+        if seeds is None:
+            raise ConfigError("a crawl session needs seeds= (or a dataset= to default from)")
+        return replace(
+            self,
+            web=web,
+            dataset=None,
+            classifier=classifier,
+            seeds=tuple(seeds),
+            relevant_urls=relevant_urls,
+        )
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """How a session runs: every run-shaping knob in one typed object.
+
+    The first five fields are :class:`SimulationConfig` (the engine-level
+    subset); the rest used to be ``run_crawl``'s loose keyword surface.
+    ``parallel`` switches the run to the partitioned engine — a
+    :class:`~repro.core.parallel.ParallelConfig` session is driven by
+    :func:`repro.api.run_crawl`, never by :class:`CrawlSession` (the
+    sequential lifecycle object).
+    """
+
+    max_pages: int | None = None
+    sample_interval: int = 500
+    extract_from_body: bool = False
+    checkpoint_every: int | None = None
+    checkpoint_path: str | Path | None = None
+    timing: TimingModel | None = None
+    on_fetch: FetchCallback | None = None
+    instrumentation: Instrumentation | None = None
+    faults: FaultModel | None = None
+    resilience: ResilienceConfig | None = None
+    resume_from: CheckpointState | str | Path | None = None
+    hooks: tuple[EngineHook, ...] = ()
+    record_fault_journal: bool = False
+    parallel: "ParallelConfig | None" = None
+
+    def __post_init__(self) -> None:
+        # Accept any sequence of hooks; store the canonical tuple.
+        if not isinstance(self.hooks, tuple):
+            object.__setattr__(self, "hooks", tuple(self.hooks))
+
+    def simulation(self) -> SimulationConfig:
+        """The engine-level subset, as a :class:`SimulationConfig`."""
+        return SimulationConfig(
+            max_pages=self.max_pages,
+            sample_interval=self.sample_interval,
+            extract_from_body=self.extract_from_body,
+            checkpoint_every=self.checkpoint_every,
+            checkpoint_path=self.checkpoint_path,
+        )
+
+    @classmethod
+    def from_simulation(cls, config: SimulationConfig, **extras: Any) -> "SessionConfig":
+        """Upgrade a :class:`SimulationConfig` (extras fill the rest)."""
+        return cls(
+            max_pages=config.max_pages,
+            sample_interval=config.sample_interval,
+            extract_from_body=config.extract_from_body,
+            checkpoint_every=config.checkpoint_every,
+            checkpoint_path=config.checkpoint_path,
+            **extras,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class SessionStatus:
+    """A point-in-time view of one session, cheap enough to poll."""
+
+    state: str
+    steps: int
+    queue_size: int
+    scheduled: int
+    done: bool
+    retries: int = 0
+    requeued: int = 0
+    dropped: int = 0
+    breaker_skips: int = 0
+    checkpoints_written: int = 0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+class CrawlSession:
+    """One crawl as a lifecycle: ``open → step(budget) → report → close``.
+
+    The session owns the component graph the Figure-2 simulator wires —
+    visitor, classifier, strategy, frontier, recorder — and drives it
+    through :meth:`CrawlEngine.run`'s budgeted stepping, so callers
+    choose the cadence: one-shot (``run()``), interactive
+    (``step(budget)`` until :attr:`done`), or served (a
+    :class:`~repro.serve.SessionManager` stepping many sessions).
+
+    Eviction contract: :meth:`snapshot` captures the full resumable
+    state **at a step boundary** (between ``step()`` calls the engine's
+    loop state is always consistent — an in-flight fetch round's retries
+    are either fully recorded or will be fully replayed).  A session
+    rebuilt with ``SessionConfig(resume_from=snapshot)`` over the same
+    request continues byte-identically — including in-flight requeue
+    budgets, fault-injection indices and breaker cooldowns — which is
+    the same guarantee the kill/resume differential suite pins.
+
+    Sessions are not thread-safe; the serving layer serialises access
+    per session.
+    """
+
+    def __init__(self, request: CrawlRequest, config: SessionConfig | None = None) -> None:
+        if not isinstance(request, CrawlRequest):
+            raise ConfigError(f"CrawlSession needs a CrawlRequest, got {type(request).__name__}")
+        config = config or SessionConfig()
+        if config.parallel is not None:
+            raise ConfigError(
+                "CrawlSession drives the sequential engine; run a ParallelConfig "
+                "session through repro.api.run_crawl"
+            )
+        if config.checkpoint_every is not None:
+            if config.checkpoint_every < 1:
+                raise ConfigError("checkpoint_every must be >= 1")
+            if config.checkpoint_path is None:
+                raise ConfigError("checkpoint_every requires checkpoint_path")
+        resume = config.resume_from
+        if isinstance(resume, (str, Path)):
+            resume = read_checkpoint(resume)
+        self._request = request
+        self._config = config
+        self._resume_state = resume
+        resilient = (
+            config.faults is not None
+            or config.resilience is not None
+            or config.checkpoint_every is not None
+            or resume is not None
+        )
+        self._resilience = (config.resilience or ResilienceConfig()) if resilient else None
+        self._state = "new"
+        self._wall = 0.0
+        #: The fault-injecting web wrapper (None until open / on clean
+        #: runs) — tests read its journal and injection tallies.
+        self.faulty_web: FaultyWebSpace | None = None
+        self._engine: CrawlEngine | None = None
+        self._strategy: CrawlStrategy | None = None
+        self._classifier: Classifier | None = None
+        self._visitor: Visitor | None = None
+        self._recorder: MetricsRecorder | None = None
+        self._frontier = None
+        self._scheduled: set[str] | None = None
+        self._breakers: HostBreakers | None = None
+        self._instr: Instrumentation | None = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """``"new"`` (not yet opened), ``"open"``, or ``"closed"``."""
+        return self._state
+
+    def open(self) -> "CrawlSession":
+        """Build the component graph and seed (or resume) the frontier.
+
+        Idempotent while open; called implicitly by the first ``step``/
+        ``report``/``snapshot``.  This is where the expensive work
+        happens — dataset webs are materialised here, not at
+        construction.
+        """
+        if self._state == "open":
+            return self
+        if self._state == "closed":
+            raise SessionError("cannot reopen a closed crawl session")
+        request = self._request.resolve()
+        strategy = request.build_strategy()
+        if not request.seeds:
+            raise SimulationError("at least one seed URL is required")
+        config = self._config
+        assert request.web is not None and request.classifier is not None
+        relevant_urls = request.relevant_urls
+        if relevant_urls is None:
+            relevant_urls = relevant_url_set(
+                request.web.crawl_log, request.classifier.target_language
+            )
+
+        instr = _active_instrumentation(config.instrumentation)
+        web: VirtualWebSpace | FaultyWebSpace = request.web
+        faulty: FaultyWebSpace | None = None
+        if config.faults is not None:
+            faulty = FaultyWebSpace(
+                web, config.faults, record_journal=config.record_fault_journal
+            )
+            web = faulty
+        self.faulty_web = faulty
+        visitor = Visitor(
+            web,
+            extract_from_body=config.extract_from_body,
+            instrumentation=instr,
+        )
+        classifier = request.classifier
+        if instr is not None:
+            classifier.bind_instrumentation(instr)
+            strategy.bind_instrumentation(instr)
+        frontier = strategy.make_frontier()
+        recorder = MetricsRecorder(
+            name=strategy.name,
+            relevant_urls=relevant_urls,
+            sample_interval=config.sample_interval,
+        )
+
+        resilience = self._resilience
+        breakers: HostBreakers | None = None
+        if resilience is not None and resilience.breaker is not None:
+            breakers = HostBreakers(resilience.breaker)
+
+        scheduled: set[str] = set()
+        rstate = EngineLoopState()
+        resume = self._resume_state
+        if resume is not None:
+            self._apply_resume(
+                resume, strategy, frontier, recorder, visitor, scheduled, faulty, breakers
+            )
+            rstate = EngineLoopState.from_dict(resume.loop)
+
+        self._strategy = strategy
+        self._classifier = classifier
+        self._visitor = visitor
+        self._recorder = recorder
+        self._frontier = frontier
+        self._scheduled = scheduled
+        self._breakers = breakers
+        self._instr = instr
+        engine = CrawlEngine(
+            frontier=frontier,
+            visitor=visitor,
+            classifier=classifier,
+            strategy=strategy,
+            scheduled=scheduled,
+            recorder=recorder,
+            max_pages=config.max_pages,
+            timing=config.timing,
+            on_fetch=config.on_fetch,
+            faults=config.faults,
+            retry=resilience.retry if resilience is not None else None,
+            breakers=breakers,
+            hooks=self._build_hooks(instr, resilience, rstate),
+            loop_state=rstate,
+        )
+        self._engine = engine
+        if resume is None:
+            engine.seed(list(request.seeds))
+        self._state = "open"
+        return self
+
+    def step(self, budget: int | None = None) -> int:
+        """Crawl up to ``budget`` pages (None = to exhaustion / page cap).
+
+        Returns the number of crawl steps completed by this call; 0 when
+        the session is already :attr:`done`.
+        """
+        self.open()
+        assert self._engine is not None
+        started = time.perf_counter()
+        try:
+            return self._engine.run(budget)
+        finally:
+            self._wall += time.perf_counter() - started
+
+    @property
+    def steps(self) -> int:
+        """Completed crawl steps so far (0 before open)."""
+        return self._engine.steps if self._engine is not None else 0
+
+    @property
+    def done(self) -> bool:
+        """True once the frontier drained or the page cap was reached."""
+        if self._engine is None:
+            return False
+        if not self._engine.frontier:
+            return True
+        max_pages = self._config.max_pages
+        return max_pages is not None and self._engine.steps >= max_pages
+
+    def status(self) -> SessionStatus:
+        """A cheap point-in-time view (valid in every lifecycle state)."""
+        engine = self._engine
+        if engine is None:
+            return SessionStatus(
+                state=self._state, steps=0, queue_size=0, scheduled=0, done=False
+            )
+        loop = engine.state
+        return SessionStatus(
+            state=self._state,
+            steps=loop.steps,
+            queue_size=len(engine.frontier),
+            scheduled=len(engine.scheduled),
+            done=self.done,
+            retries=loop.retries,
+            requeued=loop.requeued,
+            dropped=loop.dropped,
+            breaker_skips=loop.breaker_skips,
+            checkpoints_written=loop.checkpoints_written,
+        )
+
+    def report(self) -> CrawlResult:
+        """The run's :class:`CrawlResult` as of the current step count.
+
+        Callable mid-crawl (a progress report) or after :attr:`done`
+        (the final report); does not close the session.
+        """
+        self.open()
+        assert (
+            self._recorder is not None
+            and self._strategy is not None
+            and self._engine is not None
+            and self._visitor is not None
+        )
+        series, summary = self._recorder.finish(self._strategy.name)
+        resilience_dict: dict | None = None
+        if self._resilience is not None:
+            rstate = self._engine.state
+            resilience_dict = ResilienceStats(
+                retries=rstate.retries,
+                requeued=rstate.requeued,
+                dropped=rstate.dropped,
+                fetches_failed=self._visitor.fetches_failed,
+                breaker_skips=rstate.breaker_skips,
+                breaker_opened=self._breakers.opened if self._breakers is not None else 0,
+                checkpoints_written=rstate.checkpoints_written,
+                faults_injected=dict(self._config.faults.injected)
+                if self._config.faults
+                else {},
+            ).to_dict()
+        return CrawlResult(
+            strategy=self._strategy.name,
+            series=series,
+            summary=summary,
+            wall_seconds=self._wall,
+            pages_crawled=self._recorder.steps,
+            frontier_peak=self._frontier.peak_size,
+            resilience=resilience_dict,
+        )
+
+    def close(self) -> None:
+        """Flush telemetry and release the frontier.  Idempotent."""
+        if self._state != "open":
+            self._state = "closed"
+            return
+        self._state = "closed"
+        instr = self._instr
+        engine = self._engine
+        assert engine is not None and self._frontier is not None
+        if instr is not None:
+            instr.flush()
+            instr.gauge("frontier.peak_size", self._frontier.peak_size)
+            instr.gauge("frontier.pushes", self._frontier.pushes)
+            instr.gauge("frontier.pops", self._frontier.pops)
+            instr.count("simulator.pages", engine.state.steps)
+            assert self._classifier is not None
+            cache = self._classifier.cache
+            if cache is not None:
+                for key, value in cache.stats().items():
+                    instr.gauge(f"classifier.cache.{key}", value)
+            if self._breakers is not None:
+                instr.gauge("breaker.open_hosts", self._breakers.open_hosts())
+                instr.gauge("breaker.opened", self._breakers.opened)
+            if self._config.faults is not None:
+                for kind, injected in self._config.faults.injected.items():
+                    instr.gauge(f"faults.injected.{kind}", injected)
+            self._classifier.bind_instrumentation(None)
+        self._frontier.close()
+
+    def run(self, budget: int | None = None) -> CrawlResult:
+        """The one-shot path: open, step, report, close — in one call."""
+        self.open()
+        try:
+            self.step(budget)
+            return self.report()
+        finally:
+            self.close()
+
+    # -- eviction / checkpointing --------------------------------------
+
+    def snapshot(self) -> CheckpointState:
+        """The session's full resumable state, at the current step boundary.
+
+        This is what eviction serialises.  Unlike the periodic
+        :class:`~repro.core.engine.CheckpointHook` cadence, taking a
+        snapshot does **not** count into ``checkpoints_written`` — an
+        eviction is a property of the serving infrastructure, not of the
+        run, and the resumed session's tallies must stay identical to an
+        uninterrupted run's.
+        """
+        self.open()
+        assert self._engine is not None
+        rstate = self._engine.state
+        return self._checkpoint_state(rstate)
+
+    def save_checkpoint(self, path: str | Path) -> None:
+        """Atomically write :meth:`snapshot` to ``path`` (JSONL)."""
+        write_checkpoint(path, self.snapshot())
+
+    def _checkpoint_state(self, rstate: EngineLoopState) -> CheckpointState:
+        assert (
+            self._strategy is not None
+            and self._frontier is not None
+            and self._scheduled is not None
+            and self._recorder is not None
+            and self._visitor is not None
+        )
+        config = self._config
+        return CheckpointState(
+            strategy=self._strategy.name,
+            steps=rstate.steps,
+            frontier=self._frontier.snapshot(),
+            scheduled=list(self._scheduled),
+            recorder=self._recorder.snapshot(),
+            visitor=self._visitor.snapshot(),
+            loop=rstate.to_dict(),
+            timing=config.timing.snapshot() if config.timing is not None else None,
+            faults=self.faulty_web.snapshot() if self.faulty_web is not None else None,
+            breakers=self._breakers.snapshot() if self._breakers is not None else None,
+        )
+
+    # -- internals ------------------------------------------------------
+
+    def _build_hooks(
+        self,
+        instr: Instrumentation | None,
+        resilience: ResilienceConfig | None,
+        rstate: EngineLoopState,
+    ) -> tuple[EngineHook, ...]:
+        """Decide which stage observers this session attaches.
+
+        - Clean instrumented runs get the span/stage-timer profile.
+        - Resilient instrumented runs get the event counters (their
+          per-step cost budget has no room for span assembly).
+        - A configured checkpoint cadence attaches the checkpoint hook,
+          whose writer closure owns serialisation and accounting.
+        - Caller-supplied hooks run last, in the order given.
+        """
+        hooks: list[EngineHook] = []
+        if instr is not None:
+            if resilience is None:
+                hooks.append(StepSpanHook(instr))
+            else:
+                hooks.append(ResilienceCountersHook(instr))
+        checkpoint_every = self._config.checkpoint_every
+        if checkpoint_every is not None:
+
+            def write_periodic(step: EngineStep) -> None:
+                # Count the write before serialising so the checkpoint's
+                # own tally includes it — a resumed run then reports the
+                # same total as an uninterrupted one.
+                rstate.steps = step.steps
+                rstate.checkpoints_written += 1
+                assert self._config.checkpoint_path is not None
+                write_checkpoint(self._config.checkpoint_path, self._checkpoint_state(rstate))
+                if instr is not None:
+                    instr.count("checkpoint.writes")
+
+            hooks.append(CheckpointHook(checkpoint_every, write_periodic))
+        hooks.extend(self._config.hooks)
+        return tuple(hooks)
+
+    def _apply_resume(
+        self,
+        resume: CheckpointState,
+        strategy: CrawlStrategy,
+        frontier,
+        recorder: MetricsRecorder,
+        visitor: Visitor,
+        scheduled: set[str],
+        faulty: FaultyWebSpace | None,
+        breakers: HostBreakers | None,
+    ) -> None:
+        """Load a checkpoint into the freshly built run components."""
+        if resume.strategy and resume.strategy != strategy.name:
+            raise CheckpointError(
+                f"checkpoint was taken by strategy {resume.strategy!r}; "
+                f"cannot resume it with {strategy.name!r}"
+            )
+        frontier.restore(resume.frontier)
+        scheduled.update(intern_url(url) for url in resume.scheduled)
+        recorder.restore(resume.recorder)
+        visitor.restore(resume.visitor)
+        if resume.timing is not None:
+            if self._config.timing is None:
+                raise CheckpointError(
+                    "checkpoint carries timing state but no timing model is configured"
+                )
+            self._config.timing.restore(resume.timing)
+        if resume.faults is not None:
+            if faulty is None:
+                raise CheckpointError(
+                    "checkpoint carries fault-injection state but no fault model "
+                    "is configured; resume with the same fault profile"
+                )
+            faulty.restore(resume.faults)
+        if resume.breakers is not None and breakers is not None:
+            breakers.restore(resume.breakers)

@@ -5,11 +5,11 @@ space, according to the specified web crawling strategy."  One
 :class:`Simulator` run wires the components of the paper's Figure 2
 together — the **visitor** fetches and extracts, the **classifier**
 judges, the **observer** (strategy) decides link expansion, and the
-**URL queue** orders what comes next — and hands them to the unified
-:class:`~repro.core.engine.CrawlEngine`, which owns the one crawl loop.
-The simulator itself is a thin configurator: it builds the components,
-decides which engine hooks attach (observability, checkpointing), and
-collects the finished run into a :class:`CrawlResult`.
+**URL queue** orders what comes next.  Since the session redesign the
+wiring itself lives in :class:`repro.core.session.CrawlSession`; the
+simulator is the one-shot face of it: each :meth:`Simulator.run` opens
+a fresh session over the stored request, steps it to exhaustion, and
+returns its report.
 
 Scheduling contract (this is where the paper's discard semantics live):
 
@@ -19,104 +19,41 @@ Scheduling contract (this is where the paper's discard semantics live):
   later discovery along a different path may still enqueue it.  That is
   what makes the limited-distance rule a property of crawl *paths*
   (Figure 1) rather than of pages.
+
+``SimulationConfig`` and ``CrawlResult`` moved to
+:mod:`repro.core.session` and are re-exported here, their historical
+import path.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
 
-from repro.core.checkpoint import CheckpointState, read_checkpoint, write_checkpoint
+from repro.core.checkpoint import CheckpointState
 from repro.core.classifier import Classifier
-from repro.core.engine import CheckpointHook, CrawlEngine, EngineHook, EngineLoopState, EngineStep
+from repro.core.engine import EngineHook
 from repro.core.events import FetchCallback
-from repro.core.metrics import CrawlSummary, MetricsRecorder, MetricSeries
+from repro.core.session import (
+    CrawlRequest,
+    CrawlResult,
+    CrawlSession,
+    SessionConfig,
+    SimulationConfig,
+)
 from repro.core.strategies.base import CrawlStrategy
 from repro.core.timing import TimingModel
-from repro.core.visitor import Visitor
-from repro.errors import CheckpointError, ConfigError, SimulationError
+from repro.errors import SimulationError
 from repro.faults.model import FaultModel, FaultyWebSpace
-from repro.faults.resilience import HostBreakers, ResilienceConfig, ResilienceStats
+from repro.faults.resilience import ResilienceConfig
 from repro.obs import Instrumentation
-from repro.obs.hooks import ResilienceCountersHook, StepSpanHook
-from repro.obs.instrument import active as _active_instrumentation
-from repro.urlkit.normalize import intern_url
-from repro.webspace.stats import relevant_url_set
 from repro.webspace.virtualweb import VirtualWebSpace
 
-
-@dataclass(frozen=True, slots=True)
-class SimulationConfig:
-    """Run-level knobs independent of the strategy under test.
-
-    Attributes:
-        max_pages: stop after this many fetches (None = run the frontier
-            dry, the paper's setting).
-        sample_interval: metric sampling period in pages.
-        extract_from_body: parse outlinks from synthesized HTML instead
-            of reading them from the crawl-log record.
-        checkpoint_every: write a resumable checkpoint every this many
-            crawled pages (None = never).  Requires ``checkpoint_path``.
-        checkpoint_path: destination file of the periodic checkpoint
-            (each write atomically replaces the previous one).
-    """
-
-    max_pages: int | None = None
-    sample_interval: int = 500
-    extract_from_body: bool = False
-    checkpoint_every: int | None = None
-    checkpoint_path: str | Path | None = None
-
-
-@dataclass(frozen=True, slots=True)
-class CrawlResult:
-    """Everything a finished simulation reports.
-
-    Satisfies the :class:`repro.core.summary.CrawlReport` protocol
-    (``pages_crawled`` / ``coverage`` / ``to_dict``), the shape shared
-    with :class:`repro.core.parallel.ParallelResult` so report code can
-    render either without isinstance checks.
-    """
-
-    strategy: str
-    series: MetricSeries
-    summary: CrawlSummary
-    wall_seconds: float
-    pages_crawled: int
-    frontier_peak: int
-    #: Resilient-pipeline tallies (:meth:`ResilienceStats.to_dict`
-    #: shape) when the run used the resilient pipeline; None on clean
-    #: runs.
-    resilience: dict | None = None
-
-    @property
-    def final_harvest_rate(self) -> float:
-        return self.summary.final_harvest_rate
-
-    @property
-    def final_coverage(self) -> float:
-        return self.summary.final_coverage
-
-    @property
-    def coverage(self) -> float:
-        """Protocol alias of :attr:`final_coverage`."""
-        return self.summary.final_coverage
-
-    def to_dict(self) -> dict:
-        """Report-friendly flat summary (the run's headline numbers)."""
-        return {
-            "strategy": self.strategy,
-            "pages_crawled": self.summary.pages_crawled,
-            "final_harvest_rate": self.summary.final_harvest_rate,
-            "final_coverage": self.summary.final_coverage,
-            "max_queue_size": self.summary.max_queue_size,
-        }
+__all__ = ["SimulationConfig", "CrawlResult", "Simulator"]
 
 
 class Simulator:
-    """Drives one strategy over one virtual web space.
+    """Drives one strategy over one virtual web space, one shot per run.
 
     The clean path — no faults, no resilience, no checkpointing — runs
     the engine with no policies armed and no hooks attached: the exact
@@ -148,256 +85,35 @@ class Simulator:
     ) -> None:
         if not seed_urls:
             raise SimulationError("at least one seed URL is required")
-        self._web = web
-        self._strategy = strategy
-        self._classifier = classifier
-        self._seed_urls = list(seed_urls)
-        if relevant_urls is None:
-            relevant_urls = relevant_url_set(web.crawl_log, classifier.target_language)
-        self._relevant_urls = relevant_urls
-        self._config = config or SimulationConfig()
-        self._timing = timing
-        self._on_fetch = on_fetch
-        self._instrumentation = instrumentation
-        self._faults = faults
-        self._record_fault_journal = record_fault_journal
-        self._hooks = tuple(hooks)
-        if isinstance(resume_from, (str, Path)):
-            resume_from = read_checkpoint(resume_from)
-        self._resume_state = resume_from
-        if self._config.checkpoint_every is not None:
-            if self._config.checkpoint_every < 1:
-                raise ConfigError("checkpoint_every must be >= 1")
-            if self._config.checkpoint_path is None:
-                raise ConfigError("checkpoint_every requires checkpoint_path")
-        resilient = (
-            faults is not None
-            or resilience is not None
-            or self._config.checkpoint_every is not None
-            or resume_from is not None
+        self._request = CrawlRequest(
+            strategy=strategy,
+            web=web,
+            classifier=classifier,
+            seeds=tuple(seed_urls),
+            relevant_urls=relevant_urls,
         )
-        self._resilience = (resilience or ResilienceConfig()) if resilient else None
+        sim_config = config or SimulationConfig()
+        self._config = SessionConfig.from_simulation(
+            sim_config,
+            timing=timing,
+            on_fetch=on_fetch,
+            instrumentation=instrumentation,
+            faults=faults,
+            resilience=resilience,
+            resume_from=resume_from,
+            record_fault_journal=record_fault_journal,
+            hooks=tuple(hooks),
+        )
+        # Validate checkpoint/resume config now, as the old constructor did.
+        CrawlSession(self._request, self._config)
         #: The fault-injecting web wrapper of the last run (None on
         #: clean runs) — tests read its journal and injection tallies.
         self.faulty_web: FaultyWebSpace | None = None
 
     def run(self) -> CrawlResult:
         """Execute the crawl to frontier exhaustion (or the page cap)."""
-        config = self._config
-        strategy = self._strategy
-        instr = _active_instrumentation(self._instrumentation)
-        web: VirtualWebSpace | FaultyWebSpace = self._web
-        faulty: FaultyWebSpace | None = None
-        if self._faults is not None:
-            faulty = FaultyWebSpace(
-                web, self._faults, record_journal=self._record_fault_journal
-            )
-            web = faulty
-        self.faulty_web = faulty
-        visitor = Visitor(
-            web,
-            extract_from_body=config.extract_from_body,
-            instrumentation=instr,
-        )
-        if instr is not None:
-            self._classifier.bind_instrumentation(instr)
-            strategy.bind_instrumentation(instr)
-        frontier = strategy.make_frontier()
-        recorder = MetricsRecorder(
-            name=strategy.name,
-            relevant_urls=self._relevant_urls,
-            sample_interval=config.sample_interval,
-        )
-
-        resilience = self._resilience
-        breakers: HostBreakers | None = None
-        if resilience is not None and resilience.breaker is not None:
-            breakers = HostBreakers(resilience.breaker)
-
-        scheduled: set[str] = set()
-        rstate = EngineLoopState()
-        resume = self._resume_state
-        if resume is not None:
-            self._apply_resume(
-                resume, strategy, frontier, recorder, visitor, scheduled, faulty, breakers
-            )
-            rstate = EngineLoopState.from_dict(resume.loop)
-
-        engine = CrawlEngine(
-            frontier=frontier,
-            visitor=visitor,
-            classifier=self._classifier,
-            strategy=strategy,
-            scheduled=scheduled,
-            recorder=recorder,
-            max_pages=config.max_pages,
-            timing=self._timing,
-            on_fetch=self._on_fetch,
-            faults=self._faults,
-            retry=resilience.retry if resilience is not None else None,
-            breakers=breakers,
-            hooks=self._build_hooks(
-                instr, resilience, frontier, recorder, scheduled, visitor, faulty, breakers, rstate
-            ),
-            loop_state=rstate,
-        )
-        if resume is None:
-            engine.seed(self._seed_urls)
-
-        started = time.perf_counter()
-        steps = 0
+        session = CrawlSession(self._request, self._config)
         try:
-            engine.run()
+            return session.run()
         finally:
-            steps = recorder.steps
-            frontier_peak = frontier.peak_size
-            if instr is not None:
-                instr.flush()
-                instr.gauge("frontier.peak_size", frontier.peak_size)
-                instr.gauge("frontier.pushes", frontier.pushes)
-                instr.gauge("frontier.pops", frontier.pops)
-                instr.count("simulator.pages", steps)
-                cache = self._classifier.cache
-                if cache is not None:
-                    for key, value in cache.stats().items():
-                        instr.gauge(f"classifier.cache.{key}", value)
-                if breakers is not None:
-                    instr.gauge("breaker.open_hosts", breakers.open_hosts())
-                    instr.gauge("breaker.opened", breakers.opened)
-                if self._faults is not None:
-                    for kind, injected in self._faults.injected.items():
-                        instr.gauge(f"faults.injected.{kind}", injected)
-                self._classifier.bind_instrumentation(None)
-            frontier.close()
-
-        wall = time.perf_counter() - started
-        series, summary = recorder.finish(strategy.name)
-        resilience_dict: dict | None = None
-        if resilience is not None:
-            resilience_dict = ResilienceStats(
-                retries=rstate.retries,
-                requeued=rstate.requeued,
-                dropped=rstate.dropped,
-                fetches_failed=visitor.fetches_failed,
-                breaker_skips=rstate.breaker_skips,
-                breaker_opened=breakers.opened if breakers is not None else 0,
-                checkpoints_written=rstate.checkpoints_written,
-                faults_injected=dict(self._faults.injected) if self._faults else {},
-            ).to_dict()
-        return CrawlResult(
-            strategy=strategy.name,
-            series=series,
-            summary=summary,
-            wall_seconds=wall,
-            pages_crawled=steps,
-            frontier_peak=frontier_peak,
-            resilience=resilience_dict,
-        )
-
-    def _build_hooks(
-        self,
-        instr: Instrumentation | None,
-        resilience: ResilienceConfig | None,
-        frontier,
-        recorder: MetricsRecorder,
-        scheduled: set[str],
-        visitor: Visitor,
-        faulty: FaultyWebSpace | None,
-        breakers: HostBreakers | None,
-        rstate: EngineLoopState,
-    ) -> tuple[EngineHook, ...]:
-        """Decide which stage observers this run attaches.
-
-        - Clean instrumented runs get the span/stage-timer profile.
-        - Resilient instrumented runs get the event counters (their
-          per-step cost budget has no room for span assembly).
-        - A configured checkpoint cadence attaches the checkpoint hook,
-          whose writer closure owns serialisation and accounting.
-        - Caller-supplied hooks run last, in the order given.
-        """
-        hooks: list[EngineHook] = []
-        if instr is not None:
-            if resilience is None:
-                hooks.append(StepSpanHook(instr))
-            else:
-                hooks.append(ResilienceCountersHook(instr))
-        checkpoint_every = self._config.checkpoint_every
-        if checkpoint_every is not None:
-
-            def write_periodic(step: EngineStep) -> None:
-                # Count the write before serialising so the checkpoint's
-                # own tally includes it — a resumed run then reports the
-                # same total as an uninterrupted one.
-                rstate.steps = step.steps
-                rstate.checkpoints_written += 1
-                self._write_checkpoint(
-                    frontier, recorder, scheduled, visitor, faulty, breakers, rstate
-                )
-                if instr is not None:
-                    instr.count("checkpoint.writes")
-
-            hooks.append(CheckpointHook(checkpoint_every, write_periodic))
-        hooks.extend(self._hooks)
-        return tuple(hooks)
-
-    def _apply_resume(
-        self,
-        resume: CheckpointState,
-        strategy: CrawlStrategy,
-        frontier,
-        recorder: MetricsRecorder,
-        visitor: Visitor,
-        scheduled: set[str],
-        faulty: FaultyWebSpace | None,
-        breakers: HostBreakers | None,
-    ) -> None:
-        """Load a checkpoint into the freshly built run components."""
-        if resume.strategy and resume.strategy != strategy.name:
-            raise CheckpointError(
-                f"checkpoint was taken by strategy {resume.strategy!r}; "
-                f"cannot resume it with {strategy.name!r}"
-            )
-        frontier.restore(resume.frontier)
-        scheduled.update(intern_url(url) for url in resume.scheduled)
-        recorder.restore(resume.recorder)
-        visitor.restore(resume.visitor)
-        if resume.timing is not None:
-            if self._timing is None:
-                raise CheckpointError(
-                    "checkpoint carries timing state but no timing model is configured"
-                )
-            self._timing.restore(resume.timing)
-        if resume.faults is not None:
-            if faulty is None:
-                raise CheckpointError(
-                    "checkpoint carries fault-injection state but no fault model "
-                    "is configured; resume with the same fault profile"
-                )
-            faulty.restore(resume.faults)
-        if resume.breakers is not None and breakers is not None:
-            breakers.restore(resume.breakers)
-
-    def _write_checkpoint(
-        self,
-        frontier,
-        recorder: MetricsRecorder,
-        scheduled: set[str],
-        visitor: Visitor,
-        faulty: FaultyWebSpace | None,
-        breakers: HostBreakers | None,
-        rstate: EngineLoopState,
-    ) -> None:
-        state = CheckpointState(
-            strategy=self._strategy.name,
-            steps=rstate.steps,
-            frontier=frontier.snapshot(),
-            scheduled=list(scheduled),
-            recorder=recorder.snapshot(),
-            visitor=visitor.snapshot(),
-            loop=rstate.to_dict(),
-            timing=self._timing.snapshot() if self._timing is not None else None,
-            faults=faulty.snapshot() if faulty is not None else None,
-            breakers=breakers.snapshot() if breakers is not None else None,
-        )
-        assert self._config.checkpoint_path is not None
-        write_checkpoint(self._config.checkpoint_path, state)
+            self.faulty_web = session.faulty_web

@@ -48,5 +48,9 @@ class FrontierError(ReproError):
     """A frontier operation violated its contract (e.g. pop from empty)."""
 
 
+class SessionError(ReproError):
+    """A crawl session was driven outside its lifecycle contract."""
+
+
 class CheckpointError(ReproError):
     """A crawl checkpoint could not be written, read, or applied."""

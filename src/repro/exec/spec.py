@@ -279,6 +279,7 @@ def execute_run(spec: RunSpec) -> dict:
 def _execute_parallel(spec: RunSpec, ctx: _SweepCache, faults) -> dict:
     from repro.api import run_crawl
     from repro.core.parallel import ParallelConfig, PartitionMode
+    from repro.core.session import CrawlRequest, SessionConfig
     from repro.core.strategies.registry import get_strategy
 
     partitions = spec.partitions
@@ -297,17 +298,21 @@ def _execute_parallel(spec: RunSpec, ctx: _SweepCache, faults) -> dict:
                 f"expected {spec.seed_owners!r}, derived {derived!r}"
             )
     result = run_crawl(
-        web=ctx.web(False),
-        strategy=lambda: get_strategy(spec.strategy, **dict(spec.params)),
-        classifier=_classifier_for(ctx.dataset, spec.classifier_mode),
-        seeds=ctx.dataset.seed_urls,
-        relevant_urls=ctx.relevant_urls,
-        config=ParallelConfig(
-            partitions=partitions,
-            mode=PartitionMode(spec.partition_mode),
-            max_pages=spec.max_pages,
+        CrawlRequest(
+            strategy=lambda: get_strategy(spec.strategy, **dict(spec.params)),
+            web=ctx.web(False),
+            classifier=_classifier_for(ctx.dataset, spec.classifier_mode),
+            seeds=tuple(ctx.dataset.seed_urls),
+            relevant_urls=ctx.relevant_urls,
         ),
-        faults=faults,
+        config=SessionConfig(
+            faults=faults,
+            parallel=ParallelConfig(
+                partitions=partitions,
+                mode=PartitionMode(spec.partition_mode),
+                max_pages=spec.max_pages,
+            ),
+        ),
     )
     return {
         "kind": "parallel",

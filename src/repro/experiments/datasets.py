@@ -29,7 +29,7 @@ from pathlib import Path
 
 from repro.charset.languages import Language
 from repro.core.classifier import Classifier
-from repro.core.simulator import SimulationConfig, Simulator
+from repro.core.session import CrawlRequest, CrawlSession, SessionConfig
 from repro.core.strategies.combined import hard_limited_strategy, soft_limited_strategy
 from repro.errors import ConfigError
 from repro.graphgen.config import DatasetProfile
@@ -100,16 +100,19 @@ def build_dataset(
         strategy = hard_limited_strategy(capture_n)
 
     visited: list[str] = []
-    simulator = Simulator(
-        web=VirtualWebSpace(universe.crawl_log),
-        strategy=strategy,
-        classifier=Classifier(profile.target_language),
-        seed_urls=universe.seed_urls,
-        relevant_urls=frozenset(),  # capture needs no coverage accounting
-        config=SimulationConfig(sample_interval=1_000_000),
-        on_fetch=lambda event: visited.append(event.url),
-    )
-    simulator.run()
+    CrawlSession(
+        CrawlRequest(
+            strategy=strategy,
+            web=VirtualWebSpace(universe.crawl_log),
+            classifier=Classifier(profile.target_language),
+            seeds=tuple(universe.seed_urls),
+            relevant_urls=frozenset(),  # capture needs no coverage accounting
+        ),
+        SessionConfig(
+            sample_interval=1_000_000,
+            on_fetch=lambda event: visited.append(event.url),
+        ),
+    ).run()
 
     captured = CrawlLog(
         universe.crawl_log[url] for url in visited if url in universe.crawl_log

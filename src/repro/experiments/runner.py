@@ -16,7 +16,7 @@ from repro.api import run_crawl
 from repro.core.classifier import Classifier, ClassifierCache, ClassifierMode
 from repro.core.engine import EngineHook
 from repro.core.events import FetchCallback
-from repro.core.simulator import CrawlResult, SimulationConfig
+from repro.core.session import CrawlRequest, CrawlResult, SessionConfig
 from repro.core.strategies.base import CrawlStrategy
 from repro.core.strategies.registry import get_strategy
 from repro.core.summary import CrawlReport
@@ -94,27 +94,29 @@ def run_strategy(
     if relevant_urls is None:
         relevant_urls = dataset.relevant_urls()
     return run_crawl(
-        web=web,
-        strategy=strategy,
-        classifier=Classifier(
-            dataset.target_language, mode=classifier_mode, cache=classifier_cache
+        CrawlRequest(
+            strategy=strategy,
+            web=web,
+            classifier=Classifier(
+                dataset.target_language, mode=classifier_mode, cache=classifier_cache
+            ),
+            seeds=tuple(dataset.seed_urls),
+            relevant_urls=relevant_urls,
         ),
-        seeds=dataset.seed_urls,
-        relevant_urls=relevant_urls,
-        config=SimulationConfig(
+        config=SessionConfig(
             max_pages=max_pages,
             sample_interval=sample_interval,
             extract_from_body=extract_from_body,
             checkpoint_every=checkpoint_every,
             checkpoint_path=checkpoint_path,
+            timing=timing,
+            on_fetch=on_fetch,
+            instrumentation=instrumentation,
+            faults=faults,
+            resilience=resilience,
+            resume_from=resume_from,
+            hooks=tuple(hooks),
         ),
-        timing=timing,
-        on_fetch=on_fetch,
-        instrumentation=instrumentation,
-        faults=faults,
-        resilience=resilience,
-        resume_from=resume_from,
-        hooks=hooks,
     )
 
 

@@ -1,0 +1,36 @@
+"""Crawl-as-a-service: long-lived sessions behind a wire protocol.
+
+The paper's simulator runs one crawl and exits; ROADMAP item 2 wants a
+production-shaped server that holds *many* crawls open at once.  This
+package is that layer, built entirely on the public session API:
+
+- :mod:`~repro.serve.manager` — :class:`SessionManager`, the
+  multiplexer: named :class:`~repro.core.session.CrawlSession` records,
+  per-session locking, and evict-to-disk residency via the checkpoint
+  machinery (evicted sessions resume byte-identically).
+- :mod:`~repro.serve.protocol` — the JSON command protocol
+  (open/step/status/report/close/evict/stats/shutdown) shared by every
+  transport.
+- :mod:`~repro.serve.server` — the transports: newline-delimited JSON
+  over stdio and a threaded HTTP server (``lswc-sim serve``).
+- :mod:`~repro.serve.loadgen` — seeded S/M/L/XL synthetic workloads
+  publishing ``BENCH_serve_load.json``.
+"""
+
+from repro.serve.loadgen import LOAD_PROFILES, Profiles, generate_workload, run_bench, run_load
+from repro.serve.manager import ManagedSession, SessionManager
+from repro.serve.protocol import ProtocolHandler
+from repro.serve.server import make_http_server, serve_stdio
+
+__all__ = [
+    "SessionManager",
+    "ManagedSession",
+    "ProtocolHandler",
+    "serve_stdio",
+    "make_http_server",
+    "Profiles",
+    "LOAD_PROFILES",
+    "generate_workload",
+    "run_load",
+    "run_bench",
+]

@@ -1,0 +1,315 @@
+"""Seeded synthetic load for the session server.
+
+Workloads are drawn from S/M/L/XL profiles — normal-distributed
+web-space size, step budget, page cap and session arrival rate, every
+sample clamped to a range and drawn from one seeded ``random.Random``
+(the profile-table-plus-clamped-gauss shape of the ``generate_profile``
+exemplar in SNIPPETS.md).  The same ``(profile, seed)`` pair therefore
+always generates the same session arrival schedule crawling the same
+web spaces.
+
+The generator drives a real :class:`~repro.serve.protocol.ProtocolHandler`
+— every open/step/report/close is a wire command, steps fan out over a
+thread pool against the manager's per-session locks, and the resident
+cap is set below the session count so eviction/resume cycles happen
+under load.  Because evicted sessions resume byte-identically, the
+**digest** (sha256 over every session's sorted report payload) is
+deterministic even though thread scheduling, and therefore *which*
+sessions get evicted when, is not.
+
+``run_bench`` publishes ``BENCH_serve_load.json``: sessions/sec,
+p50/p99 step latency, eviction/resume counts and steady-state RSS per
+profile, plus the determinism digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from enum import Enum
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import ConfigError
+from repro.serve.manager import SessionManager
+from repro.serve.protocol import ProtocolHandler
+
+__all__ = ["Profiles", "LOAD_PROFILES", "generate_workload", "run_load", "run_bench"]
+
+DEFAULT_SEED = 42
+
+
+class Profiles(Enum):
+    SMALL = "S"
+    MEDIUM = "M"
+    LARGE = "L"
+    XLARGE = "XL"
+
+
+#: Each knob is a clamped normal: {mean, stdev, min, max}.
+LOAD_PROFILES: dict[Profiles, dict[str, Any]] = {
+    Profiles.SMALL: dict(
+        sessions=4,
+        max_resident=2,
+        arrival=dict(mean=2.0, stdev=1.0, min=1, max=3),
+        scale=dict(mean=0.05, stdev=0.02, min=0.02, max=0.08),
+        budget=dict(mean=40, stdev=12, min=10, max=80),
+        pages=dict(mean=120, stdev=30, min=60, max=200),
+    ),
+    Profiles.MEDIUM: dict(
+        sessions=8,
+        max_resident=3,
+        arrival=dict(mean=3.0, stdev=1.0, min=1, max=5),
+        scale=dict(mean=0.06, stdev=0.02, min=0.02, max=0.10),
+        budget=dict(mean=60, stdev=20, min=15, max=120),
+        pages=dict(mean=180, stdev=50, min=80, max=320),
+    ),
+    Profiles.LARGE: dict(
+        sessions=16,
+        max_resident=6,
+        arrival=dict(mean=4.0, stdev=2.0, min=1, max=8),
+        scale=dict(mean=0.08, stdev=0.03, min=0.03, max=0.15),
+        budget=dict(mean=90, stdev=30, min=20, max=200),
+        pages=dict(mean=300, stdev=80, min=100, max=500),
+    ),
+    Profiles.XLARGE: dict(
+        sessions=32,
+        max_resident=8,
+        arrival=dict(mean=6.0, stdev=2.0, min=2, max=12),
+        scale=dict(mean=0.12, stdev=0.04, min=0.05, max=0.25),
+        budget=dict(mean=120, stdev=40, min=30, max=300),
+        pages=dict(mean=500, stdev=120, min=150, max=900),
+    ),
+}
+
+_STRATEGIES = ("breadth-first", "soft-focused", "hard-focused")
+
+
+def _clamped_gauss(rng: random.Random, spec: Mapping[str, float]) -> float:
+    return min(spec["max"], max(spec["min"], rng.gauss(spec["mean"], spec["stdev"])))
+
+
+@dataclass(frozen=True, slots=True)
+class SessionSpec:
+    """One generated session: what it crawls and how it arrives."""
+
+    name: str
+    arrival_round: int
+    strategy: str
+    scale: float
+    step_budget: int
+    max_pages: int
+    dataset_seed: int
+
+    def open_command(self) -> dict:
+        return {
+            "cmd": "open",
+            "session": self.name,
+            "request": {
+                "strategy": self.strategy,
+                "dataset": {
+                    "profile": "thai",
+                    "scale": self.scale,
+                    "seed": self.dataset_seed,
+                },
+            },
+            "config": {"max_pages": self.max_pages, "sample_interval": 50},
+        }
+
+
+def generate_workload(profile: Profiles | str, seed: int = DEFAULT_SEED) -> list[SessionSpec]:
+    """The deterministic session schedule of one ``(profile, seed)`` pair."""
+    if isinstance(profile, str):
+        try:
+            profile = Profiles(profile.upper())
+        except ValueError:
+            names = sorted(p.value for p in Profiles)
+            raise ConfigError(f"unknown load profile {profile!r}; available: {names}") from None
+    table = LOAD_PROFILES[profile]
+    rng = random.Random(f"lswc-serve-load:{profile.value}:{seed}")
+    specs: list[SessionSpec] = []
+    arrival_round = 0
+    while len(specs) < table["sessions"]:
+        arriving = round(_clamped_gauss(rng, table["arrival"]))
+        for _ in range(max(1, arriving)):
+            if len(specs) >= table["sessions"]:
+                break
+            index = len(specs)
+            specs.append(
+                SessionSpec(
+                    name=f"{profile.value.lower()}{index:03d}",
+                    arrival_round=arrival_round,
+                    strategy=_STRATEGIES[index % len(_STRATEGIES)],
+                    scale=round(_clamped_gauss(rng, table["scale"]), 3),
+                    step_budget=int(_clamped_gauss(rng, table["budget"])),
+                    max_pages=int(_clamped_gauss(rng, table["pages"])),
+                    dataset_seed=seed + index % 4,
+                )
+            )
+        arrival_round += 1
+    return specs
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _rss_kb() -> int | None:
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    try:
+        import resource
+
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    except Exception:
+        return None
+
+
+def run_load(
+    profile: Profiles | str,
+    seed: int = DEFAULT_SEED,
+    spool_dir: str | Path | None = None,
+    max_workers: int = 4,
+    dataset_cache_dir: str | None = None,
+) -> dict:
+    """Run one profile's workload against a fresh server; return metrics.
+
+    The digest is the deterministic part; latency/RSS/throughput are
+    measurements of this particular run.
+    """
+    specs = generate_workload(profile, seed)
+    profile = Profiles(profile.upper()) if isinstance(profile, str) else profile
+    max_resident = LOAD_PROFILES[profile]["max_resident"]
+    tmp_spool = None
+    if spool_dir is None:
+        # Eviction needs somewhere to spool; keep the tempdir alive for
+        # the run (resumes read back from it).
+        tmp_spool = tempfile.TemporaryDirectory(prefix="lswc-serve-load-")
+        spool_dir = tmp_spool.name
+    manager = SessionManager(spool_dir=Path(spool_dir), max_resident=max_resident)
+    handler = ProtocolHandler(manager, dataset_cache_dir=dataset_cache_dir)
+
+    def _command(payload: dict) -> dict:
+        response = handler.handle(payload)
+        if not response.get("ok"):
+            raise ConfigError(f"load command failed: {response['error']}")
+        return response
+
+    pending = sorted(specs, key=lambda s: (s.arrival_round, s.name))
+    active: dict[str, SessionSpec] = {}
+    reports: dict[str, dict] = {}
+    latencies: list[float] = []
+    sessions_opened = 0
+    steps_total = 0
+    started = time.perf_counter()
+    current_round = 0
+
+    def _step(spec: SessionSpec) -> tuple[str, dict, float]:
+        t0 = time.perf_counter()
+        response = _command(
+            {"cmd": "step", "session": spec.name, "budget": spec.step_budget}
+        )
+        return spec.name, response["status"], time.perf_counter() - t0
+
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        while pending or active:
+            while pending and pending[0].arrival_round <= current_round:
+                spec = pending.pop(0)
+                _command(spec.open_command())
+                active[spec.name] = spec
+                sessions_opened += 1
+            if active:
+                results = list(pool.map(_step, sorted(active.values(), key=lambda s: s.name)))
+                for name, status, elapsed in results:
+                    latencies.append(elapsed)
+                    steps_total += 1
+                    if status["done"]:
+                        report = _command({"cmd": "close", "session": name})["report"]
+                        reports[name] = report
+                        del active[name]
+            current_round += 1
+    wall = time.perf_counter() - started
+
+    stats = manager.stats()
+    if tmp_spool is not None:
+        tmp_spool.cleanup()
+    digest = hashlib.sha256(
+        json.dumps(reports, sort_keys=True, separators=(",", ":")).encode()
+    ).hexdigest()
+    return {
+        "profile": profile.value,
+        "seed": seed,
+        "sessions": sessions_opened,
+        "steps": steps_total,
+        "wall_seconds": round(wall, 3),
+        "sessions_per_sec": round(sessions_opened / wall, 3) if wall > 0 else None,
+        "steps_per_sec": round(steps_total / wall, 3) if wall > 0 else None,
+        "p50_step_latency_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+        "p99_step_latency_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+        "evictions": stats["evictions"],
+        "resumes": stats["resumes"],
+        "steady_state_rss_kb": _rss_kb(),
+        "digest": digest,
+    }
+
+
+def run_bench(
+    profiles: list[str] | None = None,
+    seed: int = DEFAULT_SEED,
+    spool_dir: str | Path | None = None,
+    out_path: str | Path | None = None,
+    check_determinism: bool = False,
+    dataset_cache_dir: str | None = None,
+) -> dict:
+    """Run the load profiles and publish ``BENCH_serve_load.json``.
+
+    With ``check_determinism`` every profile runs twice and the two
+    digests must agree — the CI smoke gate for "eviction under load
+    never changes what a session computes".
+    """
+    profiles = profiles or ["S", "M"]
+    bench: dict[str, Any] = {"bench": "serve_load", "seed": seed, "profiles": {}}
+    for name in profiles:
+        metrics = run_load(
+            name,
+            seed=seed,
+            spool_dir=_subdir(spool_dir, f"{name}-a"),
+            dataset_cache_dir=dataset_cache_dir,
+        )
+        if check_determinism:
+            rerun = run_load(
+                name,
+                seed=seed,
+                spool_dir=_subdir(spool_dir, f"{name}-b"),
+                dataset_cache_dir=dataset_cache_dir,
+            )
+            if rerun["digest"] != metrics["digest"]:
+                raise ConfigError(
+                    f"profile {name}: load run is not deterministic "
+                    f"({metrics['digest'][:12]} != {rerun['digest'][:12]})"
+                )
+            metrics["determinism_checked"] = True
+        bench["profiles"][name.upper()] = metrics
+    if out_path is not None:
+        out = Path(out_path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n")
+    return bench
+
+
+def _subdir(base: str | Path | None, leaf: str) -> Path | None:
+    return None if base is None else Path(base) / leaf

@@ -1,0 +1,108 @@
+"""Transports for the serve protocol: stdio JSONL and HTTP.
+
+Both transports are thin byte shims over
+:class:`repro.serve.protocol.ProtocolHandler` — the protocol owns all
+semantics, so a scripted subprocess client (stdio) and an HTTP client
+exercise the same code path.
+
+- **stdio**: one JSON request per input line, one JSON response per
+  output line, in order.  This is the transport the integration suite
+  scripts, and what ``lswc-sim serve`` speaks by default.
+- **HTTP**: ``POST /`` with a JSON body; the response body is the JSON
+  reply.  ``GET /stats`` answers the stats command for probes.  Served
+  by a :class:`ThreadingHTTPServer`, so concurrent requests exercise
+  the manager's per-session locking.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import IO, Any
+
+from repro.serve.protocol import ProtocolHandler
+
+__all__ = ["serve_stdio", "make_http_server"]
+
+
+def serve_stdio(handler: ProtocolHandler, stdin: IO[str], stdout: IO[str]) -> int:
+    """Answer newline-delimited JSON commands until EOF or ``shutdown``.
+
+    Returns the number of requests served.  Malformed JSON gets an error
+    reply rather than killing the server — a line-oriented client must
+    always receive exactly one reply per line sent.
+    """
+    served = 0
+    for line in stdin:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload: Any = json.loads(line)
+        except json.JSONDecodeError as exc:
+            response = {
+                "ok": False,
+                "error": {"type": "ProtocolError", "message": f"bad JSON: {exc}"},
+            }
+        else:
+            response = handler.handle(payload)
+        stdout.write(json.dumps(response, sort_keys=True) + "\n")
+        stdout.flush()
+        served += 1
+        if handler.shutting_down:
+            break
+    return served
+
+
+def make_http_server(handler: ProtocolHandler, host: str, port: int) -> ThreadingHTTPServer:
+    """An HTTP server bound to ``host:port``; caller runs serve_forever."""
+
+    class _Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def _reply(self, response: dict, status: int = 200) -> None:
+            body = json.dumps(response, sort_keys=True).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length)
+            try:
+                payload = json.loads(raw.decode() or "{}")
+            except json.JSONDecodeError as exc:
+                self._reply(
+                    {
+                        "ok": False,
+                        "error": {"type": "ProtocolError", "message": f"bad JSON: {exc}"},
+                    },
+                    status=400,
+                )
+                return
+            response = handler.handle(payload)
+            self._reply(response, status=200 if response.get("ok") else 400)
+            if handler.shutting_down:
+                # Stop accepting from a worker thread; serve_forever returns.
+                import threading
+
+                threading.Thread(target=self.server.shutdown, daemon=True).start()
+
+        def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+            if self.path.rstrip("/") in ("", "/stats", "/healthz"):
+                self._reply(handler.handle({"cmd": "stats"}))
+            else:
+                self._reply(
+                    {
+                        "ok": False,
+                        "error": {"type": "ProtocolError", "message": "POST JSON to /"},
+                    },
+                    status=404,
+                )
+
+        def log_message(self, format: str, *args: Any) -> None:
+            pass  # keep the transport silent; stats speak for themselves
+
+    return ThreadingHTTPServer((host, port), _Handler)

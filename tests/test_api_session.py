@@ -1,0 +1,305 @@
+"""Tests of the CrawlSession lifecycle and the typed request/config API.
+
+CrawlSession is the object every sequential run flows through now —
+run_crawl, the Simulator shim, and the serve layer are all wrappers over
+it — so these tests pin its lifecycle contract (open → step → report →
+close), its snapshot/resume byte-identity, and the equivalence of the
+deprecated loose-keyword run_crawl surface with the request/config one.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro import (
+    CrawlRequest,
+    CrawlSession,
+    SessionConfig,
+    SimulationConfig,
+    report_payload,
+    run_crawl,
+)
+from repro.charset.languages import Language
+from repro.core.classifier import Classifier
+from repro.core.parallel import ParallelConfig, ParallelResult, PartitionMode
+from repro.core.simulator import Simulator
+from repro.core.strategies import BreadthFirstStrategy, SimpleStrategy
+from repro.errors import ConfigError, SessionError
+
+from conftest import SEED
+
+
+def _request(web) -> CrawlRequest:
+    return CrawlRequest(
+        strategy=BreadthFirstStrategy(),
+        web=web,
+        classifier=Classifier(Language.THAI),
+        seeds=(SEED,),
+    )
+
+
+def _canon(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+class TestLifecycle:
+    def test_states_new_open_closed(self, tiny_web):
+        session = CrawlSession(_request(tiny_web))
+        assert session.state == "new"
+        session.open()
+        assert session.state == "open"
+        session.close()
+        assert session.state == "closed"
+
+    def test_open_is_idempotent(self, tiny_web):
+        session = CrawlSession(_request(tiny_web)).open()
+        before = session.steps
+        session.open()
+        assert session.steps == before
+
+    def test_closed_session_cannot_reopen(self, tiny_web):
+        session = CrawlSession(_request(tiny_web))
+        session.close()
+        with pytest.raises(SessionError, match="closed"):
+            session.open()
+
+    def test_step_budget_controls_progress(self, tiny_web):
+        session = CrawlSession(_request(tiny_web))
+        assert session.step(2) == 2
+        assert session.steps == 2
+        assert not session.done
+        session.step()  # to exhaustion
+        assert session.done
+        session.close()
+
+    def test_step_returns_zero_once_done(self, tiny_web):
+        session = CrawlSession(_request(tiny_web))
+        session.step()
+        assert session.done
+        assert session.step(5) == 0
+        session.close()
+
+    def test_status_reflects_progress(self, tiny_web):
+        session = CrawlSession(_request(tiny_web))
+        status = session.status()
+        assert status.state == "new" and status.steps == 0
+        session.step(3)
+        status = session.status()
+        assert status.steps == 3
+        assert status.scheduled >= status.steps
+        session.close()
+
+    def test_mid_crawl_report_then_final_report(self, tiny_web):
+        session = CrawlSession(_request(tiny_web))
+        session.step(2)
+        partial = session.report()
+        assert partial.pages_crawled == 2
+        session.step()
+        final = session.report()
+        assert final.pages_crawled > partial.pages_crawled
+        session.close()
+
+    def test_max_pages_marks_done(self, tiny_web):
+        session = CrawlSession(_request(tiny_web), SessionConfig(max_pages=3))
+        session.step()
+        assert session.done
+        assert session.report().pages_crawled == 3
+        session.close()
+
+    def test_run_matches_stepped_session(self, tiny_web):
+        one_shot = CrawlSession(_request(tiny_web)).run()
+        stepped = CrawlSession(_request(tiny_web))
+        while not stepped.done:
+            stepped.step(1)
+        try:
+            assert _canon(report_payload(stepped.report())) == _canon(
+                report_payload(one_shot)
+            )
+        finally:
+            stepped.close()
+
+    def test_run_matches_simulator(self, tiny_web):
+        session_result = CrawlSession(_request(tiny_web)).run()
+        simulator_result = Simulator(
+            web=tiny_web,
+            strategy=BreadthFirstStrategy(),
+            classifier=Classifier(Language.THAI),
+            seed_urls=[SEED],
+        ).run()
+        assert _canon(report_payload(session_result)) == _canon(
+            report_payload(simulator_result)
+        )
+
+    def test_parallel_config_is_rejected(self, tiny_web):
+        with pytest.raises(ConfigError, match="sequential"):
+            CrawlSession(
+                _request(tiny_web),
+                SessionConfig(parallel=ParallelConfig(partitions=2)),
+            )
+
+    def test_request_type_is_checked(self, tiny_web):
+        with pytest.raises(ConfigError, match="CrawlRequest"):
+            CrawlSession({"strategy": "breadth-first"})
+
+
+class TestSnapshotResume:
+    def test_snapshot_resume_is_byte_identical(self, tiny_web):
+        full = CrawlSession(_request(tiny_web)).run()
+
+        first = CrawlSession(_request(tiny_web))
+        first.step(3)
+        state = first.snapshot()
+        first.close()
+
+        resumed = CrawlSession(
+            _request(tiny_web), SessionConfig(resume_from=state)
+        )
+        result = resumed.run()
+        assert _canon(report_payload(result)) == _canon(report_payload(full))
+
+    def test_save_checkpoint_round_trips_through_disk(self, tiny_web, tmp_path):
+        full = CrawlSession(_request(tiny_web)).run()
+        path = tmp_path / "spool.ckpt"
+
+        first = CrawlSession(_request(tiny_web))
+        first.step(2)
+        first.save_checkpoint(path)
+        first.close()
+
+        result = CrawlSession(
+            _request(tiny_web), SessionConfig(resume_from=path)
+        ).run()
+        assert _canon(report_payload(result)) == _canon(report_payload(full))
+
+    def test_snapshot_does_not_count_as_checkpoint_write(self, tiny_web, tmp_path):
+        session = CrawlSession(
+            _request(tiny_web),
+            SessionConfig(checkpoint_every=2, checkpoint_path=tmp_path / "p.ckpt"),
+        )
+        session.step(2)
+        written_before = session.status().checkpoints_written
+        session.snapshot()
+        assert session.status().checkpoints_written == written_before
+        session.close()
+
+
+class TestRequestValidation:
+    def test_params_require_registry_name(self, tiny_web):
+        request = CrawlRequest(
+            strategy=BreadthFirstStrategy(), params={"n": 2}, web=tiny_web
+        )
+        with pytest.raises(ConfigError, match="registry-name"):
+            request.build_strategy()
+
+    def test_registry_name_with_params(self, tiny_web):
+        request = CrawlRequest(strategy="limited-distance", params={"n": 2})
+        strategy = request.build_strategy()
+        assert "limited-distance" in strategy.name
+
+    def test_web_and_dataset_conflict(self, tiny_web, thai_dataset):
+        with pytest.raises(ConfigError, match="not both"):
+            CrawlRequest(
+                strategy="breadth-first", web=tiny_web, dataset=thai_dataset
+            ).resolve()
+
+    def test_web_requires_classifier_and_seeds(self, tiny_web):
+        with pytest.raises(ConfigError, match="classifier"):
+            CrawlRequest(strategy="breadth-first", web=tiny_web).resolve()
+        with pytest.raises(ConfigError, match="seeds"):
+            CrawlRequest(
+                strategy="breadth-first",
+                web=tiny_web,
+                classifier=Classifier(Language.THAI),
+            ).resolve()
+
+    def test_dataset_supplies_defaults(self, thai_dataset):
+        resolved = CrawlRequest(strategy="soft-focused", dataset=thai_dataset).resolve()
+        assert resolved.web is not None
+        assert resolved.classifier is not None
+        assert resolved.seeds
+        assert resolved.relevant_urls
+
+    def test_session_config_round_trips_simulation_config(self):
+        sim = SimulationConfig(max_pages=10, sample_interval=7)
+        config = SessionConfig.from_simulation(sim)
+        assert config.simulation() == sim
+
+
+class TestDeprecatedSurface:
+    """The loose-keyword run_crawl shim: warns, and reports identically."""
+
+    def test_legacy_kwargs_warn(self, tiny_web):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            run_crawl(
+                web=tiny_web,
+                strategy=BreadthFirstStrategy(),
+                classifier=Classifier(Language.THAI),
+                seeds=[SEED],
+            )
+
+    def test_request_form_does_not_warn(self, tiny_web):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_crawl(_request(tiny_web))
+
+    def test_both_paths_report_identically(self, tiny_web):
+        with pytest.warns(DeprecationWarning):
+            legacy = run_crawl(
+                web=tiny_web,
+                strategy=SimpleStrategy(mode="soft"),
+                classifier=Classifier(Language.THAI),
+                seeds=[SEED],
+                config=SimulationConfig(sample_interval=2),
+            )
+        modern = run_crawl(
+            CrawlRequest(
+                strategy=SimpleStrategy(mode="soft"),
+                web=tiny_web,
+                classifier=Classifier(Language.THAI),
+                seeds=(SEED,),
+            ),
+            config=SessionConfig(sample_interval=2),
+        )
+        assert _canon(report_payload(legacy)) == _canon(report_payload(modern))
+
+    def test_parallel_paths_report_identically(self, tiny_web):
+        parallel = ParallelConfig(partitions=2, mode=PartitionMode.EXCHANGE)
+        with pytest.warns(DeprecationWarning):
+            legacy = run_crawl(
+                web=tiny_web,
+                strategy=BreadthFirstStrategy,
+                classifier=Classifier(Language.THAI),
+                seeds=[SEED],
+                config=parallel,
+            )
+        modern = run_crawl(
+            CrawlRequest(
+                strategy=BreadthFirstStrategy,
+                web=tiny_web,
+                classifier=Classifier(Language.THAI),
+                seeds=(SEED,),
+            ),
+            config=parallel,
+        )
+        assert isinstance(legacy, ParallelResult) and isinstance(modern, ParallelResult)
+        assert legacy.to_dict() == modern.to_dict()
+
+    def test_request_plus_legacy_kwargs_conflict(self, tiny_web):
+        with pytest.raises(ConfigError, match="not both"):
+            run_crawl(_request(tiny_web), strategy="breadth-first")
+
+    def test_unknown_kwarg_is_a_type_error(self, tiny_web):
+        with pytest.raises(TypeError, match="unexpected"):
+            run_crawl(strategy="breadth-first", webb=tiny_web)
+
+    def test_session_config_plus_loose_kwargs_conflict(self, tiny_web):
+        with pytest.raises(ConfigError, match="SessionConfig"):
+            run_crawl(
+                web=tiny_web,
+                strategy=BreadthFirstStrategy(),
+                classifier=Classifier(Language.THAI),
+                seeds=[SEED],
+                config=SessionConfig(),
+                faults=None,
+            )

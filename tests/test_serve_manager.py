@@ -1,0 +1,255 @@
+"""SessionManager: multiplexing, evict-to-disk residency, and the
+mid-backoff double-count guard.
+
+The headline guarantee under test: eviction is *invisible* — a session
+that bounced through any number of evict/resume cycles (including ones
+forced by the resident cap, or triggered after a simulated process kill
+mid-retry-backoff) reports byte-identically to a session that never left
+memory, with no retry attempt counted twice.
+"""
+
+import json
+
+import pytest
+
+from repro import CrawlRequest, CrawlSession, SessionConfig, report_payload, run_crawl
+from repro.charset.languages import Language
+from repro.core.classifier import Classifier
+from repro.core.strategies import BreadthFirstStrategy, SimpleStrategy
+from repro.core.timing import TimingModel
+from repro.errors import SessionError
+from repro.faults import FaultModel, FaultProfile
+from repro.serve import SessionManager
+
+from conftest import SEED
+
+FAULTY_PROFILE = FaultProfile(
+    transient_error_rate=0.5, timeout_rate=0.2, truncation_rate=0.3
+)
+
+
+def _request(web, strategy=None) -> CrawlRequest:
+    return CrawlRequest(
+        strategy=strategy if strategy is not None else BreadthFirstStrategy(),
+        web=web,
+        classifier=Classifier(Language.THAI),
+        seeds=(SEED,),
+    )
+
+
+def _canon(result) -> str:
+    return json.dumps(report_payload(result), sort_keys=True)
+
+
+class _KillSignal(BaseException):
+    """Simulated hard kill (BaseException so nothing swallows it)."""
+
+
+class _BackoffKillTimingModel(TimingModel):
+    """Raises from the N-th retry backoff — a process death mid-round."""
+
+    def __init__(self, kill_at_backoff: int | None = None) -> None:
+        super().__init__()
+        self.backoffs_seen = 0
+        self.kill_at_backoff = kill_at_backoff
+
+    def delay_site(self, url: str, seconds: float) -> None:
+        self.backoffs_seen += 1
+        if self.kill_at_backoff is not None and self.backoffs_seen == self.kill_at_backoff:
+            self.kill_at_backoff = None  # one kill; the resumed run proceeds
+            raise _KillSignal()
+        super().delay_site(url, seconds)
+
+
+class TestLifecycleThroughManager:
+    def test_open_step_report_close(self, tiny_web, tmp_path):
+        manager = SessionManager(spool_dir=tmp_path)
+        status = manager.open("s", _request(tiny_web))
+        assert status.state == "open"
+        status = manager.step("s", 3)
+        assert status.steps == 3
+        result = manager.close("s")
+        assert result.pages_crawled >= 3
+        with pytest.raises(SessionError, match="no session"):
+            manager.status("s")
+
+    def test_duplicate_name_rejected(self, tiny_web, tmp_path):
+        manager = SessionManager(spool_dir=tmp_path)
+        manager.open("s", _request(tiny_web))
+        with pytest.raises(SessionError, match="already open"):
+            manager.open("s", _request(tiny_web))
+
+    def test_step_many_steps_every_session(self, tiny_web, tmp_path):
+        manager = SessionManager(spool_dir=tmp_path)
+        for name in ("a", "b", "c"):
+            manager.open(name, _request(tiny_web))
+        statuses = manager.step_many([("a", 2), ("b", 2), ("c", 2)])
+        assert [s.steps for s in statuses] == [2, 2, 2]
+        manager.close_all()
+
+
+class TestEviction:
+    def test_explicit_evict_then_resume_is_byte_identical(self, tiny_web, tmp_path):
+        full = run_crawl(_request(tiny_web))
+        manager = SessionManager(spool_dir=tmp_path)
+        manager.open("s", _request(tiny_web))
+        manager.step("s", 2)
+        manager.evict("s")
+        assert manager.status("s").state == "evicted"
+        while not manager.step("s", 2).done:
+            manager.evict("s")  # evict between every pair of steps
+        assert _canon(manager.close("s")) == _canon(full)
+
+    def test_resident_cap_forces_lru_eviction(self, tiny_web, tmp_path):
+        manager = SessionManager(spool_dir=tmp_path, max_resident=1)
+        manager.open("a", _request(tiny_web))
+        manager.open("b", _request(tiny_web))
+        stats = manager.stats()
+        assert stats["resident"] == 1 and stats["evicted"] == 1
+        # Stepping the evicted one transparently swaps residency.
+        manager.step("a", 1)
+        assert manager.status("a").state == "open"
+        assert manager.status("b").state == "evicted"
+
+    def test_interleaved_sessions_under_cap_match_one_shots(self, tiny_web, tmp_path):
+        soft_full = run_crawl(_request(tiny_web, SimpleStrategy(mode="soft")))
+        bfs_full = run_crawl(_request(tiny_web))
+        manager = SessionManager(spool_dir=tmp_path, max_resident=1)
+        manager.open("soft", _request(tiny_web, SimpleStrategy(mode="soft")))
+        manager.open("bfs", _request(tiny_web))
+        done: set[str] = set()
+        while len(done) < 2:
+            for name in ("soft", "bfs"):
+                if name not in done and manager.step(name, 1).done:
+                    done.add(name)
+        assert manager.stats()["evictions"] > 0, "cap=1 must have evicted"
+        assert _canon(manager.report("soft")) == _canon(soft_full)
+        assert _canon(manager.report("bfs")) == _canon(bfs_full)
+
+    def test_evict_idle_by_logical_ticks(self, tiny_web, tmp_path):
+        manager = SessionManager(spool_dir=tmp_path)
+        manager.open("old", _request(tiny_web))
+        manager.open("hot", _request(tiny_web))
+        for _ in range(5):
+            manager.step("hot", 1)
+        assert manager.evict_idle(idle_for=3) == ["old"]
+        assert manager.status("old").state == "evicted"
+        assert manager.status("hot").state == "open"
+
+    def test_evict_without_spool_dir_fails_loudly(self, tiny_web):
+        manager = SessionManager()
+        manager.open("s", _request(tiny_web))
+        with pytest.raises(SessionError, match="spool_dir"):
+            manager.evict("s")
+
+    def test_close_removes_spool_files(self, tiny_web, tmp_path):
+        manager = SessionManager(spool_dir=tmp_path)
+        manager.open("s", _request(tiny_web))
+        manager.step("s", 1)
+        manager.evict("s")
+        assert list(tmp_path.glob("s.*.ckpt"))
+        manager.step("s", 1)
+        manager.close("s")
+        assert not list(tmp_path.glob("s.*.ckpt"))
+
+
+class TestMidBackoffEviction:
+    """TestBackoffBoundaryKill, driven through the SessionManager.
+
+    A step that dies inside a retry backoff leaves in-flight attempt
+    tallies in the live engine.  Eviction must fall back to the last
+    step-boundary checkpoint instead of snapshotting that state — the
+    resumed session then replays the whole fetch round, and every
+    resilience counter matches an uninterrupted run exactly (nothing
+    double-counted).
+    """
+
+    def _faulty_config(self, timing, **extra) -> SessionConfig:
+        return SessionConfig(
+            sample_interval=1,
+            faults=FaultModel(profile=FAULTY_PROFILE, seed=42),
+            timing=timing,
+            checkpoint_every=1,
+            **extra,
+        )
+
+    def _run_reference(self, tiny_web, tmp_path):
+        timing = _BackoffKillTimingModel()  # never kills; counts backoffs
+        manager = SessionManager(spool_dir=tmp_path / "ref")
+        manager.open("ref", _request(tiny_web), self._faulty_config(timing))
+        manager.step("ref")
+        result = manager.report("ref")
+        manager.close("ref")
+        return result, timing.backoffs_seen
+
+    def test_kill_evict_resume_never_double_counts(self, tiny_web, tmp_path):
+        full, backoffs = self._run_reference(tiny_web, tmp_path)
+        assert backoffs > 0, "profile must exercise retries"
+        assert full.resilience["retries"] > 0
+
+        for kill_at in range(1, backoffs + 1):
+            manager = SessionManager(spool_dir=tmp_path / f"kill{kill_at}")
+            manager.open(
+                "s",
+                _request(tiny_web),
+                self._faulty_config(_BackoffKillTimingModel(kill_at)),
+            )
+            with pytest.raises(_KillSignal):
+                manager.step("s")
+            # The record is dirty: eviction must not snapshot it.
+            manager.evict("s")
+            assert manager.status("s").state == "evicted"
+            # Transparent resume from the step-boundary checkpoint.
+            manager.step("s")
+            resumed = manager.report("s")
+            assert resumed.pages_crawled == full.pages_crawled, f"kill_at={kill_at}"
+            assert resumed.series.to_dict() == full.series.to_dict(), f"kill_at={kill_at}"
+            for key in ("retries", "requeued", "dropped", "fetches_failed"):
+                assert resumed.resilience[key] == full.resilience[key], (
+                    f"kill_at={kill_at}: {key} double-counted across the "
+                    "evict/resume boundary"
+                )
+            manager.close("s")
+
+    def test_step_after_kill_auto_recovers(self, tiny_web, tmp_path):
+        full, backoffs = self._run_reference(tiny_web, tmp_path)
+        manager = SessionManager(spool_dir=tmp_path / "auto")
+        manager.open(
+            "s", _request(tiny_web), self._faulty_config(_BackoffKillTimingModel(1))
+        )
+        with pytest.raises(_KillSignal):
+            manager.step("s")
+        # No explicit evict/recover: the next step must notice the dirty
+        # record and resume from the checkpoint on its own.
+        manager.step("s")
+        resumed = manager.report("s")
+        for key in ("retries", "requeued", "dropped", "fetches_failed"):
+            assert resumed.resilience[key] == full.resilience[key]
+        manager.close("s")
+
+    def test_recover_explicitly(self, tiny_web, tmp_path):
+        manager = SessionManager(spool_dir=tmp_path)
+        manager.open(
+            "s", _request(tiny_web), self._faulty_config(_BackoffKillTimingModel(1))
+        )
+        with pytest.raises(_KillSignal):
+            manager.step("s")
+        status = manager.recover("s")
+        assert status.state == "open"
+        manager.close("s")
+
+    def test_dirty_evict_without_checkpoint_refuses(self, tiny_web, tmp_path):
+        manager = SessionManager(spool_dir=tmp_path)
+        manager.open(
+            "s",
+            _request(tiny_web),
+            SessionConfig(
+                sample_interval=1,
+                faults=FaultModel(profile=FAULTY_PROFILE, seed=42),
+                timing=_BackoffKillTimingModel(1),
+            ),
+        )
+        with pytest.raises(_KillSignal):
+            manager.step("s")
+        with pytest.raises(SessionError, match="double-count"):
+            manager.evict("s")

@@ -1,0 +1,329 @@
+"""The serve wire protocol, the load generator, and the stdio server.
+
+The protocol-level contract under test: a session driven over the wire
+— open/step/status/evict/close as JSON commands, through ``lswc-sim
+serve`` in a real subprocess — produces a final report byte-identical
+to a one-shot :func:`repro.api.run_crawl` of the same request, even
+when the session is forcibly evicted to disk mid-crawl.
+"""
+
+import io
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import CrawlRequest, SessionConfig, report_payload, run_crawl
+from repro.errors import ConfigError
+from repro.experiments.datasets import load_or_build_dataset
+from repro.graphgen import profile_by_name
+from repro.serve import (
+    LOAD_PROFILES,
+    Profiles,
+    ProtocolHandler,
+    SessionManager,
+    generate_workload,
+    serve_stdio,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Wire-session knobs shared by the handler tests and the subprocess
+#: integration test: a tiny web space, a page cap small enough that a
+#: few budgeted steps finish the crawl.
+SCALE = 0.02
+MAX_PAGES = 40
+SAMPLE_INTERVAL = 10
+
+
+@pytest.fixture(scope="module")
+def serve_cache(tmp_path_factory) -> Path:
+    """One on-disk dataset cache for every wire session in this module."""
+    return tmp_path_factory.mktemp("serve-cache")
+
+
+def _handler(tmp_path, serve_cache, **kwargs) -> ProtocolHandler:
+    manager = SessionManager(spool_dir=tmp_path / "spool", **kwargs.pop("manager", {}))
+    return ProtocolHandler(manager, dataset_cache_dir=str(serve_cache), **kwargs)
+
+
+def _open_command(name: str, strategy: str, seed: int) -> dict:
+    return {
+        "cmd": "open",
+        "session": name,
+        "request": {
+            "strategy": strategy,
+            "dataset": {"profile": "thai", "scale": SCALE, "seed": seed},
+        },
+        "config": {"max_pages": MAX_PAGES, "sample_interval": SAMPLE_INTERVAL},
+    }
+
+
+def _one_shot(serve_cache, strategy: str, seed: int) -> str:
+    """The canonical report of the same request, without the server."""
+    dataset = load_or_build_dataset(
+        profile_by_name("thai", seed=seed).scaled(SCALE), cache_dir=serve_cache
+    )
+    result = run_crawl(
+        CrawlRequest(dataset=dataset, strategy=strategy),
+        config=SessionConfig(max_pages=MAX_PAGES, sample_interval=SAMPLE_INTERVAL),
+    )
+    return json.dumps(report_payload(result), sort_keys=True)
+
+
+class TestProtocolHandler:
+    def test_ping(self, tmp_path, serve_cache):
+        handler = _handler(tmp_path, serve_cache)
+        assert handler.handle({"cmd": "ping"}) == {"ok": True, "pong": True}
+
+    def test_errors_become_replies_not_raises(self, tmp_path, serve_cache):
+        handler = _handler(tmp_path, serve_cache)
+        for payload in (
+            "not an object",
+            {},
+            {"cmd": "frobnicate"},
+            {"cmd": "step"},  # no session field
+            {"cmd": "step", "session": "nope"},  # never opened
+        ):
+            response = handler.handle(payload)
+            assert response["ok"] is False
+            assert response["error"]["type"] == "SessionError"
+            assert response["error"]["message"]
+
+    def test_unknown_keys_are_rejected(self, tmp_path, serve_cache):
+        handler = _handler(tmp_path, serve_cache)
+        bad_request = handler.handle(
+            {"cmd": "open", "session": "s", "request": {"strategy": "breadth-first", "webb": 1}}
+        )
+        assert not bad_request["ok"] and "webb" in bad_request["error"]["message"]
+        bad_dataset = handler.handle(
+            {
+                "cmd": "open",
+                "session": "s",
+                "request": {
+                    "strategy": "breadth-first",
+                    "dataset": {"profile": "thai", "sacle": 0.1},
+                },
+            }
+        )
+        assert not bad_dataset["ok"] and "sacle" in bad_dataset["error"]["message"]
+        bad_config = handler.handle(
+            {
+                "cmd": "open",
+                "session": "s",
+                "request": {"strategy": "breadth-first", "dataset": {"profile": "thai"}},
+                "config": {"max_pags": 10},
+            }
+        )
+        assert not bad_config["ok"] and "max_pags" in bad_config["error"]["message"]
+
+    def test_strategies_go_by_registry_name(self, tmp_path, serve_cache):
+        handler = _handler(tmp_path, serve_cache)
+        response = handler.handle(
+            {
+                "cmd": "open",
+                "session": "s",
+                "request": {"strategy": 42, "dataset": {"profile": "thai"}},
+            }
+        )
+        assert not response["ok"]
+        assert "registry name" in response["error"]["message"]
+
+    def test_open_step_close_matches_one_shot(self, tmp_path, serve_cache):
+        handler = _handler(tmp_path, serve_cache)
+        assert handler.handle(_open_command("s", "breadth-first", 9001))["ok"]
+        status = {"done": False}
+        while not status["done"]:
+            reply = handler.handle({"cmd": "step", "session": "s", "budget": 15})
+            assert reply["ok"]
+            status = reply["status"]
+        report = handler.handle({"cmd": "close", "session": "s"})["report"]
+        assert json.dumps(report, sort_keys=True) == _one_shot(
+            serve_cache, "breadth-first", 9001
+        )
+
+    def test_evicted_session_reports_identically(self, tmp_path, serve_cache):
+        handler = _handler(tmp_path, serve_cache)
+        handler.handle(_open_command("s", "soft-focused", 9002))
+        handler.handle({"cmd": "step", "session": "s", "budget": 10})
+        evicted = handler.handle({"cmd": "evict", "session": "s"})
+        assert evicted["ok"] and evicted["status"]["state"] == "evicted"
+        status = {"done": False}
+        while not status["done"]:
+            status = handler.handle({"cmd": "step", "session": "s", "budget": 10})["status"]
+        report = handler.handle({"cmd": "close", "session": "s"})["report"]
+        assert json.dumps(report, sort_keys=True) == _one_shot(
+            serve_cache, "soft-focused", 9002
+        )
+        assert handler.manager.stats()["evictions"] >= 1
+
+    def test_counter_seeding_is_deterministic(self, tmp_path, serve_cache):
+        """Two servers at the same base seed serve identical N-th sessions."""
+        reports = []
+        for replica in ("a", "b"):
+            handler = _handler(tmp_path / replica, serve_cache, base_seed=77)
+            command = _open_command("s", "breadth-first", 0)
+            del command["request"]["dataset"]["seed"]  # let the counter pick
+            handler.handle(command)
+            while not handler.handle({"cmd": "step", "session": "s", "budget": 20})["status"]["done"]:
+                pass
+            reports.append(handler.handle({"cmd": "close", "session": "s"})["report"])
+        assert json.dumps(reports[0], sort_keys=True) == json.dumps(
+            reports[1], sort_keys=True
+        )
+
+    def test_scale_snaps_to_grid(self, tmp_path, serve_cache):
+        """Nearby load-generated scales share one cached dataset build."""
+        handler = _handler(tmp_path, serve_cache)
+        for name, scale in (("a", 0.021), ("b", 0.018)):
+            command = _open_command(name, "breadth-first", 9001)
+            command["request"]["dataset"]["scale"] = scale
+            assert handler.handle(command)["ok"]
+        assert len(handler._datasets) == 1
+
+    def test_shutdown_closes_every_session(self, tmp_path, serve_cache):
+        handler = _handler(tmp_path, serve_cache)
+        handler.handle(_open_command("s", "breadth-first", 9001))
+        assert handler.handle({"cmd": "shutdown"}) == {"ok": True, "bye": True}
+        assert handler.shutting_down
+        assert handler.manager.stats()["sessions"] == 0
+
+
+class TestLoadGenerator:
+    def test_workload_is_deterministic(self):
+        assert generate_workload("S", seed=7) == generate_workload("S", seed=7)
+        assert generate_workload("S", seed=7) != generate_workload("S", seed=8)
+
+    def test_workload_respects_profile_table(self):
+        for profile in Profiles:
+            table = LOAD_PROFILES[profile]
+            specs = generate_workload(profile)
+            assert len(specs) == table["sessions"]
+            assert len({spec.name for spec in specs}) == len(specs)
+            last_round = 0
+            for spec in specs:
+                assert spec.arrival_round >= last_round
+                last_round = spec.arrival_round
+                assert table["scale"]["min"] <= spec.scale <= table["scale"]["max"]
+                assert table["budget"]["min"] <= spec.step_budget <= table["budget"]["max"]
+                assert table["pages"]["min"] <= spec.max_pages <= table["pages"]["max"]
+
+    def test_open_command_is_wire_shaped(self):
+        command = generate_workload("S")[0].open_command()
+        assert command["cmd"] == "open"
+        assert command["request"]["dataset"]["profile"] == "thai"
+        assert command["config"]["max_pages"] > 0
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(ConfigError, match="unknown load profile"):
+            generate_workload("XXL")
+
+
+class TestStdioTransport:
+    def test_one_reply_per_line_and_shutdown(self, tmp_path, serve_cache):
+        handler = _handler(tmp_path, serve_cache)
+        stdin = io.StringIO(
+            "\n".join(
+                [
+                    json.dumps({"cmd": "ping"}),
+                    "this is not JSON",
+                    json.dumps({"cmd": "nope"}),
+                    json.dumps({"cmd": "shutdown"}),
+                    json.dumps({"cmd": "ping"}),  # after shutdown: never served
+                ]
+            )
+            + "\n"
+        )
+        stdout = io.StringIO()
+        assert serve_stdio(handler, stdin, stdout) == 4
+        replies = [json.loads(line) for line in stdout.getvalue().splitlines()]
+        assert [r["ok"] for r in replies] == [True, False, False, True]
+        assert replies[1]["error"]["type"] == "ProtocolError"
+        assert replies[3] == {"bye": True, "ok": True}
+
+
+class TestServeCLIIntegration:
+    """``lswc-sim serve`` as a real subprocess, driven by a scripted client.
+
+    Three sessions under ``--max-resident 2`` (so the cap evicts), with
+    interleaved stepping and one explicitly forced eviction; every final
+    report must be byte-identical to a one-shot ``run_crawl``.
+    """
+
+    SESSIONS = (
+        ("s-bfs", "breadth-first", 9101),
+        ("s-soft", "soft-focused", 9102),
+        ("s-hard", "hard-focused", 9103),
+    )
+
+    def _script(self) -> list[dict]:
+        lines: list[dict] = [{"cmd": "ping"}]
+        lines += [_open_command(*session) for session in self.SESSIONS]
+        for round_index in range(6):  # 6 rounds x budget 15 >= MAX_PAGES
+            for name, _, _ in self.SESSIONS:
+                lines.append({"cmd": "step", "session": name, "budget": 15})
+            if round_index == 1:
+                lines.append({"cmd": "evict", "session": "s-soft"})
+                lines.append({"cmd": "status", "session": "s-soft"})
+        lines += [{"cmd": "close", "session": name} for name, _, _ in self.SESSIONS]
+        lines.append({"cmd": "stats"})
+        lines.append({"cmd": "shutdown"})
+        return lines
+
+    def test_scripted_client_round_trip(self, tmp_path, serve_cache):
+        # Build the expected reports first: this also warms the dataset
+        # cache the subprocess reads (REPRO_LSWC_CACHE below).
+        expected = {
+            name: _one_shot(serve_cache, strategy, seed)
+            for name, strategy, seed in self.SESSIONS
+        }
+
+        script = self._script()
+        env = dict(
+            os.environ,
+            PYTHONPATH=str(REPO_ROOT / "src"),
+            REPRO_LSWC_CACHE=str(serve_cache),
+        )
+        process = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--spool-dir",
+                str(tmp_path / "spool"),
+                "--max-resident",
+                "2",
+            ],
+            input="\n".join(json.dumps(line) for line in script) + "\n",
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+            timeout=300,
+        )
+        assert process.returncode == 0, process.stderr
+        replies = [json.loads(line) for line in process.stdout.splitlines()]
+        assert len(replies) == len(script), process.stdout
+        assert all(reply["ok"] for reply in replies), process.stdout
+
+        by_command = dict(zip((line["cmd"] for line in script), replies))
+        # The forced eviction took: the status probe right after it ran
+        # (script order) must have seen the session spooled out.
+        evict_index = next(i for i, line in enumerate(script) if line["cmd"] == "evict")
+        assert replies[evict_index]["status"]["state"] == "evicted"
+        assert replies[evict_index + 1]["status"]["state"] == "evicted"
+
+        stats = by_command["stats"]["stats"]
+        assert stats["evictions"] >= 2, "cap=2 plus the forced evict must evict"
+        assert stats["resumes"] >= 1
+
+        reports = {
+            reply["session"]: json.dumps(reply["report"], sort_keys=True)
+            for reply in replies
+            if "report" in reply
+        }
+        assert reports == expected
