@@ -203,6 +203,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="base of the deterministic per-session dataset seeds",
     )
     p_serve.add_argument(
+        "--seed-pool",
+        type=int,
+        default=None,
+        metavar="N",
+        help="seedless sessions cycle through N counter-derived dataset "
+        "seeds so they share cached web spaces (default 8)",
+    )
+    p_serve.add_argument(
+        "--dataset-cache-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="LRU cap on resolved web spaces held in memory (default 32)",
+    )
+    p_serve.add_argument(
         "--load",
         nargs="+",
         metavar="PROFILE",
@@ -369,7 +384,11 @@ def _serve(args: argparse.Namespace) -> int:
         run_bench,
         serve_stdio,
     )
-    from repro.serve.protocol import DEFAULT_BASE_SEED
+    from repro.serve.protocol import (
+        DEFAULT_BASE_SEED,
+        DEFAULT_DATASET_CACHE_SIZE,
+        DEFAULT_SEED_POOL,
+    )
 
     if args.load is not None:
         bench = run_bench(
@@ -393,6 +412,10 @@ def _serve(args: argparse.Namespace) -> int:
     handler = ProtocolHandler(
         manager,
         base_seed=args.base_seed if args.base_seed is not None else DEFAULT_BASE_SEED,
+        seed_pool=args.seed_pool if args.seed_pool is not None else DEFAULT_SEED_POOL,
+        dataset_cache_size=args.dataset_cache_size
+        if args.dataset_cache_size is not None
+        else DEFAULT_DATASET_CACHE_SIZE,
     )
     try:
         if args.http is not None:

@@ -154,8 +154,8 @@ class MetricsRecorder:
         if self._steps % self._interval == 0:
             self._sample()
 
-    def _sample(self) -> None:
-        series = self._series
+    def _sample(self, into: MetricSeries | None = None) -> None:
+        series = self._series if into is None else into
         series.pages.append(self._steps)
         series.harvest_rate.append(self._judged_relevant / self._steps)
         total_relevant = len(self._relevant_urls)
@@ -205,9 +205,18 @@ class MetricsRecorder:
         self._series = MetricSeries.from_dict(state["series"])
 
     def finish(self, strategy: str) -> tuple[MetricSeries, CrawlSummary]:
-        """Flush the final sample and return (series, summary)."""
-        if self._steps and (not self._series.pages or self._series.pages[-1] != self._steps):
-            self._sample()
+        """Flush the final sample and return (series, summary).
+
+        Non-mutating: an off-cadence flush sample goes into a *copy* of
+        the live series, never the recorder's own state.  A mid-crawl
+        progress report therefore leaves no trace — later samples,
+        checkpoints and reports are byte-identical to those of a run
+        that was never asked for a progress report.
+        """
+        series = self._series
+        if self._steps and (not series.pages or series.pages[-1] != self._steps):
+            series = MetricSeries.from_dict(series.to_dict())
+            self._sample(into=series)
         summary = CrawlSummary(
             strategy=strategy,
             pages_crawled=self._steps,
@@ -217,4 +226,4 @@ class MetricsRecorder:
             max_queue_size=self._max_queue,
             simulated_seconds=self._last_time,
         )
-        return self._series, summary
+        return series, summary

@@ -69,6 +69,13 @@ class ManagedSession:
     dirty: bool = False
     #: Path to resume from when non-resident (None = start fresh).
     resume_path: Path | None = None
+    #: True when the manager defaulted ``config.checkpoint_path`` into
+    #: its spool dir; only then may ``close`` delete the file.  A
+    #: caller-supplied path is the caller's property.
+    owns_checkpoint: bool = False
+    #: Set (under the record lock) by ``close``; a concurrent call that
+    #: fetched the record before it left the table must not resurrect it.
+    closed: bool = False
     steps_served: int = 0
     evictions: int = 0
     resumes: int = 0
@@ -140,6 +147,7 @@ class SessionManager:
     ) -> SessionStatus:
         """Register and open a new named session."""
         config = config or SessionConfig()
+        owns_checkpoint = False
         if (
             config.checkpoint_every is not None
             and config.checkpoint_path is None
@@ -151,6 +159,7 @@ class SessionManager:
             config = replace(
                 config, checkpoint_path=self._spool_dir / f"{name}.periodic.ckpt"
             )
+            owns_checkpoint = True
         record = ManagedSession(
             name=name,
             request=request,
@@ -158,14 +167,23 @@ class SessionManager:
             spool_path=self._spool_dir / f"{name}.evict.ckpt"
             if self._spool_dir is not None
             else Path(f"{name}.evict.ckpt"),
+            owns_checkpoint=owns_checkpoint,
         )
         with self._table_lock:
             if name in self._records:
                 raise SessionError(f"session {name!r} is already open")
             self._records[name] = record
-        with record.lock:
-            record.session = CrawlSession(request, config).open()
-            record.tick = self._tock()
+        try:
+            with record.lock:
+                record.session = CrawlSession(request, config).open()
+                record.tick = self._tock()
+        except BaseException:
+            # A failed open (unknown strategy, bad resume file, ...) must
+            # not wedge the name: unregister so a corrected spec can
+            # reuse it.
+            with self._table_lock:
+                self._records.pop(name, None)
+            raise
         self._enforce_residency(exempt=name)
         return self.status(name)
 
@@ -209,7 +227,7 @@ class SessionManager:
             if record.session is not None:
                 return record.session.status()
             return SessionStatus(
-                state="evicted",
+                state="closed" if record.closed else "evicted",
                 steps=0,
                 queue_size=0,
                 scheduled=0,
@@ -223,18 +241,30 @@ class SessionManager:
             return self._ensure_resident(record).report()
 
     def close(self, name: str) -> CrawlResult:
-        """Final report, then remove the session and its spools."""
+        """Final report, then remove the session and its spools.
+
+        The record is marked ``closed`` *before* the record lock is
+        released, so a concurrent ``step``/``report`` that fetched the
+        record from the table before it was removed fails with a
+        :class:`SessionError` instead of resurrecting a zombie session
+        from the about-to-be-deleted spools.  Only spool files the
+        manager itself created are deleted; a caller-supplied
+        ``checkpoint_path`` is left in place.
+        """
         record = self._get(name)
         with record.lock:
             result = self._ensure_resident(record).report()
             assert record.session is not None
             record.session.close()
             record.session = None
+            record.closed = True
         with self._table_lock:
             self._records.pop(name, None)
-        for path in (record.spool_path, record.config.checkpoint_path):
-            if path is not None:
-                Path(path).unlink(missing_ok=True)
+        doomed = [record.spool_path]
+        if record.owns_checkpoint and record.config.checkpoint_path is not None:
+            doomed.append(Path(record.config.checkpoint_path))
+        for path in doomed:
+            path.unlink(missing_ok=True)
         return result
 
     def close_all(self) -> None:
@@ -336,6 +366,8 @@ class SessionManager:
 
     def _ensure_resident(self, record: ManagedSession) -> CrawlSession:
         """Rebuild an evicted session from its spool (record lock held)."""
+        if record.closed:
+            raise SessionError(f"session {record.name!r} is closed")
         if record.session is not None:
             return record.session
         config = record.config

@@ -23,13 +23,17 @@ Commands::
     {"cmd": "shutdown"}
 
 Determinism contract: a session's ``dataset.seed`` defaults to
-``base_seed + open-counter`` — the N-th ``open`` of a serve process
-always crawls the same web space — and ``report`` returns
+``base_seed + (open-counter mod seed_pool)`` — the N-th ``open`` of a
+serve process always crawls the same web space, and seedless sessions
+cycle through a small pool of spaces instead of each materialising a
+fresh one — and ``report`` returns
 :func:`repro.core.session.report_payload`, the exact payload a one-shot
 :func:`repro.api.run_crawl` of the same request produces, evictions or
 not.  Resolved web spaces are cached per ``(profile, scale, seed,
 synth)`` so many sessions (and evict/resume cycles) share one in-memory
-graph.
+graph; the cache is LRU-bounded (``dataset_cache_size``) so a
+long-running serve process holds a fixed number of graphs, not one per
+session ever opened.
 """
 
 from __future__ import annotations
@@ -45,10 +49,20 @@ from repro.faults.resilience import BreakerPolicy, ResilienceConfig, RetryPolicy
 from repro.graphgen import profile_by_name
 from repro.serve.manager import SessionManager
 
-__all__ = ["ProtocolHandler", "DEFAULT_BASE_SEED"]
+__all__ = ["ProtocolHandler", "DEFAULT_BASE_SEED", "DEFAULT_SEED_POOL"]
 
 #: Session seeds count up from here when the client does not pin one.
 DEFAULT_BASE_SEED = 20050405  # the paper's DEWS 2005 date
+
+#: Seedless opens cycle through this many counter-derived seeds, so
+#: wire sessions share cached web-space builds instead of each
+#: materialising (and caching) a new one.
+DEFAULT_SEED_POOL = 8
+
+#: LRU cap on cached resolved datasets — the serve process's
+#: steady-state graph memory is bounded by this, not by how many
+#: sessions it has ever opened.
+DEFAULT_DATASET_CACHE_SIZE = 32
 
 #: Web-space scales are snapped to this grid so nearby load-generated
 #: sizes share one cached dataset build.
@@ -79,12 +93,22 @@ class ProtocolHandler:
         manager: SessionManager,
         base_seed: int = DEFAULT_BASE_SEED,
         dataset_cache_dir: str | None = None,
+        seed_pool: int = DEFAULT_SEED_POOL,
+        dataset_cache_size: int = DEFAULT_DATASET_CACHE_SIZE,
     ) -> None:
+        if seed_pool < 1:
+            raise SessionError("seed_pool must be >= 1")
+        if dataset_cache_size < 1:
+            raise SessionError("dataset_cache_size must be >= 1")
         self.manager = manager
         self._base_seed = base_seed
         self._dataset_cache_dir = dataset_cache_dir
+        self._seed_pool = seed_pool
+        self._dataset_cache_size = dataset_cache_size
         self._counter = 0
         self._counter_lock = threading.Lock()
+        #: LRU dataset cache: dict insertion order is recency order
+        #: (entries are re-inserted on hit, oldest popped past the cap).
         self._datasets: dict[tuple, Any] = {}
         self._datasets_lock = threading.Lock()
         self.shutting_down = False
@@ -93,7 +117,7 @@ class ProtocolHandler:
 
     def _next_seed(self) -> int:
         with self._counter_lock:
-            seed = self._base_seed + self._counter
+            seed = self._base_seed + self._counter % self._seed_pool
             self._counter += 1
             return seed
 
@@ -118,7 +142,9 @@ class ProtocolHandler:
             spec.get("capture_n"),
         )
         with self._datasets_lock:
-            dataset = self._datasets.get(key)
+            dataset = self._datasets.pop(key, None)
+            if dataset is not None:
+                self._datasets[key] = dataset  # refresh LRU recency
         if dataset is None:
             profile = profile_by_name(profile_name, seed=int(seed))
             if scale != 1.0:
@@ -133,6 +159,8 @@ class ProtocolHandler:
             dataset = load_or_build_dataset(profile, **kwargs)
             with self._datasets_lock:
                 dataset = self._datasets.setdefault(key, dataset)
+                while len(self._datasets) > self._dataset_cache_size:
+                    self._datasets.pop(next(iter(self._datasets)))
         return dataset
 
     def build_request(self, spec: Mapping[str, Any]) -> CrawlRequest:

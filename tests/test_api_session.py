@@ -91,6 +91,7 @@ class TestLifecycle:
         session.close()
 
     def test_mid_crawl_report_then_final_report(self, tiny_web):
+        one_shot = CrawlSession(_request(tiny_web)).run()
         session = CrawlSession(_request(tiny_web))
         session.step(2)
         partial = session.report()
@@ -98,7 +99,20 @@ class TestLifecycle:
         session.step()
         final = session.report()
         assert final.pages_crawled > partial.pages_crawled
+        # Progress reports leave no trace: the final report (series
+        # included) is byte-identical to a run never asked for one.
+        assert _canon(report_payload(final)) == _canon(report_payload(one_shot))
         session.close()
+
+    def test_snapshot_after_mid_crawl_report_resumes_identically(self, tiny_web):
+        full = CrawlSession(_request(tiny_web)).run()
+        session = CrawlSession(_request(tiny_web))
+        session.step(2)
+        session.report()  # must not pollute the snapshot's series
+        state = session.snapshot()
+        session.close()
+        resumed = CrawlSession(_request(tiny_web), SessionConfig(resume_from=state))
+        assert _canon(report_payload(resumed.run())) == _canon(report_payload(full))
 
     def test_max_pages_marks_done(self, tiny_web):
         session = CrawlSession(_request(tiny_web), SessionConfig(max_pages=3))

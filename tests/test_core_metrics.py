@@ -66,6 +66,29 @@ class TestMetricsRecorder:
         assert summary.final_harvest_rate == 0.0
         assert summary.final_coverage == 0.0
 
+    def test_finish_is_non_mutating(self):
+        # A mid-crawl progress report must leave no trace: the
+        # off-cadence flush sample goes into a copy, so the live series
+        # (what checkpoints serialise and later reports extend) stays
+        # on the sampling cadence.
+        rec = recorder(interval=2)
+        for index in range(3):
+            rec.record(f"http://p{index}.example/", judged_relevant=False, queue_size=0)
+        mid, _ = rec.finish("test")
+        assert mid.pages == [2, 3]
+        assert rec.snapshot()["series"]["pages"] == [2]
+        rec.record("http://p3.example/", judged_relevant=False, queue_size=0)
+        final, _ = rec.finish("test")
+        assert final.pages == [2, 4]
+
+    def test_finish_is_repeatable(self):
+        rec = recorder(interval=2)
+        for index in range(3):
+            rec.record(f"http://p{index}.example/", judged_relevant=False, queue_size=0)
+        first, _ = rec.finish("test")
+        second, _ = rec.finish("test")
+        assert first.to_dict() == second.to_dict()
+
     def test_invalid_interval(self):
         with pytest.raises(ValueError):
             MetricsRecorder(name="x", relevant_urls=frozenset(), sample_interval=0)

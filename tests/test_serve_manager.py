@@ -17,7 +17,7 @@ from repro.charset.languages import Language
 from repro.core.classifier import Classifier
 from repro.core.strategies import BreadthFirstStrategy, SimpleStrategy
 from repro.core.timing import TimingModel
-from repro.errors import SessionError
+from repro.errors import ConfigError, SessionError
 from repro.faults import FaultModel, FaultProfile
 from repro.serve import SessionManager
 
@@ -78,6 +78,36 @@ class TestLifecycleThroughManager:
         manager.open("s", _request(tiny_web))
         with pytest.raises(SessionError, match="already open"):
             manager.open("s", _request(tiny_web))
+
+    def test_failed_open_releases_the_name(self, tiny_web, tmp_path):
+        # A spec that fails to open (here: unknown strategy name, only
+        # resolved inside CrawlSession.open) must not wedge the name.
+        manager = SessionManager(spool_dir=tmp_path)
+        bad = CrawlRequest(
+            strategy="no-such-strategy",
+            web=tiny_web,
+            classifier=Classifier(Language.THAI),
+            seeds=(SEED,),
+        )
+        with pytest.raises(ConfigError, match="unknown strategy"):
+            manager.open("s", bad)
+        with pytest.raises(SessionError, match="no session"):
+            manager.status("s")
+        assert manager.open("s", _request(tiny_web)).state == "open"
+        manager.close("s")
+
+    def test_step_after_concurrent_close_raises(self, tiny_web, tmp_path):
+        # A racer that fetched the record before close() removed it from
+        # the table must fail loudly, not resurrect a zombie session
+        # from the deleted spools.
+        manager = SessionManager(spool_dir=tmp_path)
+        manager.open("s", _request(tiny_web))
+        record = manager._get("s")
+        manager.close("s")
+        assert record.closed
+        with pytest.raises(SessionError, match="closed"):
+            with record.lock:
+                manager._ensure_resident(record)
 
     def test_step_many_steps_every_session(self, tiny_web, tmp_path):
         manager = SessionManager(spool_dir=tmp_path)
@@ -151,6 +181,39 @@ class TestEviction:
         manager.step("s", 1)
         manager.close("s")
         assert not list(tmp_path.glob("s.*.ckpt"))
+
+    def test_close_removes_defaulted_periodic_checkpoint(self, tiny_web, tmp_path):
+        manager = SessionManager(spool_dir=tmp_path)
+        manager.open("s", _request(tiny_web), SessionConfig(checkpoint_every=1))
+        manager.step("s", 2)
+        assert (tmp_path / "s.periodic.ckpt").exists()
+        manager.close("s")
+        assert not list(tmp_path.glob("s.*.ckpt"))
+
+    def test_close_keeps_caller_supplied_checkpoint(self, tiny_web, tmp_path):
+        # The manager only owns checkpoints it defaulted into its spool
+        # dir; a caller-supplied path is the caller's resume artifact.
+        mine = tmp_path / "mine.ckpt"
+        manager = SessionManager(spool_dir=tmp_path / "spool")
+        manager.open(
+            "s",
+            _request(tiny_web),
+            SessionConfig(checkpoint_every=1, checkpoint_path=mine),
+        )
+        manager.step("s", 2)
+        manager.close("s")
+        assert mine.exists()
+
+    def test_progress_reports_leave_no_trace(self, tiny_web, tmp_path):
+        # A report mid-crawl must not pollute the series that eviction
+        # spools: the final report still matches a one-shot run.
+        full = run_crawl(_request(tiny_web))
+        manager = SessionManager(spool_dir=tmp_path)
+        manager.open("s", _request(tiny_web))
+        while not manager.step("s", 2).done:
+            manager.report("s")
+            manager.evict("s")
+        assert _canon(manager.close("s")) == _canon(full)
 
 
 class TestMidBackoffEviction:

@@ -140,15 +140,30 @@ class TestProtocolHandler:
             reply = handler.handle({"cmd": "step", "session": "s", "budget": 15})
             assert reply["ok"]
             status = reply["status"]
+            # Progress reports between steps must leave no trace in the
+            # final report below.
+            assert handler.handle({"cmd": "report", "session": "s"})["ok"]
         report = handler.handle({"cmd": "close", "session": "s"})["report"]
         assert json.dumps(report, sort_keys=True) == _one_shot(
             serve_cache, "breadth-first", 9001
         )
 
+    def test_failed_open_releases_the_session_name(self, tmp_path, serve_cache):
+        handler = _handler(tmp_path, serve_cache)
+        bad = _open_command("s", "no-such-strategy", 9001)
+        reply = handler.handle(bad)
+        assert not reply["ok"] and "unknown strategy" in reply["error"]["message"]
+        # The name must not be wedged: a corrected spec reuses it.
+        assert handler.handle(_open_command("s", "breadth-first", 9001))["ok"]
+        assert handler.handle({"cmd": "close", "session": "s"})["ok"]
+
     def test_evicted_session_reports_identically(self, tmp_path, serve_cache):
         handler = _handler(tmp_path, serve_cache)
         handler.handle(_open_command("s", "soft-focused", 9002))
         handler.handle({"cmd": "step", "session": "s", "budget": 10})
+        # A progress report right before eviction must not pollute the
+        # spooled series.
+        assert handler.handle({"cmd": "report", "session": "s"})["ok"]
         evicted = handler.handle({"cmd": "evict", "session": "s"})
         assert evicted["ok"] and evicted["status"]["state"] == "evicted"
         status = {"done": False}
@@ -183,6 +198,24 @@ class TestProtocolHandler:
             command["request"]["dataset"]["scale"] = scale
             assert handler.handle(command)["ok"]
         assert len(handler._datasets) == 1
+
+    def test_seedless_opens_share_a_seed_pool(self, tmp_path, serve_cache):
+        """Seedless sessions cycle a small pool of web spaces, not one each."""
+        handler = _handler(tmp_path, serve_cache, seed_pool=2)
+        for index in range(4):
+            command = _open_command(f"s{index}", "breadth-first", 0)
+            del command["request"]["dataset"]["seed"]
+            assert handler.handle(command)["ok"]
+        assert len(handler._datasets) == 2
+
+    def test_dataset_cache_is_lru_bounded(self, tmp_path, serve_cache):
+        """A long-running serve process holds a fixed number of graphs."""
+        handler = _handler(tmp_path, serve_cache, dataset_cache_size=2)
+        for index, seed in enumerate((9001, 9002, 9003)):
+            assert handler.handle(_open_command(f"s{index}", "breadth-first", seed))["ok"]
+        assert len(handler._datasets) == 2
+        # The oldest build (9001) was evicted; the newer two remain.
+        assert {key[2] for key in handler._datasets} == {9002, 9003}
 
     def test_shutdown_closes_every_session(self, tmp_path, serve_cache):
         handler = _handler(tmp_path, serve_cache)
