@@ -9,48 +9,64 @@ strategy.  (Both breadth-first and focused crawls slow down by well over
 an order of magnitude at a 1-second per-site interval; which one suffers
 more depends on how bursty its per-host request pattern is, so no
 direction is asserted between them.)
+
+The politeness variants go through ``run_strategies(timing_spec=...)``
+so each point of the sweep builds a fresh clock, and the whole sweep
+fans out over :class:`~repro.exec.SweepExecutor` workers — with a
+sha256 gate pinning the worker results to the serial ones.
 """
 
-from repro.core.strategies import BreadthFirstStrategy, SimpleStrategy
-from repro.core.timing import TimingModel
+from repro.exec import TimingSpec
 from repro.experiments.report import render_table
-from repro.experiments.runner import run_strategy
+from repro.experiments.runner import run_strategies
 
-from conftest import emit
+from conftest import canonical_hash, emit
 
 MAX_PAGES = 6000
+STRATEGIES = ["breadth-first", "hard-focused"]
 
 
-def _timed_run(dataset, strategy, politeness: float):
-    timing = TimingModel(politeness_interval_s=politeness, connections=32)
-    result = run_strategy(dataset, strategy, timing=timing, max_pages=MAX_PAGES)
-    return result.summary.simulated_seconds
+def _sweep(dataset, politeness: float, workers: int = 0):
+    return run_strategies(
+        dataset,
+        STRATEGIES,
+        timing_spec=TimingSpec(politeness_interval_s=politeness, connections=32),
+        max_pages=MAX_PAGES,
+        workers=workers,
+    )
 
 
 def test_ext_timing_model(benchmark, thai_bench, results_dir):
     def sweep():
-        rows = []
-        for strategy_factory in (BreadthFirstStrategy, lambda: SimpleStrategy(mode="hard")):
-            strategy = strategy_factory()
-            fast = _timed_run(thai_bench, strategy, politeness=0.0)
-            polite = _timed_run(thai_bench, strategy_factory(), politeness=1.0)
-            rows.append(
-                {
-                    "strategy": strategy.name,
-                    "sim_seconds_no_politeness": round(fast, 1),
-                    "sim_seconds_polite_1s": round(polite, 1),
-                    "slowdown": round(polite / fast, 2),
-                }
-            )
-        return rows
+        return _sweep(thai_bench, politeness=0.0), _sweep(thai_bench, politeness=1.0)
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    fast_results, polite_results = benchmark.pedantic(sweep, rounds=1, iterations=1)
 
-    emit(
-        results_dir,
-        "ext_timing",
-        render_table(rows, title=f"Extension E1: simulated crawl time, first {MAX_PAGES} pages"),
+    # Timed sweeps fanned out to worker processes must not move a byte:
+    # the TimingSpec recipe rebuilds a fresh clock per run on both paths.
+    fast_digest = canonical_hash(fast_results)
+    polite_digest = canonical_hash(polite_results)
+    assert canonical_hash(_sweep(thai_bench, politeness=0.0, workers=2)) == fast_digest
+    assert canonical_hash(_sweep(thai_bench, politeness=1.0, workers=2)) == polite_digest
+
+    rows = []
+    for name in fast_results:
+        fast = fast_results[name].summary.simulated_seconds
+        polite = polite_results[name].summary.simulated_seconds
+        rows.append(
+            {
+                "strategy": name,
+                "sim_seconds_no_politeness": round(fast, 1),
+                "sim_seconds_polite_1s": round(polite, 1),
+                "slowdown": round(polite / fast, 2),
+            }
+        )
+
+    text = render_table(
+        rows, title=f"Extension E1: simulated crawl time, first {MAX_PAGES} pages"
     )
+    text += f"\nsweep sha256 (serial == workers=2): {fast_digest} / {polite_digest}"
+    emit(results_dir, "ext_timing", text)
 
     for row in rows:
         # Politeness can only slow a crawl down — and at a 1s per-site

@@ -9,14 +9,19 @@ distance strategy.
 from repro.experiments.figures import figure5
 from repro.experiments.report import render_ascii_chart, render_figure
 
-from conftest import emit
+from conftest import canonical_hash, emit
 
 
 def test_fig5_url_queue_size(benchmark, thai_bench, results_dir):
     figure = benchmark.pedantic(lambda: figure5(thai_bench), rounds=1, iterations=1)
 
+    # The sweep fanned out over worker processes must not move a byte.
+    digest = canonical_hash(figure.results)
+    assert canonical_hash(figure5(thai_bench, workers=2).results) == digest
+
     text = render_figure(figure)
     text += "\n" + render_ascii_chart(figure, "queue_size")
+    text += f"\nsweep sha256 (serial == workers=2): {digest}"
     emit(results_dir, "fig5", text)
 
     soft_queue = figure.results["soft-focused"].summary.max_queue_size

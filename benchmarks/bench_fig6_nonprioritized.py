@@ -11,15 +11,20 @@ Shape criteria (paper §5.2.2):
 from repro.experiments.figures import LIMITED_DISTANCE_NS, figure6
 from repro.experiments.report import render_ascii_chart, render_figure
 
-from conftest import emit
+from conftest import canonical_hash, emit
 
 
 def test_fig6_nonprioritized_limited_distance(benchmark, thai_bench, results_dir):
     figure = benchmark.pedantic(lambda: figure6(thai_bench), rounds=1, iterations=1)
 
+    # The N sweep fanned out over worker processes must not move a byte.
+    digest = canonical_hash(figure.results)
+    assert canonical_hash(figure6(thai_bench, workers=2).results) == digest
+
     text = render_figure(figure)
     for metric in figure.panels:
         text += "\n" + render_ascii_chart(figure, metric)
+    text += f"\nsweep sha256 (serial == workers=2): {digest}"
     emit(results_dir, "fig6", text)
 
     results = list(figure.results.values())

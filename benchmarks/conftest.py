@@ -13,6 +13,8 @@ both human-readable (``<name>.txt``) and machine-readable
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import json
 import os
 from pathlib import Path
@@ -43,6 +45,27 @@ def japanese_bench():
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+def canonical_hash(results: dict) -> str:
+    """sha256 over a sweep's deterministic content (wall time excluded).
+
+    The executor's contract — ``workers=N`` is byte-identical to serial —
+    is assertable as digest equality; every bench that fans a sweep out
+    pins it with this one definition of "the results".
+    """
+    canonical = json.dumps(
+        {
+            name: {
+                "series": result.series.to_dict(),
+                "summary": dataclasses.asdict(result.summary),
+                "resilience": result.resilience,
+            }
+            for name, result in results.items()
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 def emit(results_dir: Path, name: str, text: str, data: dict | list | None = None) -> None:

@@ -175,6 +175,11 @@ def run_crawl(
     if parallel is not None:
         if session_config.timing is not None or session_config.on_fetch is not None:
             raise ConfigError("timing= and on_fetch= are sequential-engine features")
+        if session_config.concurrency is not None:
+            raise ConfigError(
+                "concurrency= selects the sequential event-driven engine; it "
+                "does not combine with a partitioned (parallel=) run"
+            )
         if session_config.resume_from is not None:
             raise ConfigError("resume_from= is a sequential-engine feature")
         if session_config.hooks:

@@ -136,6 +136,35 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="resume the crawl from a checkpoint file",
     )
+    p_run.add_argument(
+        "--concurrency",
+        type=int,
+        default=None,
+        metavar="K",
+        help="crawl with K concurrent fetch slots on the virtual-time "
+        "event engine (default: the paper's round-based engine)",
+    )
+    p_run.add_argument(
+        "--latency",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request latency of the simulated clock (default 0.05)",
+    )
+    p_run.add_argument(
+        "--bandwidth",
+        type=float,
+        default=None,
+        metavar="BYTES_PER_S",
+        help="download bandwidth of the simulated clock (default 2e6)",
+    )
+    p_run.add_argument(
+        "--politeness",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-host politeness interval of the simulated clock (default 1.0)",
+    )
     _add_dataset_args(p_run)
 
     p_figure = sub.add_parser("figure", help="regenerate a paper figure")
@@ -290,6 +319,21 @@ def _dispatch(args: argparse.Namespace) -> int:
                     outages=faults.outages,
                     seed=args.fault_seed,
                 )
+        timing = None
+        if any(
+            value is not None for value in (args.latency, args.bandwidth, args.politeness)
+        ):
+            from repro.core.timing import TimingModel
+
+            timing = TimingModel(
+                bandwidth_bytes_per_s=args.bandwidth
+                if args.bandwidth is not None
+                else 2_000_000.0,
+                latency_s=args.latency if args.latency is not None else 0.05,
+                politeness_interval_s=args.politeness
+                if args.politeness is not None
+                else 1.0,
+            )
         try:
             result = run_strategy(
                 dataset,
@@ -301,6 +345,8 @@ def _dispatch(args: argparse.Namespace) -> int:
                 checkpoint_every=args.checkpoint_every if args.checkpoint else None,
                 checkpoint_path=args.checkpoint,
                 resume_from=args.resume,
+                timing=timing,
+                concurrency=args.concurrency,
             )
         finally:
             if instrumentation is not None:

@@ -37,7 +37,11 @@ from typing import Any
 from repro.errors import CheckpointError
 
 FORMAT_NAME = "repro-lswc-checkpoint"
-FORMAT_VERSION = 1
+#: Version 2 added the optional ``sched`` section (the event-driven
+#: engine's in-flight fetch set); version-1 files are still readable —
+#: they are exactly version-2 files with no ``sched`` section.
+FORMAT_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
 
 #: Sections a checkpoint may carry.  ``frontier``/``scheduled``/
 #: ``recorder``/``visitor``/``loop`` are always present; the rest are
@@ -51,6 +55,7 @@ _KNOWN_SECTIONS = (
     "timing",
     "faults",
     "breakers",
+    "sched",
 )
 
 
@@ -73,6 +78,9 @@ class CheckpointState:
     timing: dict | None = None
     faults: dict | None = None
     breakers: dict | None = None
+    #: In-flight event set of a :class:`repro.core.sched.
+    #: VirtualTimeEngine` run (format v2); None for round-based runs.
+    sched: dict | None = None
     extra: dict[str, Any] = field(default_factory=dict)
 
     def sections(self) -> list[tuple[str, Any]]:
@@ -89,6 +97,8 @@ class CheckpointState:
             rows.append(("faults", self.faults))
         if self.breakers is not None:
             rows.append(("breakers", self.breakers))
+        if self.sched is not None:
+            rows.append(("sched", self.sched))
         return rows
 
 
@@ -141,7 +151,7 @@ def read_checkpoint(path: str | Path) -> CheckpointState:
                 raise CheckpointError(
                     f"{path}: not a crawl checkpoint (format={header.get('format')!r})"
                 )
-            if header.get("version") != FORMAT_VERSION:
+            if header.get("version") not in _READABLE_VERSIONS:
                 raise CheckpointError(
                     f"{path}: unsupported checkpoint version {header.get('version')!r}"
                 )
@@ -181,4 +191,5 @@ def read_checkpoint(path: str | Path) -> CheckpointState:
         timing=sections.get("timing"),
         faults=sections.get("faults"),
         breakers=sections.get("breakers"),
+        sched=sections.get("sched"),
     )

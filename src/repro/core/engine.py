@@ -300,6 +300,17 @@ class CrawlEngine:
         """Completed crawl steps (failed fetch rounds excluded)."""
         return self.state.steps
 
+    @property
+    def has_pending_work(self) -> bool:
+        """True while the engine can still complete a crawl step.
+
+        The round-based engine's pending work is exactly its frontier;
+        the event-driven subclass also counts in-flight fetches.  The
+        session layer's ``done`` must go through this, never through the
+        frontier directly.
+        """
+        return bool(self.frontier)
+
     def offer(self, candidate: Candidate) -> bool:
         """Schedule a candidate unless its URL was already seen here."""
         if candidate.url in self.scheduled:

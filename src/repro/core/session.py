@@ -44,6 +44,7 @@ from repro.core.engine import (
 )
 from repro.core.events import FetchCallback
 from repro.core.metrics import CrawlSummary, MetricsRecorder, MetricSeries
+from repro.core.sched import VirtualTimeEngine
 from repro.core.strategies.base import CrawlStrategy
 from repro.core.strategies.registry import get_strategy
 from repro.core.timing import TimingModel
@@ -264,6 +265,11 @@ class SessionConfig:
     checkpoint_every: int | None = None
     checkpoint_path: str | Path | None = None
     timing: TimingModel | None = None
+    #: Number of concurrent fetch slots.  None runs the round-based
+    #: engine (the paper's setting); an integer K >= 1 runs the
+    #: event-driven :class:`~repro.core.sched.VirtualTimeEngine`, with
+    #: ``timing`` defaulting to a fresh :class:`TimingModel` when unset.
+    concurrency: int | None = None
     on_fetch: FetchCallback | None = None
     instrumentation: Instrumentation | None = None
     faults: FaultModel | None = None
@@ -363,6 +369,13 @@ class CrawlSession:
         self._request = request
         self._config = config
         self._resume_state = resume
+        if config.concurrency is not None and config.concurrency < 1:
+            raise ConfigError("concurrency must be >= 1")
+        # The event-driven engine *is* its timing model; default one so
+        # concurrency=K alone is a complete configuration.
+        self._timing = config.timing
+        if config.concurrency is not None and self._timing is None:
+            self._timing = TimingModel()
         resilient = (
             config.faults is not None
             or config.resilience is not None
@@ -463,7 +476,7 @@ class CrawlSession:
         self._scheduled = scheduled
         self._breakers = breakers
         self._instr = instr
-        engine = CrawlEngine(
+        components: dict[str, Any] = dict(
             frontier=frontier,
             visitor=visitor,
             classifier=classifier,
@@ -471,7 +484,7 @@ class CrawlSession:
             scheduled=scheduled,
             recorder=recorder,
             max_pages=config.max_pages,
-            timing=config.timing,
+            timing=self._timing,
             on_fetch=config.on_fetch,
             faults=config.faults,
             retry=resilience.retry if resilience is not None else None,
@@ -479,8 +492,30 @@ class CrawlSession:
             hooks=self._build_hooks(instr, resilience, rstate),
             loop_state=rstate,
         )
+        engine: CrawlEngine
+        if config.concurrency is not None:
+            engine = VirtualTimeEngine(concurrency=config.concurrency, **components)
+        else:
+            engine = CrawlEngine(**components)
         self._engine = engine
-        if resume is None:
+        if resume is not None:
+            # The sched section and the engine kind must agree: a
+            # checkpoint with in-flight state needs the event-driven
+            # engine to replay it, and an event-driven resume without
+            # its section would silently drop issued fetches.
+            if resume.sched is not None:
+                if not isinstance(engine, VirtualTimeEngine):
+                    raise CheckpointError(
+                        "checkpoint carries in-flight scheduler state; resume "
+                        "with the same concurrency= configuration"
+                    )
+                engine.restore_events(resume.sched)
+            elif isinstance(engine, VirtualTimeEngine):
+                raise CheckpointError(
+                    "checkpoint was taken by the round-based engine; it cannot "
+                    "resume under concurrency= — rerun it round-based"
+                )
+        else:
             engine.seed(list(request.seeds))
         self._state = "open"
         return self
@@ -509,7 +544,7 @@ class CrawlSession:
         """True once the frontier drained or the page cap was reached."""
         if self._engine is None:
             return False
-        if not self._engine.frontier:
+        if not self._engine.has_pending_work:
             return True
         max_pages = self._config.max_pages
         return max_pages is not None and self._engine.steps >= max_pages
@@ -641,7 +676,7 @@ class CrawlSession:
             and self._recorder is not None
             and self._visitor is not None
         )
-        config = self._config
+        engine = self._engine
         return CheckpointState(
             strategy=self._strategy.name,
             steps=rstate.steps,
@@ -650,9 +685,10 @@ class CrawlSession:
             recorder=self._recorder.snapshot(),
             visitor=self._visitor.snapshot(),
             loop=rstate.to_dict(),
-            timing=config.timing.snapshot() if config.timing is not None else None,
+            timing=self._timing.snapshot() if self._timing is not None else None,
             faults=self.faulty_web.snapshot() if self.faulty_web is not None else None,
             breakers=self._breakers.snapshot() if self._breakers is not None else None,
+            sched=engine.snapshot_events() if isinstance(engine, VirtualTimeEngine) else None,
         )
 
     # -- internals ------------------------------------------------------
@@ -718,11 +754,11 @@ class CrawlSession:
         recorder.restore(resume.recorder)
         visitor.restore(resume.visitor)
         if resume.timing is not None:
-            if self._config.timing is None:
+            if self._timing is None:
                 raise CheckpointError(
                     "checkpoint carries timing state but no timing model is configured"
                 )
-            self._config.timing.restore(resume.timing)
+            self._timing.restore(resume.timing)
         if resume.faults is not None:
             if faulty is None:
                 raise CheckpointError(

@@ -64,6 +64,33 @@ class TimingModel:
             self.now = completion
         return completion
 
+    def reserve_fetch(
+        self,
+        url: str,
+        size: int,
+        not_before: float = 0.0,
+        latency_scale: float = 1.0,
+    ) -> tuple[float, float]:
+        """Book one fetch for the event-driven scheduler; returns
+        ``(start, completion)``.
+
+        Unlike :meth:`observe_fetch`, this does **not** consume a
+        connection slot — the caller (:class:`repro.core.sched.
+        VirtualTimeEngine`) owns the slots via its event heap and passes
+        the issue-time clock as ``not_before``.  Per-site politeness is
+        booked here: the fetch starts at the later of ``not_before`` and
+        the site's availability, and the site's next request cannot
+        start before ``start + politeness``.
+        """
+        site = url_site_key(url)
+        start = max(not_before, self._site_available.get(site, 0.0))
+        latency = self.latency if latency_scale == 1.0 else self.latency * latency_scale
+        completion = start + latency + size / self.bandwidth
+        self._site_available[site] = start + self.politeness
+        if completion > self.now:
+            self.now = completion
+        return start, completion
+
     def delay_site(self, url: str, seconds: float) -> None:
         """Push ``url``'s site availability ``seconds`` into the future.
 

@@ -25,6 +25,7 @@ from repro.exec.executor import SweepExecutor
 from repro.exec.spec import (
     DatasetSpec,
     RunSpec,
+    TimingSpec,
     execute_run,
     result_from_payload,
     result_to_payload,
@@ -34,6 +35,7 @@ __all__ = [
     "SweepExecutor",
     "DatasetSpec",
     "RunSpec",
+    "TimingSpec",
     "execute_run",
     "result_from_payload",
     "result_to_payload",

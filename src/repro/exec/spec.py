@@ -44,15 +44,43 @@ from repro.webspace.query import host_bucket
 
 if TYPE_CHECKING:
     from repro.core.parallel import ParallelResult
+    from repro.core.timing import TimingModel
     from repro.experiments.datasets import Dataset
 
 __all__ = [
     "DatasetSpec",
+    "TimingSpec",
     "RunSpec",
     "execute_run",
     "result_to_payload",
     "result_from_payload",
 ]
+
+
+@dataclass(frozen=True, slots=True)
+class TimingSpec:
+    """Recipe to rebuild a :class:`~repro.core.timing.TimingModel`.
+
+    The model itself holds per-run mutable clock state (slot heap, site
+    availability), so sweeps ship this spec and build a **fresh** model
+    per run — serial and worker paths alike, which is what keeps
+    ``workers > 0`` byte-identical to serial under timing.
+    """
+
+    bandwidth_bytes_per_s: float = 2_000_000.0
+    latency_s: float = 0.05
+    politeness_interval_s: float = 1.0
+    connections: int = 64
+
+    def build(self) -> "TimingModel":
+        from repro.core.timing import TimingModel
+
+        return TimingModel(
+            bandwidth_bytes_per_s=self.bandwidth_bytes_per_s,
+            latency_s=self.latency_s,
+            politeness_interval_s=self.politeness_interval_s,
+            connections=self.connections,
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -128,6 +156,11 @@ class RunSpec:
     synthesize_bodies: bool = False
     fault_profile: FaultProfile | None = None
     fault_seed: int = 0
+    #: A timing spec makes the worker build a fresh clock per run; with
+    #: ``concurrency`` set the run goes through the event-driven
+    #: :class:`~repro.core.sched.VirtualTimeEngine` (K fetch slots).
+    timing: "TimingSpec | None" = None
+    concurrency: int | None = None
     partitions: int | None = None
     partition_mode: str = "exchange"
     seed_owners: tuple[tuple[str, int], ...] | None = None
@@ -272,6 +305,8 @@ def execute_run(spec: RunSpec) -> dict:
         relevant_urls=ctx.relevant_urls,
         classifier_cache=ctx.classifier_cache,
         faults=faults,
+        timing=spec.timing.build() if spec.timing is not None else None,
+        concurrency=spec.concurrency,
     )
     return result_to_payload(result)
 

@@ -57,6 +57,18 @@ GOLDEN_MAX_PAGES = 1100
 #: (``src/repro/experiments/golden.py`` → repo root → ``tests/golden``).
 GOLDEN_FIXTURE_DIR = Path(__file__).resolve().parents[3] / "tests" / "golden" / "fixtures"
 
+#: Event-driven (virtual-time) fixtures live in a subdirectory: the
+#: round-based suite's orphan check globs ``fixtures/*.jsonl``
+#: non-recursively, so sched fixtures stay out of its matrix.
+SCHED_FIXTURE_DIR = GOLDEN_FIXTURE_DIR / "sched"
+
+#: The checked-in concurrent-order fixture: soft-focused at K=8 under
+#: the default clock.  Soft-focused because its two priority bands make
+#: frontier order (and therefore the fixture) genuinely sensitive to
+#: *when* completions land, not just to what was discovered.
+SCHED_GOLDEN_CONCURRENCY = 8
+SCHED_GOLDEN_STRATEGY = "soft-focused"
+
 
 def golden_strategies() -> dict[str, Callable[[], CrawlStrategy]]:
     """The strategy matrix the golden suite pins, by fixture name.
@@ -108,6 +120,89 @@ def record_golden_trace(
 
     run_strategy(dataset, strategy, max_pages=max_pages, on_fetch=observe)
     return rows
+
+
+def record_sched_trace(
+    dataset: Dataset,
+    strategy: CrawlStrategy,
+    max_pages: int = GOLDEN_MAX_PAGES,
+    concurrency: int = 1,
+    timing_spec=None,
+) -> list[dict]:
+    """Fetch order + relevance of one *event-driven* crawl.
+
+    Same row shape as :func:`record_golden_trace`, but the crawl runs on
+    the :class:`~repro.core.sched.VirtualTimeEngine` with ``concurrency``
+    fetch slots under ``timing_spec`` (default: the stock clock).  With
+    ``concurrency=1`` the trace must equal the round-based one — the
+    K=1 equivalence contract ``tests/golden/test_golden_sched.py`` pins.
+    """
+    from repro.exec import TimingSpec
+
+    rows: list[dict] = []
+
+    def observe(event) -> None:
+        rows.append(
+            {"step": event.step, "url": event.url, "relevant": event.judgment.relevant}
+        )
+
+    spec = timing_spec if timing_spec is not None else TimingSpec()
+    run_strategy(
+        dataset,
+        strategy,
+        max_pages=max_pages,
+        on_fetch=observe,
+        timing=spec.build(),
+        concurrency=concurrency,
+    )
+    return rows
+
+
+def write_sched_traces(
+    directory: str | Path = SCHED_FIXTURE_DIR,
+    dataset: Dataset | None = None,
+    max_pages: int = GOLDEN_MAX_PAGES,
+    progress: Callable[[str], None] | None = None,
+) -> list[Path]:
+    """Record and serialise the concurrent-order fixture (K=8).
+
+    One fixture is enough: the K=1 side of the differential is pinned
+    against the *round-based* fixtures (that is the equivalence
+    contract), so only genuinely concurrent ordering needs its own
+    checked-in reference.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    say = progress or (lambda _message: None)
+    if dataset is None:
+        say(f"building golden dataset (thai × {GOLDEN_SCALE}) ...")
+        dataset = golden_dataset()
+    name = f"{SCHED_GOLDEN_STRATEGY}-k{SCHED_GOLDEN_CONCURRENCY}"
+    say(f"recording {name} ...")
+    factory = golden_strategies()[SCHED_GOLDEN_STRATEGY]
+    rows = record_sched_trace(
+        dataset,
+        factory(),
+        max_pages=max_pages,
+        concurrency=SCHED_GOLDEN_CONCURRENCY,
+    )
+    path = directory / f"{name}.jsonl"
+    header = {
+        "format": _FORMAT_NAME,
+        "version": _FORMAT_VERSION,
+        "profile": dataset.profile.name,
+        "scale": GOLDEN_SCALE,
+        "strategy": SCHED_GOLDEN_STRATEGY,
+        "concurrency": SCHED_GOLDEN_CONCURRENCY,
+        "max_pages": max_pages,
+        "pages": len(rows),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        for row in rows:
+            handle.write(json.dumps(row, sort_keys=True) + "\n")
+    say(f"wrote sched trace to {path}")
+    return [path]
 
 
 def write_golden_traces(

@@ -169,12 +169,19 @@ def _main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.regen_golden is not None:
-        from repro.experiments.golden import GOLDEN_FIXTURE_DIR, write_golden_traces
+        from repro.experiments.golden import (
+            GOLDEN_FIXTURE_DIR,
+            golden_dataset,
+            write_golden_traces,
+            write_sched_traces,
+        )
 
         directory = (
             GOLDEN_FIXTURE_DIR if args.regen_golden == "__default__" else Path(args.regen_golden)
         )
-        write_golden_traces(directory, progress=print)
+        dataset = golden_dataset()
+        write_golden_traces(directory, dataset=dataset, progress=print)
+        write_sched_traces(directory / "sched", dataset=dataset, progress=print)
         return 0
 
     artifacts = reproduce_all(

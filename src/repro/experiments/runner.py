@@ -22,7 +22,7 @@ from repro.core.strategies.registry import get_strategy
 from repro.core.summary import CrawlReport
 from repro.core.timing import TimingModel
 from repro.errors import ConfigError
-from repro.exec import DatasetSpec, RunSpec, SweepExecutor
+from repro.exec import DatasetSpec, RunSpec, SweepExecutor, TimingSpec
 from repro.experiments.datasets import Dataset
 from repro.graphgen.htmlsynth import HtmlSynthesizer
 from repro.obs import Instrumentation
@@ -43,6 +43,8 @@ _SPECABLE_KWARGS = frozenset(
         "sample_interval",
         "extract_from_body",
         "synthesize_bodies",
+        "timing_spec",
+        "concurrency",
     }
 )
 
@@ -56,6 +58,7 @@ def run_strategy(
     synthesize_bodies: bool = False,
     extract_from_body: bool = False,
     timing: TimingModel | None = None,
+    concurrency: int | None = None,
     on_fetch: FetchCallback | None = None,
     instrumentation: Instrumentation | None = None,
     web=None,
@@ -110,6 +113,7 @@ def run_strategy(
             checkpoint_every=checkpoint_every,
             checkpoint_path=checkpoint_path,
             timing=timing,
+            concurrency=concurrency,
             on_fetch=on_fetch,
             instrumentation=instrumentation,
             faults=faults,
@@ -148,8 +152,15 @@ def run_strategies(
     are byte-identical to ``workers=0`` (pinned by
     ``tests/test_exec_sweep.py``).
     """
+    if "timing_spec" in kwargs and kwargs.get("timing") is not None:
+        raise ConfigError("pass timing_spec= or timing=, not both")
     if workers:
         return _run_strategies_workers(dataset, strategies, workers, kwargs)
+    timing_spec = kwargs.pop("timing_spec", None)
+    if timing_spec is not None and not isinstance(timing_spec, TimingSpec):
+        raise ConfigError(
+            f"timing_spec= needs a repro.exec.TimingSpec, got {type(timing_spec).__name__}"
+        )
     kwargs.setdefault("relevant_urls", dataset.relevant_urls())
     kwargs.setdefault("classifier_cache", ClassifierCache())
     if "web" not in kwargs:
@@ -170,6 +181,10 @@ def run_strategies(
     results: dict[str, CrawlResult] = {}
     for strategy in strategies:
         strategy = _resolve_strategy(strategy)
+        if timing_spec is not None:
+            # The clock is per-run mutable state: every run of the sweep
+            # gets a fresh model, exactly as a worker process would.
+            kwargs["timing"] = timing_spec.build()
         results[strategy.name] = run_strategy(dataset, strategy, **kwargs)
     return results
 
@@ -202,6 +217,11 @@ def _run_strategies_workers(
         if isinstance(classifier_mode, str)
         else classifier_mode
     )
+    timing_spec = kwargs.get("timing_spec")
+    if timing_spec is not None and not isinstance(timing_spec, TimingSpec):
+        raise ConfigError(
+            f"timing_spec= needs a repro.exec.TimingSpec, got {type(timing_spec).__name__}"
+        )
     dataset_spec = DatasetSpec.from_dataset(dataset)
     names: list[str] = []
     specs: list[RunSpec] = []
@@ -229,6 +249,8 @@ def _run_strategies_workers(
                 sample_interval=kwargs.get("sample_interval"),
                 extract_from_body=kwargs.get("extract_from_body", False),
                 synthesize_bodies=kwargs.get("synthesize_bodies", False),
+                timing=timing_spec,
+                concurrency=kwargs.get("concurrency"),
             )
         )
     results = SweepExecutor(workers).run(specs)

@@ -42,6 +42,7 @@ import threading
 from typing import Any, Callable, Mapping
 
 from repro.core.session import CrawlRequest, SessionConfig, report_payload
+from repro.core.timing import TimingModel
 from repro.errors import ReproError, SessionError
 from repro.experiments.datasets import load_or_build_dataset
 from repro.faults.model import FaultModel, FaultProfile
@@ -76,6 +77,8 @@ _CONFIG_KEYS = {
     "extract_from_body",
     "checkpoint_every",
     "resilience",
+    "concurrency",
+    "timing",
 }
 
 
@@ -196,12 +199,31 @@ class ProtocolHandler:
                 retry=RetryPolicy(**retry) if retry is not None else RetryPolicy(),
                 breaker=BreakerPolicy(**breaker) if breaker is not None else None,
             )
+        timing = None
+        if spec.get("timing") is not None:
+            # Wire timing knobs: {"latency": s, "bandwidth": bytes/s,
+            # "politeness": s} — the session-local clock of an
+            # event-driven (concurrency=K) crawl.
+            tspec = dict(spec["timing"])
+            timing = TimingModel(
+                bandwidth_bytes_per_s=float(tspec.pop("bandwidth", 2_000_000.0)),
+                latency_s=float(tspec.pop("latency", 0.05)),
+                politeness_interval_s=float(tspec.pop("politeness", 1.0)),
+            )
+            if tspec:
+                raise SessionError(f"unknown timing keys: {sorted(tspec)}")
         kwargs: dict[str, Any] = {
             k: spec[k]
-            for k in ("max_pages", "sample_interval", "extract_from_body", "checkpoint_every")
+            for k in (
+                "max_pages",
+                "sample_interval",
+                "extract_from_body",
+                "checkpoint_every",
+                "concurrency",
+            )
             if k in spec and spec[k] is not None
         }
-        return SessionConfig(resilience=resilience, faults=faults, **kwargs)
+        return SessionConfig(resilience=resilience, faults=faults, timing=timing, **kwargs)
 
     @staticmethod
     def build_faults(spec: Mapping[str, Any] | None) -> FaultModel | None:

@@ -28,6 +28,7 @@ from repro.core.frontier import (
     ReprioritizableFrontier,
 )
 from repro.core.metrics import MetricsRecorder
+from repro.core.session import CrawlRequest, CrawlSession, SessionConfig
 from repro.core.simulator import SimulationConfig, Simulator
 from repro.core.strategies import BreadthFirstStrategy, SimpleStrategy
 from repro.core.timing import TimingModel
@@ -391,6 +392,160 @@ class TestBackoffBoundaryKill:
         uninterrupted_timing = _BackoffKillTimingModel()
         full, _ = self._run(tiny_web, uninterrupted_timing)
         assert state.loop["retries"] <= full.resilience["retries"]
+
+
+class TestSchedBoundaryKill:
+    """The kill/resume guarantee extended to the event-driven engine.
+
+    With K>1 slots a checkpoint taken at a step boundary carries
+    *in-flight* events — fetches issued but not yet completed.  Resuming
+    must rebuild that event heap exactly: the full fetch trace, the
+    series and every resilience tally must match the uninterrupted run,
+    whichever event boundary (or mid-retry backoff) the crawl died at.
+    """
+
+    CONCURRENCY = 4
+
+    def _session(
+        self,
+        tiny_web,
+        timing,
+        concurrency=CONCURRENCY,
+        path=None,
+        resume_from=None,
+        on_fetch=None,
+    ):
+        return CrawlSession(
+            CrawlRequest(
+                strategy=BreadthFirstStrategy(),
+                web=tiny_web,
+                classifier=Classifier(Language.THAI),
+                seeds=(SEED,),
+                relevant_urls=THAI_SET,
+            ),
+            SessionConfig(
+                sample_interval=1,
+                timing=timing,
+                concurrency=concurrency,
+                faults=FaultModel(profile=FAULTY_PROFILE, seed=42),
+                checkpoint_every=1 if path is not None else None,
+                checkpoint_path=path,
+                resume_from=resume_from,
+                on_fetch=on_fetch,
+            ),
+        )
+
+    def _full(self, tiny_web, timing=None):
+        urls: list[str] = []
+        result = self._session(
+            tiny_web,
+            timing if timing is not None else TimingModel(),
+            on_fetch=lambda event: urls.append(event.url),
+        ).run()
+        return result, urls
+
+    def test_cut_at_every_event_boundary_resumes_identically(self, tiny_web, tmp_path):
+        full, full_urls = self._full(tiny_web)
+        assert full.pages_crawled > self.CONCURRENCY, "web too small to overlap fetches"
+
+        saw_in_flight = False
+        for cut in range(1, full.pages_crawled):
+            urls: list[str] = []
+            partial = self._session(
+                tiny_web, TimingModel(), on_fetch=lambda event: urls.append(event.url)
+            ).open()
+            partial.step(cut)
+            state = partial.snapshot()
+            partial.close()
+            assert state.sched is not None
+            assert state.sched["concurrency"] == self.CONCURRENCY
+            saw_in_flight = saw_in_flight or bool(state.sched["events"])
+
+            path = tmp_path / f"cut{cut}.ckpt"
+            write_checkpoint(path, state)
+            resumed = self._session(
+                tiny_web,
+                TimingModel(),
+                resume_from=path,
+                on_fetch=lambda event: urls.append(event.url),
+            ).run()
+
+            assert urls == full_urls, f"cut={cut}"
+            assert resumed.pages_crawled == full.pages_crawled, f"cut={cut}"
+            assert resumed.series.to_dict() == full.series.to_dict(), f"cut={cut}"
+            assert resumed.summary.simulated_seconds == full.summary.simulated_seconds
+            for key in ("retries", "requeued", "dropped", "fetches_failed"):
+                assert resumed.resilience[key] == full.resilience[key], (
+                    f"cut={cut}: {key} diverged across the event-boundary resume"
+                )
+        assert saw_in_flight, (
+            "no cut ever had in-flight events; the sweep did not exercise "
+            "the event-heap snapshot at all"
+        )
+
+    def test_kill_at_every_backoff_boundary_resumes_identically(self, tiny_web, tmp_path):
+        reference_timing = _BackoffKillTimingModel()
+        full, full_urls = self._full(tiny_web, timing=reference_timing)
+        assert reference_timing.backoffs_seen > 0, "profile must exercise retries"
+
+        for kill_at in range(1, reference_timing.backoffs_seen + 1):
+            path = tmp_path / f"sched-kill{kill_at}.ckpt"
+            with pytest.raises(_KillSignal):
+                self._session(
+                    tiny_web, _BackoffKillTimingModel(kill_at), path=path
+                ).run()
+            assert path.exists(), "cadence=1 must have checkpointed before the kill"
+
+            urls: list[str] = []
+            resumed = self._session(
+                tiny_web,
+                TimingModel(),
+                resume_from=path,
+                on_fetch=lambda event: urls.append(event.url),
+            ).run()
+            # The resumed tail must be the uninterrupted trace's tail.
+            assert urls == full_urls[len(full_urls) - len(urls):], f"kill_at={kill_at}"
+            assert resumed.pages_crawled == full.pages_crawled, f"kill_at={kill_at}"
+            assert resumed.series.to_dict() == full.series.to_dict(), f"kill_at={kill_at}"
+            for key in ("retries", "requeued", "dropped", "fetches_failed"):
+                assert resumed.resilience[key] == full.resilience[key], (
+                    f"kill_at={kill_at}: {key} double-counted across the "
+                    f"backoff-boundary resume"
+                )
+
+    def test_round_based_engine_rejects_sched_checkpoint(self, tiny_web, tmp_path):
+        partial = self._session(tiny_web, TimingModel()).open()
+        partial.step(1)
+        state = partial.snapshot()
+        partial.close()
+        path = tmp_path / "sched.ckpt"
+        write_checkpoint(path, state)
+        with pytest.raises(CheckpointError, match="concurrency"):
+            self._session(
+                tiny_web, TimingModel(), concurrency=None, resume_from=path
+            ).run()
+
+    def test_sched_engine_rejects_round_based_checkpoint(self, tiny_web, tmp_path):
+        partial = self._session(tiny_web, TimingModel(), concurrency=None).open()
+        partial.step(1)
+        state = partial.snapshot()
+        partial.close()
+        path = tmp_path / "round.ckpt"
+        write_checkpoint(path, state)
+        with pytest.raises(CheckpointError, match="round-based"):
+            self._session(tiny_web, TimingModel(), resume_from=path).run()
+
+    def test_concurrency_mismatch_rejected(self, tiny_web, tmp_path):
+        partial = self._session(tiny_web, TimingModel()).open()
+        partial.step(1)
+        state = partial.snapshot()
+        partial.close()
+        path = tmp_path / "k4.ckpt"
+        write_checkpoint(path, state)
+        with pytest.raises(CheckpointError, match="concurrency=4"):
+            self._session(
+                tiny_web, TimingModel(), concurrency=2, resume_from=path
+            ).run()
 
 
 class TestCheckpointConfig:

@@ -20,6 +20,18 @@ class TestParser:
         assert args.n == 3
         assert args.prioritized
 
+    def test_run_concurrency_and_timing_flags(self):
+        args = build_parser().parse_args(
+            [
+                "run", "thai", "breadth-first",
+                "--concurrency", "8", "--latency", "0.01", "--politeness", "0.2",
+            ]
+        )
+        assert args.concurrency == 8
+        assert args.latency == 0.01
+        assert args.politeness == 0.2
+        assert args.bandwidth is None
+
     def test_figure_command(self):
         args = build_parser().parse_args(["figure", "6", "--chart"])
         assert args.number == "6"
@@ -60,6 +72,18 @@ class TestExecution:
         )
         assert code == 0
         assert "prioritized-limited-distance(N=1)" in capsys.readouterr().out
+
+    def test_run_with_concurrency(self, capsys):
+        code = main(
+            [
+                "run", "thai", "breadth-first", "--scale", "0.03", "--no-cache",
+                "--max-pages", "100", "--concurrency", "4", "--politeness", "0.1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "breadth-first" in out
+        assert "final_coverage" in out
 
     def test_unknown_strategy_reports_error(self, capsys):
         code = main(["run", "thai", "teleport", "--scale", "0.03", "--no-cache"])

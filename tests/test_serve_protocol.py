@@ -175,6 +175,79 @@ class TestProtocolHandler:
         )
         assert handler.manager.stats()["evictions"] >= 1
 
+    def test_concurrent_session_matches_one_shot(self, tmp_path, serve_cache):
+        """A wire session at concurrency=2 reports exactly as a direct
+        event-driven run of the same request."""
+        handler = _handler(tmp_path, serve_cache)
+        command = _open_command("s", "breadth-first", 9003)
+        command["config"]["concurrency"] = 2
+        command["config"]["timing"] = {
+            "latency": 0.01, "bandwidth": 1_000_000, "politeness": 0.1
+        }
+        assert handler.handle(command)["ok"]
+        while not handler.handle({"cmd": "step", "session": "s", "budget": 15})["status"]["done"]:
+            pass
+        report = handler.handle({"cmd": "close", "session": "s"})["report"]
+
+        from repro.core.timing import TimingModel
+
+        dataset = load_or_build_dataset(
+            profile_by_name("thai", seed=9003).scaled(SCALE), cache_dir=serve_cache
+        )
+        direct = run_crawl(
+            CrawlRequest(dataset=dataset, strategy="breadth-first"),
+            config=SessionConfig(
+                max_pages=MAX_PAGES,
+                sample_interval=SAMPLE_INTERVAL,
+                concurrency=2,
+                timing=TimingModel(
+                    bandwidth_bytes_per_s=1_000_000.0,
+                    latency_s=0.01,
+                    politeness_interval_s=0.1,
+                ),
+            ),
+        )
+        assert json.dumps(report, sort_keys=True) == json.dumps(
+            report_payload(direct), sort_keys=True
+        )
+
+    def test_evicted_concurrent_session_resumes_with_in_flight_events(
+        self, tmp_path, serve_cache
+    ):
+        """Eviction spools the sched checkpoint (in-flight events and
+        all); the transparently-resumed session must finish identically
+        to an uninterrupted wire run of the same request."""
+        def drive(handler, name):
+            command = _open_command(name, "soft-focused", 9004)
+            command["config"]["concurrency"] = 4
+            command["config"]["timing"] = {"latency": 0.02}
+            assert handler.handle(command)["ok"]
+            return command
+
+        handler = _handler(tmp_path / "evicted", serve_cache)
+        drive(handler, "s")
+        handler.handle({"cmd": "step", "session": "s", "budget": 7})
+        evicted = handler.handle({"cmd": "evict", "session": "s"})
+        assert evicted["ok"] and evicted["status"]["state"] == "evicted"
+        while not handler.handle({"cmd": "step", "session": "s", "budget": 10})["status"]["done"]:
+            pass
+        report = handler.handle({"cmd": "close", "session": "s"})["report"]
+        assert handler.manager.stats()["evictions"] >= 1
+
+        uninterrupted = _handler(tmp_path / "straight", serve_cache)
+        drive(uninterrupted, "s")
+        while not uninterrupted.handle({"cmd": "step", "session": "s", "budget": 10})["status"]["done"]:
+            pass
+        straight = uninterrupted.handle({"cmd": "close", "session": "s"})["report"]
+        assert json.dumps(report, sort_keys=True) == json.dumps(straight, sort_keys=True)
+
+    def test_unknown_timing_keys_are_rejected(self, tmp_path, serve_cache):
+        handler = _handler(tmp_path, serve_cache)
+        command = _open_command("s", "breadth-first", 9001)
+        command["config"]["timing"] = {"latencyy": 1.0}
+        reply = handler.handle(command)
+        assert not reply["ok"] and "latencyy" in reply["error"]["message"]
+
     def test_counter_seeding_is_deterministic(self, tmp_path, serve_cache):
         """Two servers at the same base seed serve identical N-th sessions."""
         reports = []
