@@ -30,6 +30,13 @@ Long-lived, budget-stepped crawls use :class:`CrawlSession` directly or
 the session server in :mod:`repro.serve`.
 """
 
+from repro.adversary import (
+    AdversarialWebSpace,
+    AdversaryModel,
+    AdversaryProfile,
+    DefenseConfig,
+    load_adversary_model,
+)
 from repro.api import run_crawl
 from repro.charset import (
     CompositeCharsetDetector,
@@ -153,6 +160,12 @@ __all__ = [
     "CrawlEngine",
     "EngineHook",
     "EngineStage",
+    # adversary + defenses
+    "AdversaryProfile",
+    "AdversaryModel",
+    "AdversarialWebSpace",
+    "DefenseConfig",
+    "load_adversary_model",
     # faults + resilience
     "FaultProfile",
     "FaultModel",

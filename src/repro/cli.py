@@ -118,6 +118,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the fault profile's seed",
     )
     p_run.add_argument(
+        "--adversary",
+        metavar="PROFILE.json",
+        default=None,
+        help="attach an adversarial web layer from an adversary-profile JSON file",
+    )
+    p_run.add_argument(
+        "--adversary-seed",
+        type=int,
+        default=None,
+        help="override the adversary profile's seed",
+    )
+    p_run.add_argument(
+        "--defenses",
+        action="store_true",
+        help="arm the standard engine defenses (trap containment, redirect "
+        "limits, duplicate collapsing, soft-404 down-weighting)",
+    )
+    p_run.add_argument(
+        "--max-url-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="defense override: skip URLs deeper than N path segments",
+    )
+    p_run.add_argument(
+        "--host-page-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="defense override: stop fetching a host after N pages",
+    )
+    p_run.add_argument(
+        "--max-redirect-hops",
+        type=int,
+        default=None,
+        metavar="N",
+        help="defense override: follow at most N redirect hops, with loop detection",
+    )
+    p_run.add_argument(
         "--checkpoint",
         metavar="FILE",
         default=None,
@@ -319,6 +358,30 @@ def _dispatch(args: argparse.Namespace) -> int:
                     outages=faults.outages,
                     seed=args.fault_seed,
                 )
+        adversary = None
+        if args.adversary is not None:
+            from repro.adversary import AdversaryModel, load_adversary_model
+
+            adversary = load_adversary_model(args.adversary)
+            if args.adversary_seed is not None:
+                adversary = AdversaryModel(
+                    profile=adversary.profile, seed=args.adversary_seed
+                )
+        defenses = None
+        overrides = {
+            "max_url_depth": args.max_url_depth,
+            "host_page_budget": args.host_page_budget,
+            "max_redirect_hops": args.max_redirect_hops,
+        }
+        if args.defenses or any(value is not None for value in overrides.values()):
+            from dataclasses import replace as _replace
+
+            from repro.adversary import DefenseConfig
+
+            base = DefenseConfig.standard() if args.defenses else DefenseConfig()
+            defenses = _replace(
+                base, **{key: value for key, value in overrides.items() if value is not None}
+            )
         timing = None
         if any(
             value is not None for value in (args.latency, args.bandwidth, args.politeness)
@@ -342,6 +405,8 @@ def _dispatch(args: argparse.Namespace) -> int:
                 max_pages=args.max_pages,
                 instrumentation=instrumentation,
                 faults=faults,
+                adversary=adversary,
+                defenses=defenses,
                 checkpoint_every=args.checkpoint_every if args.checkpoint else None,
                 checkpoint_path=args.checkpoint,
                 resume_from=args.resume,
@@ -362,6 +427,16 @@ def _dispatch(args: argparse.Namespace) -> int:
                 row[f"faults_{kind}"] = injected
             print()
             print(render_table([row], title="Resilience"))
+        if result.adversary is not None:
+            row = {
+                f"inj_{kind}": count
+                for kind, count in result.adversary["injected"].items()
+            }
+            row.update(result.adversary["defense_stats"])
+            row["redirect_hops"] = result.adversary["redirect_hops"]
+            row["redirect_aborts"] = result.adversary["redirect_aborts"]
+            print()
+            print(render_table([row], title="Adversary"))
         if instrumentation is not None and args.profile_timings:
             print()
             print(instrumentation.render_profile(title="Per-component profile"))

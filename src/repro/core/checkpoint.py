@@ -38,10 +38,13 @@ from repro.errors import CheckpointError
 
 FORMAT_NAME = "repro-lswc-checkpoint"
 #: Version 2 added the optional ``sched`` section (the event-driven
-#: engine's in-flight fetch set); version-1 files are still readable —
-#: they are exactly version-2 files with no ``sched`` section.
-FORMAT_VERSION = 2
-_READABLE_VERSIONS = (1, 2)
+#: engine's in-flight fetch set); version 3 added the optional
+#: ``adversary`` (synthetic-web layer: redirect-target map, injection
+#: tallies) and ``defenses`` (engine countermeasure state: fingerprint
+#: set, per-host budgets) sections.  Older files are still readable —
+#: they are exactly version-3 files without the newer sections.
+FORMAT_VERSION = 3
+_READABLE_VERSIONS = (1, 2, 3)
 
 #: Sections a checkpoint may carry.  ``frontier``/``scheduled``/
 #: ``recorder``/``visitor``/``loop`` are always present; the rest are
@@ -56,6 +59,8 @@ _KNOWN_SECTIONS = (
     "faults",
     "breakers",
     "sched",
+    "adversary",
+    "defenses",
 )
 
 
@@ -81,6 +86,12 @@ class CheckpointState:
     #: In-flight event set of a :class:`repro.core.sched.
     #: VirtualTimeEngine` run (format v2); None for round-based runs.
     sched: dict | None = None
+    #: Adversary-layer state (format v3): redirect-target map plus
+    #: injection tallies; None when no adversary is attached.
+    adversary: dict | None = None
+    #: Engine defense state (format v3): fingerprint set and per-host
+    #: counters; None when no defenses are armed.
+    defenses: dict | None = None
     extra: dict[str, Any] = field(default_factory=dict)
 
     def sections(self) -> list[tuple[str, Any]]:
@@ -99,6 +110,10 @@ class CheckpointState:
             rows.append(("breakers", self.breakers))
         if self.sched is not None:
             rows.append(("sched", self.sched))
+        if self.adversary is not None:
+            rows.append(("adversary", self.adversary))
+        if self.defenses is not None:
+            rows.append(("defenses", self.defenses))
         return rows
 
 
@@ -192,4 +207,6 @@ def read_checkpoint(path: str | Path) -> CheckpointState:
         faults=sections.get("faults"),
         breakers=sections.get("breakers"),
         sched=sections.get("sched"),
+        adversary=sections.get("adversary"),
+        defenses=sections.get("defenses"),
     )

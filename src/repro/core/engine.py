@@ -36,16 +36,18 @@ per partition round-robin.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
+from repro.adversary.defense import NAIVE_REDIRECT_CAP
 from repro.core.events import CrawlEvent, FetchCallback
 from repro.core.frontier import Candidate, Frontier
 from repro.faults.model import RETRYABLE_FAULTS
 from repro.urlkit.normalize import intern_url, url_site_key
 
 if TYPE_CHECKING:
+    from repro.adversary.defense import DefensePolicy
     from repro.core.classifier import Classifier, Judgment
     from repro.core.metrics import MetricsRecorder
     from repro.core.strategies.base import CrawlStrategy
@@ -176,6 +178,8 @@ class EngineLoopState:
     dropped: int = 0
     breaker_skips: int = 0
     checkpoints_written: int = 0
+    redirect_hops: int = 0
+    redirect_aborts: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -187,6 +191,8 @@ class EngineLoopState:
             "dropped": self.dropped,
             "breaker_skips": self.breaker_skips,
             "checkpoints_written": self.checkpoints_written,
+            "redirect_hops": self.redirect_hops,
+            "redirect_aborts": self.redirect_aborts,
         }
 
     @classmethod
@@ -200,6 +206,9 @@ class EngineLoopState:
             dropped=data["dropped"],
             breaker_skips=data["breaker_skips"],
             checkpoints_written=data["checkpoints_written"],
+            # .get: pre-adversary checkpoints (format <= 2) lack these.
+            redirect_hops=data.get("redirect_hops", 0),
+            redirect_aborts=data.get("redirect_aborts", 0),
         )
 
 
@@ -250,6 +259,7 @@ class CrawlEngine:
         faults: Optional["FaultModel"] = None,
         retry: Optional["RetryPolicy"] = None,
         breakers: Optional["HostBreakers"] = None,
+        defenses: Optional["DefensePolicy"] = None,
         hooks: Sequence[EngineHook] = (),
         loop_state: Optional[EngineLoopState] = None,
         router: Optional[CandidateRouter] = None,
@@ -267,6 +277,7 @@ class CrawlEngine:
         self.faults = faults
         self.retry = retry
         self.breakers = breakers
+        self.defenses = defenses
         self.state = loop_state if loop_state is not None else EngineLoopState()
         self.router = router
         self.call_tick = call_tick
@@ -348,6 +359,47 @@ class CrawlEngine:
                 for callback in self._drop_cbs:
                     callback(candidate)
 
+    def _follow_redirects(
+        self, response: "FetchResponse", fetch: Callable[[str], "FetchResponse"]
+    ) -> "FetchResponse":
+        """Chase a chain of adversary redirects to content or exhaustion.
+
+        With a :class:`~repro.adversary.defense.DefensePolicy` whose
+        ``max_redirect_hops`` is set, the chain is capped there and a
+        seen-set breaks loops.  Otherwise the engine follows *naively*
+        up to :data:`~repro.adversary.defense.NAIVE_REDIRECT_CAP` with no
+        loop memory — a loop burns the whole cap in wasted fetches,
+        which is the defenses-off cost the survival sweep measures.
+
+        Returns the final response: real content, a still-redirecting
+        response (judged like any non-OK page), or a faulted hop (the
+        caller treats the round as failed, same as a faulted fetch).
+        """
+        state = self.state
+        defenses = self.defenses
+        limit = NAIVE_REDIRECT_CAP
+        seen: Optional[set[str]] = None
+        if defenses is not None and defenses.config.max_redirect_hops is not None:
+            limit = defenses.config.max_redirect_hops
+            seen = {response.url}
+        hops = 0
+        while response.redirect_to is not None:
+            if hops >= limit:
+                state.redirect_aborts += 1
+                break
+            target = response.redirect_to
+            if seen is not None:
+                if target in seen:
+                    state.redirect_aborts += 1
+                    break
+                seen.add(target)
+            response = fetch(target)
+            hops += 1
+            state.redirect_hops += 1
+            if response.fault is not None:
+                break
+        return response
+
     def run(self, budget: Optional[int] = None) -> int:
         """Crawl until the frontier drains, the page cap, or ``budget`` steps.
 
@@ -393,6 +445,7 @@ class CrawlEngine:
         max_attempts = retry.max_attempts if retry is not None else 0
         backoff_s = retry.backoff_s if retry is not None else None
         has_faults = faults is not None
+        defenses = self.defenses
         # Only a fault model can make a fetch fail, and only failures
         # put hosts on the breaker board — so with no faults attached
         # (and a board that resumed empty) the board can never populate,
@@ -400,6 +453,9 @@ class CrawlEngine:
         # Disarm them up front; a healthy iteration then costs a clean
         # iteration plus a few counter updates.
         track_hosts = has_faults or (breakers is not None and breakers.open_hosts() > 0)
+        # Defenses budget and fingerprint per host, so they widen the
+        # per-pop host computation beyond the breaker board's needs.
+        need_host = track_hosts or defenses is not None
         allow = breakers.allow if breakers is not None and track_hosts else None
         on_success = breakers.record_success if breakers is not None and track_hosts else None
 
@@ -447,8 +503,8 @@ class CrawlEngine:
                     for callback in stage_cbs:
                         callback(stage_pop, step)
 
-                # -- gate (circuit breaker) -----------------------------
-                if track_hosts:
+                # -- gate (circuit breaker, defense policy) -------------
+                if need_host:
                     host = site_of(candidate.url)
                     if allow is not None and not allow(host, state.pops):
                         state.breaker_skips += 1
@@ -457,6 +513,29 @@ class CrawlEngine:
                                 callback(candidate)
                         self._requeue_or_drop(candidate)
                         continue
+                    if defenses is not None:
+                        canonical = defenses.canonicalize(candidate.url)
+                        if canonical is not None:
+                            # A session alias: crawl the base URL once,
+                            # skip every further alias of it outright.
+                            if canonical in scheduled:
+                                defenses.stats["alias_skips"] += 1
+                                if gate_cbs is not None:
+                                    for callback in gate_cbs:
+                                        callback(candidate)
+                                continue
+                            canonical = intern_url(canonical)
+                            scheduled_add(canonical)
+                            candidate = replace(candidate, url=canonical)
+                        if not defenses.admit(candidate.url, host):
+                            # Policy refusal is permanent: the URL stays
+                            # in ``scheduled`` and is never requeued —
+                            # depth and budget verdicts cannot change on
+                            # a later pop.
+                            if gate_cbs is not None:
+                                for callback in gate_cbs:
+                                    callback(candidate)
+                            continue
                 if stage_cbs is not None:
                     for callback in stage_cbs:
                         callback(stage_gate, step)
@@ -482,6 +561,15 @@ class CrawlEngine:
                             breakers.record_failure(host, state.pops)
                         self._requeue_or_drop(candidate)
                         continue
+                if response.redirect_to is not None:
+                    response = self._follow_redirects(response, fetch)
+                    if response.fault in RETRYABLE_FAULTS:
+                        # A hop faulted mid-chain: the round failed, the
+                        # requeued candidate restarts the chain later.
+                        if breakers is not None:
+                            breakers.record_failure(host, state.pops)
+                        self._requeue_or_drop(candidate)
+                        continue
                 if on_success is not None:
                     on_success(host)
                 if stage_cbs is not None:
@@ -500,8 +588,11 @@ class CrawlEngine:
 
                 sim_time: Optional[float] = None
                 if timing is not None:
-                    scale = faults.latency_scale(host) if has_faults else 1.0
-                    timing.observe_fetch(candidate.url, response.size, scale)
+                    if has_faults:
+                        lscale, bscale = faults.fetch_scales(host, candidate.url)
+                        timing.observe_fetch(candidate.url, response.size, lscale, bscale)
+                    else:
+                        timing.observe_fetch(candidate.url, response.size)
                     # Record the global simulated clock, not this
                     # fetch's own completion: with parallel connections
                     # a later-started fetch can finish earlier, but
@@ -510,6 +601,11 @@ class CrawlEngine:
 
                 # -- extract --------------------------------------------
                 outlinks = extract(response)
+                if defenses is not None:
+                    dhost = host if host is not None else site_of(candidate.url)
+                    if defenses.suppress_links(response, dhost, judgment.relevant):
+                        outlinks = ()
+                    defenses.note_page(dhost, judgment.relevant)
                 if stage_cbs is not None:
                     step.outlinks = outlinks
                     for callback in stage_cbs:

@@ -50,6 +50,7 @@ from __future__ import annotations
 import base64
 import heapq
 import time
+from dataclasses import replace
 from typing import TYPE_CHECKING, Any, Optional
 
 from repro.core.candidate import candidate_from_dict, candidate_to_dict
@@ -112,6 +113,8 @@ def response_to_dict(response: FetchResponse) -> dict:
         "size": response.size,
         "truncated": response.truncated,
         "fault": response.fault,
+        "redirect_to": response.redirect_to,
+        "adversary": response.adversary,
         "has_record": response.record is not None,
     }
     if response.body is not None:
@@ -143,6 +146,9 @@ def response_from_dict(entry: dict, crawl_log: Any) -> FetchResponse:
         record=record,
         truncated=entry["truncated"],
         fault=entry["fault"],
+        # .get: format-v2 checkpoints predate the adversary layer.
+        redirect_to=entry.get("redirect_to"),
+        adversary=entry.get("adversary"),
     )
 
 
@@ -243,9 +249,11 @@ class VirtualTimeEngine(CrawlEngine):
         max_attempts = retry.max_attempts if retry is not None else 0
         backoff_s = retry.backoff_s if retry is not None else None
         has_faults = faults is not None
+        defenses = self.defenses
         # Same dead-code disarm as the round-based loop: with no fault
         # model and an empty breaker board, the gate can never trip.
         track_hosts = has_faults or (breakers is not None and breakers.open_hosts() > 0)
+        need_host = track_hosts or defenses is not None
         allow = breakers.allow if breakers is not None and track_hosts else None
         on_success = breakers.record_success if breakers is not None and track_hosts else None
 
@@ -293,9 +301,9 @@ class VirtualTimeEngine(CrawlEngine):
                     if resilient:
                         state.pops += 1
 
-                    # Gate (circuit breaker) — issue-time policy.
+                    # Gate (circuit breaker, defense policy) — issue-time.
                     host: Optional[str] = None
-                    if track_hosts:
+                    if need_host:
                         host = site_of(candidate.url)
                         if allow is not None and not allow(host, state.pops):
                             state.breaker_skips += 1
@@ -304,6 +312,27 @@ class VirtualTimeEngine(CrawlEngine):
                                     callback(candidate)
                             self._requeue_or_drop(candidate)
                             continue
+                        if defenses is not None:
+                            canonical = defenses.canonicalize(candidate.url)
+                            if canonical is not None:
+                                # Session alias: crawl the base once,
+                                # skip every further alias outright.
+                                if canonical in scheduled:
+                                    defenses.stats["alias_skips"] += 1
+                                    if gate_cbs is not None:
+                                        for callback in gate_cbs:
+                                            callback(candidate)
+                                    continue
+                                canonical = intern_url(canonical)
+                                scheduled_add(canonical)
+                                candidate = replace(candidate, url=canonical)
+                            if not defenses.admit(candidate.url, host):
+                                # Permanent policy refusal, same as the
+                                # round-based gate: no requeue, no slot.
+                                if gate_cbs is not None:
+                                    for callback in gate_cbs:
+                                        callback(candidate)
+                                continue
 
                     # Fetch with retry/backoff — the response (and the
                     # fault layer's state) materialises at issue time.
@@ -325,12 +354,25 @@ class VirtualTimeEngine(CrawlEngine):
                                 breakers.record_failure(host, state.pops)
                             self._requeue_or_drop(candidate)
                             continue
+                    if response.redirect_to is not None:
+                        # Chains resolve at issue time, like retries: the
+                        # slot is reserved for the content that finally
+                        # arrives (or the abandoned 301).
+                        response = self._follow_redirects(response, fetch)
+                        if response.fault in RETRYABLE_FAULTS:
+                            if breakers is not None:
+                                breakers.record_failure(host, state.pops)
+                            self._requeue_or_drop(candidate)
+                            continue
                     if on_success is not None:
                         on_success(host)
 
-                    scale = faults.latency_scale(host) if has_faults and host is not None else 1.0
+                    if has_faults and host is not None:
+                        lscale, bscale = faults.fetch_scales(host, candidate.url)
+                    else:
+                        lscale = bscale = 1.0
                     start, completion = reserve(
-                        candidate.url, response.size, self._now, scale
+                        candidate.url, response.size, self._now, lscale, bscale
                     )
                     seq = self._issue_seq
                     self._issue_seq = seq + 1
@@ -374,6 +416,14 @@ class VirtualTimeEngine(CrawlEngine):
 
                 # -- extract --------------------------------------------
                 outlinks = extract(response)
+                if defenses is not None:
+                    # Content policy runs at completion (it needs the
+                    # judgment); the host is recomputed — site keys are
+                    # memoised, so this is a dict probe.
+                    dhost = site_of(candidate.url)
+                    if defenses.suppress_links(response, dhost, judgment.relevant):
+                        outlinks = ()
+                    defenses.note_page(dhost, judgment.relevant)
                 if stage_cbs is not None:
                     step.outlinks = outlinks
                     for callback in stage_cbs:

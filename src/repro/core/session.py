@@ -33,6 +33,12 @@ from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
+from repro.adversary import (
+    AdversarialWebSpace,
+    AdversaryModel,
+    DefenseConfig,
+    DefensePolicy,
+)
 from repro.core.checkpoint import CheckpointState, read_checkpoint, write_checkpoint
 from repro.core.classifier import Classifier, ClassifierMode
 from repro.core.engine import (
@@ -106,6 +112,12 @@ class CrawlResult:
     #: shape) when the run used the resilient pipeline; None on clean
     #: runs.
     resilience: dict | None = None
+    #: Adversary-layer observability when the run attached an adversary
+    #: or armed defenses: injection tallies, defense stats, redirect
+    #: counters.  None on clean runs, and deliberately **excluded** from
+    #: :func:`report_payload` — like ``wall_seconds``, it describes the
+    #: scenario infrastructure, not the crawl's reported metrics.
+    adversary: dict | None = None
 
     @property
     def final_harvest_rate(self) -> float:
@@ -274,9 +286,17 @@ class SessionConfig:
     instrumentation: Instrumentation | None = None
     faults: FaultModel | None = None
     resilience: ResilienceConfig | None = None
+    #: Content-level adversary layer (spider traps, redirect chains,
+    #: soft-404s, aliases, charset lies).  Wrapped *inside* the fault
+    #: layer, so faults also strike synthetic adversarial URLs.
+    adversary: AdversaryModel | None = None
+    #: Engine countermeasures (:class:`~repro.adversary.DefenseConfig`).
+    #: An all-default config is inert — no policy is built.
+    defenses: DefenseConfig | None = None
     resume_from: CheckpointState | str | Path | None = None
     hooks: tuple[EngineHook, ...] = ()
     record_fault_journal: bool = False
+    record_adversary_journal: bool = False
     parallel: "ParallelConfig | None" = None
 
     def __post_init__(self) -> None:
@@ -388,6 +408,10 @@ class CrawlSession:
         #: The fault-injecting web wrapper (None until open / on clean
         #: runs) — tests read its journal and injection tallies.
         self.faulty_web: FaultyWebSpace | None = None
+        #: The adversarial web wrapper (None until open / without an
+        #: adversary) — tests read its journal and injection tallies.
+        self.adversarial_web: AdversarialWebSpace | None = None
+        self._defenses: DefensePolicy | None = None
         self._engine: CrawlEngine | None = None
         self._strategy: CrawlStrategy | None = None
         self._classifier: Classifier | None = None
@@ -430,14 +454,33 @@ class CrawlSession:
             )
 
         instr = _active_instrumentation(config.instrumentation)
-        web: VirtualWebSpace | FaultyWebSpace = request.web
+        web: VirtualWebSpace | AdversarialWebSpace | FaultyWebSpace = request.web
+        adversarial: AdversarialWebSpace | None = None
+        if config.adversary is not None:
+            if config.extract_from_body and not config.adversary.profile.is_empty:
+                raise ConfigError(
+                    "extract_from_body= cannot combine with a non-empty adversary "
+                    "profile: body-parsed links bypass the adversary's outlink "
+                    "rewriting, so traps and aliases would never be reachable"
+                )
+            adversarial = AdversarialWebSpace(
+                web, config.adversary, record_journal=config.record_adversary_journal
+            )
+            web = adversarial
+        self.adversarial_web = adversarial
         faulty: FaultyWebSpace | None = None
         if config.faults is not None:
+            # Faults wrap *outside* the adversary: a flaky host is flaky
+            # on its trap and alias URLs too.
             faulty = FaultyWebSpace(
                 web, config.faults, record_journal=config.record_fault_journal
             )
             web = faulty
         self.faulty_web = faulty
+        defenses: DefensePolicy | None = None
+        if config.defenses is not None and config.defenses.enabled:
+            defenses = DefensePolicy(config.defenses)
+        self._defenses = defenses
         visitor = Visitor(
             web,
             extract_from_body=config.extract_from_body,
@@ -464,7 +507,16 @@ class CrawlSession:
         resume = self._resume_state
         if resume is not None:
             self._apply_resume(
-                resume, strategy, frontier, recorder, visitor, scheduled, faulty, breakers
+                resume,
+                strategy,
+                frontier,
+                recorder,
+                visitor,
+                scheduled,
+                faulty,
+                breakers,
+                adversarial,
+                defenses,
             )
             rstate = EngineLoopState.from_dict(resume.loop)
 
@@ -489,6 +541,7 @@ class CrawlSession:
             faults=config.faults,
             retry=resilience.retry if resilience is not None else None,
             breakers=breakers,
+            defenses=defenses,
             hooks=self._build_hooks(instr, resilience, rstate),
             loop_state=rstate,
         )
@@ -599,6 +652,19 @@ class CrawlSession:
                 if self._config.faults
                 else {},
             ).to_dict()
+        adversary_dict: dict | None = None
+        if self.adversarial_web is not None or self._defenses is not None:
+            rstate = self._engine.state
+            adversary_dict = {
+                "injected": dict(self.adversarial_web.model.injected)
+                if self.adversarial_web is not None
+                else {},
+                "defense_stats": dict(self._defenses.stats)
+                if self._defenses is not None
+                else {},
+                "redirect_hops": rstate.redirect_hops,
+                "redirect_aborts": rstate.redirect_aborts,
+            }
         return CrawlResult(
             strategy=self._strategy.name,
             series=series,
@@ -607,6 +673,7 @@ class CrawlSession:
             pages_crawled=self._recorder.steps,
             frontier_peak=self._frontier.peak_size,
             resilience=resilience_dict,
+            adversary=adversary_dict,
         )
 
     def close(self) -> None:
@@ -689,6 +756,10 @@ class CrawlSession:
             faults=self.faulty_web.snapshot() if self.faulty_web is not None else None,
             breakers=self._breakers.snapshot() if self._breakers is not None else None,
             sched=engine.snapshot_events() if isinstance(engine, VirtualTimeEngine) else None,
+            adversary=self.adversarial_web.snapshot()
+            if self.adversarial_web is not None
+            else None,
+            defenses=self._defenses.snapshot() if self._defenses is not None else None,
         )
 
     # -- internals ------------------------------------------------------
@@ -742,6 +813,8 @@ class CrawlSession:
         scheduled: set[str],
         faulty: FaultyWebSpace | None,
         breakers: HostBreakers | None,
+        adversarial: AdversarialWebSpace | None = None,
+        defenses: DefensePolicy | None = None,
     ) -> None:
         """Load a checkpoint into the freshly built run components."""
         if resume.strategy and resume.strategy != strategy.name:
@@ -768,3 +841,17 @@ class CrawlSession:
             faulty.restore(resume.faults)
         if resume.breakers is not None and breakers is not None:
             breakers.restore(resume.breakers)
+        if resume.adversary is not None:
+            if adversarial is None:
+                raise CheckpointError(
+                    "checkpoint carries adversary state but no adversary is "
+                    "configured; resume with the same adversary profile and seed"
+                )
+            adversarial.restore(resume.adversary)
+        if resume.defenses is not None:
+            if defenses is None:
+                raise CheckpointError(
+                    "checkpoint carries defense state but no defenses are armed; "
+                    "resume with the same DefenseConfig"
+                )
+            defenses.restore(resume.defenses)

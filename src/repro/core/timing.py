@@ -46,18 +46,27 @@ class TimingModel:
         self._site_available: dict[str, float] = {}
         self.now = 0.0
 
-    def observe_fetch(self, url: str, size: int, latency_scale: float = 1.0) -> float:
+    def observe_fetch(
+        self,
+        url: str,
+        size: int,
+        latency_scale: float = 1.0,
+        bandwidth_scale: float = 1.0,
+    ) -> float:
         """Account for one fetch; returns its simulated completion time.
 
-        ``latency_scale`` multiplies the per-request latency — the hook
-        the fault layer's slow-host model uses (1.0 for healthy hosts,
-        which keeps the arithmetic bit-identical to the unscaled path).
+        ``latency_scale`` multiplies the per-request latency and
+        ``bandwidth_scale`` the effective transfer rate — the hooks the
+        fault layer's slow-host model and per-fetch jitter use (1.0 for
+        healthy hosts, which keeps the arithmetic bit-identical to the
+        unscaled path).
         """
         site = url_site_key(url)
         slot_free = heapq.heappop(self._slots)
         start = max(slot_free, self._site_available.get(site, 0.0))
         latency = self.latency if latency_scale == 1.0 else self.latency * latency_scale
-        completion = start + latency + size / self.bandwidth
+        rate = self.bandwidth if bandwidth_scale == 1.0 else self.bandwidth * bandwidth_scale
+        completion = start + latency + size / rate
         heapq.heappush(self._slots, completion)
         self._site_available[site] = start + self.politeness
         if completion > self.now:
@@ -70,6 +79,7 @@ class TimingModel:
         size: int,
         not_before: float = 0.0,
         latency_scale: float = 1.0,
+        bandwidth_scale: float = 1.0,
     ) -> tuple[float, float]:
         """Book one fetch for the event-driven scheduler; returns
         ``(start, completion)``.
@@ -85,7 +95,8 @@ class TimingModel:
         site = url_site_key(url)
         start = max(not_before, self._site_available.get(site, 0.0))
         latency = self.latency if latency_scale == 1.0 else self.latency * latency_scale
-        completion = start + latency + size / self.bandwidth
+        rate = self.bandwidth if bandwidth_scale == 1.0 else self.bandwidth * bandwidth_scale
+        completion = start + latency + size / rate
         self._site_available[site] = start + self.politeness
         if completion > self.now:
             self.now = completion

@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 from typing import TYPE_CHECKING, Any
 
+from repro.adversary import AdversaryProfile, DefenseConfig
 from repro.core.metrics import CrawlSummary, MetricSeries
 from repro.core.simulator import CrawlResult
 from repro.errors import ConfigError
@@ -161,6 +162,15 @@ class RunSpec:
     #: :class:`~repro.core.sched.VirtualTimeEngine` (K fetch slots).
     timing: "TimingSpec | None" = None
     concurrency: int | None = None
+    #: An adversary profile makes the worker build a fresh
+    #: :class:`~repro.adversary.AdversaryModel` seeded with
+    #: ``adversary_seed`` — like faults, the live model (whose injection
+    #: tallies mutate) never crosses the process boundary.
+    adversary_profile: AdversaryProfile | None = None
+    adversary_seed: int = 0
+    #: Engine countermeasures; the config is frozen, the per-run
+    #: :class:`~repro.adversary.DefensePolicy` is built session-side.
+    defenses: DefenseConfig | None = None
     partitions: int | None = None
     partition_mode: str = "exchange"
     seed_owners: tuple[tuple[str, int], ...] | None = None
@@ -235,6 +245,7 @@ def result_to_payload(result: CrawlResult) -> dict:
         "pages_crawled": result.pages_crawled,
         "frontier_peak": result.frontier_peak,
         "resilience": result.resilience,
+        "adversary": result.adversary,
     }
 
 
@@ -262,6 +273,7 @@ def result_from_payload(payload: dict) -> "CrawlResult | ParallelResult":
         pages_crawled=payload["pages_crawled"],
         frontier_peak=payload["frontier_peak"],
         resilience=payload["resilience"],
+        adversary=payload.get("adversary"),
     )
 
 
@@ -272,6 +284,7 @@ def execute_run(spec: RunSpec) -> dict:
     :class:`~repro.exec.executor.SweepExecutor` can ship it to a
     :class:`~concurrent.futures.ProcessPoolExecutor` directly.
     """
+    from repro.adversary import AdversaryModel
     from repro.core.classifier import ClassifierMode
     from repro.core.strategies.registry import get_strategy
     from repro.faults.model import FaultModel
@@ -281,6 +294,11 @@ def execute_run(spec: RunSpec) -> dict:
     faults = (
         FaultModel(profile=spec.fault_profile, seed=spec.fault_seed)
         if spec.fault_profile is not None
+        else None
+    )
+    adversary = (
+        AdversaryModel(profile=spec.adversary_profile, seed=spec.adversary_seed)
+        if spec.adversary_profile is not None
         else None
     )
 
@@ -307,6 +325,8 @@ def execute_run(spec: RunSpec) -> dict:
         faults=faults,
         timing=spec.timing.build() if spec.timing is not None else None,
         concurrency=spec.concurrency,
+        adversary=adversary,
+        defenses=spec.defenses,
     )
     return result_to_payload(result)
 

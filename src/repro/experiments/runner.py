@@ -66,6 +66,8 @@ def run_strategy(
     classifier_cache: ClassifierCache | None = None,
     faults=None,
     resilience=None,
+    adversary=None,
+    defenses=None,
     checkpoint_every: int | None = None,
     checkpoint_path=None,
     resume_from=None,
@@ -118,6 +120,8 @@ def run_strategy(
             instrumentation=instrumentation,
             faults=faults,
             resilience=resilience,
+            adversary=adversary,
+            defenses=defenses,
             resume_from=resume_from,
             hooks=tuple(hooks),
         ),

@@ -96,6 +96,11 @@ class FaultProfile:
             and garbled.
         slow_host_rate: fraction of hosts whose latency is multiplied.
         slow_host_multiplier: the latency multiplier of a slow host.
+        latency_jitter: per-fetch latency variation amplitude j — each
+            fetch's latency scale is multiplied by a seeded draw in
+            [1-j, 1+j).  Zero (the default) is bit-identical to no
+            jitter: no draw is made and no float op touches the scale.
+        bandwidth_jitter: same, for the fetch's effective bandwidth.
     """
 
     transient_error_rate: float = 0.0
@@ -104,12 +109,18 @@ class FaultProfile:
     truncation_rate: float = 0.0
     slow_host_rate: float = 0.0
     slow_host_multiplier: float = 10.0
+    latency_jitter: float = 0.0
+    bandwidth_jitter: float = 0.0
 
     def __post_init__(self) -> None:
         for name in ("transient_error_rate", "timeout_rate", "truncation_rate", "slow_host_rate"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ConfigError(f"FaultProfile.{name} must be in [0, 1], got {value!r}")
+        for name in ("latency_jitter", "bandwidth_jitter"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ConfigError(f"FaultProfile.{name} must be in [0, 1), got {value!r}")
         if self.transient_recovery_attempts < 1:
             raise ConfigError("transient_recovery_attempts must be >= 1")
         if self.slow_host_multiplier < 1.0:
@@ -123,6 +134,8 @@ class FaultProfile:
             "truncation_rate": self.truncation_rate,
             "slow_host_rate": self.slow_host_rate,
             "slow_host_multiplier": self.slow_host_multiplier,
+            "latency_jitter": self.latency_jitter,
+            "bandwidth_jitter": self.bandwidth_jitter,
         }
 
     @classmethod
@@ -257,6 +270,24 @@ class FaultModel:
             return prof.slow_host_multiplier
         return 1.0
 
+    def fetch_scales(self, host: str, url: str) -> tuple[float, float]:
+        """Per-fetch ``(latency_scale, bandwidth_scale)`` multipliers.
+
+        The latency scale combines the host's slow-host multiplier with
+        a per-URL jitter draw in [1-j, 1+j); the bandwidth scale is pure
+        jitter.  With both jitter amplitudes at 0 the result is exactly
+        ``(latency_scale(host), 1.0)`` — no draw, no float op — which is
+        the bit-identity contract the timing tests pin.
+        """
+        latency = self.latency_scale(host)
+        prof = self.profile_for(host)
+        bandwidth = 1.0
+        if prof.latency_jitter:
+            latency *= 1.0 + prof.latency_jitter * (2.0 * self._unit("latjitter", url) - 1.0)
+        if prof.bandwidth_jitter:
+            bandwidth = 1.0 + prof.bandwidth_jitter * (2.0 * self._unit("bwjitter", url) - 1.0)
+        return latency, bandwidth
+
     @staticmethod
     def garble(body: bytes) -> bytes:
         """A deterministically truncated, detection-defeating body."""
@@ -357,7 +388,13 @@ class FaultyWebSpace:
         return url in self._web
 
     def attempts_of(self, url: str) -> int:
-        """How many times ``url`` has been fetched through this wrapper."""
+        """The *live* attempt counter of ``url``.
+
+        Zero both for never-fetched URLs and for URLs whose counter was
+        pruned after a completed fetch (see :meth:`fetch`) — the two are
+        indistinguishable on purpose: a pruned counter is one the fault
+        model can never read again.
+        """
         return self._attempts.get(url, 0)
 
     def fetch(self, url: str) -> FetchResponse:
@@ -367,6 +404,21 @@ class FaultyWebSpace:
         self._attempts[url] = attempt + 1
         host = url_site_key(url)
         kind = self.model.decide(url, host, attempt, self.fetch_index)
+        if kind is None or kind == "truncate":
+            # The fetch completed (possibly degraded) — the engine's
+            # dedup never pops a completed URL again, so its attempt
+            # counter can only matter if it is still below the transient
+            # recovery threshold of a host that injects attempt-sensitive
+            # faults.  Prune everything else: without this the dict gains
+            # one entry per URL ever fetched and a long crawl's memory
+            # grows without bound.  Counters of URLs mid-failure are
+            # never pruned (their next attempt number must survive a
+            # checkpoint/resume bit-exactly).
+            prof = self.model.profile_for(host)
+            if attempt + 1 >= prof.transient_recovery_attempts or not (
+                prof.transient_error_rate or prof.timeout_rate
+            ):
+                del self._attempts[url]
         if kind is None:
             return self._web.fetch(url)
         if self.journal is not None:

@@ -41,6 +41,7 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Mapping
 
+from repro.adversary import AdversaryModel, AdversaryProfile, DefenseConfig
 from repro.core.session import CrawlRequest, SessionConfig, report_payload
 from repro.core.timing import TimingModel
 from repro.errors import ReproError, SessionError
@@ -69,7 +70,7 @@ DEFAULT_DATASET_CACHE_SIZE = 32
 #: sizes share one cached dataset build.
 SCALE_GRID = 0.01
 
-_REQUEST_KEYS = {"strategy", "params", "dataset", "faults"}
+_REQUEST_KEYS = {"strategy", "params", "dataset", "faults", "adversary"}
 _DATASET_KEYS = {"profile", "scale", "seed", "capture_kind", "capture_n"}
 _CONFIG_KEYS = {
     "max_pages",
@@ -79,6 +80,7 @@ _CONFIG_KEYS = {
     "resilience",
     "concurrency",
     "timing",
+    "defenses",
 }
 
 
@@ -184,10 +186,15 @@ class ProtocolHandler:
         # every evict/resume cycle of this session.
         return request.resolve()
 
-    def build_config(self, spec: Mapping[str, Any], faults: Any = None) -> SessionConfig:
+    def build_config(
+        self, spec: Mapping[str, Any], faults: Any = None, adversary: Any = None
+    ) -> SessionConfig:
         unknown = set(spec) - _CONFIG_KEYS
         if unknown:
             raise SessionError(f"unknown config keys: {sorted(unknown)}")
+        defenses = None
+        if spec.get("defenses") is not None:
+            defenses = DefenseConfig.from_json_dict(spec["defenses"])
         resilience = None
         if spec.get("resilience") is not None:
             rspec = dict(spec["resilience"])
@@ -223,7 +230,14 @@ class ProtocolHandler:
             )
             if k in spec and spec[k] is not None
         }
-        return SessionConfig(resilience=resilience, faults=faults, timing=timing, **kwargs)
+        return SessionConfig(
+            resilience=resilience,
+            faults=faults,
+            adversary=adversary,
+            defenses=defenses,
+            timing=timing,
+            **kwargs,
+        )
 
     @staticmethod
     def build_faults(spec: Mapping[str, Any] | None) -> FaultModel | None:
@@ -232,6 +246,16 @@ class ProtocolHandler:
         spec = dict(spec)
         seed = int(spec.pop("seed", 0))
         return FaultModel(profile=FaultProfile.from_json_dict(spec), seed=seed)
+
+    @staticmethod
+    def build_adversary(spec: Mapping[str, Any] | None) -> AdversaryModel | None:
+        """An :class:`AdversaryModel` from its wire form (like faults,
+        the seed rides inside the spec: ``{"seed": N, ...profile...}``)."""
+        if spec is None:
+            return None
+        spec = dict(spec)
+        seed = int(spec.pop("seed", 0))
+        return AdversaryModel(profile=AdversaryProfile.from_json_dict(spec), seed=seed)
 
     # -- command dispatch ----------------------------------------------
 
@@ -262,7 +286,10 @@ class ProtocolHandler:
         name = _require(payload, "session", "open")
         request = self.build_request(_require(payload, "request", "open"))
         faults = self.build_faults(payload.get("request", {}).get("faults"))
-        config = self.build_config(payload.get("config") or {}, faults=faults)
+        adversary = self.build_adversary(payload.get("request", {}).get("adversary"))
+        config = self.build_config(
+            payload.get("config") or {}, faults=faults, adversary=adversary
+        )
         status = self.manager.open(str(name), request, config)
         return {"session": name, "status": status.to_dict()}
 

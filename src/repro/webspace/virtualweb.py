@@ -52,6 +52,16 @@ class FetchResponse:
     #: keyed on this, never on the status code, so trace-captured 5xx
     #: pages keep their paper semantics (fetched once, judged, counted).
     fault: str | None = None
+    #: Location the adversary layer is redirecting this fetch to, or
+    #: None.  Only the adversary mints these; trace-captured 3xx records
+    #: keep redirect_to None (the capture crawl already resolved them),
+    #: so the engine's follow-redirect policy is dormant on clean runs.
+    redirect_to: str | None = None
+    #: Name of the adversary scenario that shaped this response
+    #: ("trap"/"redirect"/"soft404"/"alias"/"mislabel"), or None for an
+    #: unmodified response.  Observability only — never consulted by
+    #: engine policy, which must work from content like a real crawler.
+    adversary: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -83,6 +93,15 @@ class VirtualWebSpace:
     @property
     def crawl_log(self) -> CrawlLog:
         return self._log
+
+    @property
+    def synthesizes_bodies(self) -> bool:
+        """Whether OK HTML responses carry rendered byte bodies.
+
+        Wrapping layers (faults, adversary) consult this so the synthetic
+        pages they mint match the realism level of the organic ones.
+        """
+        return self._synthesize is not None
 
     def __contains__(self, url: str) -> bool:
         return url in self._log

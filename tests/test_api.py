@@ -68,6 +68,12 @@ class TestSubpackageExports:
         for name in pkg.__all__:
             assert hasattr(pkg, name)
 
+    def test_adversary(self):
+        import repro.adversary as pkg
+
+        for name in pkg.__all__:
+            assert hasattr(pkg, name)
+
 
 class TestQuickstartSnippet:
     def test_readme_quickstart_runs(self):

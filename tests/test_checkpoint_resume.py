@@ -12,6 +12,7 @@ import json
 
 import pytest
 
+from repro.adversary import AdversaryModel, AdversaryProfile, DefenseConfig
 from repro.charset.languages import Language
 from repro.core.checkpoint import (
     FORMAT_NAME,
@@ -546,6 +547,224 @@ class TestSchedBoundaryKill:
             self._session(
                 tiny_web, TimingModel(), concurrency=2, resume_from=path
             ).run()
+
+
+class TestAdversaryKillAndResume:
+    """Checkpoint v3 round-trips adversary chain state + defense counters.
+
+    The hostile profile keeps *state* across fetches — in-flight
+    redirect-chain targets, trap tallies, fingerprint sets, host
+    streaks — so a cut anywhere must reload all of it or the resumed
+    trace diverges.  Pinned on the round-based engine and at K=3.
+    """
+
+    PROFILE = AdversaryProfile(
+        trap_hosts=("seed.co.th",),
+        trap_fanout=2,
+        redirect_rate=0.4,
+        redirect_hops=2,
+        alias_host_rate=0.4,
+    )
+    MAX_PAGES = 25  # the trap subtree is unbounded; cap the run
+
+    def _session(self, tiny_web, concurrency, resume_from=None, on_fetch=None):
+        return CrawlSession(
+            CrawlRequest(
+                strategy=BreadthFirstStrategy(),
+                web=tiny_web,
+                classifier=Classifier(Language.THAI),
+                seeds=(SEED,),
+                relevant_urls=THAI_SET,
+            ),
+            SessionConfig(
+                max_pages=self.MAX_PAGES,
+                sample_interval=1,
+                concurrency=concurrency,
+                adversary=AdversaryModel(profile=self.PROFILE, seed=5),
+                defenses=DefenseConfig.standard(),
+                resume_from=resume_from,
+                on_fetch=on_fetch,
+            ),
+        )
+
+    @pytest.mark.parametrize("concurrency", [None, 3])
+    def test_cut_mid_crawl_resumes_identically(self, tiny_web, tmp_path, concurrency):
+        full_urls: list[str] = []
+        full = self._session(
+            tiny_web, concurrency, on_fetch=lambda event: full_urls.append(event.url)
+        ).run()
+        assert full.adversary["injected"]["trap_pages"] > 0
+
+        for cut in (3, 8, 15):
+            urls: list[str] = []
+            partial = self._session(
+                tiny_web, concurrency, on_fetch=lambda event: urls.append(event.url)
+            ).open()
+            partial.step(cut)
+            state = partial.snapshot()
+            partial.close()
+            assert state.adversary is not None and state.defenses is not None
+
+            path = tmp_path / f"adv-k{concurrency}-cut{cut}.ckpt"
+            write_checkpoint(path, state)
+            resumed = self._session(
+                tiny_web,
+                concurrency,
+                resume_from=path,
+                on_fetch=lambda event: urls.append(event.url),
+            ).run()
+
+            assert urls == full_urls, f"cut={cut}"
+            assert resumed.series.to_dict() == full.series.to_dict(), f"cut={cut}"
+            assert resumed.adversary == full.adversary, (
+                f"cut={cut}: injection tallies or defense stats diverged — "
+                "the checkpoint did not round-trip adversary state"
+            )
+
+    def test_resume_with_adversary_state_requires_adversary(self, tiny_web, tmp_path):
+        partial = self._session(tiny_web, None).open()
+        partial.step(3)
+        state = partial.snapshot()
+        partial.close()
+        path = tmp_path / "adv.ckpt"
+        write_checkpoint(path, state)
+        with pytest.raises(CheckpointError, match="adversary"):
+            CrawlSession(
+                CrawlRequest(
+                    strategy=BreadthFirstStrategy(),
+                    web=tiny_web,
+                    classifier=Classifier(Language.THAI),
+                    seeds=(SEED,),
+                    relevant_urls=THAI_SET,
+                ),
+                SessionConfig(
+                    max_pages=self.MAX_PAGES, sample_interval=1, resume_from=path
+                ),
+            ).run()
+
+    def test_resume_rejects_adversary_seed_mismatch(self, tiny_web, tmp_path):
+        partial = self._session(tiny_web, None).open()
+        partial.step(3)
+        state = partial.snapshot()
+        partial.close()
+        path = tmp_path / "adv-seed.ckpt"
+        write_checkpoint(path, state)
+        mismatched = CrawlSession(
+            CrawlRequest(
+                strategy=BreadthFirstStrategy(),
+                web=tiny_web,
+                classifier=Classifier(Language.THAI),
+                seeds=(SEED,),
+                relevant_urls=THAI_SET,
+            ),
+            SessionConfig(
+                max_pages=self.MAX_PAGES,
+                sample_interval=1,
+                adversary=AdversaryModel(profile=self.PROFILE, seed=6),
+                defenses=DefenseConfig.standard(),
+                resume_from=path,
+            ),
+        )
+        with pytest.raises(ConfigError, match="seed"):
+            mismatched.run()
+
+
+class TestFaultRetryParity:
+    """Audit: a fetch that faults mid-flight retries with the same
+    backoff/breaker accounting on the event-driven engine as on the
+    round-based one.  At K=1 under the zero-latency clock the two
+    engines see identical fetch sequences, so every resilience tally —
+    retries, requeues, drops, failures, per-kind injections — must
+    match exactly."""
+
+    def _run(self, tiny_web, concurrency):
+        timing = None
+        if concurrency is not None:
+            timing = TimingModel(
+                bandwidth_bytes_per_s=float("inf"),
+                latency_s=0.0,
+                politeness_interval_s=0.0,
+            )
+        urls: list[str] = []
+        result = CrawlSession(
+            CrawlRequest(
+                strategy=BreadthFirstStrategy(),
+                web=tiny_web,
+                classifier=Classifier(Language.THAI),
+                seeds=(SEED,),
+                relevant_urls=THAI_SET,
+            ),
+            SessionConfig(
+                sample_interval=1,
+                concurrency=concurrency,
+                timing=timing,
+                faults=FaultModel(profile=FAULTY_PROFILE, seed=42),
+                on_fetch=lambda event: urls.append(event.url),
+            ),
+        ).run()
+        return result, urls
+
+    def test_k1_resilience_tallies_match_round_based(self, tiny_web):
+        round_based, round_urls = self._run(tiny_web, None)
+        event_driven, event_urls = self._run(tiny_web, 1)
+        assert round_based.resilience["retries"] > 0, "profile must exercise retries"
+        for key in ("retries", "requeued", "dropped", "fetches_failed", "faults_injected"):
+            assert event_driven.resilience[key] == round_based.resilience[key], key
+        assert event_urls == round_urls
+
+
+class TestAttemptCounterPruning:
+    """Regression for the unbounded per-URL attempt dict: completed
+    fetches prune their counters, the checkpoint serialises the pruned
+    form, and resuming from it stays byte-identical."""
+
+    def test_checkpoint_carries_only_live_attempt_counters(self, tiny_web, tmp_path):
+        path = tmp_path / "pruned.ckpt"
+        simulator = simulate(
+            tiny_web,
+            timing=TimingModel(),
+            faults=FaultModel(profile=FAULTY_PROFILE, seed=42),
+            config=SimulationConfig(
+                sample_interval=1, checkpoint_every=1, checkpoint_path=path
+            ),
+        )
+        result = simulator.run()
+        assert result.pages_crawled > 0
+        state = read_checkpoint(path)
+        # Every completed URL's counter was pruned before serialisation:
+        # the only entries a checkpoint may carry are URLs still below
+        # the transient recovery threshold (attempt numbers that must
+        # survive the resume bit-exactly).
+        threshold = FAULTY_PROFILE.transient_recovery_attempts
+        assert all(
+            count < threshold for count in state.faults["attempts"].values()
+        ), state.faults["attempts"]
+        assert len(state.faults["attempts"]) <= len(THAI_SET)
+
+    def test_resume_from_pruned_checkpoint_is_equivalent(self, tiny_web, tmp_path):
+        full = simulate(
+            tiny_web,
+            timing=TimingModel(),
+            faults=FaultModel(profile=FAULTY_PROFILE, seed=42),
+        ).run()
+
+        path = tmp_path / "pruned-resume.ckpt"
+        simulate(
+            tiny_web,
+            timing=TimingModel(),
+            faults=FaultModel(profile=FAULTY_PROFILE, seed=42),
+            config=SimulationConfig(
+                sample_interval=1, max_pages=4, checkpoint_every=2, checkpoint_path=path
+            ),
+        ).run()
+        resumed = simulate(
+            tiny_web,
+            timing=TimingModel(),
+            faults=FaultModel(profile=FAULTY_PROFILE, seed=42),
+            resume_from=path,
+        ).run()
+        assert resumed.series.to_dict() == full.series.to_dict()
+        assert resumed.resilience["faults_injected"] == full.resilience["faults_injected"]
 
 
 class TestCheckpointConfig:

@@ -156,3 +156,74 @@ class TestExtendedStrategyNames:
         )
         assert code == 0
         assert "distilled-soft" in capsys.readouterr().out
+
+
+class TestAdversaryFlags:
+    def test_parser_accepts_adversary_and_defense_flags(self):
+        args = build_parser().parse_args(
+            [
+                "run", "thai", "breadth-first",
+                "--adversary", "profile.json", "--adversary-seed", "9",
+                "--defenses", "--max-url-depth", "3",
+                "--host-page-budget", "10", "--max-redirect-hops", "4",
+            ]
+        )
+        assert args.adversary == "profile.json"
+        assert args.adversary_seed == 9
+        assert args.defenses
+        assert args.max_url_depth == 3
+        assert args.host_page_budget == 10
+        assert args.max_redirect_hops == 4
+
+    def test_run_with_adversary_prints_adversary_table(self, tmp_path, capsys):
+        profile = tmp_path / "adversary.json"
+        profile.write_text(
+            '{"seed": 3, "profile": {"trap_host_rate": 0.3, "trap_fanout": 3}}'
+        )
+        code = main(
+            [
+                "run", "thai", "breadth-first", "--scale", "0.03", "--no-cache",
+                "--max-pages", "150", "--adversary", str(profile), "--defenses",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Adversary" in out
+        assert "inj_trap_pages" in out
+        assert "depth_skips" in out
+
+    def test_adversary_seed_overrides_profile_seed(self, tmp_path, capsys):
+        profile = tmp_path / "adversary.json"
+        profile.write_text('{"soft404_rate": 0.5}')
+        code = main(
+            [
+                "run", "thai", "breadth-first", "--scale", "0.03", "--no-cache",
+                "--max-pages", "100", "--adversary", str(profile),
+                "--adversary-seed", "11",
+            ]
+        )
+        assert code == 0
+        assert "Adversary" in capsys.readouterr().out
+
+    def test_defense_override_flags_arm_defenses_alone(self, capsys):
+        # A lone override flag arms defenses without --defenses.
+        code = main(
+            [
+                "run", "thai", "breadth-first", "--scale", "0.03", "--no-cache",
+                "--max-pages", "100", "--max-url-depth", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Adversary" in out
+        assert "depth_skips" in out
+
+    def test_missing_adversary_profile_reports_error(self, tmp_path, capsys):
+        code = main(
+            [
+                "run", "thai", "breadth-first", "--scale", "0.03", "--no-cache",
+                "--adversary", str(tmp_path / "nope.json"),
+            ]
+        )
+        assert code == 1
+        assert "cannot read adversary profile" in capsys.readouterr().err

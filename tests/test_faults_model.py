@@ -184,10 +184,15 @@ class TestFaultyWebSpace:
         )
         faulty = FaultyWebSpace(self._web(), model)
         assert faulty.fetch(SEED).fault == "transient"
+        assert faulty.attempts_of(SEED) == 1
         assert faulty.fetch(SEED).fault == "transient"
+        assert faulty.attempts_of(SEED) == 2
         recovered = faulty.fetch(SEED)
         assert recovered.fault is None and recovered.ok
-        assert faulty.attempts_of(SEED) == 3
+        # Past the recovery threshold the per-URL counter is pruned (the
+        # engine never refetches a completed URL, so keeping it would
+        # only grow the dict unboundedly).
+        assert faulty.attempts_of(SEED) == 0
 
     def test_truncate_degrades_but_keeps_record(self):
         model = FaultModel(profile=FaultProfile(truncation_rate=1.0), seed=0)

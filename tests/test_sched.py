@@ -219,9 +219,9 @@ class TestCheckpointFormatV2:
         assert read_checkpoint(path).sched is None
 
     def test_v1_files_still_read(self, tmp_path):
-        """Format v2 only *adds* the optional sched section; a v1 file
+        """Newer formats only *add* optional sections; a v1 file
         (pre-scheduler) must load unchanged, with ``sched=None``."""
-        assert FORMAT_VERSION == 2
+        assert FORMAT_VERSION == 3
         path = tmp_path / "v1.ckpt"
         write_checkpoint(
             path,

@@ -17,6 +17,7 @@ from pathlib import Path
 import pytest
 
 from repro import CrawlRequest, SessionConfig, report_payload, run_crawl
+from repro.adversary import DefenseConfig
 from repro.errors import ConfigError
 from repro.experiments.datasets import load_or_build_dataset
 from repro.graphgen import profile_by_name
@@ -433,3 +434,71 @@ class TestServeCLIIntegration:
             if "report" in reply
         }
         assert reports == expected
+
+
+class TestAdversaryOverTheWire:
+    """The adversary rides in the request payload and the defenses in
+    the config — both must round-trip the wire and reproduce a direct
+    in-process run exactly."""
+
+    ADVERSARY_WIRE = {"seed": 3, "trap_host_rate": 0.3, "trap_fanout": 3}
+
+    def _hostile_command(self, name, seed):
+        command = _open_command(name, "breadth-first", seed)
+        command["request"]["adversary"] = dict(self.ADVERSARY_WIRE)
+        command["config"]["defenses"] = DefenseConfig.standard().to_json_dict()
+        return command
+
+    def test_wire_session_matches_direct_adversarial_run(self, tmp_path, serve_cache):
+        handler = _handler(tmp_path, serve_cache)
+        assert handler.handle(self._hostile_command("s", 9005))["ok"]
+        while not handler.handle({"cmd": "step", "session": "s", "budget": 10})["status"]["done"]:
+            pass
+        report = handler.handle({"cmd": "close", "session": "s"})["report"]
+
+        dataset = load_or_build_dataset(
+            profile_by_name("thai", seed=9005).scaled(SCALE), cache_dir=serve_cache
+        )
+        direct = run_crawl(
+            CrawlRequest(dataset=dataset, strategy="breadth-first"),
+            config=SessionConfig(
+                max_pages=MAX_PAGES,
+                sample_interval=SAMPLE_INTERVAL,
+                adversary=ProtocolHandler.build_adversary(self.ADVERSARY_WIRE),
+                defenses=DefenseConfig.standard(),
+            ),
+        )
+        assert json.dumps(report, sort_keys=True) == json.dumps(
+            report_payload(direct), sort_keys=True
+        )
+
+    def test_adversarial_wire_run_differs_from_clean(self, tmp_path, serve_cache):
+        handler = _handler(tmp_path, serve_cache)
+        assert handler.handle(self._hostile_command("s", 9006))["ok"]
+        while not handler.handle({"cmd": "step", "session": "s", "budget": 10})["status"]["done"]:
+            pass
+        report = handler.handle({"cmd": "close", "session": "s"})["report"]
+        assert json.dumps(report, sort_keys=True) != _one_shot(
+            serve_cache, "breadth-first", 9006
+        )
+
+    def test_unknown_adversary_key_is_an_error_reply(self, tmp_path, serve_cache):
+        handler = _handler(tmp_path, serve_cache)
+        command = _open_command("s", "breadth-first", 9007)
+        command["request"]["adversary"] = {"seed": 1, "trap_rate": 0.5}
+        response = handler.handle(command)
+        assert response["ok"] is False
+        assert "trap_rate" in response["error"]["message"]
+
+    def test_unknown_defense_key_is_an_error_reply(self, tmp_path, serve_cache):
+        handler = _handler(tmp_path, serve_cache)
+        command = _open_command("s", "breadth-first", 9008)
+        command["config"]["defenses"] = {"max_url_depth": 4, "bogus": 1}
+        response = handler.handle(command)
+        assert response["ok"] is False
+        assert "bogus" in response["error"]["message"]
+
+    def test_build_adversary_none_passthrough(self):
+        assert ProtocolHandler.build_adversary(None) is None
+        model = ProtocolHandler.build_adversary({"seed": 7})
+        assert model is not None and model.seed == 7 and model.profile.is_empty
