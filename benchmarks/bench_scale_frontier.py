@@ -1,0 +1,97 @@
+"""Out-of-core scale gates: the columnar store vs the in-memory backend.
+
+Runs the full :func:`repro.experiments.scalefrontier.scale_frontier_sweep`
+ladder plus the 10⁶-page point and pins the tentpole's two claims:
+
+1. **Identity** — at every measured scale the store-backed crawl's
+   report digest equals the in-memory backend's (the golden byte-identity
+   bar, applied far past golden scale).
+2. **Footprint** — peak RSS of the million-page store crawl stays at or
+   under :data:`~repro.experiments.scalefrontier.MAX_RSS_RATIO` of the
+   in-memory backend's extrapolated footprint at 10⁶ pages.
+
+Every build and measurement runs in its own subprocess (the sweep fans
+them out itself), so this pytest process never holds a dataset and the
+``ru_maxrss`` numbers are uncontaminated.
+
+Writes ``benchmarks/results/BENCH_scale_frontier.json`` — the raw sweep
+payload, the same format ``python -m repro.experiments.scalefrontier
+--output`` produces, so CI trend tracking reads one schema from either
+entry point.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.scalefrontier import (
+    DEFAULT_SCALES,
+    MAX_RSS_RATIO,
+    MILLION_PAGES,
+    scale_frontier_sweep,
+)
+
+MAX_PAGES = 1500
+MILLION_MAX_PAGES = 50_000
+SPILL_LIMIT = 50_000
+
+
+def _render(payload: dict) -> str:
+    lines = [
+        "Scale frontier: columnar store vs in-memory backend",
+        f"  crawl budget {MAX_PAGES} pages/point; million point "
+        f"{MILLION_MAX_PAGES} pages, spill limit {SPILL_LIMIT}",
+        "",
+        f"  {'n_pages':>10}  {'store KB':>10}  {'memory KB':>10}  digests",
+    ]
+    for row in payload["rows"]:
+        lines.append(
+            f"  {row['n_pages']:>10,}  {row['store']['ru_maxrss_kb']:>10,}  "
+            f"{row['memory']['ru_maxrss_kb']:>10,}  "
+            f"{'equal' if row['digests_equal'] else 'DIVERGED'}"
+        )
+    gate = payload["rss_gate"]
+    million = payload["million"]
+    lines += [
+        f"  {million['n_pages']:>10,}  {million['store']['ru_maxrss_kb']:>10,}  "
+        f"{gate['extrapolated_memory_rss_kb']:>10,.0f}  (extrapolated)",
+        "",
+        f"  RSS gate: ratio {gate['ratio']} <= {gate['max_ratio']} -> "
+        f"{'PASS' if gate['pass'] else 'FAIL'}",
+        f"  sweep digest {payload['digest_sha256'][:16]}",
+    ]
+    return "\n".join(lines)
+
+
+def test_scale_frontier_gates(results_dir):
+    payload = scale_frontier_sweep(
+        scales=DEFAULT_SCALES,
+        max_pages=MAX_PAGES,
+        million=True,
+        million_max_pages=MILLION_MAX_PAGES,
+        spill_limit=SPILL_LIMIT,
+        progress=print,
+    )
+
+    text = _render(payload)
+    print()
+    print(text)
+    (results_dir / "scale_frontier.txt").write_text(text)
+    (results_dir / "BENCH_scale_frontier.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    # Identity: every measured scale, both backends, one report digest.
+    assert all(row["digests_equal"] for row in payload["rows"])
+    # The headline point really is the million-page web.
+    assert payload["million"]["n_pages"] == MILLION_PAGES
+    assert payload["million"]["store_build"]["n_pages"] == MILLION_PAGES
+    # Footprint: flat out-of-core RSS against the linearly-growing fit.
+    gate = payload["rss_gate"]
+    assert gate["pass"], (
+        f"store RSS {gate['store_rss_kb']} KB exceeds {MAX_RSS_RATIO:.0%} of the "
+        f"extrapolated in-memory {gate['extrapolated_memory_rss_kb']} KB"
+    )
+    # The spilling frontier actually engaged at the million point.
+    spill = payload["million"]["store"]["spill"]
+    assert spill is not None and spill["spilled"] > 0

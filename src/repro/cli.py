@@ -4,6 +4,11 @@ Subcommands map onto the experiment harness:
 
 - ``lswc-sim dataset thai`` — build (and cache) a dataset, print Table 3
   style characteristics.
+- ``lswc-sim dataset build thai --out thai.lswc`` — write a dataset as
+  a columnar page store (``--capture none`` streams the raw universe in
+  bounded memory, the out-of-core path for million-page webs).
+- ``lswc-sim dataset inspect thai.lswc`` — print a store's header,
+  section sizes and capture provenance without loading any pages.
 - ``lswc-sim run thai soft-focused`` — run one strategy, print the
   summary and checkpoint series.
 - ``lswc-sim figure 6 --dataset thai`` — regenerate a paper figure as
@@ -79,8 +84,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_dataset = sub.add_parser("dataset", help="build a dataset and print its characteristics")
-    p_dataset.add_argument("profile", choices=["thai", "japanese", "korean"])
+    p_dataset = sub.add_parser(
+        "dataset",
+        help="build a dataset and print its characteristics; "
+        "'build'/'inspect' work with columnar page-store files",
+    )
+    p_dataset.add_argument(
+        "profile",
+        choices=["thai", "japanese", "korean", "build", "inspect"],
+        help="a profile name prints Table 3; 'build' writes a page store; "
+        "'inspect' prints a store file's header",
+    )
+    p_dataset.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="for 'build': the profile to build (thai/japanese/korean); "
+        "for 'inspect': the store file path",
+    )
+    p_dataset.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="for 'build': destination page-store file (required)",
+    )
+    p_dataset.add_argument(
+        "--capture",
+        choices=["none", "soft-limited", "hard-limited"],
+        default=None,
+        help="for 'build': capture crawl kind ('none' streams the raw "
+        "universe, the default; others replay the paper's capture "
+        "pipeline over the store)",
+    )
+    p_dataset.add_argument(
+        "--capture-n",
+        type=int,
+        default=None,
+        metavar="N",
+        help="for 'build': tunneling depth of the capture crawl",
+    )
     _add_dataset_args(p_dataset)
 
     p_run = sub.add_parser("run", help="run one strategy over a dataset")
@@ -325,6 +367,10 @@ def main(argv: list[str] | None = None) -> int:
 
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "dataset":
+        if args.profile == "build":
+            return _dataset_build(args)
+        if args.profile == "inspect":
+            return _dataset_inspect(args)
         dataset = _dataset_from_args(args.profile, args)
         print(render_table(table3([dataset]), title="Dataset characteristics (Table 3)"))
         return 0
@@ -492,6 +538,72 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _serve(args)
 
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _dataset_build(args: argparse.Namespace) -> int:
+    from repro.experiments.datasets import build_dataset_store, open_dataset_store
+
+    if args.target not in ("thai", "japanese", "korean"):
+        print(
+            "error: dataset build needs a profile: "
+            "lswc-sim dataset build thai --out FILE",
+            file=sys.stderr,
+        )
+        return 2
+    if args.out is None:
+        print("error: dataset build needs --out FILE", file=sys.stderr)
+        return 2
+    profile = profile_by_name(args.target, seed=args.seed)
+    if args.scale != 1.0:
+        profile = profile.scaled(args.scale)
+    capture_kind = args.capture if args.capture is not None else "none"
+    path = build_dataset_store(
+        profile, args.out, capture_kind=capture_kind, capture_n=args.capture_n
+    )
+    dataset = open_dataset_store(path)
+    store = dataset.crawl_log
+    print(
+        f"wrote {path}: {store.page_count} pages, {store.url_count} urls, "
+        f"{store.link_count} links, {store.nbytes} bytes "
+        f"(capture={dataset.capture_kind})"
+    )
+    store.close()
+    return 0
+
+
+def _dataset_inspect(args: argparse.Namespace) -> int:
+    from repro.experiments.datasets import open_dataset_store
+
+    if args.target is None:
+        print(
+            "error: dataset inspect needs a store file: "
+            "lswc-sim dataset inspect FILE",
+            file=sys.stderr,
+        )
+        return 2
+    dataset = open_dataset_store(args.target)
+    store = dataset.crawl_log
+    rows = [
+        {
+            "name": dataset.name,
+            "pages": store.page_count,
+            "urls": store.url_count,
+            "links": store.link_count,
+            "seeds": len(dataset.seed_urls),
+            "capture": dataset.capture_kind,
+            "capture_n": dataset.capture_n,
+            "bytes": store.nbytes,
+            "fingerprint": dataset.profile.fingerprint(),
+        }
+    ]
+    print(render_table(rows, title=f"Page store {args.target}"))
+    sections = [
+        {"section": name, "bytes": size}
+        for name, size in store.section_sizes().items()
+    ]
+    print(render_table(sections, title="Sections"))
+    store.close()
+    return 0
 
 
 def _serve(args: argparse.Namespace) -> int:

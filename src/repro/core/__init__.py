@@ -46,7 +46,7 @@ from repro.core.session import (
     report_payload,
 )
 from repro.core.simulator import Simulator
-from repro.core.spilling import SpillingFrontier, SpillingStrategy
+from repro.core.spilling import SpillConfig, SpillingFrontier, SpillingStrategy
 from repro.core.summary import CrawlReport
 from repro.core.strategies import (
     BacklinkCountStrategy,
@@ -69,6 +69,7 @@ __all__ = [
     "PriorityFrontier",
     "ReprioritizableFrontier",
     "HostQueueFrontier",
+    "SpillConfig",
     "SpillingFrontier",
     "Candidate",
     "Classifier",

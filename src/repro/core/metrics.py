@@ -14,6 +14,7 @@ flush), so series stay small and sampling cost is O(1) per page.
 
 from __future__ import annotations
 
+from collections.abc import Set as AbstractSet
 from dataclasses import dataclass, field
 
 from repro.errors import CheckpointError
@@ -115,7 +116,7 @@ class MetricsRecorder:
     def __init__(
         self,
         name: str,
-        relevant_urls: frozenset[str],
+        relevant_urls: AbstractSet[str],
         sample_interval: int = 500,
     ) -> None:
         if sample_interval < 1:

@@ -29,6 +29,7 @@ historical home.
 from __future__ import annotations
 
 import time
+from collections.abc import Set as AbstractSet
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
@@ -51,6 +52,7 @@ from repro.core.engine import (
 from repro.core.events import FetchCallback
 from repro.core.metrics import CrawlSummary, MetricsRecorder, MetricSeries
 from repro.core.sched import VirtualTimeEngine
+from repro.core.spilling import SpillConfig, SpillingStrategy
 from repro.core.strategies.base import CrawlStrategy
 from repro.core.strategies.registry import get_strategy
 from repro.core.timing import TimingModel
@@ -183,7 +185,7 @@ class CrawlRequest:
     dataset: Any = None
     classifier: Classifier | None = None
     seeds: Sequence[str] | None = None
-    relevant_urls: frozenset[str] | None = None
+    relevant_urls: AbstractSet[str] | None = None
 
     def build_strategy(self) -> CrawlStrategy:
         """Resolve ``strategy`` to an instance (registry names allowed)."""
@@ -293,6 +295,14 @@ class SessionConfig:
     #: Engine countermeasures (:class:`~repro.adversary.DefenseConfig`).
     #: An all-default config is inert — no policy is built.
     defenses: DefenseConfig | None = None
+    #: Disk-spilling frontier (:class:`~repro.core.spilling.SpillConfig`).
+    #: The session wraps the strategy in a
+    #: :class:`~repro.core.spilling.SpillingStrategy` at open time; over
+    #: a store-backed web space the cold tail spills as URL ids into the
+    #: store's arena instead of URL strings.  Mutually exclusive with
+    #: checkpointing (``checkpoint_every`` / ``snapshot()``): the
+    #: spilling frontier holds disk state a checkpoint cannot capture.
+    spill: SpillConfig | None = None
     resume_from: CheckpointState | str | Path | None = None
     hooks: tuple[EngineHook, ...] = ()
     record_fault_journal: bool = False
@@ -383,6 +393,13 @@ class CrawlSession:
                 raise ConfigError("checkpoint_every must be >= 1")
             if config.checkpoint_path is None:
                 raise ConfigError("checkpoint_every requires checkpoint_path")
+        if config.spill is not None and (
+            config.checkpoint_every is not None or config.resume_from is not None
+        ):
+            raise ConfigError(
+                "spill= cannot combine with checkpointing/resume: the spilling "
+                "frontier's disk tail is not captured by CheckpointState"
+            )
         resume = config.resume_from
         if isinstance(resume, (str, Path)):
             resume = read_checkpoint(resume)
@@ -447,6 +464,16 @@ class CrawlSession:
             raise SimulationError("at least one seed URL is required")
         config = self._config
         assert request.web is not None and request.classifier is not None
+        if config.spill is not None:
+            page_source = request.web.crawl_log
+            if not (config.spill.use_page_ids and hasattr(page_source, "id_of")):
+                page_source = None  # in-memory log: spill URL strings
+            strategy = SpillingStrategy(
+                strategy,
+                memory_limit=config.spill.memory_limit,
+                spill_dir=config.spill.spill_dir,
+                page_source=page_source,
+            )
         relevant_urls = request.relevant_urls
         if relevant_urls is None:
             relevant_urls = relevant_url_set(

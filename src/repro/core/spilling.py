@@ -16,6 +16,22 @@ degrades from strict priority/FIFO to spill-then-batch order — the
 classic trade a spilling queue makes — while hot (high-priority) work
 stays resident, so a soft-focused crawl over a spilling frontier reaches
 the same coverage with a small, fixed resident set.
+
+When the crawl runs over a columnar :class:`~repro.webspace.store.PageStore`
+(see :mod:`repro.webspace.store`), pass it as ``page_source``: candidates
+whose URL is in the store's URL table spill as ``{"i": url_id}`` —
+an integer reference into the store's arena instead of the URL string —
+and are re-decoded (and re-interned) from the memory map on refill.
+URLs the store does not know (adversary-minted trap/alias URLs, for
+example) fall back to the string wire format, so the two entry kinds
+coexist in one spill file.
+
+Sessions opt in through ``SessionConfig(spill=SpillConfig(...))``;
+:class:`repro.core.session.CrawlSession` wraps the strategy in a
+:class:`SpillingStrategy` at open time.  A spilling frontier does not
+implement checkpoint ``snapshot``/``restore`` (the spill file *is* disk
+state already), so combining ``spill=`` with ``checkpoint_every=`` /
+``snapshot()`` raises :class:`~repro.errors.CheckpointError`.
 """
 
 from __future__ import annotations
@@ -36,9 +52,30 @@ from repro.core.frontier import (
 )
 from repro.core.strategies.base import CrawlStrategy
 from repro.errors import FrontierError
+from repro.urlkit.normalize import intern_url
 
 #: How many spilled candidates to reload per refill.
 _REFILL_BATCH = 1024
+
+
+@dataclass(frozen=True, slots=True)
+class SpillConfig:
+    """Session-level opt-in to the spilling frontier.
+
+    Attributes:
+        memory_limit: maximum candidates resident in memory (the spill
+            threshold); the coldest ~10% spill when it is exceeded.
+        spill_dir: directory for the spill file (default: the system
+            temporary directory).
+        use_page_ids: spill store-backed candidates as integer URL ids
+            when the session's web space is backed by a
+            :class:`~repro.webspace.store.PageStore` (ignored for
+            in-memory crawl logs, which have no URL table).
+    """
+
+    memory_limit: int = 10_000
+    spill_dir: str | None = None
+    use_page_ids: bool = True
 
 
 @dataclass(frozen=True, slots=True)
@@ -49,6 +86,53 @@ class SpillStats:
     reloaded: int
     peak_resident: int
     peak_total: int
+
+
+def spill_entry(candidate: Candidate, page_source=None) -> dict:
+    """Wire form of one spilled candidate.
+
+    With a ``page_source`` exposing ``id_of`` (a
+    :class:`~repro.webspace.store.PageStore`), candidates whose URL is in
+    the store's URL table serialise as ``{"i": url_id}`` — 8-ish bytes of
+    JSON instead of the URL string, and no string resurrection cost until
+    refill.  Referrers compress the same way (``"ri"``).  Everything else
+    falls back to :func:`repro.core.candidate.candidate_to_dict`.
+    """
+    if page_source is None:
+        return candidate_to_dict(candidate)
+    uid = page_source.id_of(candidate.url)
+    if uid is None:
+        return candidate_to_dict(candidate)
+    entry: dict = {"i": int(uid)}
+    if candidate.priority:
+        entry["p"] = candidate.priority
+    if candidate.distance:
+        entry["d"] = candidate.distance
+    if candidate.referrer is not None:
+        rid = page_source.id_of(candidate.referrer)
+        if rid is None:
+            entry["r"] = candidate.referrer
+        else:
+            entry["ri"] = int(rid)
+    return entry
+
+
+def candidate_from_spill(entry: dict, page_source=None) -> Candidate:
+    """Inverse of :func:`spill_entry`; id entries decode from the store."""
+    if "i" not in entry:
+        return candidate_from_dict(entry)
+    if page_source is None:
+        raise FrontierError("id-keyed spill entry but no page source to decode it")
+    if "ri" in entry:
+        referrer = intern_url(page_source.url_of(entry["ri"]))
+    else:
+        referrer = entry.get("r")
+    return Candidate(
+        url=intern_url(page_source.url_of(entry["i"])),
+        priority=entry.get("p", 0),
+        distance=entry.get("d", 0),
+        referrer=referrer,
+    )
 
 
 class SpillingFrontier(Frontier):
@@ -63,6 +147,9 @@ class SpillingFrontier(Frontier):
             when given, spill/refill batches are timed
             ("frontier.spill" / "frontier.refill") and disk traffic is
             counted ("frontier.spilled" / "frontier.reloaded").
+        page_source: optional :class:`~repro.webspace.store.PageStore`
+            (anything with ``id_of``/``url_of``); spilled candidates the
+            store knows are written by URL id, not URL string.
     """
 
     def __init__(
@@ -70,11 +157,13 @@ class SpillingFrontier(Frontier):
         memory_limit: int = 10_000,
         spill_dir: str | None = None,
         instrumentation=None,
+        page_source=None,
     ) -> None:
         if memory_limit < 2:
             raise FrontierError("memory_limit must be >= 2")
         super().__init__()
         self._instr = instrumentation
+        self._page_source = page_source
         self._limit = memory_limit
         self._heap: list[_HeapEntry] = []
         self._counter = 0
@@ -155,7 +244,7 @@ class SpillingFrontier(Frontier):
 
         self._spill_file.seek(0, os.SEEK_END)
         for _, _, candidate in victims:
-            record = candidate_to_dict(candidate)
+            record = spill_entry(candidate, self._page_source)
             self._spill_file.write(json.dumps(record, separators=(",", ":")) + "\n")
         self._spill_file.flush()
         self._pending_on_disk += len(victims)
@@ -175,7 +264,7 @@ class SpillingFrontier(Frontier):
             if not line:
                 break
             self._read_offset = self._spill_file.tell()
-            candidate = candidate_from_dict(json.loads(line))
+            candidate = candidate_from_spill(json.loads(line), self._page_source)
             counter = self._counter
             self._counter = counter + 1
             heapq.heappush(self._heap, (-candidate.priority, counter, candidate))
@@ -197,18 +286,30 @@ class SpillingStrategy(CrawlStrategy):
     accounting of the most recent crawl.
     """
 
-    def __init__(self, inner, memory_limit: int = 10_000, spill_dir: str | None = None) -> None:
+    def __init__(
+        self,
+        inner,
+        memory_limit: int = 10_000,
+        spill_dir: str | None = None,
+        page_source=None,
+    ) -> None:
         self.inner = inner
         self.memory_limit = memory_limit
         self._spill_dir = spill_dir
+        self._page_source = page_source
         self.name = f"spilling({inner.name}, mem={memory_limit})"
         self._frontier: SpillingFrontier | None = None
+
+    def bind_instrumentation(self, instrumentation) -> None:
+        super().bind_instrumentation(instrumentation)
+        self.inner.bind_instrumentation(instrumentation)
 
     def make_frontier(self) -> SpillingFrontier:
         self._frontier = SpillingFrontier(
             memory_limit=self.memory_limit,
             spill_dir=self._spill_dir,
             instrumentation=self.instrumentation,
+            page_source=self._page_source,
         )
         return self._frontier
 

@@ -93,12 +93,21 @@ class DatasetSpec:
     dataset pipeline, reading the shared disk cache when ``use_cache``
     is set — a worker of a sweep whose driver already built the dataset
     then pays one cache read, not a rebuild.
+
+    A ``store_path`` short-circuits everything: the worker memory-maps
+    the columnar page store at that path
+    (:func:`repro.experiments.datasets.open_dataset_store`) instead of
+    generating anything — the out-of-core path, where N workers crawling
+    a million-page web share one on-disk copy and pay no per-process
+    materialisation.  The path string is the cache key, so it must be
+    readable from every worker.
     """
 
-    profile: DatasetProfile
-    capture_kind: str
-    capture_n: int
+    profile: DatasetProfile | None = None
+    capture_kind: str = "none"
+    capture_n: int = 0
     use_cache: bool = True
+    store_path: str | None = None
 
     @classmethod
     def from_dataset(cls, dataset: "Dataset", use_cache: bool = True) -> "DatasetSpec":
@@ -109,10 +118,21 @@ class DatasetSpec:
             use_cache=use_cache,
         )
 
+    @classmethod
+    def from_store(cls, path) -> "DatasetSpec":
+        """A spec that opens the page store at ``path`` in each worker."""
+        return cls(store_path=str(path))
+
     def build(self) -> "Dataset":
         # Local imports: repro.experiments modules import repro.exec at
         # module level (for SweepExecutor); the spec layer imports them
         # lazily to keep the dependency acyclic.
+        if self.store_path is not None:
+            from repro.experiments.datasets import open_dataset_store
+
+            return open_dataset_store(self.store_path)
+        if self.profile is None:
+            raise ConfigError("DatasetSpec needs a profile= or a store_path=")
         if self.capture_kind == "none":
             from repro.experiments.ablations import universe_dataset
 

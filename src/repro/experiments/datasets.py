@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 import os
+from collections.abc import Set as AbstractSet
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -35,8 +36,10 @@ from repro.errors import ConfigError
 from repro.graphgen.config import DatasetProfile
 from repro.graphgen.generator import generate_universe
 from repro.graphgen.profiles import profile_by_name
+from repro.webspace.base import PageSource
 from repro.webspace.crawllog import CrawlLog
 from repro.webspace.stats import DatasetStats, compute_stats, relevant_url_set
+from repro.webspace.store import PageStore, StoreBuilder
 from repro.webspace.virtualweb import VirtualWebSpace
 
 #: Capture tunneling depth per capture kind (paper does not publish the
@@ -47,11 +50,18 @@ DEFAULT_CAPTURE_N = {"soft-limited": 3, "hard-limited": 3}
 
 @dataclass(frozen=True, slots=True)
 class Dataset:
-    """A captured, replayable snapshot plus its bookkeeping."""
+    """A captured, replayable snapshot plus its bookkeeping.
+
+    ``crawl_log`` is any :class:`~repro.webspace.base.PageSource`: the
+    in-memory :class:`~repro.webspace.crawllog.CrawlLog` or a
+    memory-mapped :class:`~repro.webspace.store.PageStore` opened by
+    :func:`open_dataset_store` — every consumer downstream (web space,
+    stats, coverage denominator) is backend-agnostic.
+    """
 
     name: str
     profile: DatasetProfile
-    crawl_log: CrawlLog
+    crawl_log: PageSource
     seed_urls: tuple[str, ...]
     capture_kind: str
     capture_n: int
@@ -64,8 +74,16 @@ class Dataset:
         """Table 3 characteristics of this dataset."""
         return compute_stats(self.crawl_log, self.target_language)
 
-    def relevant_urls(self) -> frozenset[str]:
-        """The explicit-recall denominator set."""
+    def relevant_urls(self) -> AbstractSet[str]:
+        """The explicit-recall denominator set.
+
+        Store-backed datasets answer with a lazy column-computed view
+        (:class:`~repro.webspace.store.StoreRelevantSet`) — same
+        membership and size, no full-record scan.
+        """
+        lazy = getattr(self.crawl_log, "relevant_url_view", None)
+        if lazy is not None:
+            return lazy(self.target_language)
         return relevant_url_set(self.crawl_log, self.target_language)
 
     def web(self, body_synthesizer=None) -> VirtualWebSpace:
@@ -124,6 +142,114 @@ def build_dataset(
         seed_urls=universe.seed_urls,
         capture_kind=capture_kind,
         capture_n=capture_n,
+    )
+
+
+# --------------------------------------------------------------------------
+# Columnar on-disk datasets
+# --------------------------------------------------------------------------
+
+def build_dataset_store(
+    profile: DatasetProfile,
+    path: Path | str,
+    capture_kind: str | None = None,
+    capture_n: int | None = None,
+) -> Path:
+    """Build a dataset straight into a columnar page store at ``path``.
+
+    ``capture_kind="none"`` writes the raw universe via the streaming
+    generator — no :class:`~repro.webspace.page.PageRecord` objects are
+    materialised, so this path scales to million-page webs.  The capture
+    kinds run the same capture crawl as :func:`build_dataset`, but over a
+    store-backed universe: the universe is staged to ``path + ".universe.tmp"``,
+    crawled through a memory-mapped :class:`~repro.webspace.store.PageStore`,
+    and only the *visited* records pass through a
+    :class:`~repro.webspace.store.StoreBuilder` into the final file.
+
+    Returns ``path`` (as a :class:`~pathlib.Path`).
+    """
+    from repro.graphgen.stream import write_universe_store
+
+    path = Path(path)
+    if capture_kind is None:
+        capture_kind = capture_kind_for(profile)
+    if capture_kind == "none":
+        write_universe_store(profile, path)
+        return path
+    if capture_kind not in ("soft-limited", "hard-limited"):
+        raise ConfigError(
+            f"capture_kind must be none, soft-limited or hard-limited, got {capture_kind!r}"
+        )
+    if capture_n is None:
+        capture_n = DEFAULT_CAPTURE_N[capture_kind]
+    if capture_n < 0:
+        raise ConfigError("capture_n must be >= 0")
+
+    universe_path = path.with_name(path.name + ".universe.tmp")
+    write_universe_store(profile, universe_path)
+    try:
+        with PageStore.open(universe_path) as universe:
+            if capture_kind == "soft-limited":
+                strategy = soft_limited_strategy(capture_n)
+            else:
+                strategy = hard_limited_strategy(capture_n)
+            seed_urls = universe.seed_urls
+            visited: list[str] = []
+            CrawlSession(
+                CrawlRequest(
+                    strategy=strategy,
+                    web=VirtualWebSpace(universe),
+                    classifier=Classifier(profile.target_language),
+                    seeds=seed_urls,
+                    relevant_urls=frozenset(),
+                ),
+                SessionConfig(
+                    sample_interval=1_000_000,
+                    on_fetch=lambda event: visited.append(event.url),
+                ),
+            ).run()
+
+            builder = StoreBuilder()
+            for url in visited:
+                record = universe.get(url)
+                if record is not None:
+                    builder.add(record)
+            builder.finish(
+                path,
+                meta={
+                    "name": profile.name,
+                    "profile": profile.to_json_dict(),
+                    "seed_urls": list(seed_urls),
+                    "capture_kind": capture_kind,
+                    "capture_n": capture_n,
+                },
+            )
+    finally:
+        universe_path.unlink(missing_ok=True)
+    return path
+
+
+def open_dataset_store(path: Path | str) -> Dataset:
+    """Open a store file written by :func:`build_dataset_store` as a Dataset.
+
+    The returned dataset's ``crawl_log`` is the memory-mapped
+    :class:`~repro.webspace.store.PageStore`; close it (or use it as a
+    context manager) when done to release the maps.
+    """
+    store = PageStore.open(path)
+    meta = store.meta
+    try:
+        profile = DatasetProfile.from_json_dict(meta["profile"])
+    except (KeyError, TypeError) as exc:
+        store.close()
+        raise ConfigError(f"store at {path} carries no dataset profile: {exc}") from None
+    return Dataset(
+        name=meta.get("name", profile.name),
+        profile=profile,
+        crawl_log=store,
+        seed_urls=tuple(meta.get("seed_urls", ())),
+        capture_kind=meta.get("capture_kind", "none"),
+        capture_n=int(meta.get("capture_n", 0)),
     )
 
 

@@ -15,6 +15,17 @@ from repro.charset.languages import CHARSET_LANGUAGES, Language
 from repro.errors import ConfigError
 
 
+def _encode_json(value):
+    """Recursively turn dataclass ``asdict`` output into plain JSON types."""
+    if isinstance(value, Language):
+        return value.value
+    if isinstance(value, tuple):
+        return [_encode_json(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _encode_json(item) for key, item in value.items()}
+    return value
+
+
 @dataclass(frozen=True, slots=True)
 class CharsetChoice:
     """One option of a language group's charset distribution.
@@ -197,17 +208,35 @@ class DatasetProfile:
             language_locality=locality,
         )
 
+    def to_json_dict(self) -> dict:
+        """JSON-able form of the complete recipe (inverse: :meth:`from_json_dict`).
+
+        Embedded verbatim in page-store headers
+        (:mod:`repro.webspace.store`) so an on-disk dataset carries the
+        profile that generated it.
+        """
+        return _encode_json(asdict(self))
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "DatasetProfile":
+        """Rebuild a profile from :meth:`to_json_dict` output."""
+        fields = dict(payload)
+        fields["target_language"] = Language(fields["target_language"])
+        fields["groups"] = tuple(
+            LanguageGroup(
+                language=Language(group["language"]),
+                weight=group["weight"],
+                charset_choices=tuple(
+                    CharsetChoice(charset=choice["charset"], weight=choice["weight"])
+                    for choice in group["charset_choices"]
+                ),
+                out_degree_scale=group.get("out_degree_scale", 1.0),
+            )
+            for group in fields["groups"]
+        )
+        return cls(**fields)
+
     def fingerprint(self) -> str:
         """Stable content hash of the profile, for dataset caching."""
-
-        def encode(value):
-            if isinstance(value, Language):
-                return value.value
-            if isinstance(value, tuple):
-                return [encode(item) for item in value]
-            if isinstance(value, dict):
-                return {key: encode(item) for key, item in value.items()}
-            return value
-
-        payload = json.dumps(encode(asdict(self)), sort_keys=True)
+        payload = json.dumps(self.to_json_dict(), sort_keys=True)
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]

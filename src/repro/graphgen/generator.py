@@ -1,14 +1,27 @@
 """Top-level universe generation.
 
-``generate_universe(profile)`` assembles everything: hosts, per-page
-language/status/charset/size attributes, the link structure, and seed
-URLs — returning a :class:`GeneratedUniverse` whose crawl log is the raw
-synthetic web.  The paper-style *dataset* (the capture crawl over this
-universe) is produced by :mod:`repro.experiments.datasets`.
+The generation layer is split in two:
+
+- :func:`generate_columns` runs every RNG draw and emits the universe as
+  **columns** — numpy arrays (statuses, charset indices, sizes, CSR link
+  structure) plus the host table — in bounded memory: no
+  :class:`~repro.webspace.page.PageRecord` objects, no URL strings.
+  This is what the out-of-core store writer
+  (:func:`repro.graphgen.stream.write_universe_store`) consumes, and it
+  is the only path that touches the RNG, so the eager and streaming
+  backends are byte-identical by construction.
+
+- :func:`generate_universe` assembles those columns into the classic
+  eager :class:`GeneratedUniverse` (records + in-memory
+  :class:`~repro.webspace.crawllog.CrawlLog`) for workloads that fit.
+
+The paper-style *dataset* (the capture crawl over this universe) is
+produced by :mod:`repro.experiments.datasets`.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass
 
 import numpy as np
@@ -16,7 +29,7 @@ import numpy as np
 from repro.charset.languages import Language
 from repro.graphgen.config import DatasetProfile
 from repro.graphgen.hosts import Host, build_hosts
-from repro.graphgen.linker import build_edges, outlinks_per_page
+from repro.graphgen.linker import build_edges, links_csr
 from repro.webspace.crawllog import CrawlLog
 from repro.webspace.page import HTML_CONTENT_TYPE, STATUS_OK, PageRecord
 
@@ -41,8 +54,99 @@ class GeneratedUniverse:
     hosts: tuple[Host, ...]
 
 
-def generate_universe(profile: DatasetProfile) -> GeneratedUniverse:
-    """Generate the synthetic web universe described by ``profile``."""
+@dataclass(slots=True)
+class UniverseColumns:
+    """A generated universe as numpy columns — the bounded-memory form.
+
+    Page URLs are never materialised here: they are a pure function of
+    ``(host, offset)`` (see :meth:`url_for`), link targets are page ids
+    in the CSR arena, and seeds are page ids.  At 10⁶–10⁷ pages this is
+    tens of megabytes of arrays where the eager record path costs
+    gigabytes of Python objects.
+    """
+
+    profile: DatasetProfile
+    hosts: tuple[Host, ...]
+    lang_code: np.ndarray
+    ok_mask: np.ndarray
+    html_mask: np.ndarray
+    statuses: np.ndarray
+    charset_index: np.ndarray
+    sizes: np.ndarray
+    attractiveness: np.ndarray
+    isolated_mask: np.ndarray
+    #: CSR link structure: row ``p`` is
+    #: ``link_targets[link_offsets[p]:link_offsets[p + 1]]`` (page ids,
+    #: self-links dropped, first-occurrence deduped).
+    link_offsets: np.ndarray
+    link_targets: np.ndarray
+    seed_pages: np.ndarray
+    _host_first: np.ndarray
+
+    @property
+    def n_pages(self) -> int:
+        return len(self.lang_code)
+
+    def host_of(self, page: int) -> Host:
+        """The host owning page id ``page`` (pages contiguous per host)."""
+        index = int(np.searchsorted(self._host_first, page, side="right")) - 1
+        return self.hosts[index]
+
+    def url_for(self, page: int) -> str:
+        """The URL of page id ``page``, computed — never stored."""
+        host = self.host_of(page)
+        return host.page_url(page - host.first_page)
+
+    def seed_urls(self) -> tuple[str, ...]:
+        return tuple(self.url_for(int(page)) for page in self.seed_pages)
+
+    def content_type_of(self, page: int) -> str:
+        if bool(self.ok_mask[page]) and not bool(self.html_mask[page]):
+            return _NON_HTML_TYPES[page % len(_NON_HTML_TYPES)]
+        return HTML_CONTENT_TYPE
+
+    def charset_of(self, page: int) -> str | None:
+        if not (bool(self.ok_mask[page]) and bool(self.html_mask[page])):
+            return None
+        group = self.profile.groups[int(self.lang_code[page])]
+        return group.charset_choices[int(self.charset_index[page])].charset
+
+    def language_of(self, page: int) -> Language:
+        return self.profile.groups[int(self.lang_code[page])].language
+
+    def record_for(self, page: int, urls: list[str] | None = None) -> PageRecord:
+        """Materialise one page record (transient; bounded memory).
+
+        ``urls`` may pass a precomputed url table to skip the per-target
+        ``url_for`` binary searches (the eager path does).
+        """
+        ok = bool(self.ok_mask[page])
+        html = bool(self.html_mask[page])
+        outlinks: tuple[str, ...] = ()
+        if ok and html:
+            row = self.link_targets[self.link_offsets[page] : self.link_offsets[page + 1]]
+            if urls is not None:
+                outlinks = tuple(urls[target] for target in row)
+            else:
+                outlinks = tuple(self.url_for(int(target)) for target in row)
+        return PageRecord(
+            url=urls[page] if urls is not None else self.url_for(page),
+            status=int(self.statuses[page]),
+            content_type=self.content_type_of(page),
+            charset=self.charset_of(page),
+            true_language=self.language_of(page),
+            outlinks=outlinks,
+            size=int(self.sizes[page]) if ok and html else 0,
+        )
+
+
+def generate_columns(profile: DatasetProfile) -> UniverseColumns:
+    """Run the full generation pass, emitting columns (no records).
+
+    Every RNG draw happens here, in a fixed order; both backends (eager
+    records, columnar store) are assembled from the same columns, which
+    is what makes them byte-identical.
+    """
     profile.validate()
     rng = np.random.default_rng(profile.seed)
     n_pages = profile.n_pages
@@ -105,46 +209,58 @@ def generate_universe(profile: DatasetProfile) -> GeneratedUniverse:
     sources, targets = build_edges(
         profile, hosts, lang_code, html_mask, attractiveness, rng, isolated_mask=isolated_mask
     )
-    per_page_targets = outlinks_per_page(n_pages, sources, targets)
+    link_offsets, link_targets = links_csr(n_pages, sources, targets)
 
-    # Assemble URLs, then records.
-    urls = _page_urls(hosts, n_pages)
-    records = []
-    for page in range(n_pages):
-        group = profile.groups[int(lang_code[page])]
-        ok = bool(ok_mask[page])
-        html = bool(html_mask[page])
-        if ok and not html:
-            content_type = _NON_HTML_TYPES[page % len(_NON_HTML_TYPES)]
-        else:
-            content_type = HTML_CONTENT_TYPE
-        charset: str | None = None
-        if ok and html:
-            charset = group.charset_choices[int(charset_index[page])].charset
-        outlinks: tuple[str, ...] = ()
-        if ok and html:
-            outlinks = tuple(urls[target] for target in per_page_targets[page])
-        records.append(
-            PageRecord(
-                url=urls[page],
-                status=int(statuses[page]),
-                content_type=content_type,
-                charset=charset,
-                true_language=group.language,
-                outlinks=outlinks,
-                size=int(sizes[page]) if ok and html else 0,
-            )
-        )
-
-    seed_urls = _select_seeds(
-        profile, hosts, lang_code, html_mask & ~isolated_mask, attractiveness, urls
+    seed_pages = _select_seed_pages(
+        profile, hosts, lang_code, html_mask & ~isolated_mask, attractiveness
     )
 
+    return UniverseColumns(
+        profile=profile,
+        hosts=tuple(hosts),
+        lang_code=lang_code,
+        ok_mask=ok_mask,
+        html_mask=html_mask,
+        statuses=statuses,
+        charset_index=charset_index,
+        sizes=sizes,
+        attractiveness=attractiveness,
+        isolated_mask=isolated_mask,
+        link_offsets=link_offsets,
+        link_targets=link_targets,
+        seed_pages=seed_pages,
+        _host_first=np.array([host.first_page for host in hosts], dtype=np.int64),
+    )
+
+
+def iter_universe_records(columns: UniverseColumns) -> Iterator[PageRecord]:
+    """Stream the universe's records one at a time, in page-id order.
+
+    Bounded memory: each record (and its URL strings) is materialised on
+    demand from the columns and may be dropped by the consumer.
+    """
+    for page in range(columns.n_pages):
+        yield columns.record_for(page)
+
+
+def generate_universe(profile: DatasetProfile) -> GeneratedUniverse:
+    """Generate the synthetic web universe described by ``profile``.
+
+    The eager assembly of :func:`generate_columns`: all records are
+    materialised into an in-memory crawl log.  For million-page webs use
+    :func:`repro.graphgen.stream.write_universe_store` instead, which
+    writes the same universe to a columnar store without ever holding
+    the records.
+    """
+    columns = generate_columns(profile)
+    n_pages = columns.n_pages
+    urls = _page_urls(list(columns.hosts), n_pages)
+    records = [columns.record_for(page, urls) for page in range(n_pages)]
     return GeneratedUniverse(
         profile=profile,
         crawl_log=CrawlLog(records),
-        seed_urls=seed_urls,
-        hosts=tuple(hosts),
+        seed_urls=tuple(urls[int(page)] for page in columns.seed_pages),
+        hosts=columns.hosts,
     )
 
 
@@ -156,16 +272,19 @@ def _page_urls(hosts: list[Host], n_pages: int) -> list[str]:
     return urls
 
 
-def _select_seeds(
+def _select_seed_pages(
     profile: DatasetProfile,
     hosts: list[Host],
     lang_code: np.ndarray,
     html_mask: np.ndarray,
     attractiveness: np.ndarray,
-    urls: list[str],
-) -> tuple[str, ...]:
-    """Pick seed URLs: popular target-language OK HTML pages, spread over
-    distinct hosts — the way an archivist would seed from known portals."""
+) -> np.ndarray:
+    """Pick seed pages: popular target-language OK HTML pages, spread over
+    distinct hosts — the way an archivist would seed from known portals.
+
+    Returns page ids (URLs are a derived view); page identity and URL
+    identity coincide, so the dedupe is unchanged from the string days.
+    """
     target_groups = {
         index
         for index, group in enumerate(profile.groups)
@@ -182,24 +301,24 @@ def _select_seeds(
     for host in hosts:
         host_of_page[host.page_slice] = host.index
 
-    seeds: list[str] = []
+    seeds: list[int] = []
     used_hosts: set[int] = set()
     for page in order:
         host_index = int(host_of_page[page])
         if host_index in used_hosts:
             continue
         used_hosts.add(host_index)
-        seeds.append(urls[int(page)])
+        seeds.append(int(page))
         if len(seeds) == profile.n_seeds:
             break
     # Not enough distinct hosts: top up with the best remaining pages.
     if len(seeds) < profile.n_seeds:
         chosen = set(seeds)
         for page in order:
-            url = urls[int(page)]
-            if url not in chosen:
-                seeds.append(url)
-                chosen.add(url)
+            page = int(page)
+            if page not in chosen:
+                seeds.append(page)
+                chosen.add(page)
             if len(seeds) == profile.n_seeds:
                 break
-    return tuple(seeds)
+    return np.array(seeds, dtype=np.int64)

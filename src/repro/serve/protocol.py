@@ -71,7 +71,7 @@ DEFAULT_DATASET_CACHE_SIZE = 32
 SCALE_GRID = 0.01
 
 _REQUEST_KEYS = {"strategy", "params", "dataset", "faults", "adversary"}
-_DATASET_KEYS = {"profile", "scale", "seed", "capture_kind", "capture_n"}
+_DATASET_KEYS = {"profile", "scale", "seed", "capture_kind", "capture_n", "store"}
 _CONFIG_KEYS = {
     "max_pages",
     "sample_interval",
@@ -130,6 +130,30 @@ class ProtocolHandler:
         unknown = set(spec) - _DATASET_KEYS
         if unknown:
             raise SessionError(f"unknown dataset keys: {sorted(unknown)}")
+        store_path = spec.get("store")
+        if store_path is not None:
+            # A prebuilt columnar store: the path *is* the dataset (its
+            # header carries profile/seeds/capture), so every other key
+            # would be ignored — reject them instead of lying.
+            extra = set(spec) - {"store"}
+            if extra:
+                raise SessionError(
+                    f"dataset store= excludes other dataset keys: {sorted(extra)}"
+                )
+            key = ("store", str(store_path))
+            with self._datasets_lock:
+                dataset = self._datasets.pop(key, None)
+                if dataset is not None:
+                    self._datasets[key] = dataset
+            if dataset is None:
+                from repro.experiments.datasets import open_dataset_store
+
+                dataset = open_dataset_store(store_path)
+                with self._datasets_lock:
+                    dataset = self._datasets.setdefault(key, dataset)
+                    while len(self._datasets) > self._dataset_cache_size:
+                        self._datasets.pop(next(iter(self._datasets)))
+            return dataset
         profile_name = _require(spec, "profile", "dataset")
         scale = float(spec.get("scale", 1.0))
         if scale <= 0:

@@ -12,13 +12,23 @@ subpackage provides that shared vocabulary:
 """
 
 from repro.urlkit.extract import extract_links
-from repro.urlkit.normalize import normalize_url, url_host, url_site_key
+from repro.urlkit.normalize import (
+    clear_url_caches,
+    intern_url,
+    normalize_url,
+    url_cache_sizes,
+    url_host,
+    url_site_key,
+)
 from repro.urlkit.parse import SplitUrl, parse_url
 
 __all__ = [
     "SplitUrl",
     "parse_url",
+    "clear_url_caches",
+    "intern_url",
     "normalize_url",
+    "url_cache_sizes",
     "url_host",
     "url_site_key",
     "extract_links",

@@ -23,31 +23,72 @@ short-circuit on pointer equality instead of comparing characters.
 :func:`normalize_url` additionally memoises its input→output mapping in
 a bounded cache, since crawl graphs present the same href strings many
 times.
+
+Every table in this module is **bounded** and generation-cleared: when a
+table reaches its cap it is simply reset and repopulated by subsequent
+traffic.  The caps (:data:`_INTERN_MAX`, :data:`_MEMO_MAX`) are read at
+call time, so a million-page out-of-core crawl holds at most a bounded
+working set of URL strings regardless of web size — this is what lets
+the store-backed crawls keep a flat resident footprint.  (The earlier
+implementation used :func:`sys.intern`, whose table only sheds entries
+when the *caller* drops every reference; a dict generation is droppable
+unilaterally.)  Clearing costs only the pointer fast path and memo hits
+for one warm-up; equality stays correct because interning is an
+optimisation, never a semantic.
 """
 
 from __future__ import annotations
 
-from sys import intern as _intern
-
 from repro.urlkit.parse import SplitUrl, parse_url
 
-#: Upper bound of the normalisation memo; past it the map is simply
-#: reset (the working set of distinct hrefs in one simulation is far
-#: smaller, so the reset is a safety valve, not a working regime).
+#: Upper bound of the normalisation and site memos; past it the map is
+#: simply reset (the working set of distinct hrefs in one simulation is
+#: far smaller, so the reset is a safety valve, not a working regime).
 _MEMO_MAX = 1 << 18
 
+#: Upper bound of the intern table.  Sized to hold every URL of the
+#: in-memory experiment scales; out-of-core crawls cycle generations.
+_INTERN_MAX = 1 << 18
+
 _memo: dict[str, str] = {}
+
+_intern_table: dict[str, str] = {}
 
 
 def intern_url(url: str) -> str:
     """The canonical *object* for an already-normalised URL string.
 
-    Plain :func:`sys.intern`, re-exported under a domain name so call
-    sites say why they intern: two URLs denote the same page iff they
-    normalise to the same string, and interning makes that comparison a
-    pointer check.
+    Two URLs denote the same page iff they normalise to the same string,
+    and interning makes that comparison a pointer check.  Backed by a
+    bounded generation-cleared table — **not** :func:`sys.intern`, whose
+    entries pin the only copy of every URL a crawl ever touched for as
+    long as anything references it; the table here can be dropped
+    wholesale between generations, so URL identity never costs more than
+    a bounded working set.
     """
-    return _intern(url)
+    canonical = _intern_table.get(url)
+    if canonical is not None:
+        return canonical
+    if len(_intern_table) >= _INTERN_MAX:
+        _intern_table.clear()
+    _intern_table[url] = url
+    return url
+
+
+def url_cache_sizes() -> dict[str, int]:
+    """Current entry counts of every URL table (observability/tests)."""
+    return {
+        "intern": len(_intern_table),
+        "normalize": len(_memo),
+        "site": len(_site_memo),
+    }
+
+
+def clear_url_caches() -> None:
+    """Drop every URL table (tests, and between unrelated crawls)."""
+    _intern_table.clear()
+    _memo.clear()
+    _site_memo.clear()
 
 
 def _resolve_dot_segments(path: str) -> str:
@@ -92,7 +133,7 @@ def normalize_url(url: str) -> str:
     cached = _memo.get(url)
     if cached is not None:
         return cached
-    normalized = _intern(normalize_split(parse_url(url)).unsplit())
+    normalized = intern_url(normalize_split(parse_url(url)).unsplit())
     if len(_memo) >= _MEMO_MAX:
         _memo.clear()
     _memo[url] = normalized
@@ -115,7 +156,7 @@ def url_site_key(url: str) -> str:
     cached = _site_memo.get(url)
     if cached is not None:
         return cached
-    site = _intern(parse_url(url).site_key)
+    site = intern_url(parse_url(url).site_key)
     if len(_site_memo) >= _MEMO_MAX:
         _site_memo.clear()
     _site_memo[url] = site

@@ -17,9 +17,11 @@ Components:
 - :mod:`~repro.webspace.stats` — dataset characteristics (paper Table 3).
 """
 
+from repro.webspace.base import PageSource, WebSpace
 from repro.webspace.crawllog import CrawlLog
 from repro.webspace.linkdb import LinkDB
 from repro.webspace.page import HTML_CONTENT_TYPE, STATUS_OK, PageRecord
+from repro.webspace.store import PageStore, StoreBuilder, StoreLinkDB
 from repro.webspace.query import (
     diff_logs,
     filter_log,
@@ -35,7 +37,12 @@ __all__ = [
     "PageRecord",
     "STATUS_OK",
     "HTML_CONTENT_TYPE",
+    "PageSource",
+    "WebSpace",
     "CrawlLog",
+    "PageStore",
+    "StoreBuilder",
+    "StoreLinkDB",
     "LinkDB",
     "VirtualWebSpace",
     "FetchResponse",

@@ -1,0 +1,78 @@
+"""The web-space layer contracts: page sources and web spaces.
+
+The out-of-core refactor splits what used to be one implicit interface
+into two explicit protocols:
+
+- :class:`PageSource` — the **storage** contract: a read-only, ordered
+  mapping of normalised URL → :class:`~repro.webspace.page.PageRecord`.
+  Both the in-memory :class:`~repro.webspace.crawllog.CrawlLog` and the
+  columnar :class:`~repro.webspace.store.PageStore` satisfy it, which is
+  what lets every consumer (virtual web, stats, LinkDB, checkpoint
+  record re-attachment) run unchanged over either backend.
+
+- :class:`WebSpace` — the **access** contract: what the crawl engines
+  (:class:`~repro.core.engine.CrawlEngine`,
+  :class:`~repro.core.sched.VirtualTimeEngine`) and the wrapping layers
+  (:class:`~repro.faults.FaultyWebSpace`,
+  :class:`~repro.adversary.AdversarialWebSpace`) actually consume: a
+  ``fetch`` responder plus the introspection surface the wrappers
+  delegate.  Bodies are synthesized lazily on fetch — nothing above the
+  storage layer ever holds the whole web as live objects.
+
+Both are :func:`typing.runtime_checkable` so tests can assert
+conformance structurally.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+if TYPE_CHECKING:
+    from repro.webspace.page import PageRecord
+    from repro.webspace.virtualweb import FetchResponse
+
+
+@runtime_checkable
+class PageSource(Protocol):
+    """Read-only ordered mapping of normalised URL → page record.
+
+    Iteration order is the source's insertion order (the generator's
+    emission order for universes, the capture crawl's visit order for
+    datasets); determinism checks rely on it.
+    """
+
+    def __len__(self) -> int: ...
+
+    def __contains__(self, url: str) -> bool: ...
+
+    def __iter__(self) -> Iterator["PageRecord"]: ...
+
+    def get(self, url: str) -> "PageRecord | None": ...
+
+    def __getitem__(self, url: str) -> "PageRecord": ...
+
+    def urls(self) -> Iterator[str]: ...
+
+
+@runtime_checkable
+class WebSpace(Protocol):
+    """The fetch interface the crawl engines consume.
+
+    ``fetch_count`` is mutable accounting (every layer increments its
+    own); ``crawl_log`` exposes the underlying :class:`PageSource` so
+    resume paths can re-attach records without holding live objects in
+    checkpoints.
+    """
+
+    fetch_count: int
+
+    def fetch(self, url: str) -> "FetchResponse": ...
+
+    def __contains__(self, url: str) -> bool: ...
+
+    @property
+    def crawl_log(self) -> PageSource: ...
+
+    @property
+    def synthesizes_bodies(self) -> bool: ...

@@ -11,17 +11,21 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Iterable, Iterator
 
-from repro.webspace.crawllog import CrawlLog
+from repro.webspace.base import PageSource
 
 
 class LinkDB:
-    """Adjacency views over a :class:`~repro.webspace.crawllog.CrawlLog`.
+    """Adjacency views over any :class:`~repro.webspace.base.PageSource`
+    (in-memory :class:`~repro.webspace.crawllog.CrawlLog` or columnar
+    :class:`~repro.webspace.store.PageStore`; for the latter, the
+    arena-backed :class:`~repro.webspace.store.StoreLinkDB` answers the
+    same queries without building string dictionaries).
 
     Only OK HTML pages contribute outlinks (a 404 has no body to extract
     links from), matching how the capture crawler produced the log.
     """
 
-    def __init__(self, crawl_log: CrawlLog) -> None:
+    def __init__(self, crawl_log: PageSource) -> None:
         self._log = crawl_log
         self._backward: dict[str, list[str]] | None = None
 

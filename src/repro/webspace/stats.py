@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.charset.languages import Language
-from repro.webspace.crawllog import CrawlLog
+from repro.webspace.base import PageSource
 
 
 @dataclass(frozen=True, slots=True)
@@ -40,7 +40,7 @@ class DatasetStats:
 
 
 def compute_stats(
-    crawl_log: CrawlLog,
+    crawl_log: PageSource,
     target_language: Language,
     use_true_language: bool = False,
 ) -> DatasetStats:
@@ -77,7 +77,7 @@ def compute_stats(
 
 
 def relevant_url_set(
-    crawl_log: CrawlLog,
+    crawl_log: PageSource,
     target_language: Language,
     use_true_language: bool = False,
 ) -> frozenset[str]:

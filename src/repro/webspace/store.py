@@ -1,0 +1,746 @@
+"""Columnar, memory-mapped page store: the out-of-core storage backend.
+
+A :class:`PageStore` holds the same information as an in-memory
+:class:`~repro.webspace.crawllog.CrawlLog` — URL, status, content type,
+charset, true language, outlinks, size per page — but as fixed-width
+numpy columns and flat arenas in one on-disk file.  Opening a store
+loads only the fixed-width index columns (~50 bytes/page); the
+variable-length arenas are read per request with ``os.pread``, so a
+million-page web costs tens of megabytes resident, not gigabytes of
+Python objects.  Records are materialised lazily and
+transiently: ``store.get(url)`` builds a
+:class:`~repro.webspace.page.PageRecord` on demand, byte-identical to
+the one the in-memory backend would hold.
+
+On-disk layout (single file)::
+
+    magic "LSWCPGS1" | u64 header_len | header JSON | pad to 64
+    ----------------------------------------------------------- data start
+    status       int16[N]     HTTP status per page
+    ctype        int16[N]     content-type table index
+    charset      int16[N]     charset table index, -1 = none declared
+    lang         int8[N]      true-language table index
+    size         int64[N]     body size in bytes
+    link_offsets int64[N+1]   CSR row offsets into link_arena
+    link_arena   int64[E]     outlink url-ids, deduped, document order
+    url_offsets  int64[M+1]   row offsets into url_arena
+    url_arena    uint8[...]   UTF-8 URL bytes, concatenated
+    url_hash     uint64[M]    sorted 64-bit URL hashes (lookup index)
+    url_hash_order int64[M]   url-id of each sorted hash
+
+Every section is 64-byte aligned.  The header JSON carries the string
+tables (content types, charsets, language labels), the section table
+(offsets relative to data start) and a free-form ``meta`` object the
+dataset layer uses for profile/seed/capture parameters.
+
+URL ids: the first ``N`` ids are the pages themselves, in insertion
+order (so a page's url-id equals its page-id); ids ``N..M-1`` are
+*dangling* link targets — URLs that appear as outlinks but have no
+record, which captured datasets are full of.  The flat outlink arena
+stores url-ids, which is what lets :class:`StoreLinkDB` and the
+frontier's spill file reference pages by id instead of by string.
+
+URL → id lookup is a binary search over the sorted hash column plus a
+byte compare in the arena — O(log M) with no resident dict, which is
+the difference between "open a store" costing kilobytes and costing a
+gigabyte of string hash table at 10⁶ URLs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+from collections import deque
+from collections.abc import Iterable, Iterator, Set as AbstractSet
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.charset.languages import Language, language_of_charset
+from repro.errors import CrawlLogError, UnknownPageError
+from repro.webspace.page import HTML_CONTENT_TYPE, STATUS_OK, PageRecord
+
+_MAGIC = b"LSWCPGS1"
+_FORMAT_NAME = "repro-lswc-pagestore"
+_FORMAT_VERSION = 1
+_ALIGN = 64
+
+#: Fixed section order; (name, dtype).  Counts come from the header.
+_SECTIONS = (
+    ("status", "<i2"),
+    ("ctype", "<i2"),
+    ("charset", "<i2"),
+    ("lang", "<i1"),
+    ("size", "<i8"),
+    ("link_offsets", "<i8"),
+    ("link_arena", "<i8"),
+    ("url_offsets", "<i8"),
+    ("url_arena", "|u1"),
+    ("url_hash", "<u8"),
+    ("url_hash_order", "<i8"),
+)
+
+#: Decoded-URL cache bound: popular link targets (hubs) decode once,
+#: cold pages cycle through — the cache must never grow with web size.
+_URL_CACHE_MAX = 1 << 16
+
+
+def hash_url(url: str) -> int:
+    """Deterministic 64-bit hash of a URL (process-independent)."""
+    digest = hashlib.blake2b(url.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+def _align_up(value: int, align: int = _ALIGN) -> int:
+    return (value + align - 1) // align * align
+
+
+def write_store(
+    path: str | Path,
+    *,
+    status: np.ndarray,
+    ctype: np.ndarray,
+    charset: np.ndarray,
+    lang: np.ndarray,
+    size: np.ndarray,
+    link_offsets: np.ndarray,
+    link_arena: np.ndarray,
+    url_offsets: np.ndarray,
+    url_arena: np.ndarray | bytes | bytearray,
+    content_types: list[str],
+    charsets: list[str],
+    languages: list[str],
+    meta: dict | None = None,
+) -> None:
+    """Write one page-store file from prepared columns.
+
+    The low-level writer both :class:`StoreBuilder` (record streams) and
+    :func:`repro.graphgen.stream.write_universe_store` (generator
+    columns, no record objects) sit on.  ``url_offsets`` spans all M
+    URLs (pages first, then dangling targets); the hash index is
+    computed here so callers never worry about it.
+    """
+    path = Path(path)
+    n_pages = len(status)
+    n_urls = len(url_offsets) - 1
+    arena = np.frombuffer(bytes(url_arena), dtype=np.uint8) if not isinstance(
+        url_arena, np.ndarray
+    ) else url_arena.astype(np.uint8, copy=False)
+    arena_bytes = arena.tobytes()
+
+    hashes = np.empty(n_urls, dtype=np.uint64)
+    offsets = url_offsets
+    for uid in range(n_urls):
+        chunk = arena_bytes[int(offsets[uid]) : int(offsets[uid + 1])]
+        digest = hashlib.blake2b(chunk, digest_size=8).digest()
+        hashes[uid] = int.from_bytes(digest, "little")
+    order = np.argsort(hashes, kind="stable").astype(np.int64)
+    sorted_hashes = hashes[order]
+
+    arrays: dict[str, np.ndarray] = {
+        "status": np.asarray(status, dtype=np.int16),
+        "ctype": np.asarray(ctype, dtype=np.int16),
+        "charset": np.asarray(charset, dtype=np.int16),
+        "lang": np.asarray(lang, dtype=np.int8),
+        "size": np.asarray(size, dtype=np.int64),
+        "link_offsets": np.asarray(link_offsets, dtype=np.int64),
+        "link_arena": np.asarray(link_arena, dtype=np.int64),
+        "url_offsets": np.asarray(url_offsets, dtype=np.int64),
+        "url_arena": arena,
+        "url_hash": sorted_hashes,
+        "url_hash_order": order,
+    }
+
+    sections: dict[str, dict[str, Any]] = {}
+    relative = 0
+    for name, dtype in _SECTIONS:
+        array = arrays[name]
+        sections[name] = {"dtype": dtype, "count": int(array.shape[0]), "offset": relative}
+        relative = _align_up(relative + array.nbytes)
+
+    header = {
+        "format": _FORMAT_NAME,
+        "version": _FORMAT_VERSION,
+        "pages": int(n_pages),
+        "urls": int(n_urls),
+        "links": int(arrays["link_arena"].shape[0]),
+        "content_types": content_types,
+        "charsets": charsets,
+        "languages": languages,
+        "sections": sections,
+        "meta": meta or {},
+    }
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    data_start = _align_up(len(_MAGIC) + 8 + len(header_bytes))
+
+    with open(path, "wb") as handle:
+        handle.write(_MAGIC)
+        handle.write(struct.pack("<Q", len(header_bytes)))
+        handle.write(header_bytes)
+        handle.write(b"\x00" * (data_start - len(_MAGIC) - 8 - len(header_bytes)))
+        position = 0
+        for name, _dtype in _SECTIONS:
+            section_offset = sections[name]["offset"]
+            if section_offset > position:
+                handle.write(b"\x00" * (section_offset - position))
+                position = section_offset
+            payload = arrays[name].tobytes()
+            handle.write(payload)
+            position += len(payload)
+
+
+class PageStore:
+    """On-disk columnar page store (a :class:`PageSource`).
+
+    Opened read-only.  The fixed-width index columns (status, tables,
+    sizes, CSR offsets, the URL hash index) are loaded into plain numpy
+    arrays — ~50 bytes per page, the part you hold — while the two
+    variable-length arenas (URL bytes, outlink rows), which dominate the
+    file, stay on disk and are served per request with ``os.pread``.
+    Positioned reads go through the kernel page cache but are never
+    mapped into the process, so resident memory stays flat no matter
+    how much of the web a crawl touches.  (``mmap`` is the obvious
+    alternative and was the first implementation; current kernels fault
+    large folios around every touched page, which balloons a random-
+    access crawl's RSS to the whole file within a few thousand fetches,
+    ``MADV_RANDOM`` notwithstanding.)
+
+    Implements the exact read API of
+    :class:`~repro.webspace.crawllog.CrawlLog` (len / contains / iter /
+    get / getitem / urls), which is what lets
+    :class:`~repro.webspace.virtualweb.VirtualWebSpace`, the stats and
+    coverage helpers, and checkpoint record re-attachment run unchanged
+    over either backend.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        path = Path(path)
+        self.path = path
+        try:
+            handle = open(path, "rb")
+        except OSError as exc:
+            raise CrawlLogError(f"{path}: cannot open page store: {exc}") from exc
+        with handle:
+            magic = handle.read(len(_MAGIC))
+            if magic != _MAGIC:
+                raise CrawlLogError(f"{path}: not a page-store file (magic={magic!r})")
+            (header_len,) = struct.unpack("<Q", handle.read(8))
+            try:
+                header = json.loads(handle.read(header_len))
+            except json.JSONDecodeError as exc:
+                raise CrawlLogError(f"{path}: malformed store header: {exc}") from exc
+        if header.get("format") != _FORMAT_NAME:
+            raise CrawlLogError(f"{path}: unexpected format {header.get('format')!r}")
+        if header.get("version") != _FORMAT_VERSION:
+            raise CrawlLogError(f"{path}: unsupported version {header.get('version')!r}")
+        self.header = header
+        data_start = _align_up(len(_MAGIC) + 8 + header_len)
+        self._file = open(path, "rb")
+        self._fd = self._file.fileno()
+
+        def load(name: str) -> np.ndarray:
+            spec = header["sections"][name]
+            dtype = np.dtype(spec["dtype"])
+            count = int(spec["count"])
+            if count == 0:
+                return np.empty(0, dtype=dtype)
+            return np.fromfile(
+                path, dtype=dtype, count=count, offset=data_start + int(spec["offset"])
+            )
+
+        def arena(name: str) -> tuple[int, int]:
+            spec = header["sections"][name]
+            return data_start + int(spec["offset"]), int(spec["count"])
+
+        self._status = load("status")
+        self._ctype = load("ctype")
+        self._charset = load("charset")
+        self._lang = load("lang")
+        self._size = load("size")
+        self._link_offsets = load("link_offsets")
+        self._url_offsets = load("url_offsets")
+        self._url_hash = load("url_hash")
+        self._url_hash_order = load("url_hash_order")
+        self._link_arena_start, self._link_arena_count = arena("link_arena")
+        self._url_arena_start, self._url_arena_count = arena("url_arena")
+
+        self._content_types: list[str] = list(header["content_types"])
+        self._charsets: list[str] = list(header["charsets"])
+        self._languages: list[Language] = [Language(value) for value in header["languages"]]
+        self._url_cache: dict[int, str] = {}
+        self._closed = False
+
+    # -- classmethod conveniences -----------------------------------------
+
+    @classmethod
+    def open(cls, path: str | Path) -> "PageStore":
+        return cls(path)
+
+    def close(self) -> None:
+        """Drop the index columns and close the file (store unusable after)."""
+        for name in (
+            "_status", "_ctype", "_charset", "_lang", "_size",
+            "_link_offsets", "_url_offsets", "_url_hash", "_url_hash_order",
+        ):
+            setattr(self, name, np.empty(0, dtype=np.int8))
+        self._url_cache.clear()
+        if not self._closed:
+            self._file.close()
+        self._closed = True
+
+    def __enter__(self) -> "PageStore":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+    # -- store geometry -----------------------------------------------------
+
+    @property
+    def page_count(self) -> int:
+        return int(self.header["pages"])
+
+    @property
+    def url_count(self) -> int:
+        return int(self.header["urls"])
+
+    @property
+    def link_count(self) -> int:
+        return int(self.header["links"])
+
+    @property
+    def meta(self) -> dict:
+        return self.header.get("meta", {})
+
+    @property
+    def seed_urls(self) -> tuple[str, ...]:
+        return tuple(self.meta.get("seed_urls", ()))
+
+    def section_sizes(self) -> dict[str, int]:
+        """Bytes per on-disk section (for ``dataset inspect``)."""
+        sizes: dict[str, int] = {}
+        for name, dtype in _SECTIONS:
+            spec = self.header["sections"][name]
+            sizes[name] = int(spec["count"]) * np.dtype(dtype).itemsize
+        return sizes
+
+    @property
+    def nbytes(self) -> int:
+        return sum(self.section_sizes().values())
+
+    # -- id <-> url ----------------------------------------------------------
+
+    def url_of(self, uid: int) -> str:
+        """Decode url-id ``uid`` (bounded cache: hubs decode once)."""
+        cached = self._url_cache.get(uid)
+        if cached is not None:
+            return cached
+        url = self._decode_url(uid)
+        if len(self._url_cache) >= _URL_CACHE_MAX:
+            self._url_cache.pop(next(iter(self._url_cache)))
+        self._url_cache[uid] = url
+        return url
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise CrawlLogError(f"{self.path}: page store is closed")
+
+    def _decode_url(self, uid: int) -> str:
+        self._check_open()
+        if not 0 <= uid < self.url_count:
+            raise UnknownPageError(f"url id {uid} out of range")
+        low = int(self._url_offsets[uid])
+        high = int(self._url_offsets[uid + 1])
+        return os.pread(self._fd, high - low, self._url_arena_start + low).decode("utf-8")
+
+    def id_of(self, url: str) -> int | None:
+        """The url-id of ``url`` (page or dangling target), or None."""
+        self._check_open()
+        if self.url_count == 0:
+            return None
+        encoded = url.encode("utf-8")
+        digest = hashlib.blake2b(encoded, digest_size=8).digest()
+        target = np.uint64(int.from_bytes(digest, "little"))
+        index = int(np.searchsorted(self._url_hash, target, side="left"))
+        offsets = self._url_offsets
+        while index < self.url_count and self._url_hash[index] == target:
+            uid = int(self._url_hash_order[index])
+            low, high = int(offsets[uid]), int(offsets[uid + 1])
+            if high - low == len(encoded) and (
+                os.pread(self._fd, high - low, self._url_arena_start + low) == encoded
+            ):
+                return uid
+            index += 1
+        return None
+
+    def page_id_of(self, url: str) -> int | None:
+        """The page-id of ``url``, or None for dangling/unknown URLs."""
+        uid = self.id_of(url)
+        if uid is None or uid >= self.page_count:
+            return None
+        return uid
+
+    def outlink_ids(self, page_id: int) -> np.ndarray:
+        """The raw outlink url-id row of page ``page_id`` (one arena read)."""
+        self._check_open()
+        low = int(self._link_offsets[page_id])
+        high = int(self._link_offsets[page_id + 1])
+        if high == low:
+            return np.empty(0, dtype=np.int64)
+        row = os.pread(self._fd, 8 * (high - low), self._link_arena_start + 8 * low)
+        return np.frombuffer(row, dtype="<i8")
+
+    # -- record materialisation ---------------------------------------------
+
+    def record_at(self, page_id: int) -> PageRecord:
+        """Materialise the record of page ``page_id`` (lazy, transient)."""
+        self._check_open()
+        if not 0 <= page_id < self.page_count:
+            raise UnknownPageError(f"page id {page_id} out of range")
+        charset_id = int(self._charset[page_id])
+        return PageRecord(
+            url=self.url_of(page_id),
+            status=int(self._status[page_id]),
+            content_type=self._content_types[int(self._ctype[page_id])],
+            charset=None if charset_id < 0 else self._charsets[charset_id],
+            true_language=self._languages[int(self._lang[page_id])],
+            outlinks=tuple(self.url_of(int(uid)) for uid in self.outlink_ids(page_id)),
+            size=int(self._size[page_id]),
+        )
+
+    # -- PageSource protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.page_count
+
+    def __contains__(self, url: str) -> bool:
+        return self.page_id_of(url) is not None
+
+    def __iter__(self) -> Iterator[PageRecord]:
+        for page_id in range(self.page_count):
+            yield self.record_at(page_id)
+
+    def get(self, url: str) -> PageRecord | None:
+        page_id = self.page_id_of(url)
+        if page_id is None:
+            return None
+        return self.record_at(page_id)
+
+    def __getitem__(self, url: str) -> PageRecord:
+        page_id = self.page_id_of(url)
+        if page_id is None:
+            raise UnknownPageError(url)
+        return self.record_at(page_id)
+
+    def urls(self) -> Iterator[str]:
+        for page_id in range(self.page_count):
+            yield self._decode_url(page_id)
+
+    # -- out-of-core hygiene --------------------------------------------------
+
+    def release_page_cache(self) -> None:
+        """Drop the store's transient caches (RSS hygiene between batches).
+
+        Arena reads go through ``os.pread`` and never enter the process,
+        so the only per-crawl growth on the store side is the bounded
+        decoded-URL cache — cleared here.  (Kernel page cache is shared,
+        reclaimable memory; it is deliberately left alone.)  Purely an
+        RSS control: dropped entries re-read from disk on next access,
+        results are unaffected.
+        """
+        self._check_open()
+        self._url_cache.clear()
+
+    def relevant_url_view(self, target_language: Language) -> "StoreRelevantSet":
+        """Lazy coverage denominator (see :class:`StoreRelevantSet`)."""
+        return StoreRelevantSet(self, target_language)
+
+
+class StoreRelevantSet(AbstractSet):
+    """The explicit-recall denominator, computed from columns, held as a bitmask.
+
+    Byte-for-byte equivalent (as a set) to
+    :func:`repro.webspace.stats.relevant_url_set` over the same pages:
+    a page is relevant when it is an OK HTML page whose *declared*
+    charset implies the target language.  Metrics only ever ask ``url in
+    relevant`` and ``len(relevant)``, so holding a bool per page instead
+    of a frozenset of URL strings removes the full-store record scan —
+    the single biggest resident cost of opening a million-page store —
+    without touching a digest.
+    """
+
+    def __init__(self, store: PageStore, target_language: Language) -> None:
+        self._store = store
+        # Charset-table ids whose declared language is the target; the
+        # sentinel -1 (no declared charset) maps through None.
+        ok_ids = [
+            cid
+            for cid, charset in enumerate(store._charsets)
+            if language_of_charset(charset) is target_language
+        ]
+        html_ids = [
+            cid
+            for cid, ctype in enumerate(store._content_types)
+            if ctype == HTML_CONTENT_TYPE
+        ]
+        charset = store._charset[:]
+        mask = np.isin(charset, np.array(ok_ids, dtype=charset.dtype))
+        if language_of_charset(None) is target_language:
+            mask |= charset == -1
+        mask &= store._status[:] == STATUS_OK
+        mask &= np.isin(store._ctype[:], np.array(html_ids, dtype=store._ctype.dtype))
+        self._mask = mask
+        self._count = int(mask.sum())
+
+    def __contains__(self, url: object) -> bool:
+        if not isinstance(url, str):
+            return False
+        page_id = self._store.page_id_of(url)
+        return page_id is not None and bool(self._mask[page_id])
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[str]:
+        for page_id in np.flatnonzero(self._mask):
+            yield self._store.url_of(int(page_id))
+
+
+class StoreBuilder:
+    """Stream page records into a columnar store file.
+
+    Generic (record-at-a-time) builder used for captured datasets and
+    tests; the graph generator bypasses it with a direct column writer
+    (:func:`repro.graphgen.stream.write_universe_store`) so a universe
+    build never materialises record objects at all.
+
+    URL ids are assigned pages-first: records buffer until
+    :meth:`finish`, which numbers page URLs in insertion order, then
+    dangling outlink targets in first-occurrence order.
+    """
+
+    def __init__(self) -> None:
+        self._records: list[PageRecord] = []
+        self._seen: set[str] = set()
+
+    def add(self, record: PageRecord) -> None:
+        if record.url in self._seen:
+            raise CrawlLogError(f"duplicate store record for {record.url!r}")
+        self._seen.add(record.url)
+        self._records.append(record)
+
+    def add_all(self, records: Iterable[PageRecord]) -> None:
+        for record in records:
+            self.add(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def finish(self, path: str | Path, meta: dict | None = None) -> None:
+        """Write the buffered records to ``path``."""
+        records = self._records
+        n_pages = len(records)
+        if n_pages == 0:
+            raise CrawlLogError("cannot finish a page store with no pages")
+
+        ids: dict[str, int] = {}
+        urls: list[str] = []
+        for record in records:
+            ids[record.url] = len(urls)
+            urls.append(record.url)
+        for record in records:
+            for target in record.outlinks:
+                if target not in ids:
+                    ids[target] = len(urls)
+                    urls.append(target)
+
+        content_types: list[str] = []
+        ctype_ids: dict[str, int] = {}
+        charsets: list[str] = []
+        charset_ids: dict[str, int] = {}
+        languages: list[str] = []
+        language_ids: dict[str, int] = {}
+
+        def table_id(table: list[str], index: dict[str, int], value: str) -> int:
+            cached = index.get(value)
+            if cached is None:
+                cached = len(table)
+                index[value] = cached
+                table.append(value)
+            return cached
+
+        status = np.empty(n_pages, dtype=np.int16)
+        ctype = np.empty(n_pages, dtype=np.int16)
+        charset = np.empty(n_pages, dtype=np.int16)
+        lang = np.empty(n_pages, dtype=np.int8)
+        size = np.empty(n_pages, dtype=np.int64)
+        link_offsets = np.zeros(n_pages + 1, dtype=np.int64)
+        link_targets: list[int] = []
+        for page_id, record in enumerate(records):
+            status[page_id] = record.status
+            ctype[page_id] = table_id(content_types, ctype_ids, record.content_type)
+            charset[page_id] = (
+                -1 if record.charset is None else table_id(charsets, charset_ids, record.charset)
+            )
+            lang[page_id] = table_id(languages, language_ids, record.true_language.value)
+            size[page_id] = record.size
+            for target in record.outlinks:
+                link_targets.append(ids[target])
+            link_offsets[page_id + 1] = len(link_targets)
+
+        url_offsets = np.zeros(len(urls) + 1, dtype=np.int64)
+        chunks: list[bytes] = []
+        position = 0
+        for uid, url in enumerate(urls):
+            encoded = url.encode("utf-8")
+            chunks.append(encoded)
+            position += len(encoded)
+            url_offsets[uid + 1] = position
+        arena = np.frombuffer(b"".join(chunks), dtype=np.uint8)
+
+        write_store(
+            path,
+            status=status,
+            ctype=ctype,
+            charset=charset,
+            lang=lang,
+            size=size,
+            link_offsets=link_offsets,
+            link_arena=np.asarray(link_targets, dtype=np.int64),
+            url_offsets=url_offsets,
+            url_arena=arena,
+            content_types=content_types,
+            charsets=charsets,
+            languages=languages,
+            meta=meta,
+        )
+
+
+class StoreLinkDB:
+    """Out-of-core adjacency views over a :class:`PageStore`.
+
+    The same query surface as :class:`~repro.webspace.linkdb.LinkDB`
+    (forward / backward / degrees / reachable_from / edges), but running
+    on the store's integer arenas: the backward index is a reverse-CSR
+    over url-ids built with one argsort, never a dict of strings, and
+    BFS walks ids with a bitmap visited set.  Backward adjacency order
+    matches LinkDB exactly — sources ascending by page insertion order.
+    """
+
+    def __init__(self, store: PageStore) -> None:
+        self._store = store
+        counts = np.diff(store._link_offsets) if store.page_count else np.empty(0, dtype=np.int64)
+        html_id = -1
+        if HTML_CONTENT_TYPE in store._content_types:
+            html_id = store._content_types.index(HTML_CONTENT_TYPE)
+        self._emitting = (
+            (np.asarray(store._status) == STATUS_OK) & (np.asarray(store._ctype) == html_id)
+            if store.page_count
+            else np.empty(0, dtype=bool)
+        )
+        self._counts = np.where(self._emitting, counts, 0).astype(np.int64)
+        self._reverse_offsets: np.ndarray | None = None
+        self._reverse_sources: np.ndarray | None = None
+
+    # -- forward -----------------------------------------------------------
+
+    def _emitting_page(self, url: str) -> int | None:
+        page_id = self._store.page_id_of(url)
+        if page_id is None or not bool(self._emitting[page_id]):
+            return None
+        return page_id
+
+    def forward(self, url: str) -> tuple[str, ...]:
+        page_id = self._emitting_page(url)
+        if page_id is None:
+            return ()
+        store = self._store
+        return tuple(store.url_of(int(uid)) for uid in store.outlink_ids(page_id))
+
+    def out_degree(self, url: str) -> int:
+        page_id = self._emitting_page(url)
+        if page_id is None:
+            return 0
+        return int(self._counts[page_id])
+
+    # -- backward ----------------------------------------------------------
+
+    def _build_reverse(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._reverse_offsets is None:
+            store = self._store
+            sources = np.repeat(
+                np.arange(store.page_count, dtype=np.int64), self._counts
+            )
+            targets = np.concatenate(
+                [store.outlink_ids(int(page)) for page in np.nonzero(self._counts)[0]]
+            ) if self._counts.sum() else np.empty(0, dtype=np.int64)
+            order = np.argsort(targets, kind="stable")
+            self._reverse_sources = sources[order]
+            tally = np.bincount(targets, minlength=store.url_count) if len(targets) else np.zeros(
+                store.url_count, dtype=np.int64
+            )
+            self._reverse_offsets = np.concatenate(
+                ([0], np.cumsum(tally))
+            ).astype(np.int64)
+        assert self._reverse_sources is not None
+        return self._reverse_offsets, self._reverse_sources
+
+    def backward(self, url: str) -> tuple[str, ...]:
+        uid = self._store.id_of(url)
+        if uid is None:
+            return ()
+        offsets, sources = self._build_reverse()
+        store = self._store
+        return tuple(
+            store.url_of(int(source)) for source in sources[offsets[uid] : offsets[uid + 1]]
+        )
+
+    def in_degree(self, url: str) -> int:
+        uid = self._store.id_of(url)
+        if uid is None:
+            return 0
+        offsets, _sources = self._build_reverse()
+        return int(offsets[uid + 1] - offsets[uid])
+
+    # -- traversal ---------------------------------------------------------
+
+    def reachable_from(self, seeds: Iterable[str]) -> set[str]:
+        """All URLs discoverable from ``seeds`` (ids under the hood)."""
+        store = self._store
+        seen = np.zeros(store.url_count, dtype=bool)
+        unknown: set[str] = set()
+        queue: deque[int] = deque()
+        for seed in seeds:
+            uid = store.id_of(seed)
+            if uid is None:
+                unknown.add(seed)
+            elif not seen[uid]:
+                seen[uid] = True
+                queue.append(uid)
+        while queue:
+            uid = queue.popleft()
+            if uid >= store.page_count or not self._emitting[uid]:
+                continue
+            for target in store.outlink_ids(uid):
+                target = int(target)
+                if not seen[target]:
+                    seen[target] = True
+                    queue.append(target)
+        result = {store.url_of(int(uid)) for uid in np.nonzero(seen)[0]}
+        return result | unknown
+
+    def edges(self) -> Iterator[tuple[str, str]]:
+        """All (source, target) pairs in page insertion order."""
+        store = self._store
+        for page_id in range(store.page_count):
+            if not self._emitting[page_id]:
+                continue
+            source = store.url_of(page_id)
+            for target in store.outlink_ids(page_id):
+                yield source, store.url_of(int(target))
+
+    def edge_count(self) -> int:
+        return int(self._counts.sum())

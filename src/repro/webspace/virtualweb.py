@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Protocol
 
-from repro.webspace.crawllog import CrawlLog
+from repro.webspace.base import PageSource
 from repro.webspace.page import HTML_CONTENT_TYPE, PageRecord
 
 #: Status reported for URLs absent from the crawl log.
@@ -79,11 +79,19 @@ class BodySynthesizer(Protocol):
 
 
 class VirtualWebSpace:
-    """Trace-driven responder over a :class:`CrawlLog`."""
+    """Trace-driven responder over any :class:`~repro.webspace.base.PageSource`.
+
+    The access layer of the generation/storage/access split: it does not
+    care whether the page source is the in-memory
+    :class:`~repro.webspace.crawllog.CrawlLog` or the memory-mapped
+    :class:`~repro.webspace.store.PageStore` — records are looked up per
+    fetch and bodies synthesized lazily, so the resident footprint is
+    the source's, not the web's.
+    """
 
     def __init__(
         self,
-        crawl_log: CrawlLog,
+        crawl_log: PageSource,
         body_synthesizer: BodySynthesizer | None = None,
     ) -> None:
         self._log = crawl_log
@@ -91,7 +99,7 @@ class VirtualWebSpace:
         self.fetch_count = 0
 
     @property
-    def crawl_log(self) -> CrawlLog:
+    def crawl_log(self) -> PageSource:
         return self._log
 
     @property

@@ -1,0 +1,94 @@
+"""Golden differential over the columnar page-store backend.
+
+The out-of-core refactor's acceptance bar: every checked-in golden
+fixture replays **byte-identically** when the golden dataset is served
+from a memory-mapped :class:`~repro.webspace.store.PageStore` instead of
+the in-memory :class:`~repro.webspace.crawllog.CrawlLog` — on the
+round-based engine (all 7 fixtures) and on the virtual-time engine at
+K=1 (the equivalence contract both backends must satisfy).
+
+The store is built through the full out-of-core pipeline
+(:func:`~repro.experiments.datasets.build_dataset_store`: streamed
+universe store → capture crawl over the mapped universe → captured
+store), so a divergence anywhere in generation, storage or access shows
+up here with the first divergent step named.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.exec import TimingSpec
+from repro.experiments.datasets import build_dataset_store, open_dataset_store
+from repro.experiments.golden import (
+    GOLDEN_FIXTURE_DIR,
+    GOLDEN_SCALE,
+    first_divergence,
+    golden_strategies,
+    read_golden_trace,
+    record_golden_trace,
+    record_sched_trace,
+)
+from repro.graphgen.profiles import thai_profile
+
+DIFF_DIR = Path(__file__).parent / "diffs"
+
+STRATEGY_NAMES = sorted(golden_strategies())
+
+#: Zero-latency clock for the K=1 replay (same contract as
+#: ``test_golden_sched.py``: identical trace, identical virtual time).
+ZERO_LATENCY = TimingSpec(
+    bandwidth_bytes_per_s=float("inf"), latency_s=0.0, politeness_interval_s=0.0
+)
+
+
+@pytest.fixture(scope="module")
+def store_dataset(tmp_path_factory):
+    """The golden dataset, built and served as a columnar page store."""
+    path = tmp_path_factory.mktemp("golden-store") / "golden.lswc"
+    build_dataset_store(thai_profile().scaled(GOLDEN_SCALE), path)
+    dataset = open_dataset_store(path)
+    yield dataset
+    dataset.crawl_log.close()
+
+
+def _dump_actual(name: str, rows: list[dict]) -> Path:
+    DIFF_DIR.mkdir(parents=True, exist_ok=True)
+    path = DIFF_DIR / f"{name}.actual.jsonl"
+    with open(path, "w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, sort_keys=True) + "\n")
+    return path
+
+
+def _assert_matches(label: str, expected: list[dict], actual: list[dict]) -> None:
+    divergence = first_divergence(expected, actual)
+    if divergence is not None:
+        dumped = _dump_actual(label, actual)
+        pytest.fail(
+            f"{label}: {divergence}\nactual trace written to {dumped}\n"
+            "The store-backed dataset diverged from the in-memory golden "
+            "reference — the columnar backend must be byte-identical."
+        )
+
+
+class TestStoreBackedGolden:
+    @pytest.mark.parametrize("name", STRATEGY_NAMES)
+    def test_round_based_trace_matches_golden(self, store_dataset, name):
+        _, expected = read_golden_trace(GOLDEN_FIXTURE_DIR / f"{name}.jsonl")
+        actual = record_golden_trace(store_dataset, golden_strategies()[name]())
+        _assert_matches(f"store-{name}", expected, actual)
+
+    @pytest.mark.parametrize("name", STRATEGY_NAMES)
+    def test_k1_sched_trace_matches_golden(self, store_dataset, name):
+        _, expected = read_golden_trace(GOLDEN_FIXTURE_DIR / f"{name}.jsonl")
+        actual = record_sched_trace(
+            store_dataset,
+            golden_strategies()[name](),
+            concurrency=1,
+            timing_spec=ZERO_LATENCY,
+        )
+        _assert_matches(f"store-sched-k1-{name}", expected, actual)

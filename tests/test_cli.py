@@ -227,3 +227,59 @@ class TestAdversaryFlags:
         )
         assert code == 1
         assert "cannot read adversary profile" in capsys.readouterr().err
+
+
+class TestDatasetStoreCommands:
+    """`lswc-sim dataset build` / `dataset inspect` on columnar stores."""
+
+    def test_build_writes_store_and_reports_counts(self, tmp_path, capsys):
+        out_path = tmp_path / "thai.lswc"
+        code = main(["dataset", "build", "thai", "--scale", "0.02", "--out", str(out_path)])
+        assert code == 0
+        assert out_path.exists()
+        out = capsys.readouterr().out
+        assert "wrote" in out and "pages" in out and "capture=none" in out
+
+    def test_build_captured_store(self, tmp_path, capsys):
+        out_path = tmp_path / "thai-cap.lswc"
+        code = main(
+            [
+                "dataset", "build", "thai", "--scale", "0.02",
+                "--capture", "soft-limited", "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        assert "capture=soft-limited" in capsys.readouterr().out
+
+    def test_inspect_prints_header_and_sections(self, tmp_path, capsys):
+        out_path = tmp_path / "thai.lswc"
+        assert main(["dataset", "build", "thai", "--scale", "0.02", "--out", str(out_path)]) == 0
+        capsys.readouterr()
+        code = main(["dataset", "inspect", str(out_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Page store" in out
+        assert "url_arena" in out
+        assert "fingerprint" in out
+
+    def test_build_without_out_errors(self, capsys):
+        code = main(["dataset", "build", "thai"])
+        assert code == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_build_without_profile_errors(self, capsys):
+        code = main(["dataset", "build"])
+        assert code == 2
+        assert "needs a profile" in capsys.readouterr().err
+
+    def test_inspect_without_target_errors(self, capsys):
+        code = main(["dataset", "inspect"])
+        assert code == 2
+        assert "store file" in capsys.readouterr().err
+
+    def test_inspect_garbage_file_reports_error(self, tmp_path, capsys):
+        junk = tmp_path / "junk.lswc"
+        junk.write_bytes(b"this is not a page store")
+        code = main(["dataset", "inspect", str(junk)])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

@@ -7,6 +7,7 @@ import pytest
 from repro.core.frontier import Candidate
 from repro.core.spilling import SpillingFrontier, SpillingStrategy
 from repro.core.strategies import SimpleStrategy
+from repro.webspace.virtualweb import VirtualWebSpace
 from repro.errors import FrontierError
 
 
@@ -120,3 +121,118 @@ class TestSpillingStrategy:
     def test_name(self):
         strategy = SpillingStrategy(SimpleStrategy(mode="soft"), memory_limit=64)
         assert strategy.name == "spilling(soft-focused, mem=64)"
+
+
+class TestIdSpill:
+    """Spilling by page id against a columnar store (`SpillConfig` path)."""
+
+    @pytest.fixture()
+    def page_source(self, tmp_path):
+        from repro.charset.languages import Language
+        from repro.webspace.page import PageRecord
+        from repro.webspace.store import PageStore, StoreBuilder
+
+        builder = StoreBuilder()
+        for index in range(8):
+            builder.add(
+                PageRecord(
+                    url=f"http://p{index}.example/",
+                    charset="TIS-620",
+                    true_language=Language.THAI,
+                    outlinks=(f"http://p{(index + 1) % 8}.example/",),
+                    size=100,
+                )
+            )
+        builder.finish(tmp_path / "spill.lswc")
+        with PageStore.open(tmp_path / "spill.lswc") as store:
+            yield store
+
+    def test_spill_entry_uses_ids(self, page_source):
+        from repro.core.spilling import candidate_from_spill, spill_entry
+
+        original = Candidate(
+            url="http://p3.example/",
+            priority=2,
+            distance=5,
+            referrer="http://p1.example/",
+        )
+        entry = spill_entry(original, page_source)
+        assert entry == {"i": 3, "p": 2, "d": 5, "ri": 1}
+        assert candidate_from_spill(entry, page_source) == original
+
+    def test_spill_entry_falls_back_to_urls(self, page_source):
+        from repro.core.spilling import candidate_from_spill, spill_entry
+
+        stranger = Candidate(url="http://elsewhere.example/", priority=1)
+        entry = spill_entry(stranger, page_source)
+        assert "i" not in entry and entry["u"] == stranger.url
+        assert candidate_from_spill(entry, page_source) == stranger
+
+        # Known url, unknown referrer: id for the url, string for the ref.
+        mixed = Candidate(url="http://p0.example/", referrer="http://elsewhere.example/")
+        entry = spill_entry(mixed, page_source)
+        assert entry["i"] == 0 and entry["r"] == "http://elsewhere.example/"
+        assert candidate_from_spill(entry, page_source) == mixed
+
+    def test_id_entry_needs_page_source(self):
+        from repro.core.spilling import candidate_from_spill
+
+        with pytest.raises(FrontierError):
+            candidate_from_spill({"i": 3})
+
+    def test_frontier_round_trips_ids(self, page_source):
+        with SpillingFrontier(memory_limit=2, page_source=page_source) as frontier:
+            pushed = {f"http://p{index}.example/" for index in range(8)}
+            for index in range(8):
+                frontier.push(candidate(index))
+            assert frontier.spilled > 0
+            assert {frontier.pop().url for _ in range(8)} == pushed
+
+
+class TestSessionSpillConfig:
+    def test_spill_config_equivalent_crawl(self, thai_dataset):
+        from repro.api import CrawlRequest, CrawlSession
+        from repro.core.classifier import Classifier
+        from repro.core.session import SessionConfig
+        from repro.core.spilling import SpillConfig
+
+        def run(config):
+            request = CrawlRequest(
+                strategy=SimpleStrategy(mode="soft"),
+                web=VirtualWebSpace(thai_dataset.crawl_log),
+                classifier=Classifier(thai_dataset.profile.target_language),
+                seeds=thai_dataset.seed_urls,
+                relevant_urls=thai_dataset.relevant_urls(),
+            )
+            return CrawlSession(request, config).run()
+
+        plain = run(SessionConfig(sample_interval=500))
+        spilled = run(
+            SessionConfig(sample_interval=500, spill=SpillConfig(memory_limit=100))
+        )
+        assert spilled.pages_crawled == plain.pages_crawled
+        assert spilled.final_coverage == pytest.approx(plain.final_coverage)
+
+    def test_spill_rejects_checkpointing(self, thai_dataset):
+        from repro.api import CrawlRequest, CrawlSession
+        from repro.core.classifier import Classifier
+        from repro.core.session import SessionConfig
+        from repro.core.spilling import SpillConfig
+        from repro.errors import ConfigError
+
+        request = CrawlRequest(
+            strategy=SimpleStrategy(mode="soft"),
+            web=VirtualWebSpace(thai_dataset.crawl_log),
+            classifier=Classifier(thai_dataset.profile.target_language),
+            seeds=thai_dataset.seed_urls,
+            relevant_urls=thai_dataset.relevant_urls(),
+        )
+        with pytest.raises(ConfigError, match="spill"):
+            CrawlSession(
+                request,
+                SessionConfig(
+                    spill=SpillConfig(memory_limit=100),
+                    checkpoint_every=100,
+                    checkpoint_path="/tmp/never-written.ckpt",
+                ),
+            )

@@ -153,3 +153,55 @@ class TestSpecs:
         assert result.pages_crawled == 100
         # The payload is what crosses the process boundary: plain JSON.
         json.dumps(payload)
+
+
+class TestStoreSpecs:
+    """``DatasetSpec.from_store``: workers share one on-disk dataset."""
+
+    @pytest.fixture(scope="class")
+    def store_path(self, tmp_path_factory):
+        from repro.experiments.datasets import build_dataset_store
+        from repro.graphgen.profiles import profile_by_name
+
+        path = tmp_path_factory.mktemp("exec-store") / "thai.lswc"
+        build_dataset_store(
+            profile_by_name("thai").scaled(0.02), path, capture_kind="none"
+        )
+        return path
+
+    def test_store_spec_round_trips(self, store_path):
+        spec = DatasetSpec.from_store(store_path)
+        assert spec.store_path == str(store_path)
+        dataset = spec.build()
+        try:
+            assert dataset.name.startswith("thai")
+            assert dataset.capture_kind == "none"
+            assert len(dataset.crawl_log) > 0
+            assert len(dataset.seed_urls) > 0
+        finally:
+            dataset.crawl_log.close()
+
+    def test_store_spec_is_hashable_and_picklable(self, store_path):
+        import pickle
+
+        spec = DatasetSpec.from_store(store_path)
+        assert spec in {spec}
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_spec_without_profile_or_store_is_an_error(self):
+        with pytest.raises(ConfigError, match="profile= or a store_path="):
+            DatasetSpec().build()
+
+    def test_store_workers_match_serial(self, store_path):
+        specs = [
+            RunSpec(
+                dataset=DatasetSpec.from_store(store_path),
+                strategy=name,
+                max_pages=120,
+                sample_interval=40,
+            )
+            for name in ("breadth-first", "soft-focused")
+        ]
+        serial = SweepExecutor(0).run(specs)
+        parallel = SweepExecutor(2).run(specs)
+        assert [r.to_dict() for r in serial] == [r.to_dict() for r in parallel]

@@ -1,0 +1,155 @@
+"""Property-based tests for the columnar page store.
+
+The store's contract is *exact* round-trip: any set of
+:class:`~repro.webspace.page.PageRecord` objects written through
+:class:`~repro.webspace.store.StoreBuilder` must read back from the
+memory map equal, in order — and every graph query answered by the
+arena-backed :class:`~repro.webspace.store.StoreLinkDB` must agree with
+the string-dict :class:`~repro.webspace.linkdb.LinkDB` over the same
+records.  Hypothesis drives both with random record sets, including the
+layout's boundary cases: zero-outlink pages (empty CSR rows) and the
+last page (whose arena slice ends at the arena's end).
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings, strategies as st
+
+from repro.charset.languages import Language
+from repro.webspace.crawllog import CrawlLog
+from repro.webspace.linkdb import LinkDB
+from repro.webspace.page import PageRecord
+from repro.webspace.store import PageStore, StoreBuilder, StoreLinkDB
+
+url_ids = st.integers(min_value=0, max_value=200)
+charsets = st.sampled_from(
+    [None, "TIS-620", "WINDOWS-874", "EUC-JP", "SHIFT_JIS", "UTF-8", "US-ASCII"]
+)
+languages = st.sampled_from(list(Language))
+statuses = st.sampled_from([200, 302, 404, 403, 500])
+content_types = st.sampled_from(["text/html", "image/gif", "application/pdf"])
+
+
+@st.composite
+def page_records(draw, url_id):
+    status = draw(statuses)
+    # Outlinks may target any URL id — present pages and dangling ones
+    # alike; empty lists exercise the zero-outlink CSR row.
+    outlinks = tuple(
+        f"http://l{target}.example/"
+        for target in draw(st.lists(url_ids, max_size=6, unique=True))
+    )
+    return PageRecord(
+        url=f"http://p{url_id}.example/",
+        status=status,
+        content_type=draw(content_types),
+        charset=draw(charsets) if status == 200 else None,
+        true_language=draw(languages),
+        outlinks=outlinks if status == 200 else (),
+        size=draw(st.integers(min_value=0, max_value=10**7)),
+    )
+
+
+@st.composite
+def record_sets(draw):
+    ids = draw(st.lists(url_ids, min_size=1, max_size=25, unique=True))
+    return [draw(page_records(url_id=uid)) for uid in ids]
+
+
+def _build_store(records, path):
+    builder = StoreBuilder()
+    builder.add_all(records)
+    builder.finish(path, meta={"name": "prop"})
+    return PageStore.open(path)
+
+
+class TestRoundTrip:
+    @given(record_sets())
+    @settings(max_examples=50, deadline=None)
+    def test_records_read_back_equal_in_order(self, records):
+        with tempfile.TemporaryDirectory() as directory:
+            path = Path(directory) / "prop.lswc"
+            with _build_store(records, path) as store:
+                assert len(store) == len(records)
+                assert list(store) == records
+                assert list(store.urls()) == [record.url for record in records]
+                for index, record in enumerate(records):
+                    assert store.record_at(index) == record
+                    assert store.get(record.url) == record
+                    assert record.url in store
+                    assert store[record.url] == record
+                assert store.get("http://never.example/") is None
+
+    @given(record_sets())
+    @settings(max_examples=25, deadline=None)
+    def test_store_matches_crawllog_source(self, records):
+        log = CrawlLog(records)
+        with tempfile.TemporaryDirectory() as directory:
+            path = Path(directory) / "prop.lswc"
+            with _build_store(records, path) as store:
+                assert len(store) == len(log)
+                assert list(store) == list(log)
+                for record in log:
+                    assert store.get(record.url) == log.get(record.url)
+
+    @given(record_sets())
+    @settings(max_examples=25, deadline=None)
+    def test_last_page_arena_slice(self, records):
+        """The final CSR/arena rows end exactly at the arena boundary."""
+        with tempfile.TemporaryDirectory() as directory:
+            path = Path(directory) / "prop.lswc"
+            with _build_store(records, path) as store:
+                last = len(records) - 1
+                assert store.record_at(last) == records[last]
+                assert store.url_of(store.url_count - 1)  # decodes, non-empty
+
+
+class TestLinkDBEquivalence:
+    @given(record_sets())
+    @settings(max_examples=25, deadline=None)
+    def test_store_linkdb_matches_in_memory(self, records):
+        log = CrawlLog(records)
+        reference = LinkDB(log)
+        with tempfile.TemporaryDirectory() as directory:
+            path = Path(directory) / "prop.lswc"
+            with _build_store(records, path) as store:
+                db = StoreLinkDB(store)
+                urls = [record.url for record in records]
+                targets = sorted({t for r in records for t in r.outlinks} | set(urls))
+                for url in targets:
+                    assert db.forward(url) == reference.forward(url), url
+                    assert db.out_degree(url) == reference.out_degree(url)
+                    assert sorted(db.backward(url)) == sorted(reference.backward(url))
+                    assert db.in_degree(url) == reference.in_degree(url)
+                assert db.edge_count() == reference.edge_count()
+                assert list(db.edges()) == list(reference.edges())
+                seeds = urls[:3] + ["http://never.example/"]
+                assert db.reachable_from(seeds) == reference.reachable_from(seeds)
+
+    def test_zero_outlink_universe(self):
+        """All-empty CSR: offsets all zero, every query answers empty."""
+        records = [
+            PageRecord(
+                url=f"http://p{i}.example/",
+                status=200,
+                content_type="text/html",
+                charset="UTF-8",
+                true_language=Language.THAI,
+                outlinks=(),
+                size=100,
+            )
+            for i in range(4)
+        ]
+        with tempfile.TemporaryDirectory() as directory:
+            path = Path(directory) / "prop.lswc"
+            with _build_store(records, path) as store:
+                assert store.link_count == 0
+                db = StoreLinkDB(store)
+                for record in records:
+                    assert db.forward(record.url) == ()
+                    assert db.backward(record.url) == ()
+                assert db.edge_count() == 0
+                assert db.reachable_from([records[0].url]) == {records[0].url}

@@ -502,3 +502,91 @@ class TestAdversaryOverTheWire:
         assert ProtocolHandler.build_adversary(None) is None
         model = ProtocolHandler.build_adversary({"seed": 7})
         assert model is not None and model.seed == 7 and model.profile.is_empty
+
+
+class TestStoreDatasetOverTheWire:
+    """`dataset: {"store": path}` — wire sessions over columnar stores."""
+
+    @pytest.fixture(scope="class")
+    def store_path(self, tmp_path_factory) -> Path:
+        from repro.experiments.datasets import build_dataset_store
+        from repro.graphgen import profile_by_name as by_name
+
+        path = tmp_path_factory.mktemp("serve-store") / "thai.lswc"
+        build_dataset_store(
+            by_name("thai", seed=77).scaled(SCALE), path, capture_kind="none"
+        )
+        return path
+
+    def _store_open(self, name: str, store_path: Path) -> dict:
+        return {
+            "cmd": "open",
+            "session": name,
+            "request": {
+                "strategy": "soft-focused",
+                "dataset": {"store": str(store_path)},
+            },
+            "config": {"max_pages": MAX_PAGES, "sample_interval": SAMPLE_INTERVAL},
+        }
+
+    def test_store_session_matches_direct_run(self, tmp_path, serve_cache, store_path):
+        from repro.experiments.datasets import open_dataset_store
+
+        handler = _handler(tmp_path, serve_cache)
+        assert handler.handle(self._store_open("s", store_path))["ok"]
+        status = {"done": False}
+        while not status["done"]:
+            reply = handler.handle({"cmd": "step", "session": "s", "budget": 15})
+            assert reply["ok"]
+            status = reply["status"]
+        report = handler.handle({"cmd": "close", "session": "s"})["report"]
+
+        dataset = open_dataset_store(store_path)
+        try:
+            result = run_crawl(
+                CrawlRequest(dataset=dataset, strategy="soft-focused"),
+                config=SessionConfig(max_pages=MAX_PAGES, sample_interval=SAMPLE_INTERVAL),
+            )
+        finally:
+            dataset.crawl_log.close()
+        assert json.dumps(report, sort_keys=True) == json.dumps(
+            report_payload(result), sort_keys=True
+        )
+
+    def test_store_excludes_other_dataset_keys(self, tmp_path, serve_cache, store_path):
+        handler = _handler(tmp_path, serve_cache)
+        reply = handler.handle(
+            {
+                "cmd": "open",
+                "session": "s",
+                "request": {
+                    "strategy": "soft-focused",
+                    "dataset": {"store": str(store_path), "scale": 0.5},
+                },
+            }
+        )
+        assert not reply["ok"]
+        assert "excludes other dataset keys" in reply["error"]["message"]
+
+    def test_missing_store_file_is_an_error_reply(self, tmp_path, serve_cache):
+        handler = _handler(tmp_path, serve_cache)
+        reply = handler.handle(
+            {
+                "cmd": "open",
+                "session": "s",
+                "request": {
+                    "strategy": "soft-focused",
+                    "dataset": {"store": str(tmp_path / "missing.lswc")},
+                },
+            }
+        )
+        assert not reply["ok"]
+
+    def test_store_sessions_share_one_cached_dataset(self, tmp_path, serve_cache, store_path):
+        handler = _handler(tmp_path, serve_cache)
+        assert handler.handle(self._store_open("a", store_path))["ok"]
+        assert handler.handle(self._store_open("b", store_path))["ok"]
+        store_keys = [key for key in handler._datasets if key[0] == "store"]
+        assert len(store_keys) == 1
+        handler.handle({"cmd": "close", "session": "a"})
+        handler.handle({"cmd": "close", "session": "b"})

@@ -2,8 +2,16 @@
 
 import pytest
 
+import repro.urlkit.normalize as normalize_module
 from repro.errors import UrlError
-from repro.urlkit.normalize import normalize_url, url_host, url_site_key
+from repro.urlkit.normalize import (
+    clear_url_caches,
+    intern_url,
+    normalize_url,
+    url_cache_sizes,
+    url_host,
+    url_site_key,
+)
 
 
 class TestNormalizeUrl:
@@ -73,3 +81,69 @@ class TestAccessors:
     def test_url_site_key(self):
         assert url_site_key("http://example.com/x") == "example.com:80"
         assert url_site_key("http://example.com:99/x") == "example.com:99"
+
+
+class TestBoundedCaches:
+    """Regression: the URL tables must never grow past their caps.
+
+    An unbounded intern table is exactly the out-of-core failure mode the
+    columnar store exists to avoid — a 10⁶-page crawl would pin every URL
+    string it ever normalised.
+    """
+
+    @pytest.fixture(autouse=True)
+    def fresh_caches(self):
+        clear_url_caches()
+        yield
+        clear_url_caches()
+
+    def test_interning_is_pointer_stable(self):
+        first = intern_url("http://stable.example/")
+        second = intern_url("http://stable.example/")
+        assert first is second
+
+    def test_normalize_memo_hit_is_same_object(self):
+        one = normalize_url("HTTP://Memo.example:80/a/./b")
+        two = normalize_url("HTTP://Memo.example:80/a/./b")
+        assert one is two
+
+    def test_cache_sizes_reports_all_tables(self):
+        normalize_url("http://sized.example/a")
+        url_site_key("http://sized.example/a")
+        sizes = url_cache_sizes()
+        assert set(sizes) == {"intern", "normalize", "site"}
+        assert all(count > 0 for count in sizes.values())
+
+    def test_clear_url_caches_empties_every_table(self):
+        normalize_url("http://cleared.example/a")
+        url_site_key("http://cleared.example/a")
+        clear_url_caches()
+        assert url_cache_sizes() == {"intern": 0, "normalize": 0, "site": 0}
+
+    def test_intern_table_bounded(self, monkeypatch):
+        monkeypatch.setattr(normalize_module, "_INTERN_MAX", 8)
+        for index in range(100):
+            intern_url(f"http://bound{index}.example/")
+        assert url_cache_sizes()["intern"] <= 8
+
+    def test_normalize_memo_bounded(self, monkeypatch):
+        monkeypatch.setattr(normalize_module, "_MEMO_MAX", 8)
+        for index in range(100):
+            normalize_url(f"http://memo{index}.example/page")
+        sizes = url_cache_sizes()
+        assert sizes["normalize"] <= 8
+
+    def test_site_memo_bounded(self, monkeypatch):
+        monkeypatch.setattr(normalize_module, "_MEMO_MAX", 8)
+        for index in range(100):
+            url_site_key(f"http://site{index}.example/page")
+        assert url_cache_sizes()["site"] <= 8
+
+    def test_generation_clear_keeps_answers_correct(self, monkeypatch):
+        monkeypatch.setattr(normalize_module, "_MEMO_MAX", 4)
+        monkeypatch.setattr(normalize_module, "_INTERN_MAX", 4)
+        messy = "HTTP://Gen.example:80//x/./y"
+        before = normalize_url(messy)
+        for index in range(50):  # force several generation resets
+            normalize_url(f"http://churn{index}.example/")
+        assert normalize_url(messy) == before

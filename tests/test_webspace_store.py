@@ -1,0 +1,150 @@
+"""Unit tests for the columnar page store (`repro.webspace.store`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.charset.languages import Language
+from repro.errors import CrawlLogError, UnknownPageError
+from repro.webspace.crawllog import CrawlLog
+from repro.webspace.linkdb import LinkDB
+from repro.webspace.page import PageRecord
+from repro.webspace.store import PageStore, StoreBuilder, StoreLinkDB
+
+
+def _record(url, outlinks=(), status=200, charset="TIS-620", size=1000):
+    return PageRecord(
+        url=url,
+        status=status,
+        content_type="text/html",
+        charset=charset if status == 200 else None,
+        true_language=Language.THAI,
+        outlinks=tuple(outlinks) if status == 200 else (),
+        size=size,
+    )
+
+
+RECORDS = [
+    _record("http://a.example/", ["http://b.example/", "http://x.example/"]),
+    _record("http://b.example/", ["http://a.example/"], charset=None),
+    _record("http://c.example/", status=404),
+    # Last page with outlinks: its arena slice ends at the arena boundary.
+    _record("http://d.example/", ["http://y.example/"]),
+]
+
+
+@pytest.fixture()
+def store(tmp_path):
+    builder = StoreBuilder()
+    builder.add_all(RECORDS)
+    builder.finish(
+        tmp_path / "t.lswc", meta={"name": "unit", "seed_urls": ["http://a.example/"]}
+    )
+    with PageStore.open(tmp_path / "t.lswc") as opened:
+        yield opened
+
+
+class TestStoreBuilder:
+    def test_duplicate_url_rejected(self, tmp_path):
+        builder = StoreBuilder()
+        builder.add(_record("http://a.example/"))
+        with pytest.raises(CrawlLogError, match="duplicate"):
+            builder.add(_record("http://a.example/"))
+
+    def test_empty_store_rejected(self, tmp_path):
+        with pytest.raises(CrawlLogError, match="no pages"):
+            StoreBuilder().finish(tmp_path / "empty.lswc")
+
+    def test_open_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.lswc"
+        path.write_bytes(b"not a page store at all")
+        with pytest.raises(CrawlLogError, match="magic"):
+            PageStore.open(path)
+
+
+class TestPageStore:
+    def test_counts(self, store):
+        assert store.page_count == len(store) == 4
+        # 4 pages + 2 dangling link targets (x, y).
+        assert store.url_count == 6
+        assert store.link_count == 4
+
+    def test_meta_and_seeds(self, store):
+        assert store.meta["name"] == "unit"
+        assert store.seed_urls == ("http://a.example/",)
+
+    def test_records_round_trip(self, store):
+        assert list(store) == RECORDS
+        for index, record in enumerate(RECORDS):
+            assert store.record_at(index) == record
+            assert store.get(record.url) == record
+            assert store[record.url] == record
+            assert record.url in store
+
+    def test_unknown_lookups(self, store):
+        assert store.get("http://never.example/") is None
+        assert "http://never.example/" not in store
+        with pytest.raises(UnknownPageError):
+            store["http://never.example/"]
+
+    def test_dangling_targets_have_ids_but_no_pages(self, store):
+        uid = store.id_of("http://x.example/")
+        assert uid is not None and uid >= store.page_count
+        assert store.url_of(uid) == "http://x.example/"
+        assert store.page_id_of("http://x.example/") is None
+        assert store.get("http://x.example/") is None
+
+    def test_id_url_inverse(self, store):
+        for uid in range(store.url_count):
+            assert store.id_of(store.url_of(uid)) == uid
+        assert store.id_of("http://never.example/") is None
+        with pytest.raises(UnknownPageError):
+            store.url_of(store.url_count)
+
+    def test_page_ids_prefix_url_ids(self, store):
+        for page_id, record in enumerate(RECORDS):
+            assert store.id_of(record.url) == page_id
+            assert store.page_id_of(record.url) == page_id
+
+    def test_outlink_ids_match_records(self, store):
+        for page_id, record in enumerate(RECORDS):
+            ids = store.outlink_ids(page_id)
+            assert tuple(store.url_of(int(uid)) for uid in ids) == record.outlinks
+
+    def test_section_sizes_cover_file(self, store, tmp_path):
+        sizes = store.section_sizes()
+        assert set(sizes) >= {"status", "link_offsets", "link_arena", "url_arena"}
+        assert all(size >= 0 for size in sizes.values())
+        assert store.nbytes == sum(sizes.values())
+
+    def test_closed_store_rejects_reads(self, tmp_path):
+        builder = StoreBuilder()
+        builder.add(_record("http://a.example/"))
+        builder.finish(tmp_path / "c.lswc")
+        opened = PageStore.open(tmp_path / "c.lswc")
+        opened.close()
+        with pytest.raises(CrawlLogError, match="closed"):
+            opened.get("http://a.example/")
+        opened.close()  # idempotent
+
+
+class TestStoreLinkDB:
+    def test_matches_in_memory_linkdb(self, store):
+        reference = LinkDB(CrawlLog(RECORDS))
+        db = StoreLinkDB(store)
+        targets = [store.url_of(uid) for uid in range(store.url_count)]
+        for url in targets:
+            assert db.forward(url) == reference.forward(url)
+            assert sorted(db.backward(url)) == sorted(reference.backward(url))
+            assert db.out_degree(url) == reference.out_degree(url)
+            assert db.in_degree(url) == reference.in_degree(url)
+        assert db.edge_count() == reference.edge_count()
+        assert db.reachable_from(["http://a.example/"]) == reference.reachable_from(
+            ["http://a.example/"]
+        )
+
+    def test_unknown_url_empty(self, store):
+        db = StoreLinkDB(store)
+        assert db.forward("http://never.example/") == ()
+        assert db.backward("http://never.example/") == ()
+        assert db.out_degree("http://never.example/") == 0
