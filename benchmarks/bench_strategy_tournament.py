@@ -1,0 +1,111 @@
+"""Tournament gates for the strategy zoo on cue-annotated Thai webs.
+
+Three claims are pinned here:
+
+1. **Determinism** — the tournament fanned out over ``workers=2`` is
+   byte-identical to the serial run: equal ``sweep_digest`` over the
+   full payload (rows, ranking, everything but wall time, which the
+   digest excludes by construction).
+2. **Context pays** — at strictly equal page budget on the same cued
+   Thai web, at least one of the context-aware hybrids (``pdd-hybrid``,
+   ``pal-content-link``, ``infospiders``) beats plain ``soft-focused``
+   on mean final harvest rate.  This is the whole point of plumbing
+   anchor-text link context through the pipeline: if reading anchors
+   does not buy harvest, the hand-off is dead weight.
+3. **Full zoo ranked** — every registered strategy appears exactly once
+   in the ranking, with contiguous ranks from 1.
+
+Writes ``benchmarks/results/BENCH_strategy_tournament.json``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tournament import FULL_ZOO, tournament_sweep
+
+from conftest import emit
+
+#: The tournament runs at golden scale with two universe seeds: an
+#: 11-strategy × 2-seed grid at 0.02 stays cheap while still averaging
+#: over independent web layouts.
+TOURNAMENT_SCALE = 0.02
+TOURNAMENT_MAX_PAGES = 1100
+
+CONTEXT_STRATEGIES = ("pdd-hybrid", "pal-content-link", "infospiders")
+BASELINE = "soft-focused"
+
+
+def test_strategy_tournament(results_dir):
+    payload = tournament_sweep(
+        scales=(TOURNAMENT_SCALE,),
+        max_pages=TOURNAMENT_MAX_PAGES,
+        workers=2,
+    )
+    serial = tournament_sweep(
+        scales=(TOURNAMENT_SCALE,),
+        max_pages=TOURNAMENT_MAX_PAGES,
+        workers=0,
+    )
+    assert payload["digest_sha256"] == serial["digest_sha256"], (
+        "tournament is not deterministic across worker counts: "
+        f"workers=2 digest {payload['digest_sha256']} != "
+        f"serial digest {serial['digest_sha256']}"
+    )
+
+    ranking = {entry["strategy"]: entry for entry in payload["summary"]}
+    assert set(ranking) == set(FULL_ZOO), (
+        f"ranking does not cover the full zoo: missing "
+        f"{sorted(set(FULL_ZOO) - set(ranking))}, extra "
+        f"{sorted(set(ranking) - set(FULL_ZOO))}"
+    )
+    assert [entry["rank"] for entry in payload["summary"]] == list(
+        range(1, len(FULL_ZOO) + 1)
+    )
+
+    baseline_harvest = ranking[BASELINE]["mean_harvest_rate"]
+    winners = [
+        name
+        for name in CONTEXT_STRATEGIES
+        if ranking[name]["mean_harvest_rate"] > baseline_harvest
+    ]
+    assert winners, (
+        f"no context-aware strategy beats {BASELINE} on mean harvest rate "
+        f"({baseline_harvest:.4f}) at equal budget — link context is not "
+        "paying for itself; hybrids: "
+        + ", ".join(
+            f"{name}={ranking[name]['mean_harvest_rate']:.4f}"
+            for name in CONTEXT_STRATEGIES
+        )
+    )
+
+    lines = [
+        "Strategy tournament (cued Thai web, Fig. 3 axes)",
+        f"  scale: {TOURNAMENT_SCALE}  seeds: {payload['seeds']}"
+        f"  max_pages: {TOURNAMENT_MAX_PAGES}",
+        f"  cues: anchor={payload['anchor_cue_probability']}"
+        f" around={payload['around_cue_probability']}",
+        f"  {'rank':>4s}  {'strategy':18s} {'harvest':>8s} {'coverage':>9s}",
+    ]
+    for entry in payload["summary"]:
+        marker = " *" if entry["strategy"] in winners else ""
+        lines.append(
+            f"  {entry['rank']:>4d}  {entry['strategy']:18s}"
+            f" {entry['mean_harvest_rate']:8.4f} {entry['mean_coverage']:9.4f}{marker}"
+        )
+    lines.append(f"  * context-aware and above {BASELINE} on harvest")
+    lines.append(f"  digest: {payload['digest_sha256']}")
+
+    emit(
+        results_dir,
+        "strategy_tournament",
+        "\n".join(lines),
+        data={
+            "tournament": payload,
+            "gates": {
+                "baseline": BASELINE,
+                "baseline_mean_harvest_rate": baseline_harvest,
+                "context_strategies": list(CONTEXT_STRATEGIES),
+                "context_winners": winners,
+                "serial_digest": serial["digest_sha256"],
+            },
+        },
+    )

@@ -131,7 +131,12 @@ def build_parser() -> argparse.ArgumentParser:
         "strategy",
         help="a registered strategy name (see --list-strategies)",
     )
-    p_run.add_argument("--n", type=int, default=2, help="limited-distance parameter N")
+    p_run.add_argument(
+        "--n",
+        type=int,
+        default=2,
+        help="tunnelling depth N for limited-distance / hard+limited / soft+limited",
+    )
     p_run.add_argument("--prioritized", action="store_true", help="prioritized limited distance")
     p_run.add_argument("--classifier", default="charset", help="charset|meta|detector|oracle")
     p_run.add_argument("--max-pages", type=int, default=None)
@@ -382,6 +387,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         kwargs = {}
         if args.strategy == "limited-distance":
             kwargs = {"n": args.n, "prioritized": args.prioritized}
+        elif args.strategy in ("hard+limited", "soft+limited"):
+            kwargs = {"n": args.n}
         strategy = get_strategy(args.strategy, **kwargs)
         instrumentation = None
         if args.trace or args.profile_timings:

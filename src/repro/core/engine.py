@@ -436,6 +436,11 @@ class CrawlEngine:
         extract = visitor.extract
         judge = self.classifier.judge
         expand = strategy.expand
+        # Link contexts are computed only for strategies that score on
+        # textual cues; for everything else this stays False and the
+        # extract→expand hand-off is exactly the pre-context code path.
+        wants_contexts = getattr(strategy, "wants_link_contexts", False)
+        extract_contexts = visitor.extract_contexts if wants_contexts else None
         tick = strategy.tick if self.call_tick else None
         record = recorder.record if recorder is not None else None
         scheduled_add = scheduled.add
@@ -612,7 +617,17 @@ class CrawlEngine:
                         callback(stage_extract, step)
 
                 # -- prioritize (strategy link expansion) ---------------
-                if timing_cbs is not None:
+                if extract_contexts is not None:
+                    link_contexts = extract_contexts(response, outlinks)
+                    if timing_cbs is not None:
+                        expand_started = perf()
+                        children = expand(candidate, response, judgment, outlinks, link_contexts)
+                        now = perf()
+                        for callback in timing_cbs:
+                            callback(stage_prioritize, now - expand_started, step)
+                    else:
+                        children = expand(candidate, response, judgment, outlinks, link_contexts)
+                elif timing_cbs is not None:
                     expand_started = perf()
                     children = expand(candidate, response, judgment, outlinks)
                     now = perf()

@@ -125,6 +125,7 @@ class PoliteOrderingStrategy(CrawlStrategy):
     def __init__(self, inner: CrawlStrategy) -> None:
         self.inner = inner
         self.name = f"polite({inner.name})"
+        self.wants_link_contexts = inner.wants_link_contexts
 
     def make_frontier(self) -> Frontier:
         return HostQueueFrontier()
@@ -141,8 +142,9 @@ class PoliteOrderingStrategy(CrawlStrategy):
         response: FetchResponse,
         judgment: Judgment,
         outlinks: Iterable[str],
+        link_contexts=None,
     ) -> list[Candidate]:
-        return self.inner.expand(parent, response, judgment, outlinks)
+        return self.inner.expand(parent, response, judgment, outlinks, link_contexts)
 
 
 def max_same_site_run(urls: Iterable[str]) -> int:

@@ -239,6 +239,10 @@ class VirtualTimeEngine(CrawlEngine):
         extract = visitor.extract
         judge = self.classifier.judge
         expand = strategy.expand
+        # Same conditional hand-off as the round-based loop: contexts
+        # are only computed for strategies that ask for them.
+        wants_contexts = getattr(strategy, "wants_link_contexts", False)
+        extract_contexts = visitor.extract_contexts if wants_contexts else None
         tick = strategy.tick if self.call_tick else None
         record = recorder.record if recorder is not None else None
         scheduled_add = scheduled.add
@@ -430,7 +434,17 @@ class VirtualTimeEngine(CrawlEngine):
                         callback(stage_extract, step)
 
                 # -- prioritize (strategy link expansion) ---------------
-                if timing_cbs is not None:
+                if extract_contexts is not None:
+                    link_contexts = extract_contexts(response, outlinks)
+                    if timing_cbs is not None:
+                        expand_started = perf()
+                        children = expand(candidate, response, judgment, outlinks, link_contexts)
+                        now_s = perf()
+                        for callback in timing_cbs:
+                            callback(stage_prioritize, now_s - expand_started, step)
+                    else:
+                        children = expand(candidate, response, judgment, outlinks, link_contexts)
+                elif timing_cbs is not None:
                     expand_started = perf()
                     children = expand(candidate, response, judgment, outlinks)
                     now_s = perf()

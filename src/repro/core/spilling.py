@@ -298,6 +298,7 @@ class SpillingStrategy(CrawlStrategy):
         self._spill_dir = spill_dir
         self._page_source = page_source
         self.name = f"spilling({inner.name}, mem={memory_limit})"
+        self.wants_link_contexts = inner.wants_link_contexts
         self._frontier: SpillingFrontier | None = None
 
     def bind_instrumentation(self, instrumentation) -> None:
@@ -319,8 +320,8 @@ class SpillingStrategy(CrawlStrategy):
     def max_priority(self) -> int:
         return self.inner.max_priority()
 
-    def expand(self, parent, response, judgment, outlinks):
-        return self.inner.expand(parent, response, judgment, outlinks)
+    def expand(self, parent, response, judgment, outlinks, link_contexts=None):
+        return self.inner.expand(parent, response, judgment, outlinks, link_contexts)
 
     def tick(self, step, frontier) -> None:
         self.inner.tick(step, frontier)

@@ -15,6 +15,8 @@ from repro.core.strategies.breadth_first import BreadthFirstStrategy
 from repro.core.strategies.combined import hard_limited_strategy, soft_limited_strategy
 from repro.core.strategies.context_graph import ContextGraphStrategy
 from repro.core.strategies.distilled import DistilledSoftStrategy
+from repro.core.strategies.hybrid import PalContentLinkStrategy, PDDHybridStrategy
+from repro.core.strategies.infospiders import InfoSpidersStrategy
 from repro.core.strategies.limited_distance import LimitedDistanceStrategy
 from repro.core.strategies.registry import (
     available_strategies,
@@ -32,6 +34,9 @@ __all__ = [
     "DistilledSoftStrategy",
     "BacklinkCountStrategy",
     "ContextGraphStrategy",
+    "PDDHybridStrategy",
+    "PalContentLinkStrategy",
+    "InfoSpidersStrategy",
     "hard_limited_strategy",
     "soft_limited_strategy",
     "register_strategy",
@@ -68,6 +73,31 @@ register_strategy(
     "backlink-count",
     BacklinkCountStrategy,
     description="prioritise by observed in-link count",
+)
+register_strategy(
+    "pdd-hybrid",
+    PDDHybridStrategy,
+    description="weighted link-structure + content relevance (params: language, content_weight, link_weight)",
+)
+register_strategy(
+    "pal-content-link",
+    PalContentLinkStrategy,
+    description="content and link-structure priority per Pal et al. (params: language, weights)",
+)
+register_strategy(
+    "infospiders",
+    InfoSpidersStrategy,
+    description="anchor/around textual-cue scoring (params: language, anchor_weight, around_weight)",
+)
+register_strategy(
+    "hard+limited",
+    hard_limited_strategy,
+    description="hard-focused capture with n-hop tunnelling (params: n; paper §4)",
+)
+register_strategy(
+    "soft+limited",
+    soft_limited_strategy,
+    description="soft-focused capture with n-hop tunnelling (params: n; paper §4)",
 )
 
 #: Backwards-compatible alias of :func:`get_strategy` (the pre-registry

@@ -14,11 +14,12 @@ growing while it sits in the queue.
 from __future__ import annotations
 
 from collections import defaultdict
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 
 from repro.core.classifier import Judgment
 from repro.core.frontier import Candidate, Frontier, ReprioritizableFrontier
 from repro.core.strategies.base import CrawlStrategy
+from repro.urlkit.extract import LinkContext
 from repro.webspace.virtualweb import FetchResponse
 
 
@@ -32,6 +33,9 @@ class BacklinkCountStrategy(CrawlStrategy):
         self._frontier: ReprioritizableFrontier | None = None
 
     def make_frontier(self) -> Frontier:
+        # make_frontier is the per-run reset point (see base.py): a reused
+        # instance must not inherit backlink counts from a previous run.
+        self._backlinks = defaultdict(int)
         self._frontier = ReprioritizableFrontier()
         return self._frontier
 
@@ -41,6 +45,7 @@ class BacklinkCountStrategy(CrawlStrategy):
         response: FetchResponse,
         judgment: Judgment,
         outlinks: Iterable[str],
+        link_contexts: Sequence[LinkContext] | None = None,
     ) -> list[Candidate]:
         children = []
         for url in outlinks:

@@ -24,6 +24,7 @@ from repro.webspace.virtualweb import FetchResponse
 
 if TYPE_CHECKING:
     from repro.obs import Instrumentation
+    from repro.urlkit.extract import LinkContext
 
 
 class CrawlStrategy(ABC):
@@ -31,6 +32,12 @@ class CrawlStrategy(ABC):
 
     #: Human-readable name used in reports and figure legends.
     name: str = "strategy"
+
+    #: True for strategies that score links on textual context (anchor /
+    #: around text).  The engine only computes link contexts when the
+    #: active strategy asks for them, so the flag keeps the hot path of
+    #: every context-blind strategy — and all golden traces — unchanged.
+    wants_link_contexts: bool = False
 
     #: Per-run telemetry hub, bound by the simulator before
     #: ``make_frontier`` (None on uninstrumented runs).
@@ -65,6 +72,7 @@ class CrawlStrategy(ABC):
         response: FetchResponse,
         judgment: Judgment,
         outlinks: Iterable[str],
+        link_contexts: Sequence["LinkContext"] | None = None,
     ) -> list[Candidate]:
         """Candidates to schedule from a just-crawled page.
 
@@ -74,6 +82,15 @@ class CrawlStrategy(ABC):
             judgment: the classifier's relevance verdict for the page.
             outlinks: URLs extracted from the page (already normalised,
                 duplicates removed; empty for non-OK/non-HTML pages).
+            link_contexts: per-outlink textual context (aligned with
+                ``outlinks``), passed only when
+                :attr:`wants_link_contexts` is True — and even then it
+                may be ``None`` (e.g. callers predating the argument or
+                sources that cannot produce contexts).  Every strategy
+                must accept ``link_contexts=None`` and fall back to
+                context-blind behaviour; that compatibility rule is what
+                keeps the existing zoo and the golden fixtures
+                byte-identical.
 
         Returns:
             Candidates the simulator should enqueue.  URLs already

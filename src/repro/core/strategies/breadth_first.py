@@ -9,11 +9,12 @@ dataset (ratio ≈ 0.35) and barely at all on the Japanese one (≈ 0.71).
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 
 from repro.core.classifier import Judgment
 from repro.core.frontier import Candidate, FIFOFrontier, Frontier
 from repro.core.strategies.base import CrawlStrategy
+from repro.urlkit.extract import LinkContext
 from repro.webspace.virtualweb import FetchResponse
 
 
@@ -31,5 +32,6 @@ class BreadthFirstStrategy(CrawlStrategy):
         response: FetchResponse,
         judgment: Judgment,
         outlinks: Iterable[str],
+        link_contexts: Sequence[LinkContext] | None = None,
     ) -> list[Candidate]:
         return [Candidate(url=url, referrer=parent.url) for url in outlinks]

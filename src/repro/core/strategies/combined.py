@@ -14,22 +14,28 @@ In this framework those combinations *are* limited-distance instances:
   (the same pruning, with closer-to-relevant URLs crawled first).
 
 These helpers exist so the capture code in
-:mod:`repro.experiments.datasets` reads like the paper.
+:mod:`repro.experiments.datasets` reads like the paper.  They are also
+registered as ``hard+limited`` / ``soft+limited`` (with an ``n=``
+parameter, defaulting to the paper's N=3 capture setting) so the
+combinations are reachable from the CLI and the wire protocol.
 """
 
 from __future__ import annotations
 
 from repro.core.strategies.limited_distance import LimitedDistanceStrategy
 
+#: Paper §5.1 capture setting ("limited distance of N=3").
+DEFAULT_N = 3
 
-def hard_limited_strategy(n: int) -> LimitedDistanceStrategy:
+
+def hard_limited_strategy(n: int = DEFAULT_N) -> LimitedDistanceStrategy:
     """Hard-focused with limited-distance tunneling (Japanese capture)."""
     strategy = LimitedDistanceStrategy(n=n, prioritized=False)
     strategy.name = f"hard+limited(N={n})"
     return strategy
 
 
-def soft_limited_strategy(n: int) -> LimitedDistanceStrategy:
+def soft_limited_strategy(n: int = DEFAULT_N) -> LimitedDistanceStrategy:
     """Soft-focused with limited-distance tunneling (Thai capture)."""
     strategy = LimitedDistanceStrategy(n=n, prioritized=True)
     strategy.name = f"soft+limited(N={n})"

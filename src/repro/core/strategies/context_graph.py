@@ -41,6 +41,7 @@ from repro.core.classifier import Judgment
 from repro.core.frontier import Candidate, Frontier, PriorityFrontier
 from repro.core.strategies.base import CrawlStrategy
 from repro.errors import ConfigError, UrlError
+from repro.urlkit.extract import LinkContext
 from repro.urlkit.normalize import url_host
 from repro.webspace.linkdb import LinkDB
 from repro.webspace.virtualweb import FetchResponse
@@ -136,6 +137,7 @@ class ContextGraphStrategy(CrawlStrategy):
         response: FetchResponse,
         judgment: Judgment,
         outlinks: Iterable[str],
+        link_contexts: Sequence[LinkContext] | None = None,
     ) -> list[Candidate]:
         return [
             Candidate(url=url, priority=self._layer_priority(url), referrer=parent.url)

@@ -19,12 +19,13 @@ remains the primary signal, exactly as in the original system.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 
 from repro.core.classifier import Judgment
 from repro.core.distiller import Distiller
 from repro.core.frontier import Candidate, Frontier, ReprioritizableFrontier
 from repro.core.strategies.base import CrawlStrategy
+from repro.urlkit.extract import LinkContext
 from repro.webspace.virtualweb import FetchResponse
 
 
@@ -58,6 +59,7 @@ class DistilledSoftStrategy(CrawlStrategy):
         response: FetchResponse,
         judgment: Judgment,
         outlinks: Iterable[str],
+        link_contexts: Sequence[LinkContext] | None = None,
     ) -> list[Candidate]:
         outlinks = tuple(outlinks)
         self._distiller.observe(parent.url, outlinks, judgment.relevant)

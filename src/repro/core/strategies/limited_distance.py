@@ -25,12 +25,13 @@ priority scale.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 
 from repro.core.classifier import Judgment
 from repro.core.frontier import Candidate, FIFOFrontier, Frontier, PriorityFrontier
 from repro.core.strategies.base import CrawlStrategy
 from repro.errors import ConfigError
+from repro.urlkit.extract import LinkContext
 from repro.webspace.virtualweb import FetchResponse
 
 
@@ -59,6 +60,7 @@ class LimitedDistanceStrategy(CrawlStrategy):
         response: FetchResponse,
         judgment: Judgment,
         outlinks: Iterable[str],
+        link_contexts: Sequence[LinkContext] | None = None,
     ) -> list[Candidate]:
         if judgment.relevant:
             child_distance = 0

@@ -16,12 +16,13 @@ runs on a FIFO frontier; soft-focused uses the two-band priority queue.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 
 from repro.core.classifier import Judgment
 from repro.core.frontier import Candidate, FIFOFrontier, Frontier, PriorityFrontier
 from repro.core.strategies.base import CrawlStrategy
 from repro.errors import ConfigError
+from repro.urlkit.extract import LinkContext
 from repro.webspace.virtualweb import FetchResponse
 
 #: Priority bands of the soft-focused mode.
@@ -52,6 +53,7 @@ class SimpleStrategy(CrawlStrategy):
         response: FetchResponse,
         judgment: Judgment,
         outlinks: Iterable[str],
+        link_contexts: Sequence[LinkContext] | None = None,
     ) -> list[Candidate]:
         if self.mode == "hard":
             if not judgment.relevant:

@@ -13,7 +13,8 @@ from __future__ import annotations
 
 from time import perf_counter
 
-from repro.urlkit.extract import extract_links
+from repro.graphgen.linkcontext import synthesize_link_contexts
+from repro.urlkit.extract import LinkContext, extract_link_contexts, extract_links
 from repro.webspace.virtualweb import FetchResponse
 
 
@@ -93,6 +94,37 @@ class Visitor:
         if self._extract_from_body and response.body is not None:
             return tuple(extract_links(response.body, response.url))
         return response.outlinks
+
+    def extract_contexts(
+        self, response: FetchResponse, outlinks: tuple[str, ...]
+    ) -> tuple[LinkContext, ...] | None:
+        """Per-outlink textual contexts, aligned 1:1 with ``outlinks``.
+
+        Only called when the active strategy sets
+        ``wants_link_contexts`` — context-blind runs never pay for it.
+        With ``extract_from_body`` (and a body present) the contexts are
+        parsed out of the HTML; otherwise they are synthesized
+        deterministically from the crawl-log record
+        (:func:`repro.graphgen.linkcontext.synthesize_link_contexts`),
+        so record-mode runs see the same anchor text a body parse of the
+        synthesized page would.  ``outlinks`` is the engine's
+        post-defense link list, which may be a filtered subset of the
+        raw extraction — contexts are re-aligned to it, with an empty
+        context for any URL the underlying parse did not cover.  Returns
+        None when no context source exists (failed fetch, no record).
+        """
+        if not outlinks or not response.ok or not response.is_html:
+            return ()
+        if self._extract_from_body and response.body is not None:
+            raw = extract_link_contexts(response.body, response.url)
+        elif response.record is not None:
+            raw = synthesize_link_contexts(response.record)
+        else:
+            return None
+        by_url = {context.url: context for context in raw}
+        return tuple(
+            by_url.get(url) or LinkContext(url, "", "") for url in outlinks
+        )
 
     # -- checkpoint support --------------------------------------------------
 

@@ -1,0 +1,303 @@
+"""Strategy tournament: the full zoo on cue-annotated Thai webs.
+
+Every registered ordering — the paper's §3.3 strategies, the combined
+capture strategies, and the content+link hybrids that read anchor-text
+link context — crawls the *same* captured Thai datasets under the same
+page budget, and the summary ranks them on the Fig. 3 axes: final
+harvest rate first, final coverage as the tie-breaker.
+
+The web is the standard Thai profile with link-context cues switched on
+(:data:`CUE_ANCHOR_PROBABILITY` / :data:`CUE_AROUND_PROBABILITY`): a cue
+annotates a link whose *target* is a Thai page with Thai anchor or
+surrounding text, which is the signal the context-aware strategies
+(``pdd-hybrid``, ``pal-content-link``, ``infospiders``) buy their edge
+with.  Context-blind strategies run unchanged on the same datasets — the
+cue column changes nothing they can observe — so the comparison is at
+strictly equal budget on an identical web.
+
+The grid is strategies × scales × seeds; seeds re-roll the generated
+universe (``profile.with_seed``), so a strategy has to win on several
+independent webs, not one lucky layout.  Cells are independent runs
+fanned out through :class:`~repro.exec.SweepExecutor`, so ``workers=N``
+is byte-identical to serial by the executor's contract — the payload
+digest is the determinism witness.
+
+``benchmarks/bench_strategy_tournament.py`` renders and gates the
+payload; CI runs the small ``python -m repro.experiments.tournament``
+smoke with a digest-equality determinism check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+from repro.exec import DatasetSpec, RunSpec, SweepExecutor
+from repro.experiments.concurrency import sweep_digest
+from repro.experiments.datasets import load_or_build_dataset
+from repro.graphgen.config import DatasetProfile
+from repro.graphgen.profiles import thai_profile
+
+__all__ = [
+    "CUE_ANCHOR_PROBABILITY",
+    "CUE_AROUND_PROBABILITY",
+    "DEFAULT_SEEDS",
+    "FULL_ZOO",
+    "cued_thai_profile",
+    "ranking_summary",
+    "tournament_sweep",
+]
+
+#: Cue rates for the tournament web.  Anchors cue often (a link to a
+#: Thai page usually *says so* in its anchor), surrounding text less so
+#: — high enough that textual-cue strategies have signal to read, low
+#: enough that cue-blind orderings are not artificially starved.
+CUE_ANCHOR_PROBABILITY = 0.7
+CUE_AROUND_PROBABILITY = 0.4
+
+#: Every registered strategy, baselines first.  ``limited-distance``
+#: and the combined capture strategies run with their registered
+#: defaults (n=3); the context-aware family defaults to Thai, matching
+#: the tournament web.
+FULL_ZOO: tuple[str, ...] = (
+    "breadth-first",
+    "soft-focused",
+    "hard-focused",
+    "limited-distance",
+    "distilled-soft",
+    "backlink-count",
+    "hard+limited",
+    "soft+limited",
+    "pdd-hybrid",
+    "pal-content-link",
+    "infospiders",
+)
+
+#: Universe seeds per (strategy, scale) cell.  Each seed regenerates
+#: the web from scratch; two keep the ranking honest about layout luck
+#: without doubling CI cost for every extra seed.
+DEFAULT_SEEDS: tuple[int, ...] = (20050304, 7)
+
+
+def cued_thai_profile(scale: float, seed: int | None = None) -> DatasetProfile:
+    """The standard Thai profile at ``scale`` with link cues enabled.
+
+    The cue probabilities change the profile fingerprint (a cued
+    dataset caches separately from the plain one) but not the generated
+    graph, language or charset columns — only the extra ``link_cues``
+    column and the anchor text rendered from it.
+    """
+    profile = thai_profile().scaled(scale)
+    if seed is not None:
+        profile = profile.with_seed(seed)
+    return replace(
+        profile,
+        name=f"{profile.name}-cued",
+        anchor_cue_probability=CUE_ANCHOR_PROBABILITY,
+        around_cue_probability=CUE_AROUND_PROBABILITY,
+    )
+
+
+def tournament_sweep(
+    strategies: tuple[str, ...] = FULL_ZOO,
+    scales: tuple[float, ...] = (0.02,),
+    seeds: tuple[int, ...] = DEFAULT_SEEDS,
+    max_pages: int | None = 1100,
+    workers: int = 0,
+) -> dict:
+    """Run the (strategy × scale × seed) grid and rank the zoo.
+
+    Datasets are built (or read from the disk cache) driver-side once
+    per (scale, seed) so a cold cache pays each capture crawl exactly
+    once; workers then rehydrate them through the shared
+    :class:`~repro.exec.DatasetSpec` cache.
+    """
+    dataset_specs: dict[tuple[float, int], DatasetSpec] = {}
+    dataset_pages: dict[tuple[float, int], int] = {}
+    for scale in scales:
+        for seed in seeds:
+            dataset = load_or_build_dataset(cued_thai_profile(scale, seed))
+            dataset_specs[(scale, seed)] = DatasetSpec.from_dataset(dataset)
+            dataset_pages[(scale, seed)] = len(dataset.crawl_log)
+
+    cells: list[tuple[str, float, int]] = [
+        (strategy, scale, seed)
+        for strategy in strategies
+        for scale in scales
+        for seed in seeds
+    ]
+    specs = [
+        RunSpec(
+            dataset=dataset_specs[(scale, seed)],
+            strategy=strategy,
+            max_pages=max_pages,
+        )
+        for strategy, scale, seed in cells
+    ]
+    results = SweepExecutor(workers).run(specs)
+
+    rows = []
+    for (strategy, scale, seed), result in zip(cells, results):
+        rows.append(
+            {
+                "strategy": strategy,
+                "label": result.strategy,
+                "scale": scale,
+                "seed": seed,
+                "dataset_pages": dataset_pages[(scale, seed)],
+                "pages": result.pages_crawled,
+                "harvest_rate": round(result.summary.final_harvest_rate, 6),
+                "coverage": round(result.summary.final_coverage, 6),
+                "frontier_peak": result.frontier_peak,
+            }
+        )
+
+    payload = {
+        "experiment": "strategy-tournament",
+        "profile": "thai-cued",
+        "anchor_cue_probability": CUE_ANCHOR_PROBABILITY,
+        "around_cue_probability": CUE_AROUND_PROBABILITY,
+        "strategies": list(strategies),
+        "scales": list(scales),
+        "seeds": list(seeds),
+        "max_pages": max_pages,
+        "rows": rows,
+        "summary": ranking_summary(rows),
+    }
+    payload["digest_sha256"] = sweep_digest(payload)
+    return payload
+
+
+def ranking_summary(rows: list[dict]) -> list[dict]:
+    """The zoo ranked by mean harvest rate, coverage breaking ties.
+
+    Means are over every (scale, seed) cell of a strategy, so the
+    ranking rewards consistency across webs, not a single good draw.
+    Rounding happens *before* the sort: two strategies equal to 6
+    decimals rank by coverage, not by float noise.
+    """
+    by_strategy: dict[str, list[dict]] = {}
+    for row in rows:
+        by_strategy.setdefault(row["strategy"], []).append(row)
+
+    entries = []
+    for strategy, cells in by_strategy.items():
+        entries.append(
+            {
+                "strategy": strategy,
+                "mean_harvest_rate": round(
+                    sum(cell["harvest_rate"] for cell in cells) / len(cells), 6
+                ),
+                "mean_coverage": round(
+                    sum(cell["coverage"] for cell in cells) / len(cells), 6
+                ),
+                "runs": len(cells),
+            }
+        )
+    entries.sort(
+        key=lambda entry: (-entry["mean_harvest_rate"], -entry["mean_coverage"], entry["strategy"])
+    )
+    for rank, entry in enumerate(entries, start=1):
+        entry["rank"] = rank
+    return entries
+
+
+def _parse_names(text: str) -> tuple[str, ...]:
+    names = tuple(part.strip() for part in text.split(",") if part.strip())
+    if not names:
+        raise argparse.ArgumentTypeError("--strategies needs at least one name")
+    return names
+
+
+def _parse_scales(text: str) -> tuple[float, ...]:
+    try:
+        scales = tuple(float(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"--scales needs comma-separated floats, got {text!r}")
+    if not scales:
+        raise argparse.ArgumentTypeError("--scales needs at least one float")
+    return scales
+
+
+def _parse_seeds(text: str) -> tuple[int, ...]:
+    try:
+        seeds = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"--seeds needs comma-separated integers, got {text!r}")
+    if not seeds:
+        raise argparse.ArgumentTypeError("--seeds needs at least one integer")
+    return seeds
+
+
+def _main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.tournament",
+        description="Strategy tournament: the full zoo on cue-annotated Thai webs",
+    )
+    parser.add_argument(
+        "--strategies",
+        type=_parse_names,
+        default=FULL_ZOO,
+        help="comma-separated strategy registry names (default: the full zoo)",
+    )
+    parser.add_argument(
+        "--scales", type=_parse_scales, default=(0.02,), help="universe scale factors"
+    )
+    parser.add_argument(
+        "--seeds", type=_parse_seeds, default=DEFAULT_SEEDS, help="universe seeds per cell"
+    )
+    parser.add_argument("--max-pages", type=int, default=1100, help="page cap per run")
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="N", help="sweep worker processes"
+    )
+    parser.add_argument("--output", default=None, help="write the JSON payload here")
+    parser.add_argument(
+        "--check-determinism",
+        action="store_true",
+        help="run the sweep twice (second pass serial) and require digest equality",
+    )
+    args = parser.parse_args(argv)
+
+    payload = tournament_sweep(
+        strategies=args.strategies,
+        scales=args.scales,
+        seeds=args.seeds,
+        max_pages=args.max_pages,
+        workers=args.workers,
+    )
+    if args.check_determinism:
+        again = tournament_sweep(
+            strategies=args.strategies,
+            scales=args.scales,
+            seeds=args.seeds,
+            max_pages=args.max_pages,
+            workers=0,
+        )
+        if again["digest_sha256"] != payload["digest_sha256"]:
+            print(
+                "determinism check FAILED: "
+                f"workers={args.workers} digest {payload['digest_sha256']} != "
+                f"serial digest {again['digest_sha256']}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"determinism check ok: {payload['digest_sha256']}")
+
+    rendered = json.dumps(payload, indent=2, sort_keys=True)
+    if args.output is not None:
+        output = Path(args.output)
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(rendered + "\n")
+        print(f"wrote {output}")
+    else:
+        for line in payload["summary"]:
+            print(json.dumps(line, sort_keys=True))
+        print(f"digest: {payload['digest_sha256']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main())

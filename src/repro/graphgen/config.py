@@ -111,6 +111,14 @@ class DatasetProfile:
         non_html_attractiveness: same damping for OK non-HTML resources.
         mean_page_size: mean synthesized body size, bytes (lognormal).
         n_seeds: number of seed URLs selected for capture crawls.
+        anchor_cue_probability: probability a link's anchor text is
+            written in the *target page's* language (an anchor-text cue a
+            textual-cue strategy can exploit).  0.0 (default) generates
+            no cue column at all, keeping universes byte-identical to
+            pre-cue profiles.
+        around_cue_probability: probability the text surrounding a link
+            carries words in the target page's language.  Same gating as
+            ``anchor_cue_probability``.
     """
 
     name: str
@@ -133,6 +141,8 @@ class DatasetProfile:
     non_html_attractiveness: float = 0.30
     mean_page_size: int = 6000
     n_seeds: int = 10
+    anchor_cue_probability: float = 0.0
+    around_cue_probability: float = 0.0
 
     def validate(self) -> None:
         """Raise :class:`ConfigError` on any out-of-range field."""
@@ -166,6 +176,8 @@ class DatasetProfile:
             "isolated_site_fraction",
             "ok_fraction",
             "html_fraction",
+            "anchor_cue_probability",
+            "around_cue_probability",
         ):
             value = getattr(self, probability_field)
             if not 0.0 <= value <= 1.0:

@@ -29,6 +29,11 @@ import numpy as np
 from repro.charset.languages import Language
 from repro.graphgen.config import DatasetProfile
 from repro.graphgen.hosts import Host, build_hosts
+from repro.graphgen.linkcontext import (
+    ANCHOR_CUE_BIT,
+    AROUND_CUE_BIT,
+    cue_language_code,
+)
 from repro.graphgen.linker import build_edges, links_csr
 from repro.webspace.crawllog import CrawlLog
 from repro.webspace.page import HTML_CONTENT_TYPE, STATUS_OK, PageRecord
@@ -82,6 +87,11 @@ class UniverseColumns:
     link_targets: np.ndarray
     seed_pages: np.ndarray
     _host_first: np.ndarray
+    #: Per-link textual-cue bytes aligned 1:1 with ``link_targets``
+    #: (encoding in :mod:`repro.graphgen.linkcontext`); None when the
+    #: profile's cue knobs are 0 — such universes carry no cue column
+    #: and are byte-identical to pre-cue generations.
+    link_cues: np.ndarray | None = None
 
     @property
     def n_pages(self) -> int:
@@ -123,12 +133,17 @@ class UniverseColumns:
         ok = bool(self.ok_mask[page])
         html = bool(self.html_mask[page])
         outlinks: tuple[str, ...] = ()
+        cues: tuple[int, ...] | None = None
         if ok and html:
-            row = self.link_targets[self.link_offsets[page] : self.link_offsets[page + 1]]
+            start = self.link_offsets[page]
+            stop = self.link_offsets[page + 1]
+            row = self.link_targets[start:stop]
             if urls is not None:
                 outlinks = tuple(urls[target] for target in row)
             else:
                 outlinks = tuple(self.url_for(int(target)) for target in row)
+            if self.link_cues is not None:
+                cues = tuple(int(cue) for cue in self.link_cues[start:stop])
         return PageRecord(
             url=urls[page] if urls is not None else self.url_for(page),
             status=int(self.statuses[page]),
@@ -137,6 +152,7 @@ class UniverseColumns:
             true_language=self.language_of(page),
             outlinks=outlinks,
             size=int(self.sizes[page]) if ok and html else 0,
+            link_cues=cues,
         )
 
 
@@ -211,6 +227,25 @@ def generate_columns(profile: DatasetProfile) -> UniverseColumns:
     )
     link_offsets, link_targets = links_csr(n_pages, sources, targets)
 
+    # Textual-cue bytes, one per kept link (aligned with link_targets, so
+    # they map 1:1 onto each record's outlinks).  Drawn *after* the CSR
+    # build and gated on the knobs, so profiles with both probabilities
+    # at 0 consume no extra RNG draws and stay byte-identical.
+    link_cues: np.ndarray | None = None
+    if profile.anchor_cue_probability > 0 or profile.around_cue_probability > 0:
+        n_links = len(link_targets)
+        anchor_hit = rng.random(n_links) < profile.anchor_cue_probability
+        around_hit = rng.random(n_links) < profile.around_cue_probability
+        group_code = np.array(
+            [cue_language_code(group.language) for group in profile.groups],
+            dtype=np.uint8,
+        )
+        link_cues = np.zeros(n_links, dtype=np.uint8)
+        any_hit = anchor_hit | around_hit
+        link_cues[any_hit] = group_code[lang_code[link_targets[any_hit]]]
+        link_cues[anchor_hit] |= ANCHOR_CUE_BIT
+        link_cues[around_hit] |= AROUND_CUE_BIT
+
     seed_pages = _select_seed_pages(
         profile, hosts, lang_code, html_mask & ~isolated_mask, attractiveness
     )
@@ -230,6 +265,7 @@ def generate_columns(profile: DatasetProfile) -> UniverseColumns:
         link_targets=link_targets,
         seed_pages=seed_pages,
         _host_first=np.array([host.first_page for host in hosts], dtype=np.int64),
+        link_cues=link_cues,
     )
 
 

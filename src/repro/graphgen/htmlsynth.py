@@ -20,6 +20,7 @@ import hashlib
 import numpy as np
 
 from repro.charset.languages import PYTHON_CODECS, Language, canonical_charset
+from repro.graphgen.linkcontext import link_context_text
 from repro.graphgen.textgen import TextGenerator, flavor_for
 from repro.webspace.page import PageRecord
 
@@ -74,8 +75,25 @@ class HtmlSynthesizer:
         parts.append(f"<h1>{text.phrase()}</h1>\n")
 
         # Interleave prose paragraphs with the record's outlinks so link
-        # extraction from the body reproduces the crawl log exactly.
+        # extraction from the body reproduces the crawl log exactly.  On
+        # cue-carrying records (link_cues column present) anchor markup
+        # comes from the shared per-link helper instead of the page text
+        # stream, so body-parsed anchor text matches the record-mode
+        # context synthesis byte for byte; cue-less records keep the
+        # original rendering unchanged.
         links = list(record.outlinks)
+        cues = record.link_cues
+
+        def anchor_markup(index: int, short: bool = False) -> str:
+            href = links[index]
+            if cues is None:
+                return f'<a href="{href}">{text.phrase(1, 2 if short else 3)}</a>'
+            anchor, around = link_context_text(
+                record.url, href, record.true_language, cues[index]
+            )
+            markup = f'<a href="{href}">{anchor}</a>'
+            return f"{markup} {around}" if around else markup
+
         body_chars = 0
         target_chars = max(400, record.size // 2)
         link_cursor = 0
@@ -85,15 +103,14 @@ class HtmlSynthesizer:
             for _ in range(self._links_per_paragraph):
                 if link_cursor >= len(links):
                     break
-                href = links[link_cursor]
+                anchors.append(anchor_markup(link_cursor))
                 link_cursor += 1
-                anchors.append(f'<a href="{href}">{text.phrase(1, 3)}</a>')
             parts.append(f"<p>{paragraph} {' '.join(anchors)}</p>\n")
             body_chars += len(paragraph)
             if body_chars > 4 * target_chars:  # safety valve on huge link lists
                 remaining = (
-                    f'<a href="{href}">{text.phrase(1, 2)}</a>'
-                    for href in links[link_cursor:]
+                    anchor_markup(index, short=True)
+                    for index in range(link_cursor, len(links))
                 )
                 parts.append(f"<p>{' '.join(remaining)}</p>\n")
                 break

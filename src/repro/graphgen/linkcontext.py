@@ -1,0 +1,139 @@
+"""Per-link anchor/around text: cue encoding and deterministic synthesis.
+
+The generator can mark individual links with *textual cues* — anchor text
+or surrounding text written in the **target page's** language
+(``DatasetProfile.anchor_cue_probability`` / ``around_cue_probability``).
+This module owns both halves of that feature:
+
+- the **cue byte** packed per link into ``PageRecord.link_cues`` (and the
+  optional ``link_cues`` page-store column): the low three bits name the
+  cue language (index+1 into :data:`CUE_LANGUAGES`; 0 = no cue), bit
+  ``0x08`` flags an anchor-text cue and bit ``0x10`` an around-text cue;
+
+- the **deterministic text** for a link, a pure function of
+  ``(source_url, target_url)`` via a keyed blake2b seed.  Both the
+  record-mode context synthesis (:func:`synthesize_link_contexts`, used
+  by :meth:`repro.core.visitor.Visitor.extract_contexts`) and the HTML
+  body synthesizer's cue mode draw from this one function, so the anchor
+  text a strategy sees is the same whether the run reads records or
+  parses synthesized bodies.
+
+The byte layout is part of the on-disk dataset format: the order of
+:data:`CUE_LANGUAGES` must never change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.charset.languages import Language
+from repro.graphgen.textgen import TextGenerator, flavor_for
+from repro.urlkit.extract import LinkContext
+from repro.webspace.page import PageRecord
+
+#: Cue-language table indexed by (cue_byte & _LANGUAGE_MASK) - 1.
+#: Order is frozen: it is baked into stored ``link_cues`` columns.
+CUE_LANGUAGES: tuple[Language, ...] = (
+    Language.JAPANESE,
+    Language.THAI,
+    Language.KOREAN,
+    Language.OTHER,
+    Language.UNKNOWN,
+)
+
+_LANGUAGE_MASK = 0x07
+ANCHOR_CUE_BIT = 0x08
+AROUND_CUE_BIT = 0x10
+
+_LANGUAGE_CODES = {language: index + 1 for index, language in enumerate(CUE_LANGUAGES)}
+
+
+def cue_byte(language: Language, *, anchor: bool = False, around: bool = False) -> int:
+    """Pack one link's cue into a byte; 0 if neither cue fires."""
+    if not (anchor or around):
+        return 0
+    value = _LANGUAGE_CODES[language]
+    if anchor:
+        value |= ANCHOR_CUE_BIT
+    if around:
+        value |= AROUND_CUE_BIT
+    return value
+
+
+def cue_language_code(language: Language) -> int:
+    """The 3-bit language code for ``language`` (for vectorised packing)."""
+    return _LANGUAGE_CODES[language]
+
+
+def cue_language(cue: int) -> Language | None:
+    """The cue language named by a cue byte, or None for cue 0."""
+    code = cue & _LANGUAGE_MASK
+    if code == 0:
+        return None
+    return CUE_LANGUAGES[code - 1]
+
+
+def has_anchor_cue(cue: int) -> bool:
+    return bool(cue & ANCHOR_CUE_BIT)
+
+
+def has_around_cue(cue: int) -> bool:
+    return bool(cue & AROUND_CUE_BIT)
+
+
+def _link_seed(source_url: str, target_url: str) -> int:
+    payload = f"{source_url}\x1f{target_url}".encode("utf-8")
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def link_context_text(
+    source_url: str,
+    target_url: str,
+    source_language: Language,
+    cue: int,
+) -> tuple[str, str]:
+    """Deterministic ``(anchor_text, around_words)`` for one link.
+
+    The anchor phrase is drawn in the cue language when the anchor-cue
+    bit is set, otherwise in the source page's language; ``around_words``
+    is a short cue-language run when the around-cue bit is set, else
+    ``""``.  Pure function of the arguments — the body synthesizer and
+    the record-mode context synthesis both call it, and therefore agree.
+    """
+    rng = np.random.default_rng(_link_seed(source_url, target_url))
+    anchor_lang = source_language
+    if has_anchor_cue(cue):
+        anchor_lang = cue_language(cue) or source_language
+    anchor = TextGenerator(flavor_for(anchor_lang), rng).phrase(1, 3)
+    around = ""
+    if has_around_cue(cue):
+        around_lang = cue_language(cue) or source_language
+        around = " ".join(TextGenerator(flavor_for(around_lang), rng).words(3))
+    return anchor, around
+
+
+def synthesize_link_contexts(record: PageRecord) -> tuple[LinkContext, ...]:
+    """Link contexts for a record, without rendering or parsing a body.
+
+    One :class:`~repro.urlkit.extract.LinkContext` per
+    ``record.outlinks`` entry, in order.  Records without a ``link_cues``
+    column (legacy datasets, cue knobs at 0) still yield contexts — the
+    anchors are simply all in the source page's language, carrying no
+    cue signal.  ``around_text`` embeds the anchor plus a short run of
+    source-language words, mimicking what a body parse would capture
+    around the anchor.
+    """
+    cues = record.link_cues
+    source_language = record.true_language
+    contexts: list[LinkContext] = []
+    for index, url in enumerate(record.outlinks):
+        cue = cues[index] if cues is not None else 0
+        anchor, around_words = link_context_text(record.url, url, source_language, cue)
+        rng = np.random.default_rng(_link_seed(record.url, url) ^ 0xA5A5A5A5)
+        prose = " ".join(TextGenerator(flavor_for(source_language), rng).words(4))
+        around = " ".join(part for part in (prose, anchor, around_words) if part)
+        contexts.append(LinkContext(url=url, anchor_text=anchor, around_text=around))
+    return tuple(contexts)

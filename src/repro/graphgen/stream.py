@@ -122,6 +122,7 @@ def write_columns_store(columns: UniverseColumns, path: str | Path) -> None:
         charsets=charsets,
         languages=languages,
         meta=universe_store_meta(profile, columns.seed_urls()),
+        link_cues=columns.link_cues,
     )
 
 

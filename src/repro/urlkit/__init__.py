@@ -11,7 +11,7 @@ subpackage provides that shared vocabulary:
   used when the simulator runs with synthesized page bodies.
 """
 
-from repro.urlkit.extract import extract_links
+from repro.urlkit.extract import LinkContext, extract_link_contexts, extract_links
 from repro.urlkit.normalize import (
     clear_url_caches,
     intern_url,
@@ -31,5 +31,7 @@ __all__ = [
     "url_cache_sizes",
     "url_host",
     "url_site_key",
+    "LinkContext",
+    "extract_link_contexts",
     "extract_links",
 ]

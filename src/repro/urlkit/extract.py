@@ -9,11 +9,21 @@ parser: it handles quoting, attribute order, embedded whitespace, relative
 URL resolution against a base URL, and skips ``javascript:``/``mailto:``
 pseudo-links.  It is deliberately forgiving — real-web HTML rarely parses
 cleanly, and a crawler that raises on bad markup collects nothing.
+
+Two entry points share one anchor scan:
+
+- :func:`extract_links` returns bare normalised URLs (the classic path).
+- :func:`extract_link_contexts` additionally captures the anchor text and
+  a window of surrounding text per link, for strategies that score
+  candidates on textual cues.  Its URL sequence is exactly the
+  :func:`extract_links` output.
 """
 
 from __future__ import annotations
 
 import re
+from html import unescape
+from typing import Iterator, NamedTuple
 
 from repro.errors import UrlError
 from repro.urlkit.normalize import normalize_url
@@ -22,13 +32,31 @@ from repro.urlkit.parse import parse_url
 # Matches an <a ...> opening tag; the attribute blob is picked apart below.
 _ANCHOR_RE = re.compile(r"<a\s+([^>]*)>", re.IGNORECASE | re.DOTALL)
 
+# Matching close tag for anchor-text capture (permissive whitespace).
+_ANCHOR_CLOSE_RE = re.compile(r"</a\s*>", re.IGNORECASE)
+
 # href value: double-quoted, single-quoted or bare token.
 _HREF_RE = re.compile(
     r"""href\s*=\s*(?:"([^"]*)"|'([^']*)'|([^\s>]+))""",
     re.IGNORECASE,
 )
 
+# Any markup tag, for stripping nested tags out of captured text.
+_TAG_RE = re.compile(r"<[^>]*>")
+
 _IGNORED_SCHEMES = ("javascript:", "mailto:", "ftp:", "file:", "data:", "tel:")
+
+# Characters of raw markup captured on each side of an anchor for the
+# ``around_text`` field.
+_AROUND_WINDOW = 120
+
+
+class LinkContext(NamedTuple):
+    """One outlink with the textual context it was found in."""
+
+    url: str
+    anchor_text: str
+    around_text: str
 
 
 def _resolve(base: str, href: str) -> str | None:
@@ -48,8 +76,15 @@ def _resolve(base: str, href: str) -> str | None:
             absolute = f"{base_split.scheme}:{href}"
         elif href.startswith("/"):
             absolute = f"{base_split.scheme}://{base_split.site_key}{href}"
+        elif href.startswith("?"):
+            # RFC 3986 §5.3: a query-only reference keeps the base path and
+            # replaces the base query.  (The old code merged it against the
+            # base *directory*, yielding /dir/?sid=1 for base /dir/page.html.)
+            absolute = f"{base_split.scheme}://{base_split.site_key}{base_split.path}{href}"
         else:
-            # Relative to the base path's directory.
+            # Merge with the base path's directory (RFC 3986 §5.3); any
+            # ``.``/``..`` segments in the merged path are collapsed by
+            # normalize_url per §5.2.4.
             directory = base_split.path.rsplit("/", 1)[0]
             absolute = f"{base_split.scheme}://{base_split.site_key}{directory}/{href}"
 
@@ -57,6 +92,29 @@ def _resolve(base: str, href: str) -> str | None:
         return normalize_url(absolute)
     except UrlError:
         return None
+
+
+def _iter_anchor_hrefs(text: str) -> Iterator[tuple[str, int, int]]:
+    """Yield ``(href, tag_start, tag_end)`` for each anchor carrying a href."""
+    for anchor in _ANCHOR_RE.finditer(text):
+        href_match = _HREF_RE.search(anchor.group(1))
+        if href_match is None:
+            continue
+        href = next(group for group in href_match.groups() if group is not None)
+        yield href, anchor.start(), anchor.end()
+
+
+def _as_text(html: str | bytes) -> str:
+    if isinstance(html, bytes):
+        # Latin-1 is byte-transparent and sufficient because URLs in our
+        # synthesized pages are always ASCII.
+        return html.decode("latin-1")
+    return html
+
+
+def _clean_text(fragment: str) -> str:
+    """Strip tags, decode entity references and collapse whitespace."""
+    return " ".join(unescape(_TAG_RE.sub(" ", fragment)).split())
 
 
 def extract_links(html: str | bytes, base_url: str) -> list[str]:
@@ -73,20 +131,55 @@ def extract_links(html: str | bytes, base_url: str) -> list[str]:
         Outlinks in document order with duplicates removed (first
         occurrence wins).
     """
-    if isinstance(html, bytes):
-        text = html.decode("latin-1")
-    else:
-        text = html
-
+    text = _as_text(html)
     seen: set[str] = set()
     links: list[str] = []
-    for anchor in _ANCHOR_RE.finditer(text):
-        href_match = _HREF_RE.search(anchor.group(1))
-        if href_match is None:
-            continue
-        href = next(group for group in href_match.groups() if group is not None)
+    for href, _start, _end in _iter_anchor_hrefs(text):
         resolved = _resolve(base_url, href)
         if resolved is not None and resolved not in seen:
             seen.add(resolved)
             links.append(resolved)
     return links
+
+
+def extract_link_contexts(html: str | bytes, base_url: str) -> list[LinkContext]:
+    """Extract outlinks together with anchor text and surrounding text.
+
+    The URL sequence is identical to ``extract_links(html, base_url)``:
+    same resolution, same document order, same first-occurrence dedup.
+    For each kept link:
+
+    - ``anchor_text`` is the text between ``<a ...>`` and the matching
+      ``</a>``, with nested tags stripped, entity references decoded and
+      whitespace collapsed.  An unclosed anchor yields ``""``.
+    - ``around_text`` is a window of document text around the anchor
+      (including the anchor text itself), cleaned the same way.
+
+    Bytes input is decoded as Latin-1, like :func:`extract_links` — safe
+    for URL extraction (byte-transparent) but lossy for *text* in native
+    CJK/Thai encodings, whose anchor characters then score as mojibake.
+    Textual-cue strategies therefore see full signal in record-replay
+    mode (contexts synthesized from the crawl log) and only entity- or
+    UTF-8-encoded signal when parsing raw bodies.
+    """
+    text = _as_text(html)
+    seen: set[str] = set()
+    contexts: list[LinkContext] = []
+    for href, tag_start, tag_end in _iter_anchor_hrefs(text):
+        resolved = _resolve(base_url, href)
+        if resolved is None or resolved in seen:
+            continue
+        seen.add(resolved)
+
+        close = _ANCHOR_CLOSE_RE.search(text, tag_end)
+        if close is not None:
+            anchor_text = _clean_text(text[tag_end : close.start()])
+            after = close.end()
+        else:
+            anchor_text = ""
+            after = tag_end
+        around_text = _clean_text(
+            text[max(0, tag_start - _AROUND_WINDOW) : after + _AROUND_WINDOW]
+        )
+        contexts.append(LinkContext(resolved, anchor_text, around_text))
+    return contexts

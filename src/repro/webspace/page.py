@@ -51,6 +51,11 @@ class PageRecord:
         outlinks: normalised URLs of the anchors on the page, in document
             order, duplicates removed.
         size: page body size in bytes (drives the optional timing model).
+        link_cues: optional per-outlink textual-cue bytes (one per
+            ``outlinks`` entry; encoding in
+            :mod:`repro.graphgen.linkcontext`).  ``None`` on datasets
+            generated without cue knobs — consumers must treat the two
+            the same way they treat an absent column.
     """
 
     url: str
@@ -60,6 +65,7 @@ class PageRecord:
     true_language: Language = Language.OTHER
     outlinks: tuple[str, ...] = field(default=())
     size: int = 0
+    link_cues: tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
         # Records are where every URL in the system originates, so the
@@ -103,6 +109,8 @@ class PageRecord:
             record["o"] = list(self.outlinks)
         if self.size:
             record["z"] = self.size
+        if self.link_cues is not None:
+            record["lc"] = list(self.link_cues)
         return record
 
     @classmethod
@@ -116,4 +124,5 @@ class PageRecord:
             true_language=Language(record.get("l", Language.OTHER.value)),
             outlinks=tuple(record.get("o", ())),
             size=record.get("z", 0),
+            link_cues=tuple(record["lc"]) if "lc" in record else None,
         )

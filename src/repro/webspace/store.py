@@ -83,6 +83,12 @@ _SECTIONS = (
     ("url_hash_order", "<i8"),
 )
 
+#: Optional trailing section: per-link textual-cue bytes, aligned 1:1
+#: with link_arena (encoding in :mod:`repro.graphgen.linkcontext`).
+#: Present only in stores written from cue-enabled profiles; readers key
+#: off the self-describing header, so the format version is unchanged.
+_LINK_CUES_SECTION = ("link_cues", "|u1")
+
 #: Decoded-URL cache bound: popular link targets (hubs) decode once,
 #: cold pages cycle through — the cache must never grow with web size.
 _URL_CACHE_MAX = 1 << 16
@@ -114,6 +120,7 @@ def write_store(
     charsets: list[str],
     languages: list[str],
     meta: dict | None = None,
+    link_cues: np.ndarray | None = None,
 ) -> None:
     """Write one page-store file from prepared columns.
 
@@ -153,10 +160,14 @@ def write_store(
         "url_hash": sorted_hashes,
         "url_hash_order": order,
     }
+    section_specs = list(_SECTIONS)
+    if link_cues is not None:
+        arrays["link_cues"] = np.asarray(link_cues, dtype=np.uint8)
+        section_specs.append(_LINK_CUES_SECTION)
 
     sections: dict[str, dict[str, Any]] = {}
     relative = 0
-    for name, dtype in _SECTIONS:
+    for name, dtype in section_specs:
         array = arrays[name]
         sections[name] = {"dtype": dtype, "count": int(array.shape[0]), "offset": relative}
         relative = _align_up(relative + array.nbytes)
@@ -182,7 +193,7 @@ def write_store(
         handle.write(header_bytes)
         handle.write(b"\x00" * (data_start - len(_MAGIC) - 8 - len(header_bytes)))
         position = 0
-        for name, _dtype in _SECTIONS:
+        for name, _dtype in section_specs:
             section_offset = sections[name]["offset"]
             if section_offset > position:
                 handle.write(b"\x00" * (section_offset - position))
@@ -266,6 +277,12 @@ class PageStore:
         self._url_hash_order = load("url_hash_order")
         self._link_arena_start, self._link_arena_count = arena("link_arena")
         self._url_arena_start, self._url_arena_count = arena("url_arena")
+        # Optional cue section: absent in stores written before the cue
+        # knobs existed (or with them at 0) — key off the header.
+        if "link_cues" in header["sections"]:
+            self._link_cues_start, self._link_cues_count = arena("link_cues")
+        else:
+            self._link_cues_start, self._link_cues_count = -1, 0
 
         self._content_types: list[str] = list(header["content_types"])
         self._charsets: list[str] = list(header["charsets"])
@@ -322,9 +339,8 @@ class PageStore:
     def section_sizes(self) -> dict[str, int]:
         """Bytes per on-disk section (for ``dataset inspect``)."""
         sizes: dict[str, int] = {}
-        for name, dtype in _SECTIONS:
-            spec = self.header["sections"][name]
-            sizes[name] = int(spec["count"]) * np.dtype(dtype).itemsize
+        for name, spec in self.header["sections"].items():
+            sizes[name] = int(spec["count"]) * np.dtype(spec["dtype"]).itemsize
         return sizes
 
     @property
@@ -393,6 +409,18 @@ class PageStore:
         row = os.pread(self._fd, 8 * (high - low), self._link_arena_start + 8 * low)
         return np.frombuffer(row, dtype="<i8")
 
+    def link_cue_row(self, page_id: int) -> tuple[int, ...] | None:
+        """The cue bytes of page ``page_id``'s outlinks; None if the
+        store carries no cue section."""
+        self._check_open()
+        if self._link_cues_start < 0:
+            return None
+        low = int(self._link_offsets[page_id])
+        high = int(self._link_offsets[page_id + 1])
+        if high == low:
+            return ()
+        return tuple(os.pread(self._fd, high - low, self._link_cues_start + low))
+
     # -- record materialisation ---------------------------------------------
 
     def record_at(self, page_id: int) -> PageRecord:
@@ -401,14 +429,22 @@ class PageStore:
         if not 0 <= page_id < self.page_count:
             raise UnknownPageError(f"page id {page_id} out of range")
         charset_id = int(self._charset[page_id])
+        status = int(self._status[page_id])
+        content_type = self._content_types[int(self._ctype[page_id])]
+        # Mirror the generator: only OK HTML pages carry a cue row (other
+        # pages have no outlinks and record link_cues=None).
+        cues: tuple[int, ...] | None = None
+        if status == STATUS_OK and content_type == HTML_CONTENT_TYPE:
+            cues = self.link_cue_row(page_id)
         return PageRecord(
             url=self.url_of(page_id),
-            status=int(self._status[page_id]),
-            content_type=self._content_types[int(self._ctype[page_id])],
+            status=status,
+            content_type=content_type,
             charset=None if charset_id < 0 else self._charsets[charset_id],
             true_language=self._languages[int(self._lang[page_id])],
             outlinks=tuple(self.url_of(int(uid)) for uid in self.outlink_ids(page_id)),
             size=int(self._size[page_id]),
+            link_cues=cues,
         )
 
     # -- PageSource protocol -------------------------------------------------
@@ -579,6 +615,8 @@ class StoreBuilder:
         size = np.empty(n_pages, dtype=np.int64)
         link_offsets = np.zeros(n_pages + 1, dtype=np.int64)
         link_targets: list[int] = []
+        link_cues: list[int] = []
+        any_cues = any(record.link_cues is not None for record in records)
         for page_id, record in enumerate(records):
             status[page_id] = record.status
             ctype[page_id] = table_id(content_types, ctype_ids, record.content_type)
@@ -589,6 +627,16 @@ class StoreBuilder:
             size[page_id] = record.size
             for target in record.outlinks:
                 link_targets.append(ids[target])
+            if any_cues:
+                # Keep the cue arena aligned with link_targets; records
+                # without cues (mixed inputs) contribute zero bytes.
+                cues = record.link_cues
+                if cues is not None and len(cues) != len(record.outlinks):
+                    raise CrawlLogError(
+                        f"{record.url!r}: link_cues length {len(cues)} != "
+                        f"outlink count {len(record.outlinks)}"
+                    )
+                link_cues.extend(cues if cues is not None else (0,) * len(record.outlinks))
             link_offsets[page_id + 1] = len(link_targets)
 
         url_offsets = np.zeros(len(urls) + 1, dtype=np.int64)
@@ -616,6 +664,7 @@ class StoreBuilder:
             charsets=charsets,
             languages=languages,
             meta=meta,
+            link_cues=np.asarray(link_cues, dtype=np.uint8) if any_cues else None,
         )
 
 

@@ -141,6 +141,21 @@ class TestListStrategies:
             assert name in out
             assert description in out
 
+    def test_combined_and_context_strategies_are_listed(self, capsys):
+        """Regression: hard+limited / soft+limited were importable-only
+        helpers, invisible to --list-strategies (and the CLI/wire)."""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--list-strategies"])
+        out = capsys.readouterr().out
+        for name in (
+            "hard+limited",
+            "soft+limited",
+            "pdd-hybrid",
+            "pal-content-link",
+            "infospiders",
+        ):
+            assert name in out
+
 
 class TestExtendedStrategyNames:
     def test_run_backlink_count(self, capsys):
@@ -156,6 +171,23 @@ class TestExtendedStrategyNames:
         )
         assert code == 0
         assert "distilled-soft" in capsys.readouterr().out
+
+    def test_run_soft_limited_with_n(self, capsys):
+        code = main(
+            [
+                "run", "thai", "soft+limited", "--n", "1",
+                "--scale", "0.03", "--no-cache", "--max-pages", "150",
+            ]
+        )
+        assert code == 0
+        assert "soft+limited(N=1)" in capsys.readouterr().out
+
+    def test_run_pdd_hybrid(self, capsys):
+        code = main(
+            ["run", "thai", "pdd-hybrid", "--scale", "0.03", "--no-cache", "--max-pages", "150"]
+        )
+        assert code == 0
+        assert "pdd-hybrid(thai)" in capsys.readouterr().out
 
 
 class TestAdversaryFlags:

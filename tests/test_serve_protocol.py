@@ -149,6 +149,23 @@ class TestProtocolHandler:
             serve_cache, "breadth-first", 9001
         )
 
+    def test_context_and_combined_strategies_cross_the_wire(self, tmp_path, serve_cache):
+        """The new registrations (context-aware zoo, hard+limited /
+        soft+limited) are reachable by name over the protocol, matching
+        the direct run exactly."""
+        for name, strategy in (("ctx", "pdd-hybrid"), ("cmb", "soft+limited")):
+            handler = _handler(tmp_path / name, serve_cache)
+            assert handler.handle(_open_command(name, strategy, 9001))["ok"]
+            status = {"done": False}
+            while not status["done"]:
+                reply = handler.handle({"cmd": "step", "session": name, "budget": 25})
+                assert reply["ok"]
+                status = reply["status"]
+            report = handler.handle({"cmd": "close", "session": name})["report"]
+            assert json.dumps(report, sort_keys=True) == _one_shot(
+                serve_cache, strategy, 9001
+            )
+
     def test_failed_open_releases_the_session_name(self, tmp_path, serve_cache):
         handler = _handler(tmp_path, serve_cache)
         bad = _open_command("s", "no-such-strategy", 9001)

@@ -1,6 +1,6 @@
 """Unit tests for repro.urlkit.extract."""
 
-from repro.urlkit.extract import extract_links
+from repro.urlkit.extract import LinkContext, extract_link_contexts, extract_links
 
 BASE = "http://host.example/dir/page.html"
 
@@ -86,3 +86,92 @@ class TestExtractLinks:
     def test_non_anchor_tags_ignored(self):
         html = '<img src="/pic.png"><link href="/style.css">'
         assert extract_links(html, BASE) == []
+
+
+class TestResolveRfc3986:
+    """Regression pins for RFC 3986 reference resolution (§5.3, §5.2.4).
+
+    Query-only references used to resolve against the *directory* (as if
+    they were relative paths), dropping the base document's filename —
+    session-id style links (``?sid=1``) all collapsed onto the wrong URL.
+    """
+
+    def test_query_only_href_keeps_base_path(self):
+        html = '<a href="?sid=1">q</a>'
+        assert extract_links(html, BASE) == ["http://host.example/dir/page.html?sid=1"]
+
+    def test_query_only_href_replaces_base_query(self):
+        base = "http://host.example/dir/page.html?old=1"
+        html = '<a href="?sid=2">q</a>'
+        assert extract_links(html, base) == ["http://host.example/dir/page.html?sid=2"]
+
+    def test_single_dot_segment(self):
+        html = '<a href="./sibling.html">s</a>'
+        assert extract_links(html, BASE) == ["http://host.example/dir/sibling.html"]
+
+    def test_interior_dot_dot_segment(self):
+        html = '<a href="a/../b.html">b</a>'
+        assert extract_links(html, BASE) == ["http://host.example/dir/b.html"]
+
+    def test_excess_dot_dot_segments_clamp_at_root(self):
+        html = '<a href="../../../up.html">u</a>'
+        assert extract_links(html, BASE) == ["http://host.example/up.html"]
+
+
+class TestExtractLinkContexts:
+    def test_anchor_and_around_text(self):
+        html = 'before <a href="/a">the anchor</a> after'
+        (context,) = extract_link_contexts(html, BASE)
+        assert context == LinkContext(
+            url="http://host.example/a",
+            anchor_text="the anchor",
+            around_text="before the anchor after",
+        )
+
+    def test_urls_match_extract_links_exactly(self):
+        html = (
+            '<a href="/z">z</a> filler <a href="/a">a</a>'
+            '<a href="/z">dup</a><a href="#frag">f</a><a href="/m">m</a>'
+        )
+        contexts = extract_link_contexts(html, BASE)
+        assert [context.url for context in contexts] == extract_links(html, BASE)
+
+    def test_missing_close_tag_yields_empty_anchor_text(self):
+        html = 'x <a href="/a">never closed'
+        (context,) = extract_link_contexts(html, BASE)
+        assert context.anchor_text == ""
+        assert "never closed" in context.around_text
+
+    def test_nested_tags_stripped_from_anchor_text(self):
+        html = '<a href="/a"><b>Bold</b> <i>and</i> plain</a>'
+        (context,) = extract_link_contexts(html, BASE)
+        assert context.anchor_text == "Bold and plain"
+
+    def test_entities_unescaped(self):
+        html = '<a href="/a">fish &amp; chips &#x2014; daily</a>'
+        (context,) = extract_link_contexts(html, BASE)
+        assert context.anchor_text == "fish & chips — daily"
+
+    def test_bytes_input(self):
+        html = b'<a href="/a">bytes anchor</a>'
+        (context,) = extract_link_contexts(html, BASE)
+        assert context.url == "http://host.example/a"
+        assert context.anchor_text == "bytes anchor"
+
+    def test_around_text_windows_neighbouring_prose(self):
+        html = "left context here <a href='/a'>mid</a> right context here"
+        (context,) = extract_link_contexts(html, BASE)
+        assert context.around_text == "left context here mid right context here"
+
+    def test_around_text_strips_neighbouring_markup(self):
+        html = "<p>para</p> <a href='/a'>mid</a> <div>block</div>"
+        (context,) = extract_link_contexts(html, BASE)
+        assert context.around_text == "para mid block"
+
+    def test_duplicate_url_keeps_first_context(self):
+        html = '<a href="/a">first</a> <a href="/a">second</a>'
+        (context,) = extract_link_contexts(html, BASE)
+        assert context.anchor_text == "first"
+
+    def test_empty_document(self):
+        assert extract_link_contexts("", BASE) == []
